@@ -1,0 +1,156 @@
+// MiniZK (coordination service) characterisation bench.
+//
+// The paper's design leans on three properties of the coordination layer
+// (§5.2.1): writes are linearized and "incur a significant delay" (hence the
+// gossip-map cache in front of it), reads are local and cheap, and ephemeral
+// entries + watches give failure detection within the session timeout. This
+// bench measures all three on the simulated network, plus leader-election
+// convergence — the constants behind the cluster's failover timeline.
+#include <cstdio>
+
+#include "bench_support/table.hpp"
+#include "common/histogram.hpp"
+#include "coord/sim_harness.hpp"
+
+using namespace md;
+using namespace md::bench;
+
+namespace {
+
+constexpr std::size_t kNodes = 3;
+
+struct Fixture {
+  sim::Scheduler sched;
+  std::unique_ptr<sim::SimNetwork> net;
+  std::unique_ptr<coord::SimCoordCluster> cluster;
+
+  explicit Fixture(std::uint64_t seed) {
+    net = std::make_unique<sim::SimNetwork>(sched, Rng(seed));
+    std::vector<sim::HostId> hosts;
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      hosts.push_back(net->AddHost("zk-" + std::to_string(i)));
+    }
+    cluster = std::make_unique<coord::SimCoordCluster>(sched, *net, hosts,
+                                                       coord::CoordConfig{}, seed);
+    cluster->StartAll();
+  }
+
+  std::optional<std::size_t> AwaitLeader(Duration budget = 10 * kSecond) {
+    const TimePoint deadline = sched.Now() + budget;
+    while (sched.Now() < deadline) {
+      sched.RunFor(10 * kMillisecond);
+      if (const auto leader = cluster->LeaderIndex()) return leader;
+    }
+    return std::nullopt;
+  }
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== MiniZK characterisation (3 nodes, simulated network) ===\n\n");
+
+  // --- election convergence ----------------------------------------------------
+  Histogram electionTime;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    Fixture f(seed);
+    const TimePoint start = f.sched.Now();
+    if (f.AwaitLeader()) electionTime.Record(f.sched.Now() - start);
+  }
+  const auto election = SummarizeNanos(electionTime);
+  std::printf("initial leader election: median %.0f ms, p99 %.0f ms (n=%llu)\n",
+              election.medianMs, election.p99Ms,
+              static_cast<unsigned long long>(election.count));
+
+  // --- write latency (linearized through the leader) ----------------------------
+  Fixture f(99);
+  const auto leaderIdx = f.AwaitLeader();
+  Histogram writeOnLeader, writeOnFollower;
+  if (leaderIdx) {
+    const std::size_t follower = (*leaderIdx + 1) % kNodes;
+    for (int i = 0; i < 300; ++i) {
+      for (const bool onLeader : {true, false}) {
+        const std::size_t node = onLeader ? *leaderIdx : follower;
+        Histogram& hist = onLeader ? writeOnLeader : writeOnFollower;
+        const TimePoint start = f.sched.Now();
+        bool done = false;
+        f.cluster->node(node).Put(
+            "bench/key-" + std::to_string(i), "v",
+            [&](Status s, std::uint64_t) {
+              if (s.ok()) {
+                hist.Record(f.sched.Now() - start);
+              }
+              done = true;
+            });
+        while (!done) f.sched.RunFor(kMillisecond);
+      }
+    }
+  }
+  const auto onLeader = SummarizeNanos(writeOnLeader);
+  const auto onFollower = SummarizeNanos(writeOnFollower);
+  std::printf("linearized write via leader:   median %.2f ms\n", onLeader.medianMs);
+  std::printf("linearized write via follower: median %.2f ms (adds forward hop)\n",
+              onFollower.medianMs);
+
+  // --- local read cost -----------------------------------------------------------
+  // Reads are served from the local replica: no network events at all.
+  const TimePoint beforeReads = f.sched.Now();
+  std::uint64_t found = 0;
+  for (int i = 0; i < 300; ++i) {
+    if (f.cluster->node(0).Read("bench/key-" + std::to_string(i))) ++found;
+  }
+  const bool readsAreLocal = f.sched.Now() == beforeReads;
+  std::printf("local reads: %llu/300 hit, zero simulated time consumed: %s\n",
+              static_cast<unsigned long long>(found), readsAreLocal ? "yes" : "no");
+
+  // --- failure detection (ephemeral expiry via session timeout) -------------------
+  Histogram detection;
+  for (std::uint64_t seed = 200; seed < 220; ++seed) {
+    Fixture g(seed);
+    const auto leader = g.AwaitLeader();
+    if (!leader) continue;
+    // A non-leader node owns an ephemeral entry, then crashes.
+    const std::size_t owner = (*leader + 1) % kNodes;
+    bool created = false;
+    g.cluster->node(owner).CreateEphemeral("eph/owner", "x",
+                                           [&](Status s, std::uint64_t) {
+                                             created = s.ok();
+                                           });
+    for (int i = 0; i < 100 && !created; ++i) g.sched.RunFor(10 * kMillisecond);
+    if (!created) continue;
+
+    bool observed = false;
+    TimePoint observedAt = 0;
+    const std::size_t watcher = (*leader + 2) % kNodes;
+    g.cluster->node(watcher).Watch("eph/owner", [&](const coord::WatchEvent& e) {
+      if (e.type == coord::WatchEventType::kDeleted && !observed) {
+        observed = true;
+        observedAt = g.sched.Now();
+      }
+    });
+    const TimePoint crashAt = g.sched.Now();
+    g.cluster->CrashNode(owner);
+    for (int i = 0; i < 1000 && !observed; ++i) g.sched.RunFor(10 * kMillisecond);
+    if (observed) detection.Record(observedAt - crashAt);
+  }
+  const auto detect = SummarizeNanos(detection);
+  std::printf("ephemeral-expiry failure detection: median %.0f ms, p99 %.0f ms "
+              "(session timeout 2000 ms)\n\n",
+              detect.medianMs, detect.p99Ms);
+
+  std::vector<ShapeCheck> checks;
+  checks.push_back({"leader elected within 1 s (p99, ms)", 0, election.p99Ms,
+                    election.count >= 45 && election.p99Ms < 1000});
+  checks.push_back({"writes cost network round trips (>= 0.3 ms median)", 0,
+                    onLeader.medianMs, onLeader.medianMs >= 0.3});
+  checks.push_back({"follower writes add a forwarding hop", onLeader.medianMs,
+                    onFollower.medianMs,
+                    onFollower.medianMs > onLeader.medianMs});
+  checks.push_back({"reads are local (justifies the gossip cache)", 0,
+                    readsAreLocal ? 1.0 : 0.0, readsAreLocal && found == 300});
+  checks.push_back({"failure detected within ~session timeout +50% (ms)", 2000,
+                    detect.p99Ms, detect.count >= 15 && detect.p99Ms < 3000 &&
+                                      detect.medianMs > 500});
+  PrintShapeChecks(checks);
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Reproduces Table 1 and Figure 3 (paper §6.1): vertical scalability of one
+// MigratoryData server from 100 K to 1 M concurrent subscribers.
+//
+// Workload (exactly the paper's): topics = subscribers / 10,000 (10..100),
+// every client subscribes to one topic, every topic gets a 140-byte message
+// once per second => deliveries/s == subscriber count. 3-minute warm-up,
+// 10-minute measurement (override with MD_BENCH_SECONDS / MD_BENCH_WARMUP).
+//
+// The server runs as the calibrated fan-out model over the simulated 16-core
+// CPU (see src/bench_support/engine_model.hpp and DESIGN.md §1 for the
+// substitution rationale). Absolute milliseconds are approximate; the shape
+// checks at the bottom encode what the experiment is meant to demonstrate.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_support/engine_model.hpp"
+#include "bench_support/table.hpp"
+
+namespace {
+
+using namespace md;
+using namespace md::bench;
+
+struct PaperRow {
+  int subsK;
+  double median, mean, stddev, p90, p95, p99, cpu, gbps;
+  int topics;
+};
+
+// Table 1 of the paper, verbatim.
+constexpr PaperRow kPaper[] = {
+    {100, 17, 16.78, 7.78, 25, 27, 30, 9.94, 0.17, 10},
+    {200, 15, 14.17, 7.71, 21, 23, 28, 16.04, 0.36, 20},
+    {300, 11, 11.10, 9.31, 15, 17, 46, 20.50, 0.55, 30},
+    {400, 11, 11.31, 10.65, 15, 16, 71, 23.61, 0.70, 40},
+    {500, 13, 14.73, 14.80, 23, 26, 82, 32.53, 0.92, 50},
+    {600, 14, 19.92, 34.04, 25, 35, 209, 40.50, 1.08, 60},
+    {700, 15, 19.05, 22.54, 26, 35, 138, 45.99, 1.21, 70},
+    {800, 18, 24.50, 35.17, 32, 49, 201, 51.70, 1.40, 80},
+    {900, 20, 47.64, 88.96, 118, 236, 475, 60.39, 1.54, 90},
+    {1000, 27, 92.36, 141.07, 252, 361, 691, 69.10, 1.72, 100},
+};
+
+md::Duration EnvSeconds(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  return (v ? std::atol(v) : fallback) * md::kSecond;
+}
+
+}  // namespace
+
+int main() {
+  const Duration measure = EnvSeconds("MD_BENCH_SECONDS", 600);
+  const Duration warmup = EnvSeconds("MD_BENCH_WARMUP", 180);
+
+  std::printf(
+      "=== Table 1 / Figure 3: vertical scalability (C1M), single server ===\n"
+      "Workload: subscribers/10,000 topics, 1 msg/topic/s, 140 B payloads;\n"
+      "warm-up %.0f s, measurement %.0f s. Simulated 16-core server "
+      "(DESIGN.md).\n\n",
+      ToSeconds(warmup), ToSeconds(measure));
+
+  std::printf("--- Paper (Table 1) ---\n");
+  PrintLatencyTableHeader("Subs");
+  for (const auto& p : kPaper) {
+    LatencyRow row{std::to_string(p.subsK) + "K",
+                   {p.median, p.mean, p.stddev, p.p90, p.p95, p.p99, 0},
+                   p.cpu,
+                   p.gbps,
+                   p.topics};
+    PrintLatencyRow(row);
+  }
+
+  std::printf("\n--- Measured (this reproduction) ---\n");
+  PrintLatencyTableHeader("Subs");
+
+  std::vector<EngineRunResult> results;
+  for (const auto& p : kPaper) {
+    EngineModel model(EngineModelConfig{}, /*seed=*/777 + p.subsK);
+    const auto r = model.Run(/*topics=*/static_cast<std::uint32_t>(p.topics),
+                             /*subscribersPerTopic=*/10'000,
+                             /*publishInterval=*/kSecond, warmup, measure);
+    results.push_back(r);
+    LatencyRow row{std::to_string(p.subsK) + "K", r.latency,
+                   r.cpuFraction * 100.0, r.gbpsOut, p.topics};
+    PrintLatencyRow(row);
+  }
+
+  // Figure 3: mean latency + CPU series per 100 K step.
+  std::printf("\nFIGURE3 series (x=subscribers, meanLatencyMs, cpuPercent):\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::printf("FIGURE3 %7dK %8.2f %7.2f\n", kPaper[i].subsK,
+                results[i].latency.meanMs, results[i].cpuFraction * 100.0);
+  }
+
+  // Shape checks: the claims §6.1 actually makes.
+  const auto& first = results.front();
+  const auto& last = results.back();
+  std::vector<ShapeCheck> checks;
+  checks.push_back({"CPU grows ~linearly: cpu(1M)/cpu(100K) in [4,9]",
+                    69.10 / 9.94, last.cpuFraction / first.cpuFraction,
+                    last.cpuFraction / first.cpuFraction > 4.0 &&
+                        last.cpuFraction / first.cpuFraction < 9.0});
+  bool meanUnder100 = true;
+  for (const auto& r : results) meanUnder100 &= r.latency.meanMs < 100.0;
+  checks.push_back({"mean latency stays < 100 ms at every scale", 92.36,
+                    last.latency.meanMs, meanUnder100});
+  const double deliveryRate =
+      static_cast<double>(last.deliveries) / ToSeconds(warmup + measure);
+  checks.push_back({"1 M concurrent subscribers served (C1M), msgs/s", 1'000'000,
+                    deliveryRate, deliveryRate > 900'000});
+  checks.push_back({"outgoing traffic at 1 M ~ 1.72 Gbps", 1.72, last.gbpsOut,
+                    last.gbpsOut > 1.5 && last.gbpsOut < 2.0});
+  checks.push_back({"tail inflates near saturation: p99(1M)/p99(300K) > 3",
+                    691.0 / 46.0, last.latency.p99Ms / results[2].latency.p99Ms,
+                    last.latency.p99Ms / results[2].latency.p99Ms > 3.0});
+  checks.push_back({"mean >> median at 1M (GC + queueing skew): ratio > 1.5",
+                    92.36 / 27.0, last.latency.meanMs / last.latency.medianMs,
+                    last.latency.meanMs / last.latency.medianMs > 1.5});
+  PrintShapeChecks(checks);
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Cluster failover walkthrough (paper §5) — deterministic simulation.
+//
+// Three MigratoryData servers, each with a MiniZK instance, serve a group of
+// subscribers while a publisher streams updates. We crash one server
+// mid-stream and narrate what the protocol does: MiniZK expires the dead
+// server's ephemeral coordinator mappings, a surviving server takes over the
+// topic group at a higher epoch, subscribers reconnect using their
+// client-side server lists, and every message published during the failover
+// is recovered from the surviving caches — zero loss.
+//
+// Runs in virtual time (finishes in milliseconds of wall clock) and is fully
+// reproducible; the same protocol code paths are covered against real TCP by
+// the test suite.
+#include <cstdio>
+
+#include "client/client.hpp"
+#include "cluster/sim_cluster.hpp"
+
+using namespace md;
+
+int main() {
+  sim::Scheduler sched;
+  cluster::SimCluster::Options opts;
+  opts.servers = 3;
+  opts.seed = 2017;
+  cluster::SimCluster cluster(sched, opts);
+  cluster.StartAll();
+  sched.RunFor(2 * kSecond);
+  std::printf("t=%5.1fs  cluster of 3 servers up, MiniZK leader elected\n",
+              ToSeconds(sched.Now()));
+
+  auto clientCfg = [&](const char* id) {
+    client::ClientConfig cfg;
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      cfg.servers.push_back({"server", cluster.ClientPort(i), 1.0});
+    }
+    cfg.clientId = id;
+    cfg.seed = Fnv1a64(id);
+    cfg.backoffBase = 100 * kMillisecond;
+    return cfg;
+  };
+
+  // Three subscribers, load-balanced client-side across the servers.
+  std::vector<std::unique_ptr<client::Client>> subs;
+  std::vector<int> received(3, 0);
+  for (int i = 0; i < 3; ++i) {
+    auto sub = std::make_unique<client::Client>(
+        cluster.clientLoop(), clientCfg(("viewer-" + std::to_string(i)).c_str()));
+    sub->Subscribe("live/match", [&received, i](const Message& m) {
+      std::printf("t=%5.1fs    viewer-%d got update (epoch %u, seq %llu)\n",
+                  ToSeconds(static_cast<TimePoint>(m.publishTs)) , i, m.epoch,
+                  static_cast<unsigned long long>(m.seq));
+      received[static_cast<std::size_t>(i)]++;
+    });
+    sub->Start();
+    subs.push_back(std::move(sub));
+  }
+
+  client::Client pub(cluster.clientLoop(), clientCfg("producer"));
+  pub.Start();
+  sched.RunFor(kSecond);
+  for (int i = 0; i < 3; ++i) {
+    std::printf("t=%5.1fs  viewer-%d connected to %s\n", ToSeconds(sched.Now()), i,
+                subs[static_cast<std::size_t>(i)]->ConnectedServerId().c_str());
+  }
+
+  int acked = 0;
+  auto publish = [&](int k) {
+    pub.Publish("live/match", Bytes{static_cast<std::uint8_t>(k)}, [&](Status s) {
+      if (s.ok()) ++acked;
+    });
+  };
+
+  std::printf("\n--- normal operation: 3 updates ---\n");
+  for (int k = 1; k <= 3; ++k) {
+    publish(k);
+    sched.RunFor(kSecond);
+  }
+
+  std::printf("\n--- fail-stop of server-1 at t=%.1fs ---\n", ToSeconds(sched.Now()));
+  cluster.CrashServer(0);
+
+  std::printf("--- publishing continues through the failure ---\n");
+  for (int k = 4; k <= 8; ++k) {
+    publish(k);
+    sched.RunFor(kSecond);
+  }
+  sched.RunFor(8 * kSecond);  // session expiry, takeover, reconnections settle
+
+  std::printf("\n--- state after failover ---\n");
+  for (int i = 0; i < 3; ++i) {
+    std::printf("viewer-%d: %d/8 updates, now on %s, reconnects=%llu, "
+                "duplicates filtered=%llu\n",
+                i, received[static_cast<std::size_t>(i)],
+                subs[static_cast<std::size_t>(i)]->ConnectedServerId().c_str(),
+                static_cast<unsigned long long>(
+                    subs[static_cast<std::size_t>(i)]->stats().reconnects),
+                static_cast<unsigned long long>(
+                    subs[static_cast<std::size_t>(i)]->stats().duplicatesFiltered));
+  }
+  const std::uint32_t group = TopicGroupOf("live/match", 100);
+  for (std::size_t i = 1; i < 3; ++i) {
+    if (cluster.node(i).CoordinatesGroup(group)) {
+      std::printf("server-%zu now coordinates the topic's group (takeovers=%llu)\n",
+                  i + 1,
+                  static_cast<unsigned long long>(cluster.node(i).stats().takeovers));
+    }
+  }
+  std::printf("acknowledged publications: %d/8\n", acked);
+
+  const bool allRecovered = received[0] == 8 && received[1] == 8 && received[2] == 8;
+  std::printf("\n%s\n", allRecovered
+                            ? "SUCCESS: every viewer received all 8 updates "
+                              "despite the server failure (zero loss)."
+                            : "FAILURE: some updates were lost.");
+  return allRecovered ? 0 : 1;
+}

@@ -1,0 +1,138 @@
+// Market-data distribution — the other industry MigratoryData grew out of
+// (paper §2: Lightstreamer/Caplin served "capital markets by streaming ...
+// market data and financial news").
+//
+// Demonstrates the high-frequency knobs working together on a real server:
+//   - server-side CONFLATION: tickers update hundreds of times per second,
+//     but a human-facing terminal only needs the newest quote per interval;
+//   - server-side BATCHING: whatever survives conflation is coalesced into
+//     single socket writes;
+//   - heterogeneous transports: one terminal connects over the raw framed
+//     protocol, a second over the chunked-HTTP fallback — same topic stream;
+//   - weighted server lists (paper §5.1 footnote): here a single server with
+//     weight 1, but the API accepts biased lists for heterogeneous fleets.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "client/client.hpp"
+#include "core/server.hpp"
+
+using namespace md;
+using namespace std::chrono_literals;
+
+namespace {
+const char* kSymbols[] = {"ticks/ACME", "ticks/GLOBEX", "ticks/INITECH"};
+}
+
+int main() {
+  core::ServerConfig serverCfg;
+  serverCfg.serverId = "market-data";
+  serverCfg.enableConflation = true;
+  serverCfg.conflate.interval = 250 * kMillisecond;  // terminal refresh rate
+  serverCfg.enableBatching = true;
+  serverCfg.batch.maxDelay = 5 * kMillisecond;
+  core::Server server(serverCfg);
+  if (Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("market-data server on port %u (conflation 250 ms, batching 5 ms)\n\n",
+              server.Port());
+
+  EpollLoop loop;
+  std::thread loopThread([&loop] { loop.Run(); });
+
+  auto cfg = [&](const char* id, client::Transport transport) {
+    client::ClientConfig c;
+    c.servers = {{"127.0.0.1", server.Port(), /*weight=*/1.0}};
+    c.clientId = id;
+    c.transport = transport;
+    c.seed = Fnv1a64(id);
+    return c;
+  };
+
+  // Two terminals on different transports, both following all symbols.
+  client::Client terminalRaw(loop, cfg("terminal-raw", client::Transport::kRawFraming));
+  client::Client terminalHttp(loop, cfg("terminal-http", client::Transport::kHttpStream));
+  std::atomic<int> rawQuotes{0}, httpQuotes{0};
+  std::atomic<int> subscribed{0};
+  std::atomic<std::uint64_t> lastAcmeQuote{0};
+
+  loop.Post([&] {
+    for (const char* symbol : kSymbols) {
+      terminalRaw.Subscribe(
+          symbol,
+          [&, symbol](const Message& m) {
+            rawQuotes.fetch_add(1);
+            const std::string quote(m.payload.begin(), m.payload.end());
+            if (std::string_view(symbol) == "ticks/ACME") {
+              lastAcmeQuote.store(std::stoull(quote));
+            }
+          },
+          [&] { subscribed.fetch_add(1); });
+      terminalHttp.Subscribe(
+          symbol, [&](const Message&) { httpQuotes.fetch_add(1); },
+          [&] { subscribed.fetch_add(1); });
+    }
+    terminalRaw.Start();
+    terminalHttp.Start();
+  });
+  while (subscribed.load() < 6) std::this_thread::sleep_for(1ms);
+
+  // The exchange feed: ~300 quotes/s per symbol at QoS 0 (stale quotes are
+  // worthless; the newest one is what matters — conflation's sweet spot).
+  client::Client feed(loop, cfg("exchange-feed", client::Transport::kRawFraming));
+  loop.Post([&] { feed.Start(); });
+  while (!feed.IsConnected()) std::this_thread::sleep_for(1ms);
+
+  std::atomic<std::uint64_t> published{0};
+  std::uint64_t price = 10'000;
+  const auto start = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() - start < 2s) {
+    loop.Post([&, price] {
+      for (const char* symbol : kSymbols) {
+        const std::string quote = std::to_string(price);
+        feed.PublishNoAck(symbol, Bytes(quote.begin(), quote.end()));
+        published.fetch_add(1);
+      }
+    });
+    ++price;
+    std::this_thread::sleep_for(1ms);  // ~1000 updates/s per symbol offered
+  }
+  std::this_thread::sleep_for(400ms);  // final conflation window flushes
+
+  const std::uint64_t finalPrice = price - 1;
+  std::printf("feed published %llu raw quotes across %zu symbols\n",
+              static_cast<unsigned long long>(published.load()),
+              std::size(kSymbols));
+  std::printf("terminal-raw painted %d quotes (%.0fx conflated), "
+              "terminal-http painted %d\n",
+              rawQuotes.load(),
+              static_cast<double>(published.load()) / rawQuotes.load(),
+              httpQuotes.load());
+  std::printf("last ACME quote on screen: %llu (feed's final: %llu)\n",
+              static_cast<unsigned long long>(lastAcmeQuote.load()),
+              static_cast<unsigned long long>(finalPrice));
+
+  loop.Post([&] {
+    terminalRaw.Stop();
+    terminalHttp.Stop();
+    feed.Stop();
+  });
+  std::this_thread::sleep_for(50ms);
+  loop.Stop();
+  loopThread.join();
+  server.Stop();
+
+  // Success: both terminals got heavily conflated streams AND ended on the
+  // newest price (conflation must never show a stale final value).
+  const bool conflated = rawQuotes.load() > 0 &&
+                         rawQuotes.load() < static_cast<int>(published.load() / 5);
+  const bool fresh = lastAcmeQuote.load() == finalPrice;
+  std::printf("\n%s\n", conflated && fresh
+                            ? "SUCCESS: conflated stream, fresh final quote."
+                            : "FAILURE");
+  return conflated && fresh ? 0 : 1;
+}

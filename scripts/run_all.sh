@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerates the recorded outputs at the repository root:
+#   test_output.txt  — full ctest run
+#   bench_output.txt — every bench binary (paper tables/figures + ablations)
+set -u
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja && cmake --build build || exit 1
+ctest --test-dir build 2>&1 | tee test_output.txt
+: > bench_output.txt
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  echo "===== $b =====" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+  echo | tee -a bench_output.txt
+done

@@ -1,0 +1,127 @@
+#include "bench_support/engine_model.hpp"
+
+#include <algorithm>
+
+namespace md::bench {
+
+EngineModel::EngineModel(EngineModelConfig cfg, std::uint64_t seed)
+    : cfg_(cfg), rng_(seed) {}
+
+EngineRunResult EngineModel::Run(std::uint32_t topics,
+                                 std::uint32_t subscribersPerTopic,
+                                 Duration publishInterval, Duration warmup,
+                                 Duration duration,
+                                 std::uint32_t latencySamplesPerFanout) {
+  const Duration total = warmup + duration;
+  const double intervalSec = ToSeconds(publishInterval);
+  const double pubRate = static_cast<double>(topics) / intervalSec;
+  const double msgRate = pubRate * static_cast<double>(subscribersPerTopic);
+
+  sim::SimCpu cpu(cfg_.cores);
+
+  // GC pause schedule: pause frequency tracks the allocation (message) rate.
+  std::unique_ptr<sim::StopTheWorldPauses> stwPauses;
+  if (cfg_.gcEnabled && msgRate > 0) {
+    sim::GcProfile profile;
+    profile.meanInterval = static_cast<Duration>(
+        static_cast<double>(cfg_.gcMeanInterval) * cfg_.gcReferenceRate / msgRate);
+    profile.meanInterval = std::clamp<Duration>(profile.meanInterval,
+                                                500 * kMillisecond, 5 * kMinute);
+    profile.pauseMean = cfg_.gcPauseMean;
+    profile.pauseStdDev = cfg_.gcPauseStdDev;
+    stwPauses = sim::GenerateStwSchedule(profile, total, rng_.Fork());
+    cpu.SetPauseModel(stwPauses.get());
+  } else if (concurrentGc_) {
+    cpu.SetPauseModel(concurrentGc_.get());
+  }
+
+  // Chunk several same-instant publications into one model step when the
+  // per-topic fan-out is tiny (C10M: one subscriber per topic).
+  const std::uint32_t chunk = std::max<std::uint32_t>(
+      1, 2000 / std::max<std::uint32_t>(1, subscribersPerTopic));
+
+  Histogram latency;
+  Duration busyAtWarmup = 0;
+  bool warmupSnapshotTaken = false;
+  std::uint64_t deliveries = 0;
+  std::uint64_t publications = 0;
+
+  const int workers = cfg_.cores;
+  const auto periods =
+      static_cast<std::uint64_t>(static_cast<double>(total) /
+                                 static_cast<double>(publishInterval));
+
+  for (std::uint64_t k = 0; k < periods; ++k) {
+    const TimePoint periodStart =
+        static_cast<TimePoint>(k) * publishInterval;
+    if (!warmupSnapshotTaken && periodStart >= warmup) {
+      busyAtWarmup = cpu.BusyTime();
+      warmupSnapshotTaken = true;
+    }
+    for (std::uint32_t t = 0; t < topics; t += chunk) {
+      const auto inChunk = std::min(chunk, topics - t);
+      // Publications are staggered uniformly across the interval.
+      const TimePoint pubTime =
+          periodStart + static_cast<TimePoint>(
+                            static_cast<double>(t) / static_cast<double>(topics) *
+                            static_cast<double>(publishInterval));
+      const bool record = pubTime >= warmup;
+      publications += inChunk;
+
+      // One wave of work per chunk: ingest (read + decode + sequence +
+      // cache append) and fan-out both split evenly across worker threads,
+      // charged at publish time. Keeping items comparable in size to their
+      // arrival spacing preserves work conservation in the core model.
+      const std::uint64_t fanout =
+          static_cast<std::uint64_t>(inChunk) * subscribersPerTopic;
+      deliveries += fanout;
+      const std::uint64_t perWorker = (fanout + workers - 1) / workers;
+      const std::uint64_t pubsPerWorker =
+          (inChunk + static_cast<std::uint32_t>(workers) - 1) /
+          static_cast<std::uint32_t>(workers);
+      const Duration batchCost =
+          static_cast<Duration>(perWorker) * cfg_.perDeliveryCost +
+          static_cast<Duration>(pubsPerWorker) * cfg_.perPublicationCost;
+
+      const std::uint32_t samplesTotal =
+          std::min<std::uint64_t>(latencySamplesPerFanout, fanout);
+      const std::uint32_t samplesPerWorker =
+          std::max<std::uint32_t>(1, samplesTotal / static_cast<std::uint32_t>(workers));
+
+      for (int w = 0; w < workers; ++w) {
+        const auto span = cpu.ChargeSpan(pubTime, batchCost);
+        if (!record) continue;
+        for (std::uint32_t s = 0; s < samplesPerWorker; ++s) {
+          const double u = rng_.NextDouble();
+          const TimePoint deliveredAt =
+              span.start + static_cast<Duration>(
+                               u * static_cast<double>(span.done - span.start));
+          Duration lat = (deliveredAt - pubTime) + cfg_.baseLatency;
+          if (cfg_.baseJitter > 0) {
+            lat += static_cast<Duration>(
+                rng_.NextBelow(static_cast<std::uint64_t>(cfg_.baseJitter)));
+          }
+          // Weight each sample by the number of deliveries it represents so
+          // chunks with different sizes contribute proportionally.
+          const std::uint64_t weight =
+              std::max<std::uint64_t>(1, perWorker / samplesPerWorker);
+          latency.RecordN(lat, weight);
+        }
+      }
+    }
+  }
+
+  EngineRunResult result;
+  result.latency = SummarizeNanos(latency);
+  const Duration busyDelta = cpu.BusyTime() - busyAtWarmup;
+  result.cpuFraction =
+      sim::SimCpu::Utilization(busyDelta, duration, cfg_.cores) + cfg_.backgroundLoad;
+  result.gbpsOut = msgRate *
+                   static_cast<double>(cfg_.payloadBytes + cfg_.perMessageOverheadBytes) *
+                   8.0 / 1e9;
+  result.deliveries = deliveries;
+  result.publications = publications;
+  return result;
+}
+
+}  // namespace md::bench

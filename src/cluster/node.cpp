@@ -1,0 +1,617 @@
+#include "cluster/node.hpp"
+
+#include "common/logging.hpp"
+
+namespace md::cluster {
+
+ClusterNode::ClusterNode(ClusterConfig cfg, ClusterEnv& env,
+                         coord::CoordNode& coord, std::vector<std::string> peerIds)
+    : cfg_([&] {
+        cfg.cache.topicGroups = cfg.topicGroups;
+        return cfg;
+      }()),
+      env_(env),
+      coord_(coord),
+      peers_(std::move(peerIds)),
+      cache_(cfg_.cache) {}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+void ClusterNode::Start() {
+  started_ = true;
+  crashed_ = false;
+  fenced_ = false;
+  SetupWatches();
+  fenceTimer_ = env_.Schedule(cfg_.fenceCheckInterval, [this] { CheckFence(); });
+}
+
+void ClusterNode::Crash() {
+  crashed_ = true;
+  started_ = false;
+  env_.Cancel(fenceTimer_);
+  // Fail-stop: every piece of volatile state disappears.
+  for (const ClientHandle client : clients_) registry_.DropClient(client);
+  clients_.clear();
+  cache_.Clear();
+  gossip_.clear();
+  for (const std::uint32_t g : myGroups_) sequencer_.EndEpoch(g);
+  myGroups_.clear();
+  electing_.clear();
+  parked_.clear();
+  pendingContact_.clear();
+  pendingCoord_.clear();
+  syncing_.clear();
+}
+
+void ClusterNode::Restart() {
+  Start();
+  // Paper §5.2.2: "If a cluster member experiences a crash failure and
+  // restarts, it reconstructs its cache by asking all members of the cluster
+  // in parallel."
+  StartCacheReconstruction();
+}
+
+void ClusterNode::SetupWatches() {
+  if (watchesInstalled_) return;
+  watchesInstalled_ = true;
+  // Watch every group mapping: deletions signal coordinator failure and
+  // trigger the takeover race (paper §5.2.1).
+  for (std::uint32_t g = 0; g < cfg_.topicGroups; ++g) {
+    coord_.Watch(GroupKey(g), [this, g](const coord::WatchEvent& event) {
+      if (crashed_ || !started_) return;
+      switch (event.type) {
+        case coord::WatchEventType::kCreated:
+        case coord::WatchEventType::kChanged:
+          if (event.value != cfg_.serverId) {
+            // Another server coordinates now; epoch arrives via gossip.
+            myGroups_.erase(g);
+            sequencer_.EndEpoch(g);
+          }
+          break;
+        case coord::WatchEventType::kDeleted:
+          myGroups_.erase(g);
+          sequencer_.EndEpoch(g);
+          gossip_.erase(g);
+          // Race to take over groups we hold state for. Idle groups are
+          // re-assigned lazily by the next publication.
+          if (!cache_.GroupPositions(g).empty()) AttemptTakeover(g);
+          break;
+      }
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Client events
+// ---------------------------------------------------------------------------
+
+void ClusterNode::OnClientConnect(ClientHandle client, const std::string&) {
+  if (crashed_ || fenced_) {
+    env_.CloseClient(client);
+    return;
+  }
+  clients_.insert(client);
+  env_.SendToClient(client, ConnAckFrame{cfg_.serverId});
+}
+
+void ClusterNode::OnClientDisconnect(ClientHandle client) {
+  clients_.erase(client);
+  registry_.DropClient(client);
+}
+
+void ClusterNode::OnClientFrame(ClientHandle client, const Frame& frame) {
+  if (crashed_) return;
+  if (const auto* connect = std::get_if<ConnectFrame>(&frame)) {
+    OnClientConnect(client, connect->clientId);
+    return;
+  }
+  if (const auto* sub = std::get_if<SubscribeFrame>(&frame)) {
+    HandleSubscribe(client, *sub);
+    return;
+  }
+  if (const auto* unsub = std::get_if<UnsubscribeFrame>(&frame)) {
+    registry_.Unsubscribe(unsub->topic, client);
+    return;
+  }
+  if (const auto* pub = std::get_if<PublishFrame>(&frame)) {
+    HandlePublish(client, *pub);
+    return;
+  }
+  if (const auto* ping = std::get_if<PingFrame>(&frame)) {
+    env_.SendToClient(client, PongFrame{ping->nonce});
+    return;
+  }
+  if (std::get_if<DisconnectFrame>(&frame) != nullptr) {
+    env_.CloseClient(client);
+    OnClientDisconnect(client);
+    return;
+  }
+}
+
+void ClusterNode::HandleSubscribe(ClientHandle client, const SubscribeFrame& sub) {
+  registry_.Subscribe(sub.topic, client);
+  env_.SendToClient(client, SubAckFrame{sub.topic, true});
+  if (sub.hasResumePos) {
+    for (const Message& missed : cache_.GetAfter(sub.topic, sub.resumeAfter)) {
+      ++stats_.delivered;
+      env_.SendToClient(client, DeliverFrame{missed});
+    }
+  }
+}
+
+void ClusterNode::HandlePublish(ClientHandle client, const PublishFrame& pub) {
+  ParkedPublication p;
+  p.topic = pub.topic;
+  p.payload = pub.payload;
+  p.pubId = pub.pubId;
+  p.publishTs = pub.publishTs;
+  p.publisher = pub.wantAck ? client : 0;
+  RoutePublication(std::move(p));
+}
+
+// ---------------------------------------------------------------------------
+// Publication routing (paper §5.2.2)
+// ---------------------------------------------------------------------------
+
+void ClusterNode::RoutePublication(ParkedPublication pub) {
+  if (fenced_) {
+    if (!pub.originServerId.empty()) {
+      env_.SendToPeer(pub.originServerId, ForwardRejectFrame{pub.pubId, pub.topic});
+    } else if (pub.publisher != 0) {
+      env_.SendToClient(pub.publisher, PubAckFrame{pub.pubId, false});
+    }
+    return;
+  }
+  const std::uint32_t group = GroupOf(pub.topic);
+
+  if (myGroups_.contains(group)) {
+    SequenceAndBroadcast(pub);
+    return;
+  }
+
+  if (electing_.contains(group)) {
+    parked_[group].push_back(std::move(pub));  // takeover already running
+    return;
+  }
+
+  // The contact server remembers the publication until the sequenced
+  // broadcast comes back (the signal that two copies exist), then acks.
+  if (pub.originServerId.empty() && pub.publisher != 0) {
+    PendingContact pending;
+    pending.publisher = pub.publisher;
+    pending.topic = pub.topic;
+    const PublicationId pubId = pub.pubId;
+    pending.timeoutTimer = env_.Schedule(cfg_.forwardTimeout, [this, pubId] {
+      AckContactPending(pubId, false);  // publisher will republish
+    });
+    pendingContact_[pub.pubId] = pending;
+  }
+
+  const auto it = gossip_.find(group);
+  if (it != gossip_.end() && it->second.serverId != cfg_.serverId) {
+    // Known coordinator: forward.
+    ++stats_.forwarded;
+    ForwardPubFrame fwd;
+    fwd.topic = pub.topic;
+    fwd.payload = pub.payload;
+    fwd.pubId = pub.pubId;
+    fwd.originServerId = cfg_.serverId;
+    fwd.publishTs = pub.publishTs;
+    fwd.electIfUnassigned = false;
+    env_.SendToPeer(it->second.serverId, fwd);
+    return;
+  }
+
+  // Unassigned group: delegate coordinator acquisition to a random server
+  // (avoids a publisher's contact point accumulating every coordinator
+  // role — paper footnote 2). The random pick may be ourselves.
+  const std::size_t pick = env_.Random() % (peers_.size() + 1);
+  if (pick == peers_.size()) {
+    parked_[group].push_back(std::move(pub));
+    AttemptTakeover(group);
+  } else {
+    ++stats_.forwarded;
+    ForwardPubFrame fwd;
+    fwd.topic = pub.topic;
+    fwd.payload = pub.payload;
+    fwd.pubId = pub.pubId;
+    fwd.originServerId = cfg_.serverId;
+    fwd.publishTs = pub.publishTs;
+    fwd.electIfUnassigned = true;
+    env_.SendToPeer(peers_[pick], fwd);
+  }
+}
+
+void ClusterNode::SequenceAndBroadcast(const ParkedPublication& pub) {
+  const std::uint32_t group = GroupOf(pub.topic);
+  const auto pos = sequencer_.Assign(group, pub.topic);
+  if (!pos) {
+    // Lost coordination between routing and sequencing; retry routing.
+    ParkedPublication copy = pub;
+    RoutePublication(std::move(copy));
+    return;
+  }
+
+  Message msg;
+  msg.topic = pub.topic;
+  msg.payload = pub.payload;
+  msg.epoch = pos->epoch;
+  msg.seq = pos->seq;
+  msg.pubId = pub.pubId;
+  msg.publishTs = pub.publishTs;
+
+  cache_.Append(msg, env_.Now());
+  ++stats_.published;
+
+  // Track the pending ack. A local publisher is acknowledged after
+  // ackCopies-1 replication confirmations. A forwarded publication is
+  // acknowledged by its contact server — which, at the default two copies,
+  // simply waits for the broadcast to arrive; with more copies it waits for
+  // this coordinator's ReplicatedNotice, sent at the same threshold.
+  if (pub.originServerId.empty() && pub.publisher != 0) {
+    // The contact-side entry (registered before the coordinator was known)
+    // is superseded: we became the coordinator ourselves.
+    if (auto contact = pendingContact_.extract(pub.pubId); !contact.empty()) {
+      env_.Cancel(contact.mapped().timeoutTimer);
+    }
+    pendingCoord_[{msg.topic, msg.epoch, msg.seq}] =
+        PendingCoord{pub.publisher, {}, pub.pubId, 0};
+  } else if (!pub.originServerId.empty() && cfg_.ackCopies > 2) {
+    pendingCoord_[{msg.topic, msg.epoch, msg.seq}] =
+        PendingCoord{0, pub.originServerId, pub.pubId, 0};
+  }
+
+  BroadcastFrame bcast;
+  bcast.msg = msg;
+  bcast.group = group;
+  bcast.coordinatorId = cfg_.serverId;
+  for (const std::string& peer : peers_) env_.SendToPeer(peer, bcast);
+
+  DeliverToLocalSubscribers(msg);
+}
+
+void ClusterNode::AttemptTakeover(std::uint32_t group) {
+  if (crashed_ || fenced_ || myGroups_.contains(group) || electing_.contains(group)) {
+    return;
+  }
+  electing_.insert(group);
+  // Atomic create in MiniZK: at most one server wins (paper §5.2.1).
+  coord_.CreateEphemeral(
+      GroupKey(group), cfg_.serverId, [this, group](Status s, std::uint64_t) {
+        if (crashed_ || !started_) return;
+        if (!s.ok()) {
+          // Lost the race (or no quorum): unpark with a reject so
+          // publishers republish toward the actual winner.
+          electing_.erase(group);
+          RejectParked(group);
+          return;
+        }
+        // Won: derive the new epoch from a linearized counter — the version
+        // of a persistent per-group key is strictly increasing across
+        // takeovers, so each coordinator epoch supersedes its predecessors.
+        coord_.Put(EpochKey(group), cfg_.serverId,
+                   [this, group](Status ps, std::uint64_t version) {
+                     if (crashed_ || !started_) return;
+                     electing_.erase(group);
+                     if (!ps.ok()) {
+                       coord_.Delete(GroupKey(group), {});
+                       RejectParked(group);
+                       return;
+                     }
+                     FinishTakeover(group, static_cast<std::uint32_t>(version));
+                   });
+      });
+}
+
+void ClusterNode::FinishTakeover(std::uint32_t group, std::uint32_t epoch) {
+  ++stats_.takeovers;
+  myGroups_.insert(group);
+  sequencer_.BeginEpoch(group, epoch);
+  // Never reissue sequence numbers for positions already cached.
+  for (const auto& [topic, pos] : cache_.GroupPositions(group)) {
+    sequencer_.PrimeTopic(group, topic, pos);
+  }
+  gossip_[group] = {cfg_.serverId, epoch};
+  MD_DEBUG("%s: coordinating group %u at epoch %u", cfg_.serverId.c_str(), group,
+           epoch);
+
+  // Populate peers' gossip maps (paper §5.2.1).
+  const GossipAnnounceFrame announce{group, epoch, cfg_.serverId};
+  for (const std::string& peer : peers_) env_.SendToPeer(peer, announce);
+
+  DrainParked(group);
+}
+
+void ClusterNode::DrainParked(std::uint32_t group) {
+  auto node = parked_.extract(group);
+  if (node.empty()) return;
+  for (ParkedPublication& pub : node.mapped()) {
+    RoutePublication(std::move(pub));
+  }
+}
+
+void ClusterNode::RejectParked(std::uint32_t group) {
+  auto node = parked_.extract(group);
+  if (node.empty()) return;
+  for (const ParkedPublication& pub : node.mapped()) {
+    ++stats_.rejects;
+    if (!pub.originServerId.empty()) {
+      env_.SendToPeer(pub.originServerId, ForwardRejectFrame{pub.pubId, pub.topic});
+    } else if (pub.publisher != 0) {
+      if (pendingContact_.contains(pub.pubId)) {
+        AckContactPending(pub.pubId, false);
+      } else {
+        env_.SendToClient(pub.publisher, PubAckFrame{pub.pubId, false});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Peer events
+// ---------------------------------------------------------------------------
+
+void ClusterNode::OnPeerFrame(const std::string& from, const Frame& frame) {
+  if (crashed_) return;
+  if (const auto* bcast = std::get_if<BroadcastFrame>(&frame)) {
+    OnBroadcast(from, *bcast);
+    return;
+  }
+  if (const auto* ack = std::get_if<BroadcastAckFrame>(&frame)) {
+    OnBroadcastAck(from, *ack);
+    return;
+  }
+  if (const auto* fwd = std::get_if<ForwardPubFrame>(&frame)) {
+    OnForwardPub(from, *fwd);
+    return;
+  }
+  if (const auto* reject = std::get_if<ForwardRejectFrame>(&frame)) {
+    OnForwardReject(*reject);
+    return;
+  }
+  if (const auto* notice = std::get_if<ReplicatedNoticeFrame>(&frame)) {
+    OnReplicatedNotice(*notice);
+    return;
+  }
+  if (const auto* announce = std::get_if<GossipAnnounceFrame>(&frame)) {
+    OnGossipAnnounce(*announce);
+    return;
+  }
+  if (const auto* req = std::get_if<CacheSyncReqFrame>(&frame)) {
+    OnCacheSyncReq(from, *req);
+    return;
+  }
+  if (const auto* resp = std::get_if<CacheSyncRespFrame>(&frame)) {
+    OnCacheSyncResp(*resp);
+    return;
+  }
+}
+
+void ClusterNode::OnBroadcast(const std::string& from, const BroadcastFrame& bcast) {
+  // Refresh gossip from live traffic: broadcasts carry the coordinator.
+  auto& entry = gossip_[bcast.group];
+  if (bcast.msg.epoch >= entry.epoch) {
+    entry = {bcast.coordinatorId, bcast.msg.epoch};
+  }
+
+  cache_.Append(bcast.msg, env_.Now());
+  env_.SendToPeer(from, BroadcastAckFrame{bcast.group, bcast.msg.epoch,
+                                          bcast.msg.seq, bcast.msg.topic});
+
+  // If we forwarded this publication, the broadcast's arrival means two
+  // copies exist (coordinator + us). At the default replication degree that
+  // is the ack condition; with more copies we wait for the coordinator's
+  // ReplicatedNotice instead.
+  if (cfg_.ackCopies <= 2) AckContactPending(bcast.msg.pubId, true);
+
+  DeliverToLocalSubscribers(bcast.msg);
+}
+
+void ClusterNode::OnBroadcastAck(const std::string&, const BroadcastAckFrame& ack) {
+  // Replication confirmation for a message we sequenced. At the default
+  // configuration one confirmation suffices (paper §5.2.2: "As soon as a
+  // single confirmation is received, it can acknowledge the publisher");
+  // with a higher replication degree we wait for ackCopies-1 distinct
+  // confirmations before acknowledging or notifying the contact server.
+  const auto it = pendingCoord_.find(CoordAckKey{ack.topic, ack.epoch, ack.seq});
+  if (it == pendingCoord_.end()) return;
+  PendingCoord& pending = it->second;
+  ++pending.acksReceived;
+  if (pending.acksReceived + 1 < cfg_.ackCopies) return;  // self counts as one
+
+  if (pending.publisher != 0) {
+    env_.SendToClient(pending.publisher, PubAckFrame{pending.pubId, true});
+  } else if (!pending.originServerId.empty()) {
+    env_.SendToPeer(pending.originServerId,
+                    ReplicatedNoticeFrame{pending.pubId, ack.topic});
+  }
+  pendingCoord_.erase(it);
+}
+
+void ClusterNode::OnReplicatedNotice(const ReplicatedNoticeFrame& notice) {
+  // The coordinator confirms the configured replication degree was reached.
+  AckContactPending(notice.pubId, true);
+}
+
+void ClusterNode::OnForwardPub(const std::string& from, const ForwardPubFrame& fwd) {
+  if (fenced_) {
+    // A fenced node cannot win elections or replicate; bounce immediately so
+    // the publisher retries toward a healthy server.
+    const std::string origin = fwd.originServerId.empty() ? from : fwd.originServerId;
+    env_.SendToPeer(origin, ForwardRejectFrame{fwd.pubId, fwd.topic});
+    return;
+  }
+  ParkedPublication pub;
+  pub.topic = fwd.topic;
+  pub.payload = fwd.payload;
+  pub.pubId = fwd.pubId;
+  pub.publishTs = fwd.publishTs;
+  pub.originServerId = fwd.originServerId.empty() ? from : fwd.originServerId;
+
+  const std::uint32_t group = GroupOf(pub.topic);
+  if (myGroups_.contains(group)) {
+    SequenceAndBroadcast(pub);
+    return;
+  }
+  if (electing_.contains(group)) {
+    parked_[group].push_back(std::move(pub));
+    return;
+  }
+  // Not the coordinator. Whether designated for election or holding stale
+  // gossip at the sender, the right move is to run for coordinator: the
+  // MiniZK create arbitrates.
+  parked_[group].push_back(std::move(pub));
+  AttemptTakeover(group);
+}
+
+void ClusterNode::OnForwardReject(const ForwardRejectFrame& reject) {
+  // Paper footnote 3: the designated node lost the race; tell the publisher
+  // the publication failed so it republishes (by then gossip has the
+  // winner).
+  AckContactPending(reject.pubId, false);
+  ++stats_.rejects;
+}
+
+void ClusterNode::OnGossipAnnounce(const GossipAnnounceFrame& announce) {
+  auto& entry = gossip_[announce.group];
+  if (announce.epoch >= entry.epoch) {
+    entry = {announce.serverId, announce.epoch};
+    if (announce.serverId != cfg_.serverId) {
+      myGroups_.erase(announce.group);
+      sequencer_.EndEpoch(announce.group);
+    }
+    DrainParked(announce.group);
+  }
+}
+
+void ClusterNode::OnCacheSyncReq(const std::string& from, const CacheSyncReqFrame& req) {
+  // Serve everything we hold for the group beyond the requester's positions.
+  std::map<std::string, StreamPos> have(req.have.begin(), req.have.end());
+  CacheSyncRespFrame resp;
+  resp.group = req.group;
+  for (const Message& msg : cache_.GroupSnapshot(req.group)) {
+    const auto it = have.find(msg.topic);
+    if (it != have.end() && PosOf(msg) <= it->second) continue;
+    resp.messages.push_back(msg);
+    if (resp.messages.size() >= cfg_.cacheSyncChunk) {
+      resp.done = false;
+      env_.SendToPeer(from, resp);
+      resp.messages.clear();
+      resp.done = true;
+    }
+  }
+  env_.SendToPeer(from, resp);
+}
+
+void ClusterNode::OnCacheSyncResp(const CacheSyncRespFrame& resp) {
+  for (const Message& msg : resp.messages) {
+    if (cache_.Insert(msg, env_.Now())) ++stats_.recoveredMessages;
+  }
+  if (resp.done) syncing_.erase(resp.group);
+}
+
+// ---------------------------------------------------------------------------
+// Replication-confirmation bookkeeping
+// ---------------------------------------------------------------------------
+
+void ClusterNode::AckContactPending(const PublicationId& pubId, bool ok) {
+  auto node = pendingContact_.extract(pubId);
+  if (node.empty()) return;
+  env_.Cancel(node.mapped().timeoutTimer);
+  env_.SendToClient(node.mapped().publisher, PubAckFrame{pubId, ok});
+}
+
+// ---------------------------------------------------------------------------
+// Fan-out
+// ---------------------------------------------------------------------------
+
+void ClusterNode::DeliverToLocalSubscribers(const Message& msg) {
+  if (deliveryHook_) deliveryHook_(msg);
+  registry_.ForEachSubscriber(msg.topic, [&](ClientHandle client) {
+    ++stats_.delivered;
+    env_.SendToClient(client, DeliverFrame{msg});
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Partition self-fencing (paper §5.2.2)
+// ---------------------------------------------------------------------------
+
+void ClusterNode::CheckFence() {
+  if (crashed_ || !started_) return;
+  fenceTimer_ = env_.Schedule(cfg_.fenceCheckInterval, [this] { CheckFence(); });
+
+  const bool quorum = coord_.HasQuorumContact();
+  if (!quorum && !fenced_) {
+    Fence();
+  } else if (quorum && fenced_) {
+    Unfence();
+  }
+}
+
+void ClusterNode::Fence() {
+  // "The disconnected cluster member preventively closes the connections to
+  // its local clients, and lets them reconnect to the other cluster
+  // members."
+  fenced_ = true;
+  ++stats_.fences;
+  MD_INFO("%s: lost quorum contact — fencing, closing %zu clients",
+          cfg_.serverId.c_str(), clients_.size());
+  const auto clients = clients_;  // CloseClient may reenter OnClientDisconnect
+  for (const ClientHandle client : clients) {
+    env_.SendToClient(client, DisconnectFrame{"server fenced: lost cluster quorum"});
+    env_.CloseClient(client);
+    registry_.DropClient(client);
+  }
+  clients_.clear();
+  // Coordination roles are forfeited: the ephemerals will expire server-side.
+  for (const std::uint32_t g : myGroups_) sequencer_.EndEpoch(g);
+  myGroups_.clear();
+  electing_.clear();
+  // Parked and pending publications cannot complete.
+  for (auto& [group, queue] : parked_) {
+    for (const auto& pub : queue) {
+      if (!pub.originServerId.empty()) continue;  // origin will time out
+      if (pub.publisher != 0) ++stats_.rejects;
+    }
+  }
+  parked_.clear();
+  pendingCoord_.clear();
+}
+
+void ClusterNode::Unfence() {
+  MD_INFO("%s: quorum contact restored — recovering", cfg_.serverId.c_str());
+  fenced_ = false;
+  gossip_.clear();  // stale after the partition
+  // "When the partition is restored, the server can recover following the
+  // same procedure as for a crash failure."
+  StartCacheReconstruction();
+}
+
+void ClusterNode::StartCacheReconstruction() {
+  if (peers_.empty()) return;
+  for (std::uint32_t g = 0; g < cfg_.topicGroups; ++g) {
+    syncing_.insert(g);
+    CacheSyncReqFrame req;
+    req.group = g;
+    req.have = cache_.GroupPositions(g);
+    for (const std::string& peer : peers_) env_.SendToPeer(peer, req);
+  }
+}
+
+void ClusterNode::SyncFromPeer(const std::string& peerId) {
+  // Paper §5.2.2: after an inter-server connection recovers, "it is
+  // sufficient for the current member to ask from the cache of the peer the
+  // messages after the last sequence number it previously received".
+  if (crashed_ || !started_) return;
+  for (std::uint32_t g = 0; g < cfg_.topicGroups; ++g) {
+    CacheSyncReqFrame req;
+    req.group = g;
+    req.have = cache_.GroupPositions(g);
+    env_.SendToPeer(peerId, req);
+  }
+}
+
+}  // namespace md::cluster

@@ -1,0 +1,238 @@
+// Multi-server MigratoryData protocol (paper §5): subscriber partitioning,
+// coordinator-per-topic-group sequencing through MiniZK, gossip-based
+// coordinator lookup, replication broadcast with ack-after-two-copies, cache
+// reconstruction after crash/partition, and partition self-fencing.
+//
+// ClusterNode is a deterministic, single-threaded state machine. All I/O is
+// delegated to a ClusterEnv so the same code runs under the simulation
+// harness (tests, failover benchmarks) and under a real event loop.
+//
+// Protocol walk-through (paper §5.2.2):
+//   - A publication arrives at its publisher's *contact server*.
+//   - If the contact server coordinates the topic's group, it assigns
+//     (epoch, seq) and broadcasts; it acknowledges the publisher after the
+//     first replication confirmation (two copies exist).
+//   - Otherwise it forwards to the coordinator from its gossip map, or — if
+//     the group is unassigned — to a uniformly random peer, which attempts
+//     to become coordinator via an atomic MiniZK create. The contact server
+//     acknowledges its publisher when the sequenced broadcast arrives back
+//     (it then holds the second copy).
+//   - A node that fails to win the coordinator race rejects the forward; the
+//     contact server answers "failed" and the publisher republishes.
+//   - Coordinator failure deletes its ephemeral mapping; watchers race to
+//     take over, the winner bumping the group's epoch (a linearized MiniZK
+//     version) so streams across coordinators stay totally ordered.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/status.hpp"
+#include "coord/node.hpp"
+#include "core/cache.hpp"
+#include "core/registry.hpp"
+#include "core/sequencer.hpp"
+#include "proto/frames.hpp"
+
+namespace md::cluster {
+
+using core::ClientHandle;
+
+struct ClusterConfig {
+  std::string serverId;
+  std::uint32_t topicGroups = 100;
+  core::CacheConfig cache;  // cache.topicGroups is overwritten by topicGroups
+  /// Contact server gives up on a forwarded publication after this long and
+  /// answers the publisher "failed" (it republishes).
+  Duration forwardTimeout = 2 * kSecond;
+  /// Period of the partition self-fencing check (paper §5.2.2).
+  Duration fenceCheckInterval = 200 * kMillisecond;
+  /// Peers answer cache-sync requests in chunks of this many messages.
+  std::size_t cacheSyncChunk = 512;
+  /// Copies that must exist before a publication is acknowledged (paper
+  /// §5.2: default 2 = contact + coordinator, tolerating one fault; raising
+  /// it tolerates more concurrent faults at higher ack latency — the
+  /// extension the paper sketches). Must be <= cluster size.
+  std::size_t ackCopies = 2;
+};
+
+struct ClusterNodeStats {
+  std::uint64_t published = 0;        // publications sequenced by this node
+  std::uint64_t forwarded = 0;        // publications forwarded to coordinators
+  std::uint64_t delivered = 0;        // notifications sent to local subscribers
+  std::uint64_t rejects = 0;          // coordinator races lost
+  std::uint64_t takeovers = 0;        // successful coordinator acquisitions
+  std::uint64_t fences = 0;           // partition self-fencing events
+  std::uint64_t recoveredMessages = 0;  // messages pulled during cache sync
+};
+
+/// Host environment: client/peer I/O, timers, randomness.
+class ClusterEnv {
+ public:
+  virtual ~ClusterEnv() = default;
+  virtual void SendToPeer(const std::string& serverId, const Frame& frame) = 0;
+  virtual void SendToClient(ClientHandle client, const Frame& frame) = 0;
+  /// Forcibly close a client connection (self-fencing).
+  virtual void CloseClient(ClientHandle client) = 0;
+  virtual std::uint64_t Schedule(Duration delay, std::function<void()> fn) = 0;
+  virtual void Cancel(std::uint64_t timerId) = 0;
+  [[nodiscard]] virtual TimePoint Now() const = 0;
+  virtual std::uint64_t Random() = 0;
+};
+
+class ClusterNode {
+ public:
+  ClusterNode(ClusterConfig cfg, ClusterEnv& env, coord::CoordNode& coord,
+              std::vector<std::string> peerIds);
+
+  // --- lifecycle -------------------------------------------------------------
+  void Start();
+  void Crash();    // fail-stop: drops all volatile state (incl. cache)
+  void Restart();  // rejoin and reconstruct the cache from peers
+  [[nodiscard]] bool IsCrashed() const noexcept { return crashed_; }
+  [[nodiscard]] bool IsFenced() const noexcept { return fenced_; }
+
+  // --- client-side events (invoked by the host) ------------------------------
+  void OnClientConnect(ClientHandle client, const std::string& clientId);
+  void OnClientFrame(ClientHandle client, const Frame& frame);
+  void OnClientDisconnect(ClientHandle client);
+
+  // --- peer events ------------------------------------------------------------
+  void OnPeerFrame(const std::string& fromServerId, const Frame& frame);
+
+  /// Incremental cache sync against one peer — invoked by the host when an
+  /// inter-server connection is (re)established (paper §5.2.2).
+  void SyncFromPeer(const std::string& peerId);
+
+  // --- introspection ----------------------------------------------------------
+  [[nodiscard]] const std::string& serverId() const noexcept { return cfg_.serverId; }
+  [[nodiscard]] const ClusterNodeStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const core::Cache& cache() const noexcept { return cache_; }
+  [[nodiscard]] std::size_t LocalClientCount() const noexcept { return clients_.size(); }
+  [[nodiscard]] bool CoordinatesGroup(std::uint32_t group) const {
+    return myGroups_.contains(group);
+  }
+  [[nodiscard]] std::optional<std::pair<std::string, std::uint32_t>> GossipEntry(
+      std::uint32_t group) const {
+    const auto it = gossip_.find(group);
+    if (it == gossip_.end()) return std::nullopt;
+    return std::make_pair(it->second.serverId, it->second.epoch);
+  }
+
+  /// Instrumentation tap: invoked once per message as it becomes available
+  /// for local fan-out on this server (used by the failover benchmark to
+  /// attach a modeled subscriber population; no protocol effect).
+  void SetLocalDeliveryHook(std::function<void(const Message&)> hook) {
+    deliveryHook_ = std::move(hook);
+  }
+
+ private:
+  struct GossipEntryState {
+    std::string serverId;
+    std::uint32_t epoch = 0;
+  };
+
+  /// Publication waiting at the contact server for its second copy.
+  struct PendingContact {
+    ClientHandle publisher = 0;
+    std::string topic;
+    std::uint64_t timeoutTimer = 0;
+  };
+
+  /// Publication sequenced here, waiting for replication confirmations.
+  /// Keyed by (topic, epoch, seq) — what BroadcastAck frames carry.
+  struct PendingCoord {
+    ClientHandle publisher = 0;      // publisher connected to this server, or 0
+    std::string originServerId;      // contact server awaiting a notice, or ""
+    PublicationId pubId;
+    std::size_t acksReceived = 0;
+  };
+  using CoordAckKey = std::tuple<std::string, std::uint32_t, std::uint64_t>;
+
+  /// Publication parked while a coordinator election for its group runs.
+  struct ParkedPublication {
+    std::string topic;
+    Bytes payload;
+    PublicationId pubId;
+    std::int64_t publishTs = 0;
+    std::string originServerId;  // empty: local client publication
+    ClientHandle publisher = 0;
+  };
+
+  // Client protocol.
+  void HandlePublish(ClientHandle client, const PublishFrame& pub);
+  void HandleSubscribe(ClientHandle client, const SubscribeFrame& sub);
+
+  // Publication routing.
+  void RoutePublication(ParkedPublication pub);
+  void SequenceAndBroadcast(const ParkedPublication& pub);
+  void AttemptTakeover(std::uint32_t group);
+  void FinishTakeover(std::uint32_t group, std::uint32_t epoch);
+  void DrainParked(std::uint32_t group);
+  void RejectParked(std::uint32_t group);
+
+  // Peer protocol.
+  void OnBroadcast(const std::string& from, const BroadcastFrame& bcast);
+  void OnBroadcastAck(const std::string& from, const BroadcastAckFrame& ack);
+  void OnForwardPub(const std::string& from, const ForwardPubFrame& fwd);
+  void OnForwardReject(const ForwardRejectFrame& reject);
+  void OnReplicatedNotice(const ReplicatedNoticeFrame& notice);
+  void OnGossipAnnounce(const GossipAnnounceFrame& announce);
+  void OnCacheSyncReq(const std::string& from, const CacheSyncReqFrame& req);
+  void OnCacheSyncResp(const CacheSyncRespFrame& resp);
+
+  // Reliability machinery.
+  void SetupWatches();
+  void CheckFence();
+  void Fence();
+  void Unfence();
+  void StartCacheReconstruction();
+  void DeliverToLocalSubscribers(const Message& msg);
+  void AckContactPending(const PublicationId& pubId, bool ok);
+
+  [[nodiscard]] std::uint32_t GroupOf(const std::string& topic) const noexcept {
+    return TopicGroupOf(topic, cfg_.topicGroups);
+  }
+  [[nodiscard]] std::string GroupKey(std::uint32_t group) const {
+    return "group/" + std::to_string(group);
+  }
+  [[nodiscard]] std::string EpochKey(std::uint32_t group) const {
+    return "epoch/" + std::to_string(group);
+  }
+
+  ClusterConfig cfg_;
+  ClusterEnv& env_;
+  coord::CoordNode& coord_;
+  std::vector<std::string> peers_;  // other servers' ids
+
+  bool started_ = false;
+  bool crashed_ = false;
+  bool fenced_ = false;
+  bool watchesInstalled_ = false;
+  std::uint64_t fenceTimer_ = 0;
+
+  core::SubscriptionRegistry registry_;
+  core::Cache cache_;
+  core::Sequencer sequencer_;
+
+  std::set<ClientHandle> clients_;
+  std::map<std::uint32_t, GossipEntryState> gossip_;
+  std::set<std::uint32_t> myGroups_;
+  std::set<std::uint32_t> electing_;  // takeover in flight
+  std::map<std::uint32_t, std::deque<ParkedPublication>> parked_;
+  std::map<PublicationId, PendingContact> pendingContact_;
+  std::map<CoordAckKey, PendingCoord> pendingCoord_;
+  std::set<std::uint32_t> syncing_;  // groups with cache sync outstanding
+  std::function<void(const Message&)> deliveryHook_;
+
+  ClusterNodeStats stats_;
+};
+
+}  // namespace md::cluster

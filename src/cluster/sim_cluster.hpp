@@ -1,0 +1,236 @@
+// Deterministic full-cluster harness.
+//
+// Wires, on a single simulation scheduler:
+//   - one SimNetwork host per MigratoryData server,
+//   - a MiniZK node on each host (SimCoordCluster) — partitions and crashes
+//     cut coordination traffic exactly like data traffic,
+//   - a ClusterNode per server whose peer frames travel over SimNetwork
+//     links (latency + bandwidth + partitions),
+//   - an InprocLoop listener per server speaking the real byte protocol, so
+//     tests attach the *real client library* (md::client::Client) and
+//     exercise reconnection, resume and duplicate filtering end to end.
+//
+// Fault API: CrashServer / RestartServer (fail-stop; client connections are
+// severed), PartitionServer / HealServer (server cut from its peers but NOT
+// from its clients — the paper's fault model, which the node detects through
+// MiniZK quorum loss and answers by self-fencing).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "coord/sim_harness.hpp"
+#include "proto/codec.hpp"
+#include "simnet/network.hpp"
+#include "transport/inproc.hpp"
+
+namespace md::cluster {
+
+/// Rough wire size of a peer frame for the bandwidth model.
+inline std::size_t EstimateFrameSize(const Frame& frame) {
+  Bytes bytes;
+  EncodeFrame(frame, bytes);
+  return bytes.size() + 40;  // + TCP/IP framing overhead
+}
+
+class SimCluster {
+ public:
+  struct Options {
+    std::size_t servers = 3;
+    ClusterConfig nodeConfig;              // serverId is set per node
+    coord::CoordConfig coordConfig;
+    sim::LinkParams serverLinks;           // inter-server network
+    Duration clientLinkDelay = 2 * kMillisecond;
+    std::uint64_t seed = 42;
+  };
+
+  explicit SimCluster(sim::Scheduler& sched, Options options)
+      : sched_(sched),
+        opts_(options),
+        net_(sched, Rng(options.seed), options.serverLinks),
+        clientLoop_(sched, options.clientLinkDelay) {
+    std::vector<sim::HostId> hosts;
+    for (std::size_t i = 0; i < opts_.servers; ++i) {
+      hosts.push_back(net_.AddHost("server-" + std::to_string(i + 1)));
+    }
+    coordCluster_ = std::make_unique<coord::SimCoordCluster>(
+        sched_, net_, hosts, opts_.coordConfig, opts_.seed);
+
+    std::vector<std::string> ids;
+    for (std::size_t i = 0; i < opts_.servers; ++i) {
+      ids.push_back("server-" + std::to_string(i + 1));
+    }
+    for (std::size_t i = 0; i < opts_.servers; ++i) {
+      auto server = std::make_unique<ServerHost>();
+      server->index = i;
+      server->id = ids[i];
+      server->host = hosts[i];
+      std::vector<std::string> peers;
+      for (std::size_t j = 0; j < opts_.servers; ++j) {
+        if (j != i) peers.push_back(ids[j]);
+      }
+      server->env = std::make_unique<NodeEnv>(*this, i, opts_.seed + 100 + i);
+      ClusterConfig cfg = opts_.nodeConfig;
+      cfg.serverId = ids[i];
+      server->node = std::make_unique<ClusterNode>(cfg, *server->env,
+                                                   coordCluster_->node(i), peers);
+      servers_.push_back(std::move(server));
+    }
+    for (auto& server : servers_) OpenListener(*server);
+  }
+
+  void StartAll() {
+    coordCluster_->StartAll();
+    for (auto& server : servers_) server->node->Start();
+  }
+
+  /// Client port of server i (connect the real client library here).
+  [[nodiscard]] std::uint16_t ClientPort(std::size_t i) const {
+    return static_cast<std::uint16_t>(10000 + i);
+  }
+  [[nodiscard]] InprocLoop& clientLoop() noexcept { return clientLoop_; }
+  [[nodiscard]] ClusterNode& node(std::size_t i) { return *servers_.at(i)->node; }
+  [[nodiscard]] coord::CoordNode& coordNode(std::size_t i) {
+    return coordCluster_->node(i);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return servers_.size(); }
+  [[nodiscard]] sim::SimNetwork& network() noexcept { return net_; }
+
+  // --- faults ----------------------------------------------------------------
+
+  void CrashServer(std::size_t i) {
+    ServerHost& server = *servers_.at(i);
+    coordCluster_->CrashNode(i);  // host goes down too
+    server.node->Crash();
+    // TCP connections to a dead host break.
+    server.listener.reset();
+    auto conns = std::move(server.connections);
+    server.connections.clear();
+    for (auto& [handle, conn] : conns) conn->Close();
+  }
+
+  void RestartServer(std::size_t i) {
+    ServerHost& server = *servers_.at(i);
+    coordCluster_->RestartNode(i);
+    OpenListener(server);
+    server.node->Restart();
+  }
+
+  /// Cut server i from all *other servers* (clients stay connected).
+  void PartitionServer(std::size_t i) {
+    for (std::size_t j = 0; j < servers_.size(); ++j) {
+      if (j != i) net_.Partition(servers_[i]->host, servers_[j]->host);
+    }
+  }
+
+  void HealServer(std::size_t i) { net_.HealAll(servers_[i]->host); }
+
+ private:
+  struct ServerHost {
+    std::size_t index = 0;
+    std::string id;
+    sim::HostId host = 0;
+    std::unique_ptr<ClusterEnv> env;
+    std::unique_ptr<ClusterNode> node;
+    ListenerPtr listener;
+    ClientHandle nextHandle = 1;
+    std::map<ClientHandle, ConnectionPtr> connections;
+    std::map<ClientHandle, std::shared_ptr<ByteQueue>> inbox;
+  };
+
+  class NodeEnv final : public ClusterEnv {
+   public:
+    NodeEnv(SimCluster& cluster, std::size_t index, std::uint64_t seed)
+        : cluster_(cluster), index_(index), rng_(seed) {}
+
+    void SendToPeer(const std::string& serverId, const Frame& frame) override {
+      const auto target = cluster_.IndexOf(serverId);
+      if (!target) return;
+      cluster_.net_.Send(
+          cluster_.servers_[index_]->host, cluster_.servers_[*target]->host,
+          EstimateFrameSize(frame),
+          [&cluster = cluster_, from = cluster_.servers_[index_]->id,
+           to = *target, frame] {
+            cluster.servers_[to]->node->OnPeerFrame(from, frame);
+          });
+    }
+
+    void SendToClient(ClientHandle client, const Frame& frame) override {
+      ServerHost& server = *cluster_.servers_[index_];
+      const auto it = server.connections.find(client);
+      if (it == server.connections.end()) return;
+      Bytes wire;
+      EncodeFramed(frame, wire);
+      (void)it->second->Send(BytesView(wire));
+    }
+
+    void CloseClient(ClientHandle client) override {
+      ServerHost& server = *cluster_.servers_[index_];
+      auto node = server.connections.extract(client);
+      server.inbox.erase(client);
+      if (!node.empty()) node.mapped()->Close();
+    }
+
+    std::uint64_t Schedule(Duration delay, std::function<void()> fn) override {
+      return cluster_.sched_.Schedule(delay, std::move(fn));
+    }
+    void Cancel(std::uint64_t timerId) override { cluster_.sched_.Cancel(timerId); }
+    [[nodiscard]] TimePoint Now() const override { return cluster_.sched_.Now(); }
+    std::uint64_t Random() override { return rng_.Next(); }
+
+   private:
+    SimCluster& cluster_;
+    std::size_t index_;
+    Rng rng_;
+  };
+
+  [[nodiscard]] std::optional<std::size_t> IndexOf(const std::string& serverId) const {
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+      if (servers_[i]->id == serverId) return i;
+    }
+    return std::nullopt;
+  }
+
+  void OpenListener(ServerHost& server) {
+    auto listener = clientLoop_.Listen(ClientPort(server.index));
+    if (!listener.ok()) return;
+    server.listener = std::move(*listener);
+    server.listener->SetAcceptHandler([this, &server](ConnectionPtr conn) {
+      const ClientHandle handle = server.nextHandle++;
+      server.connections[handle] = conn;
+      auto inbox = std::make_shared<ByteQueue>();
+      server.inbox[handle] = inbox;
+      conn->SetDataHandler([this, &server, handle, inbox](BytesView data) {
+        inbox->Append(data);
+        while (true) {
+          auto r = ExtractFrame(*inbox);
+          if (!r.status.ok()) {
+            if (auto node = server.connections.extract(handle); !node.empty()) {
+              node.mapped()->Close();
+            }
+            server.inbox.erase(handle);
+            server.node->OnClientDisconnect(handle);
+            return;
+          }
+          if (!r.frame) return;
+          server.node->OnClientFrame(handle, *r.frame);
+        }
+      });
+      conn->SetCloseHandler([&server, handle] {
+        server.connections.erase(handle);
+        server.inbox.erase(handle);
+        server.node->OnClientDisconnect(handle);
+      });
+    });
+  }
+
+  sim::Scheduler& sched_;
+  Options opts_;
+  sim::SimNetwork net_;
+  InprocLoop clientLoop_;
+  std::unique_ptr<coord::SimCoordCluster> coordCluster_;
+  std::vector<std::unique_ptr<ServerHost>> servers_;
+};
+
+}  // namespace md::cluster

@@ -1,0 +1,132 @@
+// Real-network cluster host: runs one MigratoryData ClusterNode and its
+// co-located MiniZK CoordNode over epoll TCP.
+//
+// The same deterministic state machines exercised by the simulation harness
+// are wired here to real sockets:
+//   - a client listener speaking the framed client protocol,
+//   - a peer listener carrying md::Frame cluster traffic (HELLO-identified),
+//   - a coord listener carrying MiniZK messages (coord/codec.hpp), preceded
+//     by a varint node-id preamble.
+//
+// Everything — node logic, timers, connection management — runs on a single
+// EpollLoop thread (the nodes are single-strand state machines); Start()
+// spawns that thread and Stop() joins it. Outgoing peer/coord connections
+// are (re)established on demand with a retry timer; when a peer link comes
+// back, the host triggers the paper's incremental cache sync (§5.2.2).
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <thread>
+
+#include "cluster/node.hpp"
+#include "coord/codec.hpp"
+#include "coord/node.hpp"
+#include "proto/codec.hpp"
+#include "transport/epoll_loop.hpp"
+
+namespace md::cluster {
+
+struct TcpPeerAddress {
+  std::string serverId;
+  coord::NodeId nodeId = 0;
+  std::string host = "127.0.0.1";
+  std::uint16_t peerPort = 0;
+  std::uint16_t coordPort = 0;
+};
+
+struct TcpHostConfig {
+  std::string serverId;
+  coord::NodeId nodeId = 1;       // 1-based, unique in the cluster
+  std::uint16_t clientPort = 0;   // 0 = ephemeral
+  std::uint16_t peerPort = 0;
+  std::uint16_t coordPort = 0;
+  std::vector<TcpPeerAddress> peers;  // the other cluster members
+  ClusterConfig cluster;              // serverId is overwritten
+  coord::CoordConfig coord;
+  std::uint64_t seed = 1;
+  Duration peerRetryInterval = 500 * kMillisecond;
+};
+
+class TcpClusterHost {
+ public:
+  explicit TcpClusterHost(TcpHostConfig cfg);
+  ~TcpClusterHost();
+
+  TcpClusterHost(const TcpClusterHost&) = delete;
+  TcpClusterHost& operator=(const TcpClusterHost&) = delete;
+
+  /// Binds the three listeners and starts the loop thread + both nodes.
+  Status Start();
+  void Stop();
+
+  [[nodiscard]] std::uint16_t ClientPort() const noexcept { return clientPort_; }
+  [[nodiscard]] std::uint16_t PeerPort() const noexcept { return peerPort_; }
+  [[nodiscard]] std::uint16_t CoordPort() const noexcept { return coordPort_; }
+  [[nodiscard]] const std::string& serverId() const noexcept {
+    return cfg_.serverId;
+  }
+
+  /// Runs `fn(node)` on the loop thread and waits for it (introspection).
+  void WithNode(const std::function<void(ClusterNode&)>& fn);
+  void WithCoord(const std::function<void(coord::CoordNode&)>& fn);
+
+ private:
+  struct ClientConn {
+    ConnectionPtr conn;
+    ByteQueue in;
+  };
+
+  struct PeerLink {
+    ConnectionPtr conn;          // established link (either direction)
+    bool connecting = false;
+    std::deque<Bytes> backlog;   // frames awaiting connection (bounded)
+  };
+
+  struct CoordLink {
+    ConnectionPtr conn;
+    bool connecting = false;
+    std::deque<Bytes> backlog;
+  };
+
+  class NodeEnv;
+  class CoordEnv;
+
+  // All private methods run on the loop thread.
+  void OnClientAccept(ConnectionPtr conn);
+  void OnPeerAccept(ConnectionPtr conn);
+  void OnCoordAccept(ConnectionPtr conn);
+  void AdoptPeerConnection(const std::string& serverId, ConnectionPtr conn);
+  void EnsurePeerLink(const std::string& serverId);
+  void EnsureCoordLink(coord::NodeId nodeId);
+  void SendPeerFrame(const std::string& serverId, const Frame& frame);
+  void SendCoordMsg(coord::NodeId to, const coord::CoordMsg& msg);
+  void RetryLinks();
+  [[nodiscard]] const TcpPeerAddress* PeerById(const std::string& serverId) const;
+  [[nodiscard]] const TcpPeerAddress* PeerByNode(coord::NodeId nodeId) const;
+
+  TcpHostConfig cfg_;
+  std::unique_ptr<EpollLoop> loop_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+
+  std::unique_ptr<NodeEnv> nodeEnv_;
+  std::unique_ptr<CoordEnv> coordEnv_;
+  std::unique_ptr<coord::CoordNode> coordNode_;
+  std::unique_ptr<ClusterNode> node_;
+
+  ListenerPtr clientListener_;
+  ListenerPtr peerListener_;
+  ListenerPtr coordListener_;
+  std::uint16_t clientPort_ = 0;
+  std::uint16_t peerPort_ = 0;
+  std::uint16_t coordPort_ = 0;
+
+  ClientHandle nextHandle_ = 1;
+  std::map<ClientHandle, std::shared_ptr<ClientConn>> clients_;
+  std::map<std::string, PeerLink> peerLinks_;
+  std::map<coord::NodeId, CoordLink> coordLinks_;
+};
+
+}  // namespace md::cluster

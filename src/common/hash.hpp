@@ -1,0 +1,38 @@
+// Hashing utilities: FNV-1a for strings (topic → group mapping, client → worker
+// assignment) and mixers for integer keys. Hash choice is part of the wire
+// behaviour (group assignment must agree across servers), so these are fixed
+// and covered by golden tests.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace md {
+
+/// FNV-1a 64-bit. Stable across platforms; used for topic-group assignment.
+constexpr std::uint64_t Fnv1a64(std::string_view data) noexcept {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (const char c : data) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+/// Finalizer from MurmurHash3 — good avalanche for integer keys.
+constexpr std::uint64_t MixU64(std::uint64_t key) noexcept {
+  key ^= key >> 33;
+  key *= 0xFF51AFD7ED558CCDULL;
+  key ^= key >> 33;
+  key *= 0xC4CEB9FE1A85EC53ULL;
+  key ^= key >> 33;
+  return key;
+}
+
+/// Map a topic name to one of `group_count` topic groups (paper §4, §5.2.1).
+constexpr std::uint32_t TopicGroupOf(std::string_view topic,
+                                     std::uint32_t group_count) noexcept {
+  return static_cast<std::uint32_t>(Fnv1a64(topic) % group_count);
+}
+
+}  // namespace md

@@ -1,0 +1,19 @@
+#include "common/histogram.hpp"
+
+#include "common/time.hpp"
+
+namespace md {
+
+LatencySummary SummarizeNanos(const Histogram& h) noexcept {
+  LatencySummary s;
+  s.count = h.Count();
+  s.medianMs = ToMillis(h.Median());
+  s.meanMs = h.Mean() / static_cast<double>(kMillisecond);
+  s.stdDevMs = h.StdDev() / static_cast<double>(kMillisecond);
+  s.p90Ms = ToMillis(h.Percentile(0.90));
+  s.p95Ms = ToMillis(h.Percentile(0.95));
+  s.p99Ms = ToMillis(h.Percentile(0.99));
+  return s;
+}
+
+}  // namespace md

@@ -1,0 +1,139 @@
+// Log-linear latency histogram (HDR-histogram style).
+//
+// Values are bucketed with ~1.6% relative precision across a 1 ns .. ~2^62 ns
+// range using (exponent, 64 linear sub-buckets) buckets. Supports the exact
+// statistics the paper's tables report: median, mean, stddev, P90, P95, P99.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace md {
+
+class Histogram {
+ public:
+  static constexpr int kSubBucketBits = 6;  // 64 linear sub-buckets / octave
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kOctaves = 50;       // covers > 10^15 ns
+  static constexpr int kBucketCount = kOctaves * kSubBuckets;
+
+  void Record(std::int64_t value) noexcept { RecordN(value, 1); }
+
+  void RecordN(std::int64_t value, std::uint64_t count) noexcept {
+    if (value < 0) value = 0;
+    const int idx = IndexFor(static_cast<std::uint64_t>(value));
+    counts_[static_cast<std::size_t>(idx)] += count;
+    total_ += count;
+    sum_ += static_cast<double>(value) * static_cast<double>(count);
+    sumSquares_ += static_cast<double>(value) * static_cast<double>(value) *
+                   static_cast<double>(count);
+    if (value > max_) max_ = value;
+    if (total_ == count || value < min_) min_ = value;
+  }
+
+  void Merge(const Histogram& other) noexcept {
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    sum_ += other.sum_;
+    sumSquares_ += other.sumSquares_;
+    if (other.total_ > 0) {
+      if (other.max_ > max_) max_ = other.max_;
+      if (total_ == other.total_ || other.min_ < min_) min_ = other.min_;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t Count() const noexcept { return total_; }
+  [[nodiscard]] std::int64_t Min() const noexcept { return total_ ? min_ : 0; }
+  [[nodiscard]] std::int64_t Max() const noexcept { return max_; }
+
+  [[nodiscard]] double Mean() const noexcept {
+    return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+  }
+
+  [[nodiscard]] double StdDev() const noexcept {
+    if (total_ == 0) return 0.0;
+    const double mean = Mean();
+    const double variance =
+        sumSquares_ / static_cast<double>(total_) - mean * mean;
+    return variance > 0.0 ? std::sqrt(variance) : 0.0;
+  }
+
+  /// Value at quantile q in [0, 1]; returns a representative value of the
+  /// containing bucket (its midpoint).
+  [[nodiscard]] std::int64_t Percentile(double q) const noexcept {
+    if (total_ == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(total_)));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      seen += counts_[i];
+      if (seen >= target && counts_[i] > 0) {
+        return BucketMidpoint(static_cast<int>(i));
+      }
+    }
+    return max_;
+  }
+
+  [[nodiscard]] std::int64_t Median() const noexcept { return Percentile(0.5); }
+
+  void Reset() noexcept {
+    counts_.fill(0);
+    total_ = 0;
+    sum_ = 0.0;
+    sumSquares_ = 0.0;
+    min_ = 0;
+    max_ = 0;
+  }
+
+ private:
+  static int IndexFor(std::uint64_t value) noexcept {
+    if (value < kSubBuckets) return static_cast<int>(value);
+    // Position of the highest set bit above the sub-bucket resolution.
+    const int msb = 63 - __builtin_clzll(value);
+    const int octave = msb - kSubBucketBits + 1;
+    const int sub =
+        static_cast<int>((value >> (octave)) & (kSubBuckets / 2 - 1)) +
+        kSubBuckets / 2;
+    // Layout: octave 0 holds values [0, 64); each further octave holds 32
+    // sub-buckets covering one power of two.
+    const int idx = kSubBuckets + (octave - 1) * (kSubBuckets / 2) +
+                    (sub - kSubBuckets / 2);
+    return idx < kBucketCount ? idx : kBucketCount - 1;
+  }
+
+  static std::int64_t BucketMidpoint(int idx) noexcept {
+    if (idx < kSubBuckets) return idx;
+    const int rel = idx - kSubBuckets;
+    const int octave = rel / (kSubBuckets / 2) + 1;
+    const int sub = rel % (kSubBuckets / 2) + kSubBuckets / 2;
+    const std::uint64_t base = static_cast<std::uint64_t>(sub) << octave;
+    const std::uint64_t width = 1ULL << octave;
+    return static_cast<std::int64_t>(base + width / 2);
+  }
+
+  std::array<std::uint64_t, kBucketCount> counts_{};
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+  double sumSquares_ = 0.0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+/// Summary snapshot in milliseconds, shaped like the paper's table rows.
+struct LatencySummary {
+  double medianMs = 0;
+  double meanMs = 0;
+  double stdDevMs = 0;
+  double p90Ms = 0;
+  double p95Ms = 0;
+  double p99Ms = 0;
+  std::uint64_t count = 0;
+};
+
+LatencySummary SummarizeNanos(const Histogram& h) noexcept;
+
+}  // namespace md

@@ -1,0 +1,52 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+
+namespace md::log_internal {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+namespace {
+
+const char* LevelTag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+const char* Basename(const char* path) noexcept {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+
+}  // namespace
+
+void Write(LogLevel level, const char* file, int line, const char* fmt, ...) {
+  char body[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(body, sizeof(body), fmt, args);
+  va_end(args);
+
+  std::timespec ts{};
+  std::timespec_get(&ts, TIME_UTC);
+  std::tm tm{};
+  gmtime_r(&ts.tv_sec, &tm);
+
+  char lineBuf[1280];
+  std::snprintf(lineBuf, sizeof(lineBuf),
+                "%02d:%02d:%02d.%03ld %s %s:%d] %s\n", tm.tm_hour, tm.tm_min,
+                tm.tm_sec, ts.tv_nsec / 1000000, LevelTag(level),
+                Basename(file), line, body);
+  std::fwrite(lineBuf, 1, std::strlen(lineBuf), stderr);
+}
+
+}  // namespace md::log_internal

@@ -1,0 +1,43 @@
+// Minimal leveled logging to stderr.
+//
+// Printf-style formatting (std::format is unavailable in gcc 12). Log calls
+// below the active level cost a single atomic load. Thread-safe: each line is
+// formatted into a local buffer and written with one fwrite.
+#pragma once
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdint>
+
+namespace md {
+
+enum class LogLevel : std::uint8_t { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+namespace log_internal {
+extern std::atomic<LogLevel> g_level;
+void Write(LogLevel level, const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+}  // namespace log_internal
+
+inline void SetLogLevel(LogLevel level) noexcept {
+  log_internal::g_level.store(level, std::memory_order_relaxed);
+}
+inline LogLevel GetLogLevel() noexcept {
+  return log_internal::g_level.load(std::memory_order_relaxed);
+}
+inline bool LogEnabled(LogLevel level) noexcept { return level >= GetLogLevel(); }
+
+#define MD_LOG_IMPL(level, ...)                                              \
+  do {                                                                       \
+    if (::md::LogEnabled(level)) {                                           \
+      ::md::log_internal::Write(level, __FILE__, __LINE__, __VA_ARGS__);     \
+    }                                                                        \
+  } while (0)
+
+#define MD_TRACE(...) MD_LOG_IMPL(::md::LogLevel::kTrace, __VA_ARGS__)
+#define MD_DEBUG(...) MD_LOG_IMPL(::md::LogLevel::kDebug, __VA_ARGS__)
+#define MD_INFO(...) MD_LOG_IMPL(::md::LogLevel::kInfo, __VA_ARGS__)
+#define MD_WARN(...) MD_LOG_IMPL(::md::LogLevel::kWarn, __VA_ARGS__)
+#define MD_ERROR(...) MD_LOG_IMPL(::md::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace md

@@ -1,0 +1,161 @@
+// Thread-safe queues used between the I/O layer and the Worker layer
+// (paper §4: "Workers and IoThreads communicate using efficient thread-safe
+// queues").
+//
+// MpscQueue: multi-producer single-consumer, bounded, blocking or polling
+// consumption. SpscRing: lock-free single-producer single-consumer ring for
+// the per-connection fast path.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace md {
+
+/// Bounded multi-producer queue with a single blocking consumer.
+/// Push fails with kCapacity when full (backpressure, never unbounded growth).
+template <typename T>
+class MpscQueue {
+ public:
+  explicit MpscQueue(std::size_t capacity = 65536) : capacity_(capacity) {}
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  Status TryPush(T item) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_) return Err(ErrorCode::kClosed, "queue closed");
+      if (items_.size() >= capacity_) return Err(ErrorCode::kCapacity, "queue full");
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return OkStatus();
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> TryPop() {
+    std::lock_guard lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Drain up to `max` items into `out`; returns the number drained.
+  /// Batching amortizes lock acquisition on the consumer side.
+  std::size_t PopBatch(std::vector<T>& out, std::size_t max) {
+    std::lock_guard lock(mutex_);
+    std::size_t n = 0;
+    while (n < max && !items_.empty()) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++n;
+    }
+    return n;
+  }
+
+  /// Blocking variant of PopBatch: waits for at least one item or close.
+  std::size_t PopBatchBlocking(std::vector<T>& out, std::size_t max) {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    std::size_t n = 0;
+    while (n < max && !items_.empty()) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++n;
+    }
+    return n;
+  }
+
+  void Close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+/// Lock-free bounded SPSC ring buffer. Capacity is rounded up to a power of
+/// two; one slot is sacrificed to distinguish full from empty.
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacityPow2 = 1024)
+      : buffer_(RoundUpPow2(capacityPow2)), mask_(buffer_.size() - 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  bool TryPush(T item) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t next = (head + 1) & mask_;
+    if (next == tail_.load(std::memory_order_acquire)) return false;  // full
+    buffer_[head] = std::move(item);
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  std::optional<T> TryPop() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return std::nullopt;
+    T item = std::move(buffer_[tail]);
+    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    return item;
+  }
+
+  [[nodiscard]] bool Empty() const noexcept {
+    return tail_.load(std::memory_order_acquire) ==
+           head_.load(std::memory_order_acquire);
+  }
+
+ private:
+  static std::size_t RoundUpPow2(std::size_t n) noexcept {
+    std::size_t p = 2;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  std::vector<T> buffer_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace md

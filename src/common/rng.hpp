@@ -1,0 +1,106 @@
+// Deterministic pseudo-random number generation.
+//
+// Simulation and property tests need reproducible randomness under a seed;
+// std::mt19937 is heavyweight and its distributions are not portable across
+// standard library implementations, so we implement splitmix64 (seeding) and
+// xoshiro256** (generation) plus the distributions we actually use.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace md {
+
+/// splitmix64 step — used to expand a single seed into generator state.
+constexpr std::uint64_t SplitMix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast, high-quality, 256-bit state PRNG.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853C49E6748FEA9BULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return Next(); }
+
+  std::uint64_t Next() noexcept {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound) noexcept {
+    // Lemire's nearly-divisionless bounded sampling (bias negligible for our
+    // use; acceptable for simulation workloads).
+    const unsigned __int128 product =
+        static_cast<unsigned __int128>(Next()) * bound;
+    return static_cast<std::uint64_t>(product >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(NextBelow(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() noexcept {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p.
+  bool NextBool(double p) noexcept { return NextDouble() < p; }
+
+  /// Exponentially distributed sample with the given mean (> 0).
+  double NextExponential(double mean) noexcept {
+    double u = NextDouble();
+    // Avoid log(0).
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+  /// Standard normal via Box–Muller (one value per call, cached pair dropped
+  /// for simplicity; fine for non-hot paths).
+  double NextNormal(double mean, double stddev) noexcept {
+    double u1 = NextDouble();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double u2 = NextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    return mean + stddev * r * std::cos(theta);
+  }
+
+  /// Derive an independent child generator (for per-entity streams).
+  Rng Fork() noexcept { return Rng(Next()); }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace md

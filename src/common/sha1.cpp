@@ -1,0 +1,98 @@
+#include "common/sha1.hpp"
+
+#include <cstring>
+
+namespace md {
+
+namespace {
+
+constexpr std::uint32_t Rotl32(std::uint32_t x, int k) noexcept {
+  return (x << k) | (x >> (32 - k));
+}
+
+void ProcessBlock(const std::uint8_t* block, std::uint32_t h[5]) noexcept {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[i * 4]) << 24) |
+           (static_cast<std::uint32_t>(block[i * 4 + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[i * 4 + 2]) << 8) |
+           static_cast<std::uint32_t>(block[i * 4 + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = Rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  std::uint32_t a = h[0], b = h[1], c = h[2], d = h[3], e = h[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f;
+    std::uint32_t k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDC;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6;
+    }
+    const std::uint32_t temp = Rotl32(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = Rotl32(b, 30);
+    b = a;
+    a = temp;
+  }
+
+  h[0] += a;
+  h[1] += b;
+  h[2] += c;
+  h[3] += d;
+  h[4] += e;
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 20> Sha1(std::string_view data) {
+  std::uint32_t h[5] = {0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476,
+                        0xC3D2E1F0};
+
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(data.data());
+  std::size_t len = data.size();
+  while (len >= 64) {
+    ProcessBlock(bytes, h);
+    bytes += 64;
+    len -= 64;
+  }
+
+  // Final block(s) with padding and 64-bit big-endian bit length.
+  std::uint8_t tail[128] = {};
+  std::memcpy(tail, bytes, len);
+  tail[len] = 0x80;
+  const std::size_t tailBlocks = (len + 1 + 8 > 64) ? 2 : 1;
+  const std::uint64_t bitLen = static_cast<std::uint64_t>(data.size()) * 8;
+  for (int i = 0; i < 8; ++i) {
+    tail[tailBlocks * 64 - 1 - i] = static_cast<std::uint8_t>(bitLen >> (8 * i));
+  }
+  ProcessBlock(tail, h);
+  if (tailBlocks == 2) ProcessBlock(tail + 64, h);
+
+  std::array<std::uint8_t, 20> digest{};
+  for (int i = 0; i < 5; ++i) {
+    digest[i * 4] = static_cast<std::uint8_t>(h[i] >> 24);
+    digest[i * 4 + 1] = static_cast<std::uint8_t>(h[i] >> 16);
+    digest[i * 4 + 2] = static_cast<std::uint8_t>(h[i] >> 8);
+    digest[i * 4 + 3] = static_cast<std::uint8_t>(h[i]);
+  }
+  return digest;
+}
+
+std::string Sha1String(std::string_view data) {
+  const auto digest = Sha1(data);
+  return std::string(reinterpret_cast<const char*>(digest.data()), digest.size());
+}
+
+}  // namespace md

@@ -1,0 +1,20 @@
+// SHA-1, implemented from scratch (FIPS 180-1).
+//
+// Used solely for the RFC 6455 WebSocket handshake accept key
+// (Sec-WebSocket-Accept = base64(SHA1(key || GUID))) — not for security.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace md {
+
+/// Returns the 20-byte SHA-1 digest of `data`.
+std::array<std::uint8_t, 20> Sha1(std::string_view data);
+
+/// Digest as a raw 20-char binary string (convenient for base64).
+std::string Sha1String(std::string_view data);
+
+}  // namespace md

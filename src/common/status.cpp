@@ -1,0 +1,33 @@
+#include "common/status.hpp"
+
+namespace md {
+
+std::string_view ErrorCodeName(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kTimeout: return "TIMEOUT";
+    case ErrorCode::kClosed: return "CLOSED";
+    case ErrorCode::kProtocol: return "PROTOCOL";
+    case ErrorCode::kCapacity: return "CAPACITY";
+    case ErrorCode::kInternal: return "INTERNAL";
+    case ErrorCode::kNotLeader: return "NOT_LEADER";
+    case ErrorCode::kConflict: return "CONFLICT";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(ErrorCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace md

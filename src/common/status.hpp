@@ -1,0 +1,118 @@
+// Lightweight error handling primitives used across the code base.
+//
+// We deliberately avoid exceptions on hot paths (decode, I/O, queue ops)
+// and return Status / Result<T> instead, following the "errors are values"
+// style. Exceptions remain for constructor failures and programming errors.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace md {
+
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kUnavailable,       // transient: peer down, no quorum, not connected
+  kTimeout,
+  kClosed,            // connection or component shut down
+  kProtocol,          // malformed wire data
+  kCapacity,          // queue/buffer full, backpressure
+  kInternal,
+  kNotLeader,         // coordination: request must go to the leader
+  kConflict,          // version / atomic-create conflict
+};
+
+/// Human-readable name for an ErrorCode (stable, for logs and tests).
+std::string_view ErrorCodeName(ErrorCode code) noexcept;
+
+/// A Status is either OK or an error code with an optional message.
+class Status {
+ public:
+  Status() noexcept = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+  explicit Status(ErrorCode code) : code_(code) {}
+
+  static Status Ok() noexcept { return Status(); }
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == ErrorCode::kOk; }
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "OK" or "<code>: <message>" — for logging.
+  [[nodiscard]] std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+
+inline Status Err(ErrorCode code, std::string message = {}) {
+  return Status(code, std::move(message));
+}
+
+/// Result<T> is a value or a Status error. `T` must not be Status itself.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : storage_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(storage_).ok() && "Result error must be non-OK");
+  }
+  Result(ErrorCode code, std::string message = {})
+      : storage_(Status(code, std::move(message))) {}
+
+  [[nodiscard]] bool ok() const noexcept {
+    return std::holds_alternative<T>(storage_);
+  }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(storage_));
+  }
+
+  [[nodiscard]] Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(storage_);
+  }
+  [[nodiscard]] ErrorCode code() const noexcept {
+    return ok() ? ErrorCode::kOk : std::get<Status>(storage_).code();
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// value() if ok, otherwise `fallback`.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> storage_;
+};
+
+}  // namespace md

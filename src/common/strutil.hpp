@@ -1,0 +1,26 @@
+// Small string helpers shared across modules (HTTP header parsing for the
+// WebSocket handshake, config parsing, table formatting).
+#pragma once
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace md {
+
+std::vector<std::string_view> SplitView(std::string_view input, char sep);
+std::string_view TrimView(std::string_view input) noexcept;
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) noexcept;
+bool StartsWith(std::string_view s, std::string_view prefix) noexcept;
+
+/// printf-style into std::string.
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// 12345678 -> "12,345,678" (table output).
+std::string WithThousands(std::uint64_t value);
+
+/// Base64 (standard alphabet, padded) — needed for the WebSocket accept key.
+std::string Base64Encode(std::string_view data);
+
+}  // namespace md

@@ -1,0 +1,34 @@
+// Wire codec for MiniZK protocol messages.
+//
+// The simulation harness passes CoordMsg structs directly; the real-network
+// cluster host (src/cluster/tcp_host.hpp) serializes them with this codec
+// and carries them over TCP with the same varint length-prefix stream
+// framing as the client protocol.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "coord/messages.hpp"
+
+namespace md::coord {
+
+/// Serializes `msg` (tag + body, no stream length prefix) into `out`.
+void EncodeCoordMsg(const CoordMsg& msg, Bytes& out);
+
+/// Parses one message from exactly `data`.
+Result<CoordMsg> DecodeCoordMsg(BytesView data);
+
+/// Appends a stream-framed (varint length + body) message to `out`.
+void EncodeCoordFramed(const CoordMsg& msg, Bytes& out);
+
+/// Incremental extractor over a ByteQueue (mirrors proto/codec.hpp).
+struct CoordExtractResult {
+  std::optional<CoordMsg> msg;
+  Status status;
+};
+CoordExtractResult ExtractCoordMsg(ByteQueue& in,
+                                   std::size_t maxSize = 16 * 1024 * 1024);
+
+}  // namespace md::coord

@@ -1,0 +1,113 @@
+// Messages of the MiniZK replication protocol (a simplified Raft).
+//
+// MiniZK replaces ZooKeeper in this reproduction (DESIGN.md §1). It provides
+// exactly the contract the MigratoryData cluster protocol needs:
+// linearizable writes with atomic create, sequentially-consistent local
+// reads, ephemeral entries bound to node sessions, and watches.
+//
+// Messages are plain structs; the simulation bus passes them directly (the
+// deterministic harness needs no byte codec — delivery order and timing are
+// controlled by SimNetwork).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace md::coord {
+
+using NodeId = std::uint32_t;
+using Term = std::uint64_t;
+using LogIndex = std::uint64_t;
+
+// --- replicated commands ----------------------------------------------------
+
+/// Create key iff absent. `ephemeralOwner != 0` binds the entry to a session
+/// (it is deleted when that session expires) — the ZK ephemeral-znode
+/// equivalent, used for coordinator election (paper §5.2.1).
+struct CreateCmd {
+  std::string key;
+  std::string value;
+  NodeId ephemeralOwner = 0;
+};
+
+/// Unconditional set (creates if absent, persistent).
+struct PutCmd {
+  std::string key;
+  std::string value;
+};
+
+/// Delete. `expectedVersion != 0` makes it conditional.
+struct DeleteCmd {
+  std::string key;
+  std::uint64_t expectedVersion = 0;
+};
+
+/// Expire a session: every ephemeral entry it owns is deleted atomically.
+/// Appended by the leader's failure detector (ZK session expiry equivalent).
+struct ExpireSessionCmd {
+  NodeId session = 0;
+};
+
+/// Leader no-op appended on election to commit entries from prior terms.
+struct NoopCmd {};
+
+using Command = std::variant<CreateCmd, PutCmd, DeleteCmd, ExpireSessionCmd, NoopCmd>;
+
+struct LogEntry {
+  Term term = 0;
+  Command cmd;
+  // Id of the client request that produced this entry (0 for internal), used
+  // to route the reply back through the node that accepted the request.
+  std::uint64_t requestId = 0;
+  NodeId requestOrigin = 0;
+};
+
+// --- consensus messages -----------------------------------------------------
+
+struct RequestVote {
+  Term term = 0;
+  NodeId candidate = 0;
+  LogIndex lastLogIndex = 0;
+  Term lastLogTerm = 0;
+};
+
+struct VoteReply {
+  Term term = 0;
+  bool granted = false;
+};
+
+struct AppendEntries {
+  Term term = 0;
+  NodeId leader = 0;
+  LogIndex prevLogIndex = 0;
+  Term prevLogTerm = 0;
+  std::vector<LogEntry> entries;
+  LogIndex leaderCommit = 0;
+};
+
+struct AppendReply {
+  Term term = 0;
+  bool success = false;
+  LogIndex matchIndex = 0;
+};
+
+/// Write request forwarded from a non-leader node to the leader.
+struct ClientRequest {
+  std::uint64_t requestId = 0;
+  NodeId origin = 0;
+  Command cmd;
+};
+
+/// Result routed back to the origin node once the command commits (or fails).
+struct ClientReply {
+  std::uint64_t requestId = 0;
+  std::uint8_t errorCode = 0;  // md::ErrorCode numeric value; 0 = OK
+  std::uint64_t version = 0;   // resulting version for successful writes
+};
+
+using CoordMsg = std::variant<RequestVote, VoteReply, AppendEntries, AppendReply,
+                              ClientRequest, ClientReply>;
+
+}  // namespace md::coord

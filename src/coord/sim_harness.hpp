@@ -1,0 +1,124 @@
+// Wires a MiniZK cluster over the simulated network: one CoordNode per
+// SimNetwork host, messages travel as sized packets over host links (so
+// partitions and crashes cut coordination traffic exactly like real traffic).
+// Used by tests, property tests and the failover benchmarks.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "coord/node.hpp"
+#include "simnet/network.hpp"
+#include "simnet/scheduler.hpp"
+
+namespace md::coord {
+
+/// Rough wire size of a message, for the bandwidth model.
+inline std::size_t EstimateSize(const CoordMsg& msg) {
+  std::size_t size = 64;  // headers and fixed fields
+  if (const auto* append = std::get_if<AppendEntries>(&msg)) {
+    for (const LogEntry& e : append->entries) {
+      size += 32;
+      if (const auto* c = std::get_if<CreateCmd>(&e.cmd)) {
+        size += c->key.size() + c->value.size();
+      } else if (const auto* p = std::get_if<PutCmd>(&e.cmd)) {
+        size += p->key.size() + p->value.size();
+      } else if (const auto* d = std::get_if<DeleteCmd>(&e.cmd)) {
+        size += d->key.size();
+      }
+    }
+  }
+  return size;
+}
+
+class SimCoordCluster {
+ public:
+  /// `hosts[i]` is the SimNetwork host the i-th node lives on. Node ids are
+  /// 1..n (0 is reserved as "no node").
+  SimCoordCluster(sim::Scheduler& sched, sim::SimNetwork& net,
+                  std::vector<sim::HostId> hosts, CoordConfig cfg = {},
+                  std::uint64_t seed = 42)
+      : sched_(sched), net_(net), hosts_(std::move(hosts)) {
+    std::vector<NodeId> members;
+    members.reserve(hosts_.size());
+    for (std::size_t i = 0; i < hosts_.size(); ++i) {
+      members.push_back(static_cast<NodeId>(i + 1));
+    }
+    Rng seeder(seed);
+    for (std::size_t i = 0; i < hosts_.size(); ++i) {
+      envs_.push_back(std::make_unique<NodeEnv>(*this, static_cast<NodeId>(i + 1),
+                                                seeder.Next()));
+      nodes_.push_back(std::make_unique<CoordNode>(static_cast<NodeId>(i + 1),
+                                                   members, *envs_.back(), cfg));
+    }
+  }
+
+  void StartAll() {
+    for (auto& node : nodes_) node->Start();
+  }
+
+  [[nodiscard]] CoordNode& node(std::size_t i) { return *nodes_.at(i); }
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] sim::HostId HostOf(std::size_t i) const { return hosts_.at(i); }
+
+  /// The current leader node index, if exactly one node believes it leads.
+  [[nodiscard]] std::optional<std::size_t> LeaderIndex() const {
+    std::optional<std::size_t> leader;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (!nodes_[i]->IsCrashed() && nodes_[i]->IsLeader()) {
+        if (leader) return std::nullopt;  // split view
+        leader = i;
+      }
+    }
+    return leader;
+  }
+
+  /// Crash node i (fail-stop): node state machine + host marked down.
+  void CrashNode(std::size_t i) {
+    nodes_.at(i)->Crash();
+    net_.SetHostUp(hosts_.at(i), false);
+  }
+
+  void RestartNode(std::size_t i) {
+    net_.SetHostUp(hosts_.at(i), true);
+    nodes_.at(i)->Restart();
+  }
+
+ private:
+  class NodeEnv final : public Env {
+   public:
+    NodeEnv(SimCoordCluster& cluster, NodeId self, std::uint64_t seed)
+        : cluster_(cluster), self_(self), rng_(seed) {}
+
+    void Send(NodeId to, const CoordMsg& msg) override {
+      const auto fromIdx = static_cast<std::size_t>(self_ - 1);
+      const auto toIdx = static_cast<std::size_t>(to - 1);
+      cluster_.net_.Send(
+          cluster_.hosts_[fromIdx], cluster_.hosts_[toIdx], EstimateSize(msg),
+          [&cluster = cluster_, toIdx, from = self_, msg] {
+            cluster.nodes_[toIdx]->HandleMessage(from, msg);
+          });
+    }
+
+    std::uint64_t Schedule(Duration delay, std::function<void()> fn) override {
+      return cluster_.sched_.Schedule(delay, std::move(fn));
+    }
+    void Cancel(std::uint64_t timerId) override { cluster_.sched_.Cancel(timerId); }
+    [[nodiscard]] TimePoint Now() const override { return cluster_.sched_.Now(); }
+    std::uint64_t Random() override { return rng_.Next(); }
+
+   private:
+    SimCoordCluster& cluster_;
+    NodeId self_;
+    Rng rng_;
+  };
+
+  sim::Scheduler& sched_;
+  sim::SimNetwork& net_;
+  std::vector<sim::HostId> hosts_;
+  std::vector<std::unique_ptr<NodeEnv>> envs_;
+  std::vector<std::unique_ptr<CoordNode>> nodes_;
+};
+
+}  // namespace md::coord

@@ -1,0 +1,95 @@
+#include "coord/store.hpp"
+
+#include "common/status.hpp"
+
+namespace md::coord {
+
+namespace {
+
+constexpr std::uint8_t Code(ErrorCode c) noexcept {
+  return static_cast<std::uint8_t>(c);
+}
+
+}  // namespace
+
+ApplyResult KvStore::Apply(const Command& cmd) {
+  ApplyResult result;
+
+  if (const auto* create = std::get_if<CreateCmd>(&cmd)) {
+    auto [it, inserted] = data_.try_emplace(
+        create->key, KeyValue{create->value, 1, create->ephemeralOwner});
+    if (!inserted) {
+      result.errorCode = Code(ErrorCode::kConflict);
+      return result;
+    }
+    result.version = 1;
+    Fire({WatchEventType::kCreated, create->key, create->value, 1});
+    return result;
+  }
+
+  if (const auto* put = std::get_if<PutCmd>(&cmd)) {
+    auto it = data_.find(put->key);
+    if (it == data_.end()) {
+      data_.emplace(put->key, KeyValue{put->value, 1, 0});
+      result.version = 1;
+      Fire({WatchEventType::kCreated, put->key, put->value, 1});
+    } else {
+      it->second.value = put->value;
+      it->second.version += 1;
+      result.version = it->second.version;
+      Fire({WatchEventType::kChanged, put->key, put->value, it->second.version});
+    }
+    return result;
+  }
+
+  if (const auto* del = std::get_if<DeleteCmd>(&cmd)) {
+    auto it = data_.find(del->key);
+    if (it == data_.end()) {
+      result.errorCode = Code(ErrorCode::kNotFound);
+      return result;
+    }
+    if (del->expectedVersion != 0 && it->second.version != del->expectedVersion) {
+      result.errorCode = Code(ErrorCode::kConflict);
+      return result;
+    }
+    data_.erase(it);
+    Fire({WatchEventType::kDeleted, del->key, {}, 0});
+    return result;
+  }
+
+  if (const auto* expire = std::get_if<ExpireSessionCmd>(&cmd)) {
+    // Collect first: firing watches while erasing would invalidate iterators.
+    std::vector<std::string> doomed;
+    for (const auto& [key, kv] : data_) {
+      if (kv.ephemeralOwner == expire->session) doomed.push_back(key);
+    }
+    for (const auto& key : doomed) {
+      data_.erase(key);
+      Fire({WatchEventType::kDeleted, key, {}, 0});
+    }
+    return result;
+  }
+
+  // NoopCmd.
+  return result;
+}
+
+std::vector<std::string> KvStore::KeysWithPrefix(const std::string& prefix) const {
+  std::vector<std::string> keys;
+  for (auto it = data_.lower_bound(prefix);
+       it != data_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    keys.push_back(it->first);
+  }
+  return keys;
+}
+
+void KvStore::Fire(const WatchEvent& event) {
+  const auto it = watches_.find(event.key);
+  if (it == watches_.end()) return;
+  // Copy: a watch callback may register further watches on the same key.
+  const auto fns = it->second;
+  for (const auto& fn : fns) fn(event);
+}
+
+}  // namespace md::coord

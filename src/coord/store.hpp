@@ -1,0 +1,76 @@
+// The replicated key/value state machine with ephemeral ownership and
+// watches. Every MiniZK node applies the same committed command sequence to
+// its local KvStore, so watch notifications fire locally on each node —
+// matching ZooKeeper's model where each server notifies its own clients.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "coord/messages.hpp"
+
+namespace md::coord {
+
+struct KeyValue {
+  std::string value;
+  std::uint64_t version = 0;  // starts at 1 on create, bumps on every change
+  NodeId ephemeralOwner = 0;  // 0 = persistent
+};
+
+enum class WatchEventType : std::uint8_t { kCreated, kChanged, kDeleted };
+
+struct WatchEvent {
+  WatchEventType type;
+  std::string key;
+  std::string value;          // empty for deletions
+  std::uint64_t version = 0;  // version after the event (0 for deletions)
+};
+
+/// Persistent (non-one-shot) watch; fires for every event on its key.
+using WatchFn = std::function<void(const WatchEvent&)>;
+
+/// Result of applying one command (also routed back to the write's origin).
+struct ApplyResult {
+  std::uint8_t errorCode = 0;  // md::ErrorCode numeric; 0 = OK
+  std::uint64_t version = 0;
+};
+
+class KvStore {
+ public:
+  /// Applies a committed command; fires watches for resulting mutations.
+  ApplyResult Apply(const Command& cmd);
+
+  [[nodiscard]] std::optional<KeyValue> Get(const std::string& key) const {
+    const auto it = data_.find(key);
+    if (it == data_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] bool Contains(const std::string& key) const {
+    return data_.contains(key);
+  }
+
+  [[nodiscard]] std::size_t Size() const noexcept { return data_.size(); }
+
+  /// Keys with the given prefix (for listing group assignments).
+  [[nodiscard]] std::vector<std::string> KeysWithPrefix(const std::string& prefix) const;
+
+  void Watch(const std::string& key, WatchFn fn) {
+    watches_[key].push_back(std::move(fn));
+  }
+
+  /// Rebuild from scratch (restart): clears data and keeps watches.
+  void Reset() { data_.clear(); }
+
+ private:
+  void Fire(const WatchEvent& event);
+
+  std::map<std::string, KeyValue> data_;
+  std::map<std::string, std::vector<WatchFn>> watches_;
+};
+
+}  // namespace md::coord

@@ -1,0 +1,135 @@
+// Batching and conflation (paper §4).
+//
+// Batching collects encoded frames for a client until a byte budget or a
+// time budget is reached, then emits them as a single I/O operation.
+// Conflation aggregates messages per topic over an interval and emits only
+// the newest message of each topic — appropriate for "current value" streams
+// (prices, scores) updated at high frequency.
+//
+// Both are deterministic, clock-driven components owned per client; the
+// embedding server drives time via Deadline()/OnDeadline().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/time.hpp"
+#include "proto/message.hpp"
+
+namespace md::core {
+
+struct BatchConfig {
+  Duration maxDelay = 10 * kMillisecond;  // flush at latest this long after 1st frame
+  std::size_t maxBytes = 64 * 1024;       // flush when this much is pending
+};
+
+/// Byte-level batcher: accumulates already-encoded frames.
+class Batcher {
+ public:
+  using FlushFn = std::function<void(BytesView)>;
+
+  Batcher(BatchConfig cfg, FlushFn flush)
+      : cfg_(cfg), flush_(std::move(flush)) {}
+
+  /// Adds one encoded frame; may trigger an immediate size-based flush.
+  void Enqueue(BytesView frameBytes, TimePoint now) {
+    if (pending_.empty()) firstEnqueued_ = now;
+    pending_.insert(pending_.end(), frameBytes.begin(), frameBytes.end());
+    if (pending_.size() >= cfg_.maxBytes) Flush();
+  }
+
+  /// Earliest time a time-based flush is due (nullopt when nothing pending).
+  [[nodiscard]] std::optional<TimePoint> Deadline() const {
+    if (pending_.empty()) return std::nullopt;
+    return firstEnqueued_ + cfg_.maxDelay;
+  }
+
+  /// Flushes if the deadline has passed.
+  void OnTime(TimePoint now) {
+    if (!pending_.empty() && now >= firstEnqueued_ + cfg_.maxDelay) Flush();
+  }
+
+  void Flush() {
+    if (pending_.empty()) return;
+    ++flushCount_;
+    flushedBytes_ += pending_.size();
+    flush_(BytesView(pending_));
+    pending_.clear();
+  }
+
+  [[nodiscard]] std::size_t PendingBytes() const noexcept { return pending_.size(); }
+  [[nodiscard]] std::uint64_t FlushCount() const noexcept { return flushCount_; }
+  [[nodiscard]] std::uint64_t FlushedBytes() const noexcept { return flushedBytes_; }
+
+ private:
+  BatchConfig cfg_;
+  FlushFn flush_;
+  Bytes pending_;
+  TimePoint firstEnqueued_ = 0;
+  std::uint64_t flushCount_ = 0;
+  std::uint64_t flushedBytes_ = 0;
+};
+
+struct ConflateConfig {
+  Duration interval = 100 * kMillisecond;  // aggregation window
+};
+
+/// Message-level conflator: within a window, only the newest message per
+/// topic survives. Emission preserves topic first-arrival order.
+class Conflator {
+ public:
+  using EmitFn = std::function<void(const Message&)>;
+
+  Conflator(ConflateConfig cfg, EmitFn emit)
+      : cfg_(cfg), emit_(std::move(emit)) {}
+
+  void Offer(const Message& msg, TimePoint now) {
+    if (slots_.empty()) windowStart_ = now;
+    ++offered_;
+    const auto it = bySlot_.find(msg.topic);
+    if (it == bySlot_.end()) {
+      bySlot_[msg.topic] = slots_.size();
+      slots_.push_back(msg);
+    } else {
+      slots_[it->second] = msg;  // newest wins
+    }
+  }
+
+  [[nodiscard]] std::optional<TimePoint> Deadline() const {
+    if (slots_.empty()) return std::nullopt;
+    return windowStart_ + cfg_.interval;
+  }
+
+  void OnTime(TimePoint now) {
+    if (!slots_.empty() && now >= windowStart_ + cfg_.interval) Flush();
+  }
+
+  void Flush() {
+    if (slots_.empty()) return;
+    for (const Message& m : slots_) {
+      ++emitted_;
+      emit_(m);
+    }
+    slots_.clear();
+    bySlot_.clear();
+  }
+
+  [[nodiscard]] std::uint64_t OfferedCount() const noexcept { return offered_; }
+  [[nodiscard]] std::uint64_t EmittedCount() const noexcept { return emitted_; }
+
+ private:
+  ConflateConfig cfg_;
+  EmitFn emit_;
+  std::vector<Message> slots_;
+  std::map<std::string, std::size_t> bySlot_;
+  TimePoint windowStart_ = 0;
+  std::uint64_t offered_ = 0;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace md::core

@@ -1,0 +1,125 @@
+#include "core/cache.hpp"
+
+#include <algorithm>
+
+namespace md::core {
+
+Cache::Cache(CacheConfig cfg) : cfg_(cfg), shards_(cfg.topicGroups) {}
+
+bool Cache::Append(const Message& msg, TimePoint now) {
+  Shard& shard = ShardFor(msg.topic);
+  std::lock_guard lock(shard.mutex);
+  TopicHistory& history = shard.topics[msg.topic];
+
+  if (!history.entries.empty()) {
+    const StreamPos last = PosOf(history.entries.back().msg);
+    if (PosOf(msg) <= last) return false;  // duplicate or stale
+  }
+  history.entries.push_back({msg, now});
+  while (history.entries.size() > cfg_.maxMessagesPerTopic) {
+    history.entries.pop_front();
+  }
+  return true;
+}
+
+bool Cache::Insert(const Message& msg, TimePoint now) {
+  Shard& shard = ShardFor(msg.topic);
+  std::lock_guard lock(shard.mutex);
+  TopicHistory& history = shard.topics[msg.topic];
+  auto& entries = history.entries;
+
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), PosOf(msg),
+      [](const CachedMessage& m, StreamPos p) { return PosOf(m.msg) < p; });
+  if (it != entries.end() && PosOf(it->msg) == PosOf(msg)) return false;
+  entries.insert(it, {msg, now});
+  while (entries.size() > cfg_.maxMessagesPerTopic) entries.pop_front();
+  return true;
+}
+
+std::vector<Message> Cache::GetAfter(const std::string& topic, StreamPos pos,
+                                     std::size_t maxCount) const {
+  const Shard& shard = ShardFor(topic);
+  std::lock_guard lock(shard.mutex);
+  std::vector<Message> out;
+  const auto it = shard.topics.find(topic);
+  if (it == shard.topics.end()) return out;
+
+  // Binary search: entries are ordered by (epoch, seq).
+  const auto& entries = it->second.entries;
+  auto first = std::upper_bound(
+      entries.begin(), entries.end(), pos,
+      [](StreamPos p, const CachedMessage& m) { return p < PosOf(m.msg); });
+  for (; first != entries.end() && out.size() < maxCount; ++first) {
+    out.push_back(first->msg);
+  }
+  return out;
+}
+
+std::optional<StreamPos> Cache::LastPos(const std::string& topic) const {
+  const Shard& shard = ShardFor(topic);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.topics.find(topic);
+  if (it == shard.topics.end() || it->second.entries.empty()) return std::nullopt;
+  return PosOf(it->second.entries.back().msg);
+}
+
+std::vector<Message> Cache::GroupSnapshot(std::uint32_t group) const {
+  std::vector<Message> out;
+  if (group >= shards_.size()) return out;
+  const Shard& shard = shards_[group];
+  std::lock_guard lock(shard.mutex);
+  for (const auto& [topic, history] : shard.topics) {
+    for (const auto& cached : history.entries) out.push_back(cached.msg);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, StreamPos>> Cache::GroupPositions(
+    std::uint32_t group) const {
+  std::vector<std::pair<std::string, StreamPos>> out;
+  if (group >= shards_.size()) return out;
+  const Shard& shard = shards_[group];
+  std::lock_guard lock(shard.mutex);
+  for (const auto& [topic, history] : shard.topics) {
+    if (!history.entries.empty()) {
+      out.emplace_back(topic, PosOf(history.entries.back().msg));
+    }
+  }
+  return out;
+}
+
+void Cache::EvictExpired(TimePoint now) {
+  if (cfg_.maxAge == 0) return;
+  const TimePoint cutoff = now - cfg_.maxAge;
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    for (auto it = shard.topics.begin(); it != shard.topics.end();) {
+      auto& entries = it->second.entries;
+      while (!entries.empty() && entries.front().storedAt < cutoff) {
+        entries.pop_front();
+      }
+      it = entries.empty() ? shard.topics.erase(it) : std::next(it);
+    }
+  }
+}
+
+std::size_t Cache::TotalMessages() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    for (const auto& [topic, history] : shard.topics) {
+      total += history.entries.size();
+    }
+  }
+  return total;
+}
+
+void Cache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    shard.topics.clear();
+  }
+}
+
+}  // namespace md::core

@@ -1,0 +1,107 @@
+// Topic-history cache (paper §4).
+//
+// Maintains, per topic, the recent messages needed for (a) subscriber
+// recovery after reconnection and (b) server cache reconstruction after a
+// crash or partition. Topics are grouped into topic groups by hashing their
+// name; each group's data structure is locked independently ("cache data
+// structures for each group are locked independently"), which keeps writes
+// mostly uncontended because each cluster member coordinates a distinct
+// subset of groups.
+//
+// Retention is bounded per topic (count) — production deployments bound by
+// time as well; both knobs exist here.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/time.hpp"
+#include "proto/message.hpp"
+
+namespace md::core {
+
+struct CacheConfig {
+  std::uint32_t topicGroups = 100;       // paper: "typical installation uses 100"
+  std::size_t maxMessagesPerTopic = 1000;
+  Duration maxAge = 0;                   // 0 = no age-based eviction
+};
+
+class Cache {
+ public:
+  explicit Cache(CacheConfig cfg = {});
+
+  Cache(const Cache&) = delete;
+  Cache& operator=(const Cache&) = delete;
+
+  /// Appends a sequenced message to its topic's history. Out-of-date
+  /// duplicates (pos <= last cached pos) are ignored; returns true if stored.
+  bool Append(const Message& msg, TimePoint now = 0);
+
+  /// Sorted insert for recovery merges: unlike Append, accepts messages
+  /// older than the newest cached position and backfills them in order
+  /// (duplicates still ignored). O(n) in the topic history — recovery only.
+  bool Insert(const Message& msg, TimePoint now = 0);
+
+  /// Messages of `topic` strictly after `pos`, in (epoch, seq) order.
+  [[nodiscard]] std::vector<Message> GetAfter(const std::string& topic,
+                                              StreamPos pos,
+                                              std::size_t maxCount = SIZE_MAX) const;
+
+  /// Position of the newest cached message of `topic` (nullopt if none).
+  [[nodiscard]] std::optional<StreamPos> LastPos(const std::string& topic) const;
+
+  /// Every cached message of every topic in `group`, ordered per topic —
+  /// used to serve CacheSyncReq from recovering peers (paper §5.2.2).
+  [[nodiscard]] std::vector<Message> GroupSnapshot(std::uint32_t group) const;
+
+  /// Newest position per topic within `group` (the "have" list of a
+  /// CacheSyncReq).
+  [[nodiscard]] std::vector<std::pair<std::string, StreamPos>> GroupPositions(
+      std::uint32_t group) const;
+
+  /// Drop entries older than `now - maxAge` (no-op when maxAge == 0).
+  void EvictExpired(TimePoint now);
+
+  /// Total cached messages (approximate under concurrency).
+  [[nodiscard]] std::size_t TotalMessages() const;
+
+  [[nodiscard]] std::uint32_t GroupOf(const std::string& topic) const noexcept {
+    return TopicGroupOf(topic, cfg_.topicGroups);
+  }
+  [[nodiscard]] const CacheConfig& config() const noexcept { return cfg_; }
+
+  void Clear();
+
+ private:
+  struct CachedMessage {
+    Message msg;
+    TimePoint storedAt;
+  };
+
+  struct TopicHistory {
+    std::deque<CachedMessage> entries;  // ordered by (epoch, seq)
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<std::string, TopicHistory> topics;
+  };
+
+  [[nodiscard]] Shard& ShardFor(const std::string& topic) {
+    return shards_[GroupOf(topic)];
+  }
+  [[nodiscard]] const Shard& ShardFor(const std::string& topic) const {
+    return shards_[GroupOf(topic)];
+  }
+
+  CacheConfig cfg_;
+  std::vector<Shard> shards_;  // one per topic group
+};
+
+}  // namespace md::core

@@ -1,0 +1,101 @@
+#include "core/registry.hpp"
+
+namespace md::core {
+
+bool SubscriptionRegistry::Subscribe(const std::string& topic, ClientHandle client) {
+  bool inserted = false;
+  {
+    Shard& shard = ShardFor(topic);
+    std::lock_guard lock(shard.mutex);
+    inserted = shard.byTopic[topic].insert(client).second;
+  }
+  if (inserted) {
+    std::lock_guard lock(clientsMutex_);
+    byClient_[client].insert(topic);
+  }
+  return inserted;
+}
+
+bool SubscriptionRegistry::Unsubscribe(const std::string& topic, ClientHandle client) {
+  bool erased = false;
+  {
+    Shard& shard = ShardFor(topic);
+    std::lock_guard lock(shard.mutex);
+    const auto it = shard.byTopic.find(topic);
+    if (it != shard.byTopic.end()) {
+      erased = it->second.erase(client) > 0;
+      if (it->second.empty()) shard.byTopic.erase(it);
+    }
+  }
+  if (erased) {
+    std::lock_guard lock(clientsMutex_);
+    const auto it = byClient_.find(client);
+    if (it != byClient_.end()) {
+      it->second.erase(topic);
+      if (it->second.empty()) byClient_.erase(it);
+    }
+  }
+  return erased;
+}
+
+std::vector<std::string> SubscriptionRegistry::DropClient(ClientHandle client) {
+  std::vector<std::string> topics;
+  {
+    std::lock_guard lock(clientsMutex_);
+    const auto it = byClient_.find(client);
+    if (it == byClient_.end()) return topics;
+    topics.assign(it->second.begin(), it->second.end());
+    byClient_.erase(it);
+  }
+  for (const auto& topic : topics) {
+    Shard& shard = ShardFor(topic);
+    std::lock_guard lock(shard.mutex);
+    const auto it = shard.byTopic.find(topic);
+    if (it != shard.byTopic.end()) {
+      it->second.erase(client);
+      if (it->second.empty()) shard.byTopic.erase(it);
+    }
+  }
+  return topics;
+}
+
+std::vector<ClientHandle> SubscriptionRegistry::SubscribersOf(
+    const std::string& topic) const {
+  const Shard& shard = ShardFor(topic);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.byTopic.find(topic);
+  if (it == shard.byTopic.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+void SubscriptionRegistry::ForEachSubscriber(
+    const std::string& topic, const std::function<void(ClientHandle)>& fn) const {
+  const Shard& shard = ShardFor(topic);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.byTopic.find(topic);
+  if (it == shard.byTopic.end()) return;
+  for (const ClientHandle client : it->second) fn(client);
+}
+
+std::size_t SubscriptionRegistry::SubscriberCount(const std::string& topic) const {
+  const Shard& shard = ShardFor(topic);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.byTopic.find(topic);
+  return it == shard.byTopic.end() ? 0 : it->second.size();
+}
+
+std::vector<std::string> SubscriptionRegistry::TopicsOf(ClientHandle client) const {
+  std::lock_guard lock(clientsMutex_);
+  const auto it = byClient_.find(client);
+  if (it == byClient_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+std::size_t SubscriptionRegistry::TotalSubscriptions() const {
+  std::lock_guard lock(clientsMutex_);
+  std::size_t total = 0;
+  for (const auto& [client, topics] : byClient_) total += topics.size();
+  return total;
+}
+
+}  // namespace md::core

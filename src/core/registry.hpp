@@ -1,0 +1,69 @@
+// Subscription registry: topic -> subscribers and client -> topics.
+//
+// Sharded by topic hash so concurrent Workers touch disjoint locks on the
+// fan-out path. Client ids are opaque 64-bit handles assigned by the server
+// (connection identities), not the application-level client-id strings.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/hash.hpp"
+
+namespace md::core {
+
+using ClientHandle = std::uint64_t;
+
+class SubscriptionRegistry {
+ public:
+  explicit SubscriptionRegistry(std::uint32_t shardCount = 64)
+      : shards_(shardCount) {}
+
+  SubscriptionRegistry(const SubscriptionRegistry&) = delete;
+  SubscriptionRegistry& operator=(const SubscriptionRegistry&) = delete;
+
+  /// Returns true if this is a new (topic, client) pair.
+  bool Subscribe(const std::string& topic, ClientHandle client);
+  bool Unsubscribe(const std::string& topic, ClientHandle client);
+
+  /// Removes every subscription of `client`; returns the topics it held.
+  std::vector<std::string> DropClient(ClientHandle client);
+
+  /// Snapshot of subscribers for a topic (copy: fan-out iterates lock-free).
+  [[nodiscard]] std::vector<ClientHandle> SubscribersOf(const std::string& topic) const;
+
+  /// Visits subscribers without copying (lock held during visit — keep `fn`
+  /// cheap; used on the hot fan-out path).
+  void ForEachSubscriber(const std::string& topic,
+                         const std::function<void(ClientHandle)>& fn) const;
+
+  [[nodiscard]] std::size_t SubscriberCount(const std::string& topic) const;
+  [[nodiscard]] std::vector<std::string> TopicsOf(ClientHandle client) const;
+  [[nodiscard]] std::size_t TotalSubscriptions() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<std::string, std::set<ClientHandle>> byTopic;
+  };
+
+  [[nodiscard]] Shard& ShardFor(const std::string& topic) {
+    return shards_[Fnv1a64(topic) % shards_.size()];
+  }
+  [[nodiscard]] const Shard& ShardFor(const std::string& topic) const {
+    return shards_[Fnv1a64(topic) % shards_.size()];
+  }
+
+  std::vector<Shard> shards_;
+
+  // Reverse index, separately locked (subscribe/drop only, not fan-out).
+  mutable std::mutex clientsMutex_;
+  std::map<ClientHandle, std::set<std::string>> byClient_;
+};
+
+}  // namespace md::core

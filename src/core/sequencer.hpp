@@ -1,0 +1,81 @@
+// Per-topic sequence assignment (coordinator role, paper §5.2.1).
+//
+// The coordinator of a topic group assigns each incoming publication a
+// strictly increasing sequence number within the group's current epoch.
+// Epochs rise when coordination moves to a new server, so (epoch, seq)
+// totally orders a topic's stream across coordinator changes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "proto/message.hpp"
+
+namespace md::core {
+
+class Sequencer {
+ public:
+  /// Begin (or resume) sequencing a group at `epoch`. Existing per-topic
+  /// counters are dropped — a new epoch restarts sequences from 1; a resumed
+  /// epoch continues via PrimeTopic().
+  void BeginEpoch(std::uint32_t group, std::uint32_t epoch) {
+    std::lock_guard lock(mutex_);
+    auto& g = groups_[group];
+    g.epoch = epoch;
+    g.nextSeq.clear();
+  }
+
+  /// Seeds a topic's counter from the newest cached position (cache
+  /// reconstruction: never reissue an already-used sequence number).
+  void PrimeTopic(std::uint32_t group, const std::string& topic, StreamPos last) {
+    std::lock_guard lock(mutex_);
+    auto& g = groups_[group];
+    if (last.epoch == g.epoch) {
+      auto& next = g.nextSeq[topic];
+      if (last.seq + 1 > next) next = last.seq + 1;
+    }
+  }
+
+  /// Assigns the next (epoch, seq) for `topic`; nullopt if this server is not
+  /// currently sequencing `group`.
+  std::optional<StreamPos> Assign(std::uint32_t group, const std::string& topic) {
+    std::lock_guard lock(mutex_);
+    const auto it = groups_.find(group);
+    if (it == groups_.end()) return std::nullopt;
+    auto& next = it->second.nextSeq[topic];
+    if (next == 0) next = 1;
+    return StreamPos{it->second.epoch, next++};
+  }
+
+  /// Stop sequencing `group` (coordination lost/released).
+  void EndEpoch(std::uint32_t group) {
+    std::lock_guard lock(mutex_);
+    groups_.erase(group);
+  }
+
+  [[nodiscard]] std::optional<std::uint32_t> EpochOf(std::uint32_t group) const {
+    std::lock_guard lock(mutex_);
+    const auto it = groups_.find(group);
+    if (it == groups_.end()) return std::nullopt;
+    return it->second.epoch;
+  }
+
+  [[nodiscard]] bool IsSequencing(std::uint32_t group) const {
+    std::lock_guard lock(mutex_);
+    return groups_.contains(group);
+  }
+
+ private:
+  struct GroupState {
+    std::uint32_t epoch = 0;
+    std::map<std::string, std::uint64_t> nextSeq;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::uint32_t, GroupState> groups_;
+};
+
+}  // namespace md::core

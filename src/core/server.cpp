@@ -1,0 +1,537 @@
+#include "core/server.hpp"
+
+#include <map>
+
+#include "common/logging.hpp"
+#include "proto/http_stream.hpp"
+#include "common/strutil.hpp"
+
+namespace md::core {
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+struct Server::Session : std::enable_shared_from_this<Server::Session> {
+  ClientHandle handle = 0;
+  std::size_t ioIndex = 0;
+  std::size_t workerIndex = 0;
+  ConnectionPtr conn;
+  EpollLoop* loop = nullptr;
+
+  // Protocol mode, auto-detected from the first bytes. All parse state is
+  // touched only on the session's IoThread.
+  enum class Mode : std::uint8_t {
+    kDetect,
+    kWsHandshake,
+    kWs,
+    kHttpHandshake,
+    kHttp,
+    kRaw,
+  };
+  Mode mode = Mode::kDetect;
+  ByteQueue in;
+
+  // Worker-thread state.
+  std::string clientId;
+
+  // IoThread-side outgoing batcher/conflator (nullptr when disabled).
+  std::unique_ptr<Batcher> batcher;
+  bool flushTimerArmed = false;
+  std::unique_ptr<Conflator> conflator;
+  bool conflateTimerArmed = false;
+
+  std::atomic<bool> open{true};
+};
+
+namespace {
+
+/// Encodes a frame in the session's transport flavour. Mode values mirror
+/// Server::Session::Mode (a private nested enum, hence the raw byte here).
+void EncodeForMode(const Frame& frame, std::uint8_t mode, Bytes& out) {
+  if (mode == 2 /*kWs*/) {
+    Bytes body;
+    EncodeFrame(frame, body);
+    ws::EncodeWsFrame(ws::Opcode::kBinary, BytesView(body), out);
+  } else if (mode == 4 /*kHttp*/) {
+    Bytes body;
+    EncodeFrame(frame, body);
+    http::EncodeChunk(BytesView(body), out);
+  } else {
+    EncodeFramed(frame, out);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+Server::Server(ServerConfig cfg)
+    : cfg_(std::move(cfg)), cache_(cfg_.cache) {
+  if (cfg_.ioThreads < 1) cfg_.ioThreads = 1;
+  if (cfg_.workers < 1) cfg_.workers = 1;
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (running_.exchange(true)) return Err(ErrorCode::kAlreadyExists, "running");
+
+  // The single-node server sequences every group itself at epoch 1.
+  for (std::uint32_t g = 0; g < cfg_.cache.topicGroups; ++g) {
+    sequencer_.BeginEpoch(g, 1);
+  }
+
+  for (int i = 0; i < cfg_.ioThreads; ++i) {
+    auto io = std::make_unique<IoThread>();
+    io->loop = std::make_unique<EpollLoop>();
+    auto listener = io->loop->Listen(boundPort_ != 0 ? boundPort_ : cfg_.port);
+    if (!listener.ok()) {
+      running_.store(false);
+      return listener.status();
+    }
+    io->listener = std::move(*listener);
+    boundPort_ = io->listener->Port();
+    const std::size_t index = static_cast<std::size_t>(i);
+    io->listener->SetAcceptHandler(
+        [this, index](ConnectionPtr conn) { OnAccept(index, std::move(conn)); });
+    ioThreads_.push_back(std::move(io));
+  }
+  for (auto& io : ioThreads_) {
+    io->thread = std::thread([loop = io->loop.get()] { loop->Run(); });
+  }
+
+  for (int i = 0; i < cfg_.workers; ++i) {
+    auto worker = std::make_unique<Worker>();
+    workers_.push_back(std::move(worker));
+  }
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    workers_[i]->thread = std::thread([this, i] { WorkerMain(i); });
+  }
+
+  MD_INFO("server %s listening on port %u (%d io threads, %d workers)",
+          cfg_.serverId.c_str(), boundPort_, cfg_.ioThreads, cfg_.workers);
+  return OkStatus();
+}
+
+void Server::Stop() {
+  if (!running_.exchange(false)) return;
+  for (auto& worker : workers_) worker->queue.Close();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+  for (auto& io : ioThreads_) io->loop->Stop();
+  for (auto& io : ioThreads_) {
+    if (io->thread.joinable()) io->thread.join();
+  }
+  {
+    std::lock_guard lock(sessionsMutex_);
+    sessions_.clear();
+  }
+  workers_.clear();
+  ioThreads_.clear();
+}
+
+ServerStats Server::Stats() const {
+  ServerStats s;
+  s.connectionsAccepted = statAccepted_.load(std::memory_order_relaxed);
+  s.connectionsActive = statActive_.load(std::memory_order_relaxed);
+  s.framesReceived = statFrames_.load(std::memory_order_relaxed);
+  s.published = statPublished_.load(std::memory_order_relaxed);
+  s.delivered = statDelivered_.load(std::memory_order_relaxed);
+  s.bytesOut = statBytesOut_.load(std::memory_order_relaxed);
+  s.protocolErrors = statProtoErrors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// I/O layer (runs on IoThreads)
+// ---------------------------------------------------------------------------
+
+void Server::OnAccept(std::size_t ioIndex, ConnectionPtr conn) {
+  auto session = std::make_shared<Session>();
+  session->handle = nextHandle_.fetch_add(1);
+  session->ioIndex = ioIndex;
+  // Clients are balanced among Workers by a hash of their identity and stay
+  // pinned for their connection lifetime (paper hashes the IP address; the
+  // connection handle balances equally and is stable the same way).
+  session->workerIndex = MixU64(session->handle) % workers_.size();
+  session->conn = std::move(conn);
+  session->loop = ioThreads_[ioIndex]->loop.get();
+  if (cfg_.enableBatching) {
+    session->batcher = std::make_unique<Batcher>(
+        cfg_.batch, [this, weak = std::weak_ptr<Session>(session)](BytesView data) {
+          if (auto s = weak.lock()) {
+            statBytesOut_.fetch_add(data.size(), std::memory_order_relaxed);
+            (void)s->conn->Send(data);
+          }
+        });
+  }
+  if (cfg_.enableConflation) {
+    // Emits the newest message per topic at each window close (IoThread).
+    session->conflator = std::make_unique<Conflator>(
+        cfg_.conflate,
+        [this, weak = std::weak_ptr<Session>(session)](const Message& m) {
+          auto s = weak.lock();
+          if (!s || !s->open.load(std::memory_order_relaxed)) return;
+          Bytes wire;
+          EncodeForMode(Frame(DeliverFrame{m}),
+                        static_cast<std::uint8_t>(s->mode), wire);
+          statDelivered_.fetch_add(1, std::memory_order_relaxed);
+          WriteOut(s, BytesView(wire));
+        });
+  }
+
+  statAccepted_.fetch_add(1, std::memory_order_relaxed);
+  statActive_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(sessionsMutex_);
+    sessions_[session->handle] = session;
+  }
+
+  session->conn->SetDataHandler(
+      [this, session](BytesView data) { OnData(session, data); });
+  session->conn->SetCloseHandler([this, session] { OnClosed(session); });
+}
+
+void Server::OnData(const SessionPtr& session, BytesView data) {
+  session->in.Append(data);
+  ParseFrames(session);
+}
+
+void Server::ParseFrames(const SessionPtr& session) {
+  using Mode = Session::Mode;
+
+  if (session->mode == Mode::kDetect) {
+    if (session->in.size() < 4) return;
+    const auto head = AsStringView(session->in.Peek()).substr(0, 4);
+    if (head == "GET ") {
+      session->mode = Mode::kWsHandshake;  // WebSocket upgrade
+    } else if (head == "POST") {
+      session->mode = Mode::kHttpHandshake;  // HTTP chunked-stream fallback
+    } else {
+      session->mode = Mode::kRaw;
+    }
+  }
+
+  if (session->mode == Mode::kWsHandshake) {
+    auto hs = ws::ParseClientHandshake(session->in);
+    if (!hs.status.ok()) {
+      FailSession(session, hs.status);
+      return;
+    }
+    if (!hs.handshake) return;  // need more bytes
+    const std::string response = ws::BuildServerHandshakeResponse(hs.handshake->key);
+    statBytesOut_.fetch_add(response.size(), std::memory_order_relaxed);
+    (void)session->conn->Send(AsBytes(response));
+    session->mode = Mode::kWs;
+  }
+
+  if (session->mode == Mode::kHttpHandshake) {
+    auto req = http::ParseStreamRequest(session->in);
+    if (!req.status.ok()) {
+      FailSession(session, req.status);
+      return;
+    }
+    if (!req.complete) return;
+    const std::string response = http::BuildStreamResponse();
+    statBytesOut_.fetch_add(response.size(), std::memory_order_relaxed);
+    (void)session->conn->Send(AsBytes(response));
+    session->mode = Mode::kHttp;
+  }
+
+  while (session->open.load(std::memory_order_relaxed)) {
+    std::optional<Frame> frame;
+    if (session->mode == Mode::kWs) {
+      auto r = ws::ExtractWsFrame(session->in, /*expectMasked=*/true, cfg_.maxFrameSize);
+      if (!r.status.ok()) {
+        FailSession(session, r.status);
+        return;
+      }
+      if (!r.frame) break;
+      switch (r.frame->opcode) {
+        case ws::Opcode::kBinary: {
+          auto decoded = DecodeFrame(BytesView(r.frame->payload));
+          if (!decoded.ok()) {
+            FailSession(session, decoded.status());
+            return;
+          }
+          frame = std::move(*decoded);
+          break;
+        }
+        case ws::Opcode::kPing: {
+          Bytes pong;
+          ws::EncodeWsFrame(ws::Opcode::kPong, BytesView(r.frame->payload), pong);
+          (void)session->conn->Send(BytesView(pong));
+          continue;
+        }
+        case ws::Opcode::kClose:
+          session->conn->Close();
+          return;
+        default:
+          continue;  // text/pong/continuation ignored
+      }
+    } else if (session->mode == Mode::kHttp) {
+      auto r = http::ExtractChunk(session->in, cfg_.maxFrameSize);
+      if (!r.status.ok()) {
+        FailSession(session, r.status);
+        return;
+      }
+      if (r.endOfStream) {
+        session->conn->Close();
+        return;
+      }
+      if (!r.payload) break;
+      auto decoded = DecodeFrame(BytesView(*r.payload));
+      if (!decoded.ok()) {
+        FailSession(session, decoded.status());
+        return;
+      }
+      frame = std::move(*decoded);
+    } else {
+      auto r = ExtractFrame(session->in, cfg_.maxFrameSize);
+      if (!r.status.ok()) {
+        FailSession(session, r.status);
+        return;
+      }
+      if (!r.frame) break;
+      frame = std::move(*r.frame);
+    }
+
+    statFrames_.fetch_add(1, std::memory_order_relaxed);
+    Worker& worker = *workers_[session->workerIndex];
+    if (!worker.queue.TryPush(Job{session, std::move(frame)}).ok()) {
+      // Worker overloaded: shed this client rather than buffer unboundedly.
+      FailSession(session, Err(ErrorCode::kCapacity, "worker queue full"));
+      return;
+    }
+  }
+}
+
+void Server::FailSession(const SessionPtr& session, const Status& status) {
+  MD_DEBUG("closing session %llu: %s",
+           static_cast<unsigned long long>(session->handle),
+           status.ToString().c_str());
+  statProtoErrors_.fetch_add(1, std::memory_order_relaxed);
+  session->conn->Close();
+}
+
+void Server::OnClosed(const SessionPtr& session) {
+  if (!session->open.exchange(false)) return;
+  statActive_.fetch_sub(1, std::memory_order_relaxed);
+  // Let the session's Worker clean up subscriptions in order with any frames
+  // still queued ahead.
+  Worker& worker = *workers_[session->workerIndex];
+  if (!worker.queue.TryPush(Job{session, std::nullopt}).ok()) {
+    DropSession(session);  // queue closed/full during shutdown: clean inline
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Logic layer (runs on Workers)
+// ---------------------------------------------------------------------------
+
+void Server::WorkerMain(std::size_t index) {
+  Worker& worker = *workers_[index];
+  std::vector<Job> batch;
+  batch.reserve(256);
+  while (true) {
+    batch.clear();
+    if (worker.queue.PopBatchBlocking(batch, 256) == 0) return;  // closed+drained
+    for (Job& job : batch) {
+      if (!job.frame) {
+        DropSession(job.session);
+      } else {
+        HandleFrame(job.session, *job.frame);
+      }
+    }
+  }
+}
+
+void Server::HandleFrame(const SessionPtr& session, const Frame& frame) {
+  if (const auto* connect = std::get_if<ConnectFrame>(&frame)) {
+    session->clientId = connect->clientId;
+    SendFrame(session, ConnAckFrame{cfg_.serverId});
+    return;
+  }
+  if (const auto* sub = std::get_if<SubscribeFrame>(&frame)) {
+    HandleSubscribe(session, *sub);
+    return;
+  }
+  if (const auto* unsub = std::get_if<UnsubscribeFrame>(&frame)) {
+    registry_.Unsubscribe(unsub->topic, session->handle);
+    return;
+  }
+  if (const auto* pub = std::get_if<PublishFrame>(&frame)) {
+    HandlePublish(session, *pub);
+    return;
+  }
+  if (const auto* ping = std::get_if<PingFrame>(&frame)) {
+    SendFrame(session, PongFrame{ping->nonce});
+    return;
+  }
+  if (std::get_if<DisconnectFrame>(&frame) != nullptr) {
+    session->conn->Close();
+    return;
+  }
+  // Cluster frames are not valid on a single-node client port.
+  FailSession(session, Err(ErrorCode::kProtocol, "unexpected frame type"));
+}
+
+void Server::HandleSubscribe(const SessionPtr& session, const SubscribeFrame& sub) {
+  registry_.Subscribe(sub.topic, session->handle);
+  SendFrame(session, SubAckFrame{sub.topic, true});
+  if (sub.hasResumePos) {
+    // Recovery: replay everything cached after the client's last position.
+    for (const Message& missed : cache_.GetAfter(sub.topic, sub.resumeAfter)) {
+      statDelivered_.fetch_add(1, std::memory_order_relaxed);
+      SendFrame(session, DeliverFrame{missed});
+    }
+  }
+}
+
+void Server::HandlePublish(const SessionPtr& session, const PublishFrame& pub) {
+  const std::uint32_t group = cache_.GroupOf(pub.topic);
+  const auto pos = sequencer_.Assign(group, pub.topic);
+  if (!pos) {
+    if (pub.wantAck) SendFrame(session, PubAckFrame{pub.pubId, false});
+    return;
+  }
+
+  Message msg;
+  msg.topic = pub.topic;
+  msg.payload = pub.payload;
+  msg.epoch = pos->epoch;
+  msg.seq = pos->seq;
+  msg.pubId = pub.pubId;
+  msg.publishTs = pub.publishTs;
+  cache_.Append(msg, RealClock::Instance().Now());
+  statPublished_.fetch_add(1, std::memory_order_relaxed);
+
+  // Acknowledge after the message is durably cached (single-node guarantee;
+  // the cluster version acks after replication to 2 servers — see
+  // src/cluster).
+  if (pub.wantAck) SendFrame(session, PubAckFrame{pub.pubId, true});
+
+  // Fan-out. Encode the wire bytes once per transport flavour and share.
+  std::map<std::uint8_t, std::shared_ptr<const Bytes>> wireByMode;
+  const Frame deliver{DeliverFrame{std::move(msg)}};
+
+  const auto subscribers = registry_.SubscribersOf(pub.topic);
+  if (subscribers.empty()) return;
+
+  std::vector<SessionPtr> targets;
+  targets.reserve(subscribers.size());
+  {
+    std::lock_guard lock(sessionsMutex_);
+    for (const ClientHandle h : subscribers) {
+      const auto it = sessions_.find(h);
+      if (it != sessions_.end()) targets.push_back(it->second);
+    }
+  }
+
+  std::shared_ptr<const Message> sharedMsg;
+  if (cfg_.enableConflation) {
+    sharedMsg = std::make_shared<const Message>(std::get<DeliverFrame>(deliver).msg);
+  }
+  for (const SessionPtr& target : targets) {
+    if (!target->open.load(std::memory_order_relaxed)) continue;
+    if (cfg_.enableConflation) {
+      // Conflation works on messages, so encoding happens per emission
+      // (delivered counter advances there as suppressed duplicates are
+      // intentionally never delivered).
+      SendDeliverConflated(target, sharedMsg);
+      continue;
+    }
+    const auto modeKey = static_cast<std::uint8_t>(target->mode);
+    std::shared_ptr<const Bytes>& wire = wireByMode[modeKey];
+    if (!wire) {
+      auto bytes = std::make_shared<Bytes>();
+      EncodeForMode(deliver, modeKey, *bytes);
+      wire = std::move(bytes);
+    }
+    statDelivered_.fetch_add(1, std::memory_order_relaxed);
+    SendEncoded(target, wire);
+  }
+}
+
+void Server::DropSession(const SessionPtr& session) {
+  registry_.DropClient(session->handle);
+  std::lock_guard lock(sessionsMutex_);
+  sessions_.erase(session->handle);
+}
+
+// ---------------------------------------------------------------------------
+// Send path
+// ---------------------------------------------------------------------------
+
+void Server::SendFrame(const SessionPtr& session, const Frame& frame) {
+  auto wire = std::make_shared<Bytes>();
+  EncodeForMode(frame, static_cast<std::uint8_t>(session->mode), *wire);
+  SendEncoded(session, wire);
+}
+
+void Server::SendEncoded(const SessionPtr& session,
+                         const std::shared_ptr<const Bytes>& wire) {
+  // All writes funnel through the session's IoThread: the connection, the
+  // batcher and the conflator are only ever touched there.
+  session->loop->Post([this, session, wire] {
+    if (!session->open.load(std::memory_order_relaxed)) return;
+    WriteOut(session, BytesView(*wire));
+  });
+}
+
+void Server::WriteOut(const SessionPtr& session, BytesView wire) {
+  if (session->batcher) {
+    session->batcher->Enqueue(wire, session->loop->Now());
+    if (!session->flushTimerArmed && session->batcher->PendingBytes() > 0) {
+      session->flushTimerArmed = true;
+      session->loop->ScheduleTimer(cfg_.batch.maxDelay,
+                                   [this, session] { FlushBatch(session); });
+    }
+  } else {
+    statBytesOut_.fetch_add(wire.size(), std::memory_order_relaxed);
+    (void)session->conn->Send(wire);
+  }
+}
+
+void Server::SendDeliverConflated(const SessionPtr& session,
+                                  const std::shared_ptr<const Message>& msg) {
+  session->loop->Post([this, session, msg] {
+    if (!session->open.load(std::memory_order_relaxed) || !session->conflator) {
+      return;
+    }
+    session->conflator->Offer(*msg, session->loop->Now());
+    if (!session->conflateTimerArmed) {
+      session->conflateTimerArmed = true;
+      session->loop->ScheduleTimer(cfg_.conflate.interval,
+                                   [this, session] { FlushConflator(session); });
+    }
+  });
+}
+
+void Server::FlushConflator(const SessionPtr& session) {
+  session->conflateTimerArmed = false;
+  if (!session->open.load(std::memory_order_relaxed) || !session->conflator) return;
+  session->conflator->OnTime(session->loop->Now());
+  if (const auto deadline = session->conflator->Deadline()) {
+    session->conflateTimerArmed = true;
+    session->loop->ScheduleTimer(*deadline - session->loop->Now(),
+                                 [this, session] { FlushConflator(session); });
+  }
+}
+
+void Server::FlushBatch(const SessionPtr& session) {
+  session->flushTimerArmed = false;
+  if (!session->open.load(std::memory_order_relaxed) || !session->batcher) return;
+  session->batcher->OnTime(session->loop->Now());
+  if (const auto deadline = session->batcher->Deadline()) {
+    session->flushTimerArmed = true;
+    session->loop->ScheduleTimer(*deadline - session->loop->Now(),
+                                 [this, session] { FlushBatch(session); });
+  }
+}
+
+}  // namespace md::core

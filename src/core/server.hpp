@@ -1,0 +1,157 @@
+// Single-node MigratoryData server: the vertically-scaling engine of §4.
+//
+// Two layers, exactly as the paper describes:
+//   - I/O layer: a configurable number of IoThreads, each running its own
+//     epoll loop. Every client is pinned to one IoThread for its whole
+//     connection lifetime (reads and writes of that client always happen on
+//     that thread — no locks on the per-connection parse state). Client
+//     connections are spread across IoThreads via SO_REUSEPORT listeners.
+//   - Logic layer: a configurable number of Workers, each a thread draining
+//     an MPSC queue. A client is pinned to one Worker (hash of its handle).
+//     Workers run the pub/sub logic: subscription registry updates, sequence
+//     assignment, cache appends, matching and fan-out.
+//
+// IoThread -> Worker: decoded frames are enqueued on the client's Worker
+// queue. Worker -> IoThread: encoded bytes are posted to the client's loop.
+//
+// Clients speak either the raw framed protocol or WebSocket (auto-detected
+// from the first bytes). Optional batching coalesces deliveries per client.
+//
+// This class implements the single-server service (the Table 1 / C1M
+// scenario); multi-server replication lives in src/cluster.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/queue.hpp"
+#include "core/batcher.hpp"
+#include "core/cache.hpp"
+#include "core/registry.hpp"
+#include "core/sequencer.hpp"
+#include "proto/codec.hpp"
+#include "proto/websocket.hpp"
+#include "transport/epoll_loop.hpp"
+
+namespace md::core {
+
+struct ServerConfig {
+  std::uint16_t port = 0;  // 0 = ephemeral (read back via Port())
+  int ioThreads = 2;       // paper: configurable, default #CPUs
+  int workers = 2;
+  std::string serverId = "server-1";
+  CacheConfig cache;
+  bool enableBatching = false;
+  BatchConfig batch;
+  /// Conflation (paper §4): within each window a subscriber receives only
+  /// the newest message of each of its topics.
+  bool enableConflation = false;
+  ConflateConfig conflate;
+  std::size_t maxFrameSize = 1 * 1024 * 1024;
+};
+
+struct ServerStats {
+  std::uint64_t connectionsAccepted = 0;
+  std::uint64_t connectionsActive = 0;
+  std::uint64_t framesReceived = 0;
+  std::uint64_t published = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t bytesOut = 0;
+  std::uint64_t protocolErrors = 0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig cfg);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds listeners and starts IoThread + Worker threads.
+  Status Start();
+  void Stop();
+
+  [[nodiscard]] std::uint16_t Port() const noexcept { return boundPort_; }
+  [[nodiscard]] ServerStats Stats() const;
+  [[nodiscard]] const Cache& cache() const noexcept { return cache_; }
+  [[nodiscard]] const ServerConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct Session;
+  using SessionPtr = std::shared_ptr<Session>;
+
+  struct Job {
+    SessionPtr session;
+    std::optional<Frame> frame;  // nullopt => client disconnected
+  };
+
+  struct IoThread {
+    std::unique_ptr<EpollLoop> loop;
+    ListenerPtr listener;
+    std::thread thread;
+  };
+
+  struct Worker {
+    MpscQueue<Job> queue{262144};
+    std::thread thread;
+  };
+
+  // Called on the session's IoThread.
+  void OnAccept(std::size_t ioIndex, ConnectionPtr conn);
+  void OnData(const SessionPtr& session, BytesView data);
+  void OnClosed(const SessionPtr& session);
+  void ParseFrames(const SessionPtr& session);
+  void FailSession(const SessionPtr& session, const Status& status);
+
+  // Called on the session's Worker thread.
+  void WorkerMain(std::size_t index);
+  void HandleFrame(const SessionPtr& session, const Frame& frame);
+  void HandlePublish(const SessionPtr& session, const PublishFrame& pub);
+  void HandleSubscribe(const SessionPtr& session, const SubscribeFrame& sub);
+  void DropSession(const SessionPtr& session);
+
+  // Send path (any thread -> session's IoThread).
+  void SendFrame(const SessionPtr& session, const Frame& frame);
+  void SendEncoded(const SessionPtr& session,
+                   const std::shared_ptr<const Bytes>& wire);
+  void SendDeliverConflated(const SessionPtr& session,
+                            const std::shared_ptr<const Message>& msg);
+  void FlushBatch(const SessionPtr& session);
+  void FlushConflator(const SessionPtr& session);
+  void WriteOut(const SessionPtr& session, BytesView wire);
+
+  ServerConfig cfg_;
+  std::atomic<bool> running_{false};
+  std::uint16_t boundPort_ = 0;
+
+  std::vector<std::unique_ptr<IoThread>> ioThreads_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  SubscriptionRegistry registry_;
+  Cache cache_;
+  Sequencer sequencer_;
+
+  std::atomic<std::uint64_t> nextHandle_{1};
+
+  // Stats counters.
+  std::atomic<std::uint64_t> statAccepted_{0};
+  std::atomic<std::uint64_t> statActive_{0};
+  std::atomic<std::uint64_t> statFrames_{0};
+  std::atomic<std::uint64_t> statPublished_{0};
+  std::atomic<std::uint64_t> statDelivered_{0};
+  std::atomic<std::uint64_t> statBytesOut_{0};
+  std::atomic<std::uint64_t> statProtoErrors_{0};
+
+  // Live sessions (for fan-out lookup by handle).
+  mutable std::mutex sessionsMutex_;
+  std::unordered_map<ClientHandle, SessionPtr> sessions_;
+};
+
+}  // namespace md::core

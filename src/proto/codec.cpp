@@ -1,0 +1,413 @@
+#include "proto/codec.hpp"
+
+#include <utility>
+
+namespace md {
+
+namespace {
+
+// --- field-level helpers ----------------------------------------------------
+
+void WritePubId(ByteWriter& w, const PublicationId& id) {
+  w.WriteU64(id.clientHash);
+  w.WriteVarint(id.counter);
+}
+
+Status ReadPubId(ByteReader& r, PublicationId& id) {
+  if (Status s = r.ReadU64(id.clientHash); !s.ok()) return s;
+  return r.ReadVarint(id.counter);
+}
+
+void WriteMessage(ByteWriter& w, const Message& m) {
+  w.WriteString(m.topic);
+  w.WriteLengthPrefixed(m.payload);
+  w.WriteVarint(m.epoch);
+  w.WriteVarint(m.seq);
+  WritePubId(w, m.pubId);
+  w.WriteU64(static_cast<std::uint64_t>(m.publishTs));
+}
+
+Status ReadMessage(ByteReader& r, Message& m) {
+  if (Status s = r.ReadString(m.topic); !s.ok()) return s;
+  BytesView payload;
+  if (Status s = r.ReadLengthPrefixed(payload); !s.ok()) return s;
+  m.payload.assign(payload.begin(), payload.end());
+  std::uint64_t epoch = 0;
+  if (Status s = r.ReadVarint(epoch); !s.ok()) return s;
+  m.epoch = static_cast<std::uint32_t>(epoch);
+  if (Status s = r.ReadVarint(m.seq); !s.ok()) return s;
+  if (Status s = ReadPubId(r, m.pubId); !s.ok()) return s;
+  std::uint64_t ts = 0;
+  if (Status s = r.ReadU64(ts); !s.ok()) return s;
+  m.publishTs = static_cast<std::int64_t>(ts);
+  return OkStatus();
+}
+
+void WritePos(ByteWriter& w, const StreamPos& p) {
+  w.WriteVarint(p.epoch);
+  w.WriteVarint(p.seq);
+}
+
+Status ReadPos(ByteReader& r, StreamPos& p) {
+  std::uint64_t epoch = 0;
+  if (Status s = r.ReadVarint(epoch); !s.ok()) return s;
+  p.epoch = static_cast<std::uint32_t>(epoch);
+  return r.ReadVarint(p.seq);
+}
+
+// --- per-frame encoders -----------------------------------------------------
+
+struct Encoder {
+  ByteWriter& w;
+
+  void operator()(const ConnectFrame& f) { w.WriteString(f.clientId); }
+  void operator()(const ConnAckFrame& f) { w.WriteString(f.serverId); }
+  void operator()(const SubscribeFrame& f) {
+    w.WriteString(f.topic);
+    w.WriteU8(f.hasResumePos ? 1 : 0);
+    if (f.hasResumePos) WritePos(w, f.resumeAfter);
+  }
+  void operator()(const SubAckFrame& f) {
+    w.WriteString(f.topic);
+    w.WriteU8(f.ok ? 1 : 0);
+  }
+  void operator()(const UnsubscribeFrame& f) { w.WriteString(f.topic); }
+  void operator()(const PublishFrame& f) {
+    w.WriteString(f.topic);
+    w.WriteLengthPrefixed(f.payload);
+    WritePubId(w, f.pubId);
+    w.WriteU8(f.wantAck ? 1 : 0);
+    w.WriteU64(static_cast<std::uint64_t>(f.publishTs));
+  }
+  void operator()(const PubAckFrame& f) {
+    WritePubId(w, f.pubId);
+    w.WriteU8(f.ok ? 1 : 0);
+  }
+  void operator()(const DeliverFrame& f) { WriteMessage(w, f.msg); }
+  void operator()(const PingFrame& f) { w.WriteVarint(f.nonce); }
+  void operator()(const PongFrame& f) { w.WriteVarint(f.nonce); }
+  void operator()(const DisconnectFrame& f) { w.WriteString(f.reason); }
+  void operator()(const HelloFrame& f) { w.WriteString(f.serverId); }
+  void operator()(const ForwardPubFrame& f) {
+    w.WriteString(f.topic);
+    w.WriteLengthPrefixed(f.payload);
+    WritePubId(w, f.pubId);
+    w.WriteString(f.originServerId);
+    w.WriteU64(static_cast<std::uint64_t>(f.publishTs));
+    w.WriteU8(f.electIfUnassigned ? 1 : 0);
+  }
+  void operator()(const BroadcastFrame& f) {
+    WriteMessage(w, f.msg);
+    w.WriteVarint(f.group);
+    w.WriteString(f.coordinatorId);
+  }
+  void operator()(const BroadcastAckFrame& f) {
+    w.WriteVarint(f.group);
+    w.WriteVarint(f.epoch);
+    w.WriteVarint(f.seq);
+    w.WriteString(f.topic);
+  }
+  void operator()(const ForwardRejectFrame& f) {
+    WritePubId(w, f.pubId);
+    w.WriteString(f.topic);
+  }
+  void operator()(const ReplicatedNoticeFrame& f) {
+    WritePubId(w, f.pubId);
+    w.WriteString(f.topic);
+  }
+  void operator()(const GossipAnnounceFrame& f) {
+    w.WriteVarint(f.group);
+    w.WriteVarint(f.epoch);
+    w.WriteString(f.serverId);
+  }
+  void operator()(const CacheSyncReqFrame& f) {
+    w.WriteVarint(f.group);
+    w.WriteVarint(f.have.size());
+    for (const auto& [topic, pos] : f.have) {
+      w.WriteString(topic);
+      WritePos(w, pos);
+    }
+  }
+  void operator()(const CacheSyncRespFrame& f) {
+    w.WriteVarint(f.group);
+    w.WriteVarint(f.messages.size());
+    for (const auto& m : f.messages) WriteMessage(w, m);
+    w.WriteU8(f.done ? 1 : 0);
+  }
+};
+
+// --- per-frame decoders -----------------------------------------------------
+
+template <typename F>
+Result<Frame> DecodeInto(ByteReader& r, Status (*fill)(ByteReader&, F&)) {
+  F f{};
+  if (Status s = fill(r, f); !s.ok()) return s;
+  if (!r.AtEnd()) return Err(ErrorCode::kProtocol, "trailing bytes in frame");
+  return Frame(std::move(f));
+}
+
+Status FillConnect(ByteReader& r, ConnectFrame& f) { return r.ReadString(f.clientId); }
+Status FillConnAck(ByteReader& r, ConnAckFrame& f) { return r.ReadString(f.serverId); }
+
+Status FillSubscribe(ByteReader& r, SubscribeFrame& f) {
+  if (Status s = r.ReadString(f.topic); !s.ok()) return s;
+  std::uint8_t flag = 0;
+  if (Status s = r.ReadU8(flag); !s.ok()) return s;
+  f.hasResumePos = flag != 0;
+  if (f.hasResumePos) return ReadPos(r, f.resumeAfter);
+  return OkStatus();
+}
+
+Status FillSubAck(ByteReader& r, SubAckFrame& f) {
+  if (Status s = r.ReadString(f.topic); !s.ok()) return s;
+  std::uint8_t ok = 0;
+  if (Status s = r.ReadU8(ok); !s.ok()) return s;
+  f.ok = ok != 0;
+  return OkStatus();
+}
+
+Status FillPublish(ByteReader& r, PublishFrame& f) {
+  if (Status s = r.ReadString(f.topic); !s.ok()) return s;
+  BytesView payload;
+  if (Status s = r.ReadLengthPrefixed(payload); !s.ok()) return s;
+  f.payload.assign(payload.begin(), payload.end());
+  if (Status s = ReadPubId(r, f.pubId); !s.ok()) return s;
+  std::uint8_t ack = 0;
+  if (Status s = r.ReadU8(ack); !s.ok()) return s;
+  f.wantAck = ack != 0;
+  std::uint64_t ts = 0;
+  if (Status s = r.ReadU64(ts); !s.ok()) return s;
+  f.publishTs = static_cast<std::int64_t>(ts);
+  return OkStatus();
+}
+
+Status FillPubAck(ByteReader& r, PubAckFrame& f) {
+  if (Status s = ReadPubId(r, f.pubId); !s.ok()) return s;
+  std::uint8_t ok = 0;
+  if (Status s = r.ReadU8(ok); !s.ok()) return s;
+  f.ok = ok != 0;
+  return OkStatus();
+}
+
+Status FillUnsubscribe(ByteReader& r, UnsubscribeFrame& f) { return r.ReadString(f.topic); }
+Status FillDeliver(ByteReader& r, DeliverFrame& f) { return ReadMessage(r, f.msg); }
+Status FillPing(ByteReader& r, PingFrame& f) { return r.ReadVarint(f.nonce); }
+Status FillPong(ByteReader& r, PongFrame& f) { return r.ReadVarint(f.nonce); }
+Status FillDisconnect(ByteReader& r, DisconnectFrame& f) { return r.ReadString(f.reason); }
+Status FillHello(ByteReader& r, HelloFrame& f) { return r.ReadString(f.serverId); }
+
+Status FillForwardPub(ByteReader& r, ForwardPubFrame& f) {
+  if (Status s = r.ReadString(f.topic); !s.ok()) return s;
+  BytesView payload;
+  if (Status s = r.ReadLengthPrefixed(payload); !s.ok()) return s;
+  f.payload.assign(payload.begin(), payload.end());
+  if (Status s = ReadPubId(r, f.pubId); !s.ok()) return s;
+  if (Status s = r.ReadString(f.originServerId); !s.ok()) return s;
+  std::uint64_t ts = 0;
+  if (Status s = r.ReadU64(ts); !s.ok()) return s;
+  f.publishTs = static_cast<std::int64_t>(ts);
+  std::uint8_t elect = 0;
+  if (Status s = r.ReadU8(elect); !s.ok()) return s;
+  f.electIfUnassigned = elect != 0;
+  return OkStatus();
+}
+
+Status FillBroadcast(ByteReader& r, BroadcastFrame& f) {
+  if (Status s = ReadMessage(r, f.msg); !s.ok()) return s;
+  std::uint64_t group = 0;
+  if (Status s = r.ReadVarint(group); !s.ok()) return s;
+  f.group = static_cast<std::uint32_t>(group);
+  return r.ReadString(f.coordinatorId);
+}
+
+Status FillBroadcastAck(ByteReader& r, BroadcastAckFrame& f) {
+  std::uint64_t group = 0;
+  if (Status s = r.ReadVarint(group); !s.ok()) return s;
+  f.group = static_cast<std::uint32_t>(group);
+  std::uint64_t epoch = 0;
+  if (Status s = r.ReadVarint(epoch); !s.ok()) return s;
+  f.epoch = static_cast<std::uint32_t>(epoch);
+  if (Status s = r.ReadVarint(f.seq); !s.ok()) return s;
+  return r.ReadString(f.topic);
+}
+
+Status FillForwardReject(ByteReader& r, ForwardRejectFrame& f) {
+  if (Status s = ReadPubId(r, f.pubId); !s.ok()) return s;
+  return r.ReadString(f.topic);
+}
+
+Status FillReplicatedNotice(ByteReader& r, ReplicatedNoticeFrame& f) {
+  if (Status s = ReadPubId(r, f.pubId); !s.ok()) return s;
+  return r.ReadString(f.topic);
+}
+
+Status FillGossipAnnounce(ByteReader& r, GossipAnnounceFrame& f) {
+  std::uint64_t group = 0;
+  if (Status s = r.ReadVarint(group); !s.ok()) return s;
+  f.group = static_cast<std::uint32_t>(group);
+  std::uint64_t epoch = 0;
+  if (Status s = r.ReadVarint(epoch); !s.ok()) return s;
+  f.epoch = static_cast<std::uint32_t>(epoch);
+  return r.ReadString(f.serverId);
+}
+
+Status FillCacheSyncReq(ByteReader& r, CacheSyncReqFrame& f) {
+  std::uint64_t group = 0;
+  if (Status s = r.ReadVarint(group); !s.ok()) return s;
+  f.group = static_cast<std::uint32_t>(group);
+  std::uint64_t count = 0;
+  if (Status s = r.ReadVarint(count); !s.ok()) return s;
+  if (count > 1'000'000) return Err(ErrorCode::kProtocol, "absurd have-list size");
+  f.have.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string topic;
+    if (Status s = r.ReadString(topic); !s.ok()) return s;
+    StreamPos pos;
+    if (Status s = ReadPos(r, pos); !s.ok()) return s;
+    f.have.emplace_back(std::move(topic), pos);
+  }
+  return OkStatus();
+}
+
+Status FillCacheSyncResp(ByteReader& r, CacheSyncRespFrame& f) {
+  std::uint64_t group = 0;
+  if (Status s = r.ReadVarint(group); !s.ok()) return s;
+  f.group = static_cast<std::uint32_t>(group);
+  std::uint64_t count = 0;
+  if (Status s = r.ReadVarint(count); !s.ok()) return s;
+  if (count > 10'000'000) return Err(ErrorCode::kProtocol, "absurd message count");
+  f.messages.resize(static_cast<std::size_t>(count));
+  for (auto& m : f.messages) {
+    if (Status s = ReadMessage(r, m); !s.ok()) return s;
+  }
+  std::uint8_t done = 0;
+  if (Status s = r.ReadU8(done); !s.ok()) return s;
+  f.done = done != 0;
+  return OkStatus();
+}
+
+}  // namespace
+
+FrameType TypeOf(const Frame& frame) noexcept {
+  struct Visitor {
+    FrameType operator()(const ConnectFrame&) { return FrameType::kConnect; }
+    FrameType operator()(const ConnAckFrame&) { return FrameType::kConnAck; }
+    FrameType operator()(const SubscribeFrame&) { return FrameType::kSubscribe; }
+    FrameType operator()(const SubAckFrame&) { return FrameType::kSubAck; }
+    FrameType operator()(const UnsubscribeFrame&) { return FrameType::kUnsubscribe; }
+    FrameType operator()(const PublishFrame&) { return FrameType::kPublish; }
+    FrameType operator()(const PubAckFrame&) { return FrameType::kPubAck; }
+    FrameType operator()(const DeliverFrame&) { return FrameType::kDeliver; }
+    FrameType operator()(const PingFrame&) { return FrameType::kPing; }
+    FrameType operator()(const PongFrame&) { return FrameType::kPong; }
+    FrameType operator()(const DisconnectFrame&) { return FrameType::kDisconnect; }
+    FrameType operator()(const HelloFrame&) { return FrameType::kHello; }
+    FrameType operator()(const ForwardPubFrame&) { return FrameType::kForwardPub; }
+    FrameType operator()(const BroadcastFrame&) { return FrameType::kBroadcast; }
+    FrameType operator()(const BroadcastAckFrame&) { return FrameType::kBroadcastAck; }
+    FrameType operator()(const ForwardRejectFrame&) { return FrameType::kForwardReject; }
+    FrameType operator()(const ReplicatedNoticeFrame&) { return FrameType::kReplicatedNotice; }
+    FrameType operator()(const GossipAnnounceFrame&) { return FrameType::kGossipAnnounce; }
+    FrameType operator()(const CacheSyncReqFrame&) { return FrameType::kCacheSyncReq; }
+    FrameType operator()(const CacheSyncRespFrame&) { return FrameType::kCacheSyncResp; }
+  };
+  return std::visit(Visitor{}, frame);
+}
+
+const char* FrameTypeName(FrameType type) noexcept {
+  switch (type) {
+    case FrameType::kConnect: return "CONNECT";
+    case FrameType::kConnAck: return "CONNACK";
+    case FrameType::kSubscribe: return "SUBSCRIBE";
+    case FrameType::kSubAck: return "SUBACK";
+    case FrameType::kUnsubscribe: return "UNSUBSCRIBE";
+    case FrameType::kPublish: return "PUBLISH";
+    case FrameType::kPubAck: return "PUBACK";
+    case FrameType::kDeliver: return "DELIVER";
+    case FrameType::kPing: return "PING";
+    case FrameType::kPong: return "PONG";
+    case FrameType::kDisconnect: return "DISCONNECT";
+    case FrameType::kHello: return "HELLO";
+    case FrameType::kForwardPub: return "FORWARD_PUB";
+    case FrameType::kBroadcast: return "BROADCAST";
+    case FrameType::kBroadcastAck: return "BROADCAST_ACK";
+    case FrameType::kForwardReject: return "FORWARD_REJECT";
+    case FrameType::kReplicatedNotice: return "REPLICATED_NOTICE";
+    case FrameType::kGossipAnnounce: return "GOSSIP_ANNOUNCE";
+    case FrameType::kCacheSyncReq: return "CACHE_SYNC_REQ";
+    case FrameType::kCacheSyncResp: return "CACHE_SYNC_RESP";
+  }
+  return "UNKNOWN";
+}
+
+void EncodeFrame(const Frame& frame, Bytes& out) {
+  ByteWriter w(out);
+  w.WriteU8(static_cast<std::uint8_t>(TypeOf(frame)));
+  std::visit(Encoder{w}, frame);
+}
+
+Result<Frame> DecodeFrame(BytesView data) {
+  ByteReader r(data);
+  std::uint8_t tag = 0;
+  if (Status s = r.ReadU8(tag); !s.ok()) return s;
+  switch (static_cast<FrameType>(tag)) {
+    case FrameType::kConnect: return DecodeInto<ConnectFrame>(r, FillConnect);
+    case FrameType::kConnAck: return DecodeInto<ConnAckFrame>(r, FillConnAck);
+    case FrameType::kSubscribe: return DecodeInto<SubscribeFrame>(r, FillSubscribe);
+    case FrameType::kSubAck: return DecodeInto<SubAckFrame>(r, FillSubAck);
+    case FrameType::kUnsubscribe: return DecodeInto<UnsubscribeFrame>(r, FillUnsubscribe);
+    case FrameType::kPublish: return DecodeInto<PublishFrame>(r, FillPublish);
+    case FrameType::kPubAck: return DecodeInto<PubAckFrame>(r, FillPubAck);
+    case FrameType::kDeliver: return DecodeInto<DeliverFrame>(r, FillDeliver);
+    case FrameType::kPing: return DecodeInto<PingFrame>(r, FillPing);
+    case FrameType::kPong: return DecodeInto<PongFrame>(r, FillPong);
+    case FrameType::kDisconnect: return DecodeInto<DisconnectFrame>(r, FillDisconnect);
+    case FrameType::kHello: return DecodeInto<HelloFrame>(r, FillHello);
+    case FrameType::kForwardPub: return DecodeInto<ForwardPubFrame>(r, FillForwardPub);
+    case FrameType::kBroadcast: return DecodeInto<BroadcastFrame>(r, FillBroadcast);
+    case FrameType::kBroadcastAck: return DecodeInto<BroadcastAckFrame>(r, FillBroadcastAck);
+    case FrameType::kForwardReject: return DecodeInto<ForwardRejectFrame>(r, FillForwardReject);
+    case FrameType::kReplicatedNotice: return DecodeInto<ReplicatedNoticeFrame>(r, FillReplicatedNotice);
+    case FrameType::kGossipAnnounce: return DecodeInto<GossipAnnounceFrame>(r, FillGossipAnnounce);
+    case FrameType::kCacheSyncReq: return DecodeInto<CacheSyncReqFrame>(r, FillCacheSyncReq);
+    case FrameType::kCacheSyncResp: return DecodeInto<CacheSyncRespFrame>(r, FillCacheSyncResp);
+  }
+  return Err(ErrorCode::kProtocol, "unknown frame type");
+}
+
+void EncodeFramed(const Frame& frame, Bytes& out) {
+  Bytes body;
+  EncodeFrame(frame, body);
+  ByteWriter w(out);
+  w.WriteVarint(body.size());
+  w.WriteBytes(body);
+}
+
+FrameExtractResult ExtractFrame(ByteQueue& in, std::size_t maxFrameSize) {
+  FrameExtractResult result;
+  const BytesView avail = in.Peek();
+  ByteReader r(avail);
+  std::uint64_t len = 0;
+  if (Status s = r.ReadVarint(len); !s.ok()) {
+    // Could be an incomplete varint; only an error if it is malformed.
+    if (avail.size() >= 10) result.status = s;
+    return result;
+  }
+  if (len > maxFrameSize) {
+    result.status = Err(ErrorCode::kProtocol, "frame exceeds maximum size");
+    return result;
+  }
+  if (r.remaining() < len) return result;  // body not complete yet
+  BytesView body;
+  (void)r.ReadBytes(static_cast<std::size_t>(len), body);
+  Result<Frame> frame = DecodeFrame(body);
+  if (!frame.ok()) {
+    result.status = frame.status();
+    return result;
+  }
+  in.Consume(r.position());
+  result.frame = std::move(frame).value();
+  return result;
+}
+
+}  // namespace md

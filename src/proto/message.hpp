@@ -1,0 +1,49 @@
+// The pub/sub message model (paper §3).
+//
+// A publication becomes a Message once the topic coordinator assigns it an
+// (epoch, seq) pair. (epoch, seq) totally orders messages within a topic:
+// epoch increases when coordination for the topic's group moves to another
+// server; seq increases per message within an epoch. Subscribers detect gaps
+// and request recovery using these fields.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace md {
+
+/// Identifies a publication attempt at a publisher; used for acknowledgement
+/// matching and client-side duplicate filtering (at-least-once semantics).
+struct PublicationId {
+  std::uint64_t clientHash = 0;  // hash of the publisher's client id
+  std::uint64_t counter = 0;     // per-publisher monotonically increasing
+
+  friend bool operator==(const PublicationId&, const PublicationId&) = default;
+  friend auto operator<=>(const PublicationId&, const PublicationId&) = default;
+};
+
+struct Message {
+  std::string topic;
+  Bytes payload;
+  std::uint32_t epoch = 0;   // coordinator epoch for the topic's group
+  std::uint64_t seq = 0;     // sequence number within the epoch (per topic)
+  PublicationId pubId;       // original publisher's id (travels end-to-end)
+  std::int64_t publishTs = 0;  // publisher timestamp (ns); latency measurement
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+/// Order two (epoch, seq) positions within one topic's stream.
+struct StreamPos {
+  std::uint32_t epoch = 0;
+  std::uint64_t seq = 0;
+
+  friend bool operator==(const StreamPos&, const StreamPos&) = default;
+  friend auto operator<=>(const StreamPos&, const StreamPos&) = default;
+};
+
+inline StreamPos PosOf(const Message& m) noexcept { return {m.epoch, m.seq}; }
+
+}  // namespace md

@@ -1,0 +1,141 @@
+// Simulated network: hosts, point-to-point links with latency / jitter /
+// bandwidth / loss, fail-stop crashes and network partitions.
+//
+// Deliveries preserve per-(src,dst) FIFO order — matching TCP's in-order
+// guarantee that the real transport provides — by serializing each directed
+// link: a message may not be delivered before a previously-sent one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "simnet/scheduler.hpp"
+
+namespace md::sim {
+
+using HostId = std::uint32_t;
+
+struct LinkParams {
+  Duration latency = 200 * kMicrosecond;  // one-way propagation
+  Duration jitter = 50 * kMicrosecond;    // uniform [0, jitter)
+  double lossProb = 0.0;                  // applies to non-TCP-modelled links
+  double bandwidthBytesPerSec = 1.25e9;   // 10 GbE
+};
+
+class SimNetwork {
+ public:
+  SimNetwork(Scheduler& sched, Rng rng, LinkParams defaults = {})
+      : sched_(sched), rng_(rng), defaults_(defaults) {}
+
+  HostId AddHost(std::string name) {
+    hosts_.push_back(HostState{std::move(name), true});
+    return static_cast<HostId>(hosts_.size() - 1);
+  }
+
+  [[nodiscard]] const std::string& HostName(HostId id) const {
+    return hosts_.at(id).name;
+  }
+  [[nodiscard]] std::size_t HostCount() const noexcept { return hosts_.size(); }
+  [[nodiscard]] bool IsUp(HostId id) const { return hosts_.at(id).up; }
+
+  /// Fail-stop crash: in-flight messages to/from the host are dropped at
+  /// delivery time; nothing new can be sent.
+  void SetHostUp(HostId id, bool up) { hosts_.at(id).up = up; }
+
+  /// Symmetric partition between two hosts.
+  void Partition(HostId a, HostId b) { partitioned_.insert(Key(a, b)); }
+  void Heal(HostId a, HostId b) { partitioned_.erase(Key(a, b)); }
+  [[nodiscard]] bool ArePartitioned(HostId a, HostId b) const {
+    return partitioned_.contains(Key(a, b));
+  }
+
+  /// Isolate `a` from every other host (the paper's fault model: "network
+  /// partition of one server from other servers").
+  void Isolate(HostId a) {
+    for (HostId b = 0; b < hosts_.size(); ++b) {
+      if (b != a) Partition(a, b);
+    }
+  }
+  void HealAll(HostId a) {
+    for (HostId b = 0; b < hosts_.size(); ++b) Heal(a, b);
+  }
+
+  void SetLink(HostId a, HostId b, LinkParams params) {
+    linkOverride_[Key(a, b)] = params;
+  }
+
+  /// Send `sizeBytes` from `from` to `to`; `deliver` runs at delivery time
+  /// unless either end is down or the pair is partitioned *at that moment*
+  /// (checked again on delivery — a partition can cut in-flight traffic).
+  void Send(HostId from, HostId to, std::size_t sizeBytes,
+            std::function<void()> deliver) {
+    if (!hosts_.at(from).up) return;
+    const LinkParams& link = ParamsFor(from, to);
+    if (link.lossProb > 0.0 && rng_.NextBool(link.lossProb)) return;
+
+    // Serialize on the directed link's transmit queue (bandwidth model).
+    const Duration txTime = link.bandwidthBytesPerSec > 0
+        ? static_cast<Duration>(static_cast<double>(sizeBytes) * 1e9 /
+                                link.bandwidthBytesPerSec)
+        : 0;
+    TimePoint& txFree = txFreeAt_[DirKey(from, to)];
+    const TimePoint txStart = std::max(sched_.Now(), txFree);
+    txFree = txStart + txTime;
+
+    const Duration jitter = link.jitter > 0
+        ? static_cast<Duration>(rng_.NextBelow(static_cast<std::uint64_t>(link.jitter)))
+        : 0;
+    TimePoint deliverAt = txFree + link.latency + jitter;
+
+    // Enforce per-directed-link FIFO (TCP ordering): never deliver before a
+    // previously-sent message on the same link.
+    TimePoint& lastDelivery = lastDeliveryAt_[DirKey(from, to)];
+    if (deliverAt <= lastDelivery) deliverAt = lastDelivery + 1;
+    lastDelivery = deliverAt;
+
+    sched_.ScheduleAt(deliverAt, [this, from, to, fn = std::move(deliver)] {
+      if (!hosts_.at(from).up || !hosts_.at(to).up) return;
+      if (ArePartitioned(from, to)) return;
+      fn();
+    });
+  }
+
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+  [[nodiscard]] Scheduler& scheduler() noexcept { return sched_; }
+
+ private:
+  struct HostState {
+    std::string name;
+    bool up;
+  };
+
+  static std::pair<HostId, HostId> Key(HostId a, HostId b) noexcept {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+  static std::pair<HostId, HostId> DirKey(HostId a, HostId b) noexcept {
+    return {a, b};
+  }
+
+  [[nodiscard]] const LinkParams& ParamsFor(HostId a, HostId b) const {
+    const auto it = linkOverride_.find(Key(a, b));
+    return it != linkOverride_.end() ? it->second : defaults_;
+  }
+
+  Scheduler& sched_;
+  Rng rng_;
+  LinkParams defaults_;
+  std::vector<HostState> hosts_;
+  std::set<std::pair<HostId, HostId>> partitioned_;
+  std::map<std::pair<HostId, HostId>, LinkParams> linkOverride_;
+  std::map<std::pair<HostId, HostId>, TimePoint> txFreeAt_;
+  std::map<std::pair<HostId, HostId>, TimePoint> lastDeliveryAt_;
+};
+
+}  // namespace md::sim

@@ -1,0 +1,486 @@
+#include "transport/epoll_loop.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.hpp"
+#include "common/strutil.hpp"
+
+namespace md {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Err(ErrorCode::kInternal, Format("%s: %s", what, std::strerror(errno)));
+}
+
+void SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void SetTcpOptions(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+std::string PeerString(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (getpeername(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    char buf[INET_ADDRSTRLEN];
+    inet_ntop(AF_INET, &addr.sin_addr, buf, sizeof(buf));
+    return Format("%s:%u", buf, static_cast<unsigned>(ntohs(addr.sin_port)));
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TcpConnection
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+TcpConnection::TcpConnection(EpollLoop& loop, int fd, std::string peer)
+    : loop_(loop), fd_(fd), peer_(std::move(peer)) {
+  SetNonBlocking(fd_);
+  SetTcpOptions(fd_);
+}
+
+TcpConnection::~TcpConnection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status TcpConnection::Send(BytesView data) {
+  if (fd_ < 0) return Err(ErrorCode::kClosed, "connection closed");
+
+  // Fast path: nothing buffered — try a direct write first.
+  std::size_t written = 0;
+  if (out_.empty()) {
+    // MSG_NOSIGNAL: writing into a connection the peer already closed must
+    // surface as an error, not kill the process with SIGPIPE.
+    const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      written = static_cast<std::size_t>(n);
+    } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+      CloseNow();
+      return Err(ErrorCode::kClosed, "write failed");
+    }
+  }
+  if (written < data.size()) {
+    out_.Append(data.subspan(written));
+    if (!wantWrite_) {
+      wantWrite_ = true;
+      UpdateEpollInterest();
+    }
+    if (out_.size() > kHighWaterMark) {
+      return Err(ErrorCode::kCapacity, "write buffer over high-water mark");
+    }
+  }
+  return OkStatus();
+}
+
+void TcpConnection::Close() {
+  CloseNow();
+}
+
+void TcpConnection::CloseNow() {
+  if (fd_ < 0) return;
+  loop_.Deregister(fd_);
+  ::close(fd_);
+  const int fd = fd_;
+  fd_ = -1;
+  out_.Clear();
+  // Run the close notification after unwinding (the caller may be inside
+  // HandleReadable), then release both handlers: they often capture this
+  // connection in a shared_ptr and would otherwise form a reference cycle.
+  // Releasing is deferred too — Close() may have been called from *inside*
+  // the data handler, and destroying an executing std::function is UB. The
+  // loop tracks the connection until then so ~EpollLoop can break the cycle
+  // even when it stops before the deferred task runs.
+  auto self = shared_from_this();
+  loop_.MarkClosing(self);
+  loop_.Post([self] {
+    auto handler = std::move(self->closeHandler_);
+    self->closeHandler_ = nullptr;
+    if (handler) handler();
+    self->DetachHandlers();
+    self->loop_.UnmarkClosing(self.get());
+  });
+  loop_.ForgetConnection(fd);
+}
+
+void TcpConnection::HandleReadable() {
+  // Read until EAGAIN (level-triggered, but draining avoids extra wakeups).
+  std::uint8_t buf[65536];
+  while (fd_ >= 0) {
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      if (dataHandler_) dataHandler_(BytesView(buf, static_cast<std::size_t>(n)));
+      if (n < static_cast<ssize_t>(sizeof(buf))) break;
+    } else if (n == 0) {
+      CloseNow();
+      return;
+    } else {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      CloseNow();
+      return;
+    }
+  }
+}
+
+void TcpConnection::HandleWritable() {
+  while (!out_.empty() && fd_ >= 0) {
+    const BytesView chunk = out_.Peek();
+    const ssize_t n = ::send(fd_, chunk.data(), chunk.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      out_.Consume(static_cast<std::size_t>(n));
+    } else {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      CloseNow();
+      return;
+    }
+  }
+  if (out_.empty() && wantWrite_ && fd_ >= 0) {
+    wantWrite_ = false;
+    UpdateEpollInterest();
+  }
+}
+
+void TcpConnection::UpdateEpollInterest() {
+  loop_.Modify(fd_, EPOLLIN | (wantWrite_ ? EPOLLOUT : 0u));
+}
+
+// ---------------------------------------------------------------------------
+// TcpListener
+// ---------------------------------------------------------------------------
+
+TcpListener::TcpListener(EpollLoop& loop, int fd, std::uint16_t port)
+    : loop_(loop), fd_(fd), port_(port) {
+  loop_.TrackListener(this);
+}
+
+TcpListener::~TcpListener() { Close(); }
+
+void TcpListener::Close() {
+  if (fd_ < 0) return;
+  loop_.Deregister(fd_);
+  loop_.ForgetListener(this);
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void TcpListener::HandleReadable() {
+  while (true) {
+    const int clientFd = ::accept(fd_, nullptr, nullptr);
+    if (clientFd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        // Out of descriptors: with level-triggered epoll the pending backlog
+        // would re-fire forever. Drain it with the classic reserved-fd
+        // trick — momentarily release the emergency fd, accept, close.
+        loop_.DrainAcceptBacklog(fd_);
+        return;
+      }
+      MD_WARN("accept failed: %s", std::strerror(errno));
+      return;
+    }
+    auto conn = std::make_shared<TcpConnection>(loop_, clientFd, PeerString(clientFd));
+    loop_.TrackConnection(conn);
+    loop_.Register(clientFd, EPOLLIN);
+    if (acceptHandler_) acceptHandler_(conn);
+  }
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// EpollLoop
+// ---------------------------------------------------------------------------
+
+EpollLoop::EpollLoop() {
+  epollFd_ = epoll_create1(EPOLL_CLOEXEC);
+  wakeFd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  emergencyFd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+  Register(wakeFd_, EPOLLIN);
+}
+
+void EpollLoop::DrainAcceptBacklog(int listenFd) {
+  if (emergencyFd_ < 0) return;
+  MD_WARN("fd limit reached; refusing pending connections");
+  ::close(emergencyFd_);
+  // Accept+close a batch of pending connections so the backlog drains and
+  // peers see a clean RST/close instead of a hung connect.
+  for (int i = 0; i < 128; ++i) {
+    const int fd = ::accept(listenFd, nullptr, nullptr);
+    if (fd < 0) break;
+    ::close(fd);
+  }
+  emergencyFd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+}
+
+EpollLoop::~EpollLoop() {
+  // Connections still alive at teardown may hold self-referencing handlers;
+  // detach them so the shared_ptrs can unwind. Covers both still-open
+  // connections and closed ones whose deferred cleanup never ran.
+  auto conns = std::move(connections_);
+  connections_.clear();
+  for (auto& [fd, conn] : conns) conn->DetachHandlers();
+  auto closing = std::move(closing_);
+  closing_.clear();
+  for (auto& conn : closing) conn->DetachHandlers();
+  if (emergencyFd_ >= 0) ::close(emergencyFd_);
+  if (wakeFd_ >= 0) ::close(wakeFd_);
+  if (epollFd_ >= 0) ::close(epollFd_);
+}
+
+void EpollLoop::Run() {
+  running_.store(true, std::memory_order_release);
+  epoll_event events[256];
+  while (running_.load(std::memory_order_acquire)) {
+    DrainPostedTasks();
+    FireDueTimers();
+    if (!running_.load(std::memory_order_acquire)) break;
+
+    const int n = epoll_wait(epollFd_, events, 256, NextTimeoutMillis());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      MD_ERROR("epoll_wait: %s", std::strerror(errno));
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      const std::uint32_t ev = events[i].events;
+
+      if (fd == wakeFd_) {
+        std::uint64_t drain = 0;
+        while (::read(wakeFd_, &drain, sizeof(drain)) > 0) {
+        }
+        continue;
+      }
+
+      if (auto cit = connecting_.find(fd); cit != connecting_.end()) {
+        HandleConnectReady(fd);
+        continue;
+      }
+
+      if (auto it = connections_.find(fd); it != connections_.end()) {
+        // Hold a reference: handlers may close/erase the connection.
+        auto conn = it->second;
+        if (ev & (EPOLLHUP | EPOLLERR)) {
+          conn->CloseNow();
+          continue;
+        }
+        if (ev & EPOLLIN) conn->HandleReadable();
+        if ((ev & EPOLLOUT) && conn->IsOpen()) conn->HandleWritable();
+        continue;
+      }
+
+      for (auto* listener : listeners_) {
+        if (listener->fd() == fd) {
+          listener->HandleReadable();
+          break;
+        }
+      }
+    }
+  }
+  DrainPostedTasks();
+}
+
+void EpollLoop::Stop() {
+  running_.store(false, std::memory_order_release);
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wakeFd_, &one, sizeof(one));
+}
+
+void EpollLoop::Post(TaskFn task) {
+  {
+    std::lock_guard lock(postMutex_);
+    posted_.push_back(std::move(task));
+  }
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wakeFd_, &one, sizeof(one));
+}
+
+void EpollLoop::DrainPostedTasks() {
+  std::vector<TaskFn> tasks;
+  {
+    std::lock_guard lock(postMutex_);
+    tasks.swap(posted_);
+  }
+  for (auto& task : tasks) task();
+}
+
+std::uint64_t EpollLoop::ScheduleTimer(Duration delay, TaskFn task) {
+  const std::uint64_t id = nextTimerId_++;
+  timerHeap_.push({Now() + (delay > 0 ? delay : 0), id});
+  timerTasks_[id] = std::move(task);
+  return id;
+}
+
+void EpollLoop::CancelTimer(std::uint64_t id) { timerTasks_.erase(id); }
+
+TimePoint EpollLoop::Now() const { return RealClock::Instance().Now(); }
+
+void EpollLoop::FireDueTimers() {
+  const TimePoint now = Now();
+  while (!timerHeap_.empty() && timerHeap_.top().when <= now) {
+    const TimerEntry entry = timerHeap_.top();
+    timerHeap_.pop();
+    auto it = timerTasks_.find(entry.id);
+    if (it == timerTasks_.end()) continue;  // cancelled
+    TaskFn task = std::move(it->second);
+    timerTasks_.erase(it);
+    task();
+  }
+}
+
+int EpollLoop::NextTimeoutMillis() const {
+  if (timerHeap_.empty()) return 100;
+  const Duration until = timerHeap_.top().when - Now();
+  if (until <= 0) return 0;
+  const auto ms = until / kMillisecond;
+  return ms > 100 ? 100 : static_cast<int>(ms) + 1;
+}
+
+Result<ListenerPtr> EpollLoop::Listen(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  // SO_REUSEPORT lets every IoThread bind its own listener on the same port;
+  // the kernel spreads incoming connections across them (paper §4: clients
+  // are equally partitioned among the IoThreads).
+  setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Errno("bind");
+  }
+  if (::listen(fd, 1024) < 0) {
+    ::close(fd);
+    return Errno("listen");
+  }
+
+  socklen_t len = sizeof(addr);
+  getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  const std::uint16_t actualPort = ntohs(addr.sin_port);
+
+  auto listener = std::make_unique<detail::TcpListener>(*this, fd, actualPort);
+  Register(fd, EPOLLIN);
+  return ListenerPtr(std::move(listener));
+}
+
+void EpollLoop::Connect(const std::string& host, std::uint16_t port,
+                        ConnectCallback cb) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    cb(Errno("socket"));
+    return;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    // Only "localhost" is resolved by name — evaluation runs on loopback.
+    if (host == "localhost") {
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    } else {
+      ::close(fd);
+      cb(Err(ErrorCode::kInvalidArgument, "unresolvable host: " + host));
+      return;
+    }
+  }
+
+  const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc == 0 || errno == EINPROGRESS) {
+    connecting_[fd] = PendingConnect{fd, std::move(cb), Format("%s:%u", host.c_str(), port)};
+    Register(fd, EPOLLOUT);
+    return;
+  }
+  ::close(fd);
+  cb(Errno("connect"));
+}
+
+void EpollLoop::HandleConnectReady(int fd) {
+  auto node = connecting_.extract(fd);
+  if (node.empty()) return;
+  PendingConnect pending = std::move(node.mapped());
+  Deregister(fd);
+
+  int err = 0;
+  socklen_t len = sizeof(err);
+  getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+  if (err != 0) {
+    ::close(fd);
+    pending.cb(Err(ErrorCode::kUnavailable,
+                   Format("connect to %s: %s", pending.target.c_str(),
+                          std::strerror(err))));
+    return;
+  }
+
+  auto conn = std::make_shared<detail::TcpConnection>(*this, fd, pending.target);
+  TrackConnection(conn);
+  Register(fd, EPOLLIN);
+  pending.cb(ConnectionPtr(conn));
+}
+
+void EpollLoop::Register(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev);
+}
+
+void EpollLoop::Modify(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  epoll_ctl(epollFd_, EPOLL_CTL_MOD, fd, &ev);
+}
+
+void EpollLoop::Deregister(int fd) {
+  epoll_ctl(epollFd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+void EpollLoop::TrackConnection(const std::shared_ptr<detail::TcpConnection>& conn) {
+  connections_[conn->fd()] = conn;
+}
+
+void EpollLoop::ForgetConnection(int fd) { connections_.erase(fd); }
+
+void EpollLoop::MarkClosing(std::shared_ptr<detail::TcpConnection> conn) {
+  closing_.push_back(std::move(conn));
+}
+
+void EpollLoop::UnmarkClosing(const detail::TcpConnection* conn) {
+  std::erase_if(closing_, [conn](const auto& p) { return p.get() == conn; });
+}
+
+void EpollLoop::TrackListener(detail::TcpListener* listener) {
+  listeners_.push_back(listener);
+}
+
+void EpollLoop::ForgetListener(detail::TcpListener* listener) {
+  std::erase(listeners_, listener);
+}
+
+}  // namespace md

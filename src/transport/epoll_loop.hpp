@@ -1,0 +1,156 @@
+// Real-network EventLoop backed by epoll (paper §4's asynchronous I/O layer).
+//
+// One EpollLoop per IoThread. Level-triggered epoll; non-blocking sockets;
+// an eventfd wakes the loop for cross-thread Post(); timers live in a local
+// min-heap (no timerfd per timer). Write path: buffered in a ByteQueue with
+// EPOLLOUT armed only while data is pending; a high-water mark provides
+// backpressure to the engine (slow-consumer handling).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "transport/transport.hpp"
+
+namespace md {
+
+class EpollLoop;
+
+namespace detail {
+
+class TcpConnection final : public Connection,
+                            public std::enable_shared_from_this<TcpConnection> {
+ public:
+  TcpConnection(EpollLoop& loop, int fd, std::string peer);
+  ~TcpConnection() override;
+
+  Status Send(BytesView data) override;
+  void Close() override;
+  [[nodiscard]] bool IsOpen() const override { return fd_ >= 0; }
+  [[nodiscard]] std::size_t PendingBytes() const override { return out_.size(); }
+  [[nodiscard]] std::string PeerName() const override { return peer_; }
+
+  // Loop-internal:
+  void HandleReadable();
+  void HandleWritable();
+  void CloseNow();
+  /// Drops both handlers. Handlers commonly capture the connection (or an
+  /// owner that holds it) in a shared_ptr; releasing them breaks that
+  /// reference cycle so closed connections can actually be freed.
+  void DetachHandlers() noexcept {
+    dataHandler_ = nullptr;
+    closeHandler_ = nullptr;
+  }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  static constexpr std::size_t kHighWaterMark = 8 * 1024 * 1024;
+
+ private:
+  void UpdateEpollInterest();
+
+  EpollLoop& loop_;
+  int fd_;
+  std::string peer_;
+  ByteQueue out_;
+  bool wantWrite_ = false;
+};
+
+class TcpListener final : public Listener {
+ public:
+  TcpListener(EpollLoop& loop, int fd, std::uint16_t port);
+  ~TcpListener() override;
+
+  void Close() override;
+  [[nodiscard]] std::uint16_t Port() const override { return port_; }
+
+  void HandleReadable();
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+ private:
+  EpollLoop& loop_;
+  int fd_;
+  std::uint16_t port_;
+};
+
+}  // namespace detail
+
+class EpollLoop final : public EventLoop {
+ public:
+  EpollLoop();
+  ~EpollLoop() override;
+
+  EpollLoop(const EpollLoop&) = delete;
+  EpollLoop& operator=(const EpollLoop&) = delete;
+
+  void Run() override;
+  void Stop() override;
+  void Post(TaskFn task) override;
+  std::uint64_t ScheduleTimer(Duration delay, TaskFn task) override;
+  void CancelTimer(std::uint64_t id) override;
+  [[nodiscard]] TimePoint Now() const override;
+  Result<ListenerPtr> Listen(std::uint16_t port) override;
+  void Connect(const std::string& host, std::uint16_t port,
+               ConnectCallback cb) override;
+
+  // Internal plumbing for connections/listeners (dispatch is by fd).
+  void Register(int fd, std::uint32_t events);
+  void Modify(int fd, std::uint32_t events);
+  void Deregister(int fd);
+  void TrackConnection(const std::shared_ptr<detail::TcpConnection>& conn);
+  void ForgetConnection(int fd);
+  void TrackListener(detail::TcpListener* listener);
+  void ForgetListener(detail::TcpListener* listener);
+  /// EMFILE mitigation: accept+close pending connections via a reserved fd.
+  void DrainAcceptBacklog(int listenFd);
+  /// Closed connections await their deferred close-notification; track them
+  /// so the loop can break handler cycles even if it stops first.
+  void MarkClosing(std::shared_ptr<detail::TcpConnection> conn);
+  void UnmarkClosing(const detail::TcpConnection* conn);
+
+ private:
+  struct PendingConnect {
+    int fd;
+    ConnectCallback cb;
+    std::string target;
+  };
+
+  struct TimerEntry {
+    TimePoint when;
+    std::uint64_t id;
+    bool operator>(const TimerEntry& other) const noexcept {
+      if (when != other.when) return when > other.when;
+      return id > other.id;
+    }
+  };
+
+  void DrainPostedTasks();
+  void FireDueTimers();
+  [[nodiscard]] int NextTimeoutMillis() const;
+  void HandleConnectReady(int fd);
+
+  int epollFd_ = -1;
+  int wakeFd_ = -1;
+  int emergencyFd_ = -1;
+  std::atomic<bool> running_{false};
+
+  std::mutex postMutex_;
+  std::vector<TaskFn> posted_;
+
+  std::uint64_t nextTimerId_ = 1;
+  std::priority_queue<TimerEntry, std::vector<TimerEntry>, std::greater<>> timerHeap_;
+  std::unordered_map<std::uint64_t, TaskFn> timerTasks_;
+
+  // Keep accepted/connected connections alive while registered with epoll.
+  std::unordered_map<int, std::shared_ptr<detail::TcpConnection>> connections_;
+  std::vector<std::shared_ptr<detail::TcpConnection>> closing_;
+  std::unordered_map<int, PendingConnect> connecting_;
+  std::vector<detail::TcpListener*> listeners_;
+};
+
+}  // namespace md

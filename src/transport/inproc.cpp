@@ -1,0 +1,106 @@
+#include "transport/inproc.hpp"
+
+#include "common/strutil.hpp"
+
+namespace md {
+
+namespace detail {
+
+InprocConnection::InprocConnection(InprocLoop& loop, std::string peerName)
+    : loop_(loop), peerName_(std::move(peerName)) {}
+
+Status InprocConnection::Send(BytesView data) {
+  if (!open_) return Err(ErrorCode::kClosed, "connection closed");
+  auto peer = peer_.lock();
+  if (!peer) return Err(ErrorCode::kClosed, "peer gone");
+  Bytes copy(data.begin(), data.end());
+  loop_.scheduler().Schedule(
+      loop_.deliveryDelay(),
+      [peer, copy = std::move(copy)]() mutable { peer->DeliverData(std::move(copy)); });
+  return OkStatus();
+}
+
+void InprocConnection::Close() {
+  if (!open_) return;
+  open_ = false;
+  if (auto peer = peer_.lock()) {
+    loop_.scheduler().Schedule(loop_.deliveryDelay(),
+                               [peer] { peer->DeliverClose(); });
+  }
+  // Notify, then release the handlers (they may capture this connection in
+  // a shared_ptr — a reference cycle). Deferred: Close() may be running
+  // inside the data handler, which must not destroy itself mid-execution.
+  // The loop tracks the connection until then (see ~InprocLoop).
+  auto self = shared_from_this();
+  loop_.MarkClosing(self);
+  loop_.scheduler().Schedule(0, [self, loop = &loop_] {
+    auto handler = std::move(self->closeHandler_);
+    self->closeHandler_ = nullptr;
+    if (handler) handler();
+    self->DetachHandlers();
+    loop->UnmarkClosing(self.get());
+  });
+}
+
+void InprocConnection::DeliverData(Bytes data) {
+  if (!open_) return;
+  if (dataHandler_) dataHandler_(BytesView(data));
+}
+
+void InprocConnection::DeliverClose() {
+  if (!open_) return;
+  open_ = false;
+  // Scheduler events are sequential, so no handler is mid-execution here.
+  dataHandler_ = nullptr;
+  auto handler = std::move(closeHandler_);
+  closeHandler_ = nullptr;
+  if (handler) handler();
+}
+
+void InprocListener::Close() {
+  if (closed_) return;
+  closed_ = true;
+  loop_.RemoveListener(port_);
+}
+
+}  // namespace detail
+
+InprocLoop::~InprocLoop() {
+  // Break handler cycles of connections whose deferred cleanup never ran
+  // (e.g. the test ended without pumping the scheduler).
+  auto closing = std::move(closing_);
+  closing_.clear();
+  for (auto& conn : closing) conn->DetachHandlers();
+}
+
+Result<ListenerPtr> InprocLoop::Listen(std::uint16_t port) {
+  if (port == 0) port = nextEphemeral_++;
+  if (listeners_.contains(port)) {
+    return Err(ErrorCode::kAlreadyExists, Format("port %u in use", port));
+  }
+  auto listener = std::make_unique<detail::InprocListener>(*this, port);
+  listeners_[port] = listener.get();
+  return ListenerPtr(std::move(listener));
+}
+
+void InprocLoop::Connect(const std::string& host, std::uint16_t port,
+                         ConnectCallback cb) {
+  sched_.Schedule(deliveryDelay_, [this, host, port, cb = std::move(cb)] {
+    const auto it = listeners_.find(port);
+    if (it == listeners_.end()) {
+      cb(Err(ErrorCode::kUnavailable,
+             Format("connection refused: %s:%u", host.c_str(), port)));
+      return;
+    }
+    auto clientSide = std::make_shared<detail::InprocConnection>(
+        *this, Format("%s:%u", host.c_str(), port));
+    auto serverSide = std::make_shared<detail::InprocConnection>(
+        *this, Format("client->%u", port));
+    clientSide->BindPeer(serverSide);
+    serverSide->BindPeer(clientSide);
+    it->second->Accept(serverSide);
+    cb(ConnectionPtr(clientSide));
+  });
+}
+
+}  // namespace md

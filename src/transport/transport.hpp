@@ -1,0 +1,101 @@
+// Transport abstraction.
+//
+// The engine, the cluster protocol, and the client library talk to byte
+// streams through these interfaces. Two implementations exist:
+//   - EpollLoop (epoll_loop.hpp): real non-blocking TCP sockets, one loop per
+//     IoThread — the production path (paper §4's I/O layer).
+//   - InprocTransport (inproc.hpp): deterministic in-process pipes for unit
+//     and integration tests.
+//
+// Contract: handlers are invoked on the owning loop's thread; Send() may be
+// called from the loop thread only (cross-thread senders use Post()). Data
+// arrives in order and without duplication (TCP semantics).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "common/time.hpp"
+
+namespace md {
+
+class Connection {
+ public:
+  using DataHandler = std::function<void(BytesView)>;
+  using CloseHandler = std::function<void()>;
+
+  virtual ~Connection() = default;
+
+  /// Buffered, non-blocking send. Returns kCapacity if the write buffer is
+  /// over its high-water mark (caller should throttle), kClosed if closed.
+  virtual Status Send(BytesView data) = 0;
+
+  /// Initiates close. The close handler fires (once) when fully closed.
+  virtual void Close() = 0;
+
+  [[nodiscard]] virtual bool IsOpen() const = 0;
+
+  /// Bytes currently buffered but not yet written to the peer.
+  [[nodiscard]] virtual std::size_t PendingBytes() const = 0;
+
+  [[nodiscard]] virtual std::string PeerName() const = 0;
+
+  void SetDataHandler(DataHandler h) { dataHandler_ = std::move(h); }
+  void SetCloseHandler(CloseHandler h) { closeHandler_ = std::move(h); }
+
+ protected:
+  DataHandler dataHandler_;
+  CloseHandler closeHandler_;
+};
+
+using ConnectionPtr = std::shared_ptr<Connection>;
+
+class Listener {
+ public:
+  using AcceptHandler = std::function<void(ConnectionPtr)>;
+
+  virtual ~Listener() = default;
+  virtual void Close() = 0;
+  [[nodiscard]] virtual std::uint16_t Port() const = 0;
+
+  void SetAcceptHandler(AcceptHandler h) { acceptHandler_ = std::move(h); }
+
+ protected:
+  AcceptHandler acceptHandler_;
+};
+
+using ListenerPtr = std::unique_ptr<Listener>;
+
+/// Event loop: owns connections, timers and deferred tasks for one thread.
+class EventLoop {
+ public:
+  using TaskFn = std::function<void()>;
+  using ConnectCallback = std::function<void(Result<ConnectionPtr>)>;
+
+  virtual ~EventLoop() = default;
+
+  /// Runs until Stop(). Must be called from the loop's designated thread.
+  virtual void Run() = 0;
+  virtual void Stop() = 0;
+
+  /// Thread-safe: enqueue a task to run on the loop thread.
+  virtual void Post(TaskFn task) = 0;
+
+  /// Timers run on the loop thread. Returns an id usable with CancelTimer.
+  virtual std::uint64_t ScheduleTimer(Duration delay, TaskFn task) = 0;
+  virtual void CancelTimer(std::uint64_t id) = 0;
+
+  [[nodiscard]] virtual TimePoint Now() const = 0;
+
+  /// Opens a listening socket on `port` (0 = ephemeral).
+  virtual Result<ListenerPtr> Listen(std::uint16_t port) = 0;
+
+  /// Asynchronously connect to host:port; callback fires on the loop thread.
+  virtual void Connect(const std::string& host, std::uint16_t port,
+                       ConnectCallback cb) = 0;
+};
+
+}  // namespace md

@@ -1,0 +1,121 @@
+// Sanity tests for the calibrated engine model used by the scale benchmarks:
+// work conservation, emergent queueing, GC effects, determinism, and the
+// calibration targets the model is supposed to honour.
+#include "bench_support/engine_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace md::bench {
+namespace {
+
+EngineRunResult RunAt(std::uint32_t topics, std::uint32_t subsPerTopic,
+                      bool gc = false, int cores = 16,
+                      std::uint64_t seed = 1) {
+  EngineModelConfig cfg;
+  cfg.cores = cores;
+  cfg.gcEnabled = gc;
+  EngineModel model(cfg, seed);
+  return model.Run(topics, subsPerTopic, kSecond, /*warmup=*/10 * kSecond,
+                   /*duration=*/60 * kSecond);
+}
+
+TEST(EngineModelTest, CpuScalesLinearlyWithLoad) {
+  const auto low = RunAt(10, 10'000);    // 100 K msgs/s
+  const auto high = RunAt(50, 10'000);   // 500 K msgs/s
+  const double ratio = high.cpuFraction / low.cpuFraction;
+  // 5x the load: between 3x and 6x the CPU (fixed background dilutes it).
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 6.0);
+}
+
+TEST(EngineModelTest, LatencyBoundedBelowSaturation) {
+  const auto r = RunAt(50, 10'000);  // ~37% CPU
+  EXPECT_LT(r.latency.meanMs, 60.0);
+  EXPECT_GT(r.latency.meanMs, 5.0);   // base latency present
+  EXPECT_LT(r.latency.p99Ms, 200.0);
+}
+
+TEST(EngineModelTest, SaturationBlowsUpLatency) {
+  // 2M msgs/s on 16 cores at ~10.5us/msg needs ~21 cores: over capacity.
+  const auto r = RunAt(200, 10'000);
+  EXPECT_GE(r.cpuFraction, 0.99);
+  EXPECT_GT(r.latency.meanMs, 1000.0);  // divergent backlog
+}
+
+TEST(EngineModelTest, UtilizationNeverExceedsOne) {
+  const auto r = RunAt(200, 10'000);
+  EXPECT_LE(r.cpuFraction, 1.0 + 0.032);  // + background
+}
+
+TEST(EngineModelTest, GcPausesInflateTailNotThroughput) {
+  const auto without = RunAt(100, 10'000, /*gc=*/false, 16, 5);
+  const auto with = RunAt(100, 10'000, /*gc=*/true, 16, 5);
+  EXPECT_GT(with.latency.p99Ms, without.latency.p99Ms * 1.5);
+  EXPECT_EQ(with.deliveries, without.deliveries);
+}
+
+TEST(EngineModelTest, DeterministicUnderSeed) {
+  const auto a = RunAt(30, 10'000, true, 16, 9);
+  const auto b = RunAt(30, 10'000, true, 16, 9);
+  EXPECT_DOUBLE_EQ(a.latency.meanMs, b.latency.meanMs);
+  EXPECT_DOUBLE_EQ(a.latency.p99Ms, b.latency.p99Ms);
+  EXPECT_DOUBLE_EQ(a.cpuFraction, b.cpuFraction);
+}
+
+TEST(EngineModelTest, DifferentSeedsDifferSlightly) {
+  const auto a = RunAt(30, 10'000, true, 16, 9);
+  const auto b = RunAt(30, 10'000, true, 16, 10);
+  EXPECT_NE(a.latency.meanMs, b.latency.meanMs);
+  // ... but not wildly: same workload, same model.
+  EXPECT_NEAR(a.latency.meanMs, b.latency.meanMs, a.latency.meanMs * 0.25);
+}
+
+TEST(EngineModelTest, DeliveryAndPublicationAccounting) {
+  EngineModelConfig cfg;
+  cfg.gcEnabled = false;
+  EngineModel model(cfg, 2);
+  const auto r = model.Run(/*topics=*/10, /*subscribersPerTopic=*/100, kSecond,
+                           /*warmup=*/0, /*duration=*/10 * kSecond);
+  EXPECT_EQ(r.publications, 100u);      // 10 topics x 10 periods
+  EXPECT_EQ(r.deliveries, 10'000u);     // x100 subscribers
+}
+
+TEST(EngineModelTest, GbpsMatchesPayloadArithmetic) {
+  EngineModelConfig cfg;
+  cfg.payloadBytes = 140;
+  cfg.perMessageOverheadBytes = 75;
+  EngineModel model(cfg, 3);
+  const auto r = model.Run(100, 10'000, kSecond, 0, 10 * kSecond);
+  // 1M msgs/s * 215 B * 8 = 1.72 Gbps.
+  EXPECT_NEAR(r.gbpsOut, 1.72, 0.01);
+}
+
+TEST(EngineModelTest, TinyFanoutChunkingConservesCounts) {
+  // C10M-style: 1 subscriber per topic, chunked internally.
+  EngineModelConfig cfg;
+  cfg.gcEnabled = false;
+  EngineModel model(cfg, 4);
+  const auto r = model.Run(/*topics=*/600'000, /*subscribersPerTopic=*/1,
+                           kMinute, /*warmup=*/0, /*duration=*/kMinute);
+  EXPECT_EQ(r.publications, 600'000u);
+  EXPECT_EQ(r.deliveries, 600'000u);
+  // 10k msgs/s on 16 cores: far below saturation, latency stays near base.
+  EXPECT_LT(r.latency.meanMs, 30.0);
+}
+
+TEST(EngineModelTest, ConcurrentCollectorKeepsTailTight) {
+  EngineModelConfig cfg;
+  cfg.gcEnabled = true;
+  EngineModel stw(cfg, 6);
+  const auto stwRun = stw.Run(100, 10'000, kSecond, 10 * kSecond, 60 * kSecond);
+
+  EngineModel c4(cfg, 6);
+  c4.UseConcurrentCollector(800 * kMicrosecond);
+  const auto c4Run = c4.Run(100, 10'000, kSecond, 10 * kSecond, 60 * kSecond);
+
+  EXPECT_LT(c4Run.latency.p99Ms, stwRun.latency.p99Ms);
+  EXPECT_LT(c4Run.latency.meanMs, stwRun.latency.meanMs);
+}
+
+}  // namespace
+}  // namespace md::bench

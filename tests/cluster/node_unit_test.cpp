@@ -1,0 +1,305 @@
+// White-box unit tests for ClusterNode: drive a single node with a mock
+// environment and a local single-member MiniZK (commits instantly) to pin
+// down routing, sequencing, ack and recovery mechanics without a full
+// cluster harness.
+#include <gtest/gtest.h>
+
+#include "cluster/node.hpp"
+#include "simnet/scheduler.hpp"
+
+namespace md::cluster {
+namespace {
+
+class MockClusterEnv final : public ClusterEnv {
+ public:
+  explicit MockClusterEnv(sim::Scheduler& sched) : sched_(sched) {}
+
+  void SendToPeer(const std::string& serverId, const Frame& frame) override {
+    toPeers.emplace_back(serverId, frame);
+  }
+  void SendToClient(ClientHandle client, const Frame& frame) override {
+    toClients.emplace_back(client, frame);
+  }
+  void CloseClient(ClientHandle client) override { closed.push_back(client); }
+  std::uint64_t Schedule(Duration delay, std::function<void()> fn) override {
+    return sched_.Schedule(delay, std::move(fn));
+  }
+  void Cancel(std::uint64_t timerId) override { sched_.Cancel(timerId); }
+  [[nodiscard]] TimePoint Now() const override { return sched_.Now(); }
+  std::uint64_t Random() override { return randomValue; }
+
+  template <typename T>
+  [[nodiscard]] std::vector<std::pair<std::string, T>> PeersOf() const {
+    std::vector<std::pair<std::string, T>> out;
+    for (const auto& [to, f] : toPeers) {
+      if (const auto* typed = std::get_if<T>(&f)) out.emplace_back(to, *typed);
+    }
+    return out;
+  }
+  template <typename T>
+  [[nodiscard]] std::vector<std::pair<ClientHandle, T>> ClientsOf() const {
+    std::vector<std::pair<ClientHandle, T>> out;
+    for (const auto& [to, f] : toClients) {
+      if (const auto* typed = std::get_if<T>(&f)) out.emplace_back(to, *typed);
+    }
+    return out;
+  }
+  void Clear() {
+    toPeers.clear();
+    toClients.clear();
+    closed.clear();
+  }
+
+  std::vector<std::pair<std::string, Frame>> toPeers;
+  std::vector<std::pair<ClientHandle, Frame>> toClients;
+  std::vector<ClientHandle> closed;
+  std::uint64_t randomValue = 2;  // "pick self" in a 2-peer config
+
+ private:
+  sim::Scheduler& sched_;
+};
+
+class CoordEnvOnSched final : public coord::Env {
+ public:
+  explicit CoordEnvOnSched(sim::Scheduler& sched) : sched_(sched) {}
+  void Send(coord::NodeId, const coord::CoordMsg&) override {}
+  std::uint64_t Schedule(Duration delay, std::function<void()> fn) override {
+    return sched_.Schedule(delay, std::move(fn));
+  }
+  void Cancel(std::uint64_t timerId) override { sched_.Cancel(timerId); }
+  [[nodiscard]] TimePoint Now() const override { return sched_.Now(); }
+  std::uint64_t Random() override { return 42; }
+
+ private:
+  sim::Scheduler& sched_;
+};
+
+class ClusterNodeUnitTest : public ::testing::Test {
+ protected:
+  ClusterNodeUnitTest()
+      : env(sched),
+        coordEnv(sched),
+        // Single-member coordination group: elects itself immediately and
+        // commits every write on the spot — perfect for unit-driving.
+        coordNode(1, {1}, coordEnv),
+        node(MakeConfig(), env, coordNode, {"peer-a", "peer-b"}) {
+    coordNode.Start();
+    sched.RunFor(2 * kSecond);  // single-node election
+    node.Start();
+  }
+
+  static ClusterConfig MakeConfig() {
+    ClusterConfig cfg;
+    cfg.serverId = "me";
+    cfg.topicGroups = 4;  // small, predictable mapping
+    cfg.cacheSyncChunk = 2;
+    return cfg;
+  }
+
+  PublishFrame Pub(const std::string& topic, std::uint64_t counter) {
+    PublishFrame pub;
+    pub.topic = topic;
+    pub.payload = {1};
+    pub.pubId = {7, counter};
+    pub.wantAck = true;
+    return pub;
+  }
+
+  sim::Scheduler sched;
+  MockClusterEnv env;
+  CoordEnvOnSched coordEnv;
+  coord::CoordNode coordNode;
+  ClusterNode node;
+};
+
+TEST_F(ClusterNodeUnitTest, LocalPublishSelfElectionBroadcastAndAck) {
+  env.randomValue = 2;  // random pick == peers.size() => run for coordinator
+  node.OnClientConnect(10, "pub");
+  env.Clear();
+  node.OnClientFrame(10, Frame(Pub("t", 1)));
+  sched.RunFor(kSecond);  // takeover completes via the local MiniZK
+
+  // The node became coordinator, sequenced and broadcast to both peers.
+  const auto broadcasts = env.PeersOf<BroadcastFrame>();
+  ASSERT_EQ(broadcasts.size(), 2u);
+  EXPECT_EQ(broadcasts[0].second.msg.seq, 1u);
+  EXPECT_EQ(broadcasts[0].second.coordinatorId, "me");
+  EXPECT_TRUE(node.CoordinatesGroup(TopicGroupOf("t", 4)));
+
+  // No ack yet: replication unconfirmed.
+  EXPECT_TRUE(env.ClientsOf<PubAckFrame>().empty());
+
+  // First BroadcastAck confirms two copies => publisher acked.
+  const auto& msg = broadcasts[0].second.msg;
+  node.OnPeerFrame("peer-a", Frame(BroadcastAckFrame{broadcasts[0].second.group,
+                                                     msg.epoch, msg.seq, "t"}));
+  const auto acks = env.ClientsOf<PubAckFrame>();
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_EQ(acks[0].first, 10u);
+  EXPECT_TRUE(acks[0].second.ok);
+  // A duplicate ack from the other peer does not double-ack.
+  node.OnPeerFrame("peer-b", Frame(BroadcastAckFrame{broadcasts[0].second.group,
+                                                     msg.epoch, msg.seq, "t"}));
+  EXPECT_EQ(env.ClientsOf<PubAckFrame>().size(), 1u);
+}
+
+TEST_F(ClusterNodeUnitTest, KnownCoordinatorForwardsInsteadOfElecting) {
+  // Teach the gossip map that peer-a coordinates every group.
+  for (std::uint32_t g = 0; g < 4; ++g) {
+    node.OnPeerFrame("peer-a", Frame(GossipAnnounceFrame{g, 1, "peer-a"}));
+  }
+  node.OnClientConnect(10, "pub");
+  env.Clear();
+  node.OnClientFrame(10, Frame(Pub("t", 1)));
+
+  const auto forwards = env.PeersOf<ForwardPubFrame>();
+  ASSERT_EQ(forwards.size(), 1u);
+  EXPECT_EQ(forwards[0].first, "peer-a");
+  EXPECT_EQ(forwards[0].second.originServerId, "me");
+  EXPECT_FALSE(forwards[0].second.electIfUnassigned);
+  EXPECT_EQ(node.stats().forwarded, 1u);
+}
+
+TEST_F(ClusterNodeUnitTest, BroadcastArrivalAcksForwardedPublication) {
+  for (std::uint32_t g = 0; g < 4; ++g) {
+    node.OnPeerFrame("peer-a", Frame(GossipAnnounceFrame{g, 1, "peer-a"}));
+  }
+  node.OnClientConnect(10, "pub");
+  node.OnClientFrame(10, Frame(Pub("t", 5)));
+  env.Clear();
+
+  // The coordinator's sequenced broadcast comes back with our pubId.
+  Message m;
+  m.topic = "t";
+  m.payload = {1};
+  m.epoch = 1;
+  m.seq = 1;
+  m.pubId = {7, 5};
+  node.OnPeerFrame("peer-a", Frame(BroadcastFrame{m, TopicGroupOf("t", 4), "peer-a"}));
+
+  // We cached it (2nd copy), acked the broadcast, and acked the publisher.
+  EXPECT_EQ(node.cache().GetAfter("t", {0, 0}).size(), 1u);
+  EXPECT_EQ(env.PeersOf<BroadcastAckFrame>().size(), 1u);
+  const auto acks = env.ClientsOf<PubAckFrame>();
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_TRUE(acks[0].second.ok);
+}
+
+TEST_F(ClusterNodeUnitTest, ForwardTimeoutFailsThePublication) {
+  for (std::uint32_t g = 0; g < 4; ++g) {
+    node.OnPeerFrame("peer-a", Frame(GossipAnnounceFrame{g, 1, "peer-a"}));
+  }
+  node.OnClientConnect(10, "pub");
+  env.Clear();
+  node.OnClientFrame(10, Frame(Pub("t", 5)));
+  // No broadcast ever arrives (coordinator died): the forward timeout fires
+  // and the publisher is told to republish.
+  sched.RunFor(3 * kSecond);
+  const auto acks = env.ClientsOf<PubAckFrame>();
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_FALSE(acks[0].second.ok);
+}
+
+TEST_F(ClusterNodeUnitTest, ForwardRejectFailsThePublicationImmediately) {
+  for (std::uint32_t g = 0; g < 4; ++g) {
+    node.OnPeerFrame("peer-a", Frame(GossipAnnounceFrame{g, 1, "peer-a"}));
+  }
+  node.OnClientConnect(10, "pub");
+  env.Clear();
+  node.OnClientFrame(10, Frame(Pub("t", 5)));
+  node.OnPeerFrame("peer-a", Frame(ForwardRejectFrame{{7, 5}, "t"}));
+  const auto acks = env.ClientsOf<PubAckFrame>();
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_FALSE(acks[0].second.ok);
+  EXPECT_EQ(node.stats().rejects, 1u);
+}
+
+TEST_F(ClusterNodeUnitTest, CacheSyncServesChunkedResponses) {
+  // Put 5 messages of one group into the cache via broadcasts.
+  const std::uint32_t group = TopicGroupOf("sync-topic", 4);
+  for (std::uint64_t s = 1; s <= 5; ++s) {
+    Message m;
+    m.topic = "sync-topic";
+    m.payload = {static_cast<std::uint8_t>(s)};
+    m.epoch = 1;
+    m.seq = s;
+    m.pubId = {9, s};
+    node.OnPeerFrame("peer-a", Frame(BroadcastFrame{m, group, "peer-a"}));
+  }
+  env.Clear();
+
+  // Peer-b reconstructs: has nothing yet.
+  node.OnPeerFrame("peer-b", Frame(CacheSyncReqFrame{group, {}}));
+  const auto responses = env.PeersOf<CacheSyncRespFrame>();
+  // cacheSyncChunk = 2: 5 messages => 2+2+1, with only the last marked done.
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_FALSE(responses[0].second.done);
+  EXPECT_FALSE(responses[1].second.done);
+  EXPECT_TRUE(responses[2].second.done);
+  std::size_t total = 0;
+  for (const auto& [to, resp] : responses) {
+    EXPECT_EQ(to, "peer-b");
+    total += resp.messages.size();
+  }
+  EXPECT_EQ(total, 5u);
+
+  env.Clear();
+  // With a have-position of (1,3) only 4 and 5 are sent.
+  node.OnPeerFrame("peer-b",
+                   Frame(CacheSyncReqFrame{group, {{"sync-topic", {1, 3}}}}));
+  const auto delta = env.PeersOf<CacheSyncRespFrame>();
+  std::size_t deltaTotal = 0;
+  for (const auto& [to, resp] : delta) deltaTotal += resp.messages.size();
+  EXPECT_EQ(deltaTotal, 2u);
+}
+
+TEST_F(ClusterNodeUnitTest, CacheSyncRespBackfillsViaInsert) {
+  // Receive newer messages first (e.g. live broadcasts during recovery)...
+  const std::uint32_t group = TopicGroupOf("bf", 4);
+  Message newer;
+  newer.topic = "bf";
+  newer.epoch = 1;
+  newer.seq = 9;
+  newer.pubId = {3, 9};
+  node.OnPeerFrame("peer-a", Frame(BroadcastFrame{newer, group, "peer-a"}));
+
+  // ...then the sync response with the older history.
+  CacheSyncRespFrame resp;
+  resp.group = group;
+  for (std::uint64_t s = 7; s <= 8; ++s) {
+    Message m;
+    m.topic = "bf";
+    m.epoch = 1;
+    m.seq = s;
+    m.pubId = {3, s};
+    resp.messages.push_back(m);
+  }
+  node.OnPeerFrame("peer-a", Frame(resp));
+
+  const auto cached = node.cache().GetAfter("bf", {0, 0});
+  ASSERT_EQ(cached.size(), 3u);
+  EXPECT_EQ(cached[0].seq, 7u);
+  EXPECT_EQ(cached[2].seq, 9u);
+  EXPECT_EQ(node.stats().recoveredMessages, 2u);
+}
+
+TEST_F(ClusterNodeUnitTest, GossipWithHigherEpochWinsLowerIgnored) {
+  node.OnPeerFrame("peer-a", Frame(GossipAnnounceFrame{0, 5, "peer-a"}));
+  node.OnPeerFrame("peer-b", Frame(GossipAnnounceFrame{0, 3, "peer-b"}));  // stale
+  const auto entry = node.GossipEntry(0);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->first, "peer-a");
+  EXPECT_EQ(entry->second, 5u);
+}
+
+TEST_F(ClusterNodeUnitTest, CrashedNodeIgnoresEverything) {
+  node.Crash();
+  node.OnClientFrame(10, Frame(Pub("t", 1)));
+  node.OnPeerFrame("peer-a", Frame(GossipAnnounceFrame{0, 1, "peer-a"}));
+  EXPECT_TRUE(env.toPeers.empty());
+  EXPECT_TRUE(env.toClients.empty());
+  EXPECT_FALSE(node.GossipEntry(0).has_value());
+}
+
+}  // namespace
+}  // namespace md::cluster

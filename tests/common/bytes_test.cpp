@@ -1,0 +1,171 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace md {
+namespace {
+
+TEST(ByteWriterReaderTest, FixedWidthRoundTrip) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.WriteU8(0xAB);
+  w.WriteU16(0x1234);
+  w.WriteU32(0xDEADBEEF);
+  w.WriteU64(0x0123456789ABCDEFULL);
+
+  ByteReader r{BytesView(buf)};
+  std::uint8_t u8 = 0;
+  std::uint16_t u16 = 0;
+  std::uint32_t u32 = 0;
+  std::uint64_t u64 = 0;
+  ASSERT_TRUE(r.ReadU8(u8).ok());
+  ASSERT_TRUE(r.ReadU16(u16).ok());
+  ASSERT_TRUE(r.ReadU32(u32).ok());
+  ASSERT_TRUE(r.ReadU64(u64).ok());
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u16, 0x1234);
+  EXPECT_EQ(u32, 0xDEADBEEF);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFULL);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ByteWriterReaderTest, ReadPastEndFails) {
+  Bytes buf{0x01};
+  ByteReader r{BytesView(buf)};
+  std::uint32_t v;
+  EXPECT_EQ(r.ReadU32(v).code(), ErrorCode::kProtocol);
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VarintRoundTrip, RoundTrips) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.WriteVarint(GetParam());
+  ByteReader r{BytesView(buf)};
+  std::uint64_t v = 0;
+  ASSERT_TRUE(r.ReadVarint(v).ok());
+  EXPECT_EQ(v, GetParam());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, VarintRoundTrip,
+    ::testing::Values(0ULL, 1ULL, 127ULL, 128ULL, 16383ULL, 16384ULL,
+                      0xFFFFFFFFULL, 0xFFFFFFFFFFFFFFFFULL,
+                      0x8000000000000000ULL));
+
+TEST(VarintTest, RandomRoundTripSweep) {
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    // Bias toward interesting magnitudes by random bit width.
+    const int bits = static_cast<int>(rng.NextBelow(64)) + 1;
+    const std::uint64_t value =
+        bits == 64 ? rng.Next() : rng.Next() & ((1ULL << bits) - 1);
+    Bytes buf;
+    ByteWriter w(buf);
+    w.WriteVarint(value);
+    ByteReader r{BytesView(buf)};
+    std::uint64_t decoded = 0;
+    ASSERT_TRUE(r.ReadVarint(decoded).ok());
+    EXPECT_EQ(decoded, value);
+  }
+}
+
+TEST(VarintTest, RejectsOverlongEncoding) {
+  // 11 continuation bytes cannot encode a 64-bit value.
+  Bytes buf(11, 0x80);
+  ByteReader r{BytesView(buf)};
+  std::uint64_t v;
+  EXPECT_EQ(r.ReadVarint(v).code(), ErrorCode::kProtocol);
+}
+
+TEST(VarintTest, RejectsOverflowInFinalByte) {
+  // 9 continuation bytes + final byte with bits above the 64-bit range.
+  Bytes buf(9, 0x80);
+  buf.push_back(0x7F);
+  ByteReader r{BytesView(buf)};
+  std::uint64_t v;
+  EXPECT_EQ(r.ReadVarint(v).code(), ErrorCode::kProtocol);
+}
+
+TEST(ByteWriterReaderTest, LengthPrefixedRoundTrip) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.WriteString("hello");
+  w.WriteString("");
+  w.WriteString(std::string(1000, 'x'));
+
+  ByteReader r{BytesView(buf)};
+  std::string a, b, c;
+  ASSERT_TRUE(r.ReadString(a).ok());
+  ASSERT_TRUE(r.ReadString(b).ok());
+  ASSERT_TRUE(r.ReadString(c).ok());
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+  EXPECT_EQ(c, std::string(1000, 'x'));
+}
+
+TEST(ByteWriterReaderTest, LengthPrefixExceedingDataFails) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.WriteVarint(100);  // claims 100 bytes
+  w.WriteU8(1);        // only 1 present
+  ByteReader r{BytesView(buf)};
+  BytesView out;
+  EXPECT_EQ(r.ReadLengthPrefixed(out).code(), ErrorCode::kProtocol);
+}
+
+TEST(ByteQueueTest, AppendPeekConsume) {
+  ByteQueue q;
+  q.Append(std::string_view("abcdef"));
+  EXPECT_EQ(q.size(), 6u);
+  EXPECT_EQ(AsStringView(q.Peek()), "abcdef");
+  q.Consume(2);
+  EXPECT_EQ(AsStringView(q.Peek()), "cdef");
+  q.Append(std::string_view("gh"));
+  EXPECT_EQ(AsStringView(q.Peek()), "cdefgh");
+  q.Consume(6);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ByteQueueTest, CompactionPreservesContent) {
+  ByteQueue q;
+  const std::string big(10000, 'a');
+  q.Append(big);
+  q.Consume(9000);  // triggers compaction threshold
+  q.Append(std::string_view("tail"));
+  EXPECT_EQ(q.size(), 1004u);
+  const auto view = AsStringView(q.Peek());
+  EXPECT_EQ(view.substr(0, 1000), std::string(1000, 'a'));
+  EXPECT_EQ(view.substr(1000), "tail");
+}
+
+TEST(ByteQueueTest, InterleavedAppendConsumeStress) {
+  ByteQueue q;
+  Rng rng(99);
+  std::string expected;
+  std::size_t producedTotal = 0;
+  std::size_t consumedTotal = 0;
+  for (int i = 0; i < 500; ++i) {
+    const std::size_t n = rng.NextBelow(200) + 1;
+    std::string chunk;
+    for (std::size_t j = 0; j < n; ++j) {
+      chunk.push_back(static_cast<char>('a' + (producedTotal + j) % 26));
+    }
+    producedTotal += n;
+    expected += chunk;
+    q.Append(chunk);
+    const std::size_t toConsume = rng.NextBelow(q.size() + 1);
+    ASSERT_EQ(AsStringView(q.Peek()),
+              std::string_view(expected).substr(consumedTotal));
+    q.Consume(toConsume);
+    consumedTotal += toConsume;
+  }
+  EXPECT_EQ(q.size(), producedTotal - consumedTotal);
+}
+
+}  // namespace
+}  // namespace md

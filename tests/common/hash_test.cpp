@@ -1,0 +1,66 @@
+#include "common/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+namespace md {
+namespace {
+
+// Golden values: group assignment is wire behaviour (all servers must agree),
+// so the hash must never change silently.
+TEST(HashTest, Fnv1a64GoldenValues) {
+  EXPECT_EQ(Fnv1a64(""), 0xCBF29CE484222325ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xAF63DC4C8601EC8CULL);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171F73967E8ULL);
+}
+
+TEST(HashTest, Fnv1a64IsConstexpr) {
+  static_assert(Fnv1a64("topic") != 0);
+  SUCCEED();
+}
+
+TEST(HashTest, MixU64Avalanche) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int totalFlips = 0;
+  constexpr int kTrials = 64;
+  for (int bit = 0; bit < kTrials; ++bit) {
+    const std::uint64_t a = MixU64(0x1234567890ABCDEFULL);
+    const std::uint64_t b = MixU64(0x1234567890ABCDEFULL ^ (1ULL << bit));
+    totalFlips += __builtin_popcountll(a ^ b);
+  }
+  const double avg = static_cast<double>(totalFlips) / kTrials;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+TEST(TopicGroupTest, StableAndInRange) {
+  for (int i = 0; i < 1000; ++i) {
+    const std::string topic = "topic-" + std::to_string(i);
+    const std::uint32_t g = TopicGroupOf(topic, 100);
+    EXPECT_LT(g, 100u);
+    EXPECT_EQ(g, TopicGroupOf(topic, 100));  // deterministic
+  }
+}
+
+TEST(TopicGroupTest, ReasonablySpreadAcrossGroups) {
+  // 10,000 topics into 100 groups: every group should receive some topics
+  // and no group should be wildly overloaded.
+  std::map<std::uint32_t, int> counts;
+  for (int i = 0; i < 10000; ++i) {
+    counts[TopicGroupOf("sports/event/" + std::to_string(i), 100)]++;
+  }
+  EXPECT_EQ(counts.size(), 100u);
+  for (const auto& [group, count] : counts) {
+    EXPECT_GT(count, 30) << "group " << group;
+    EXPECT_LT(count, 300) << "group " << group;
+  }
+}
+
+TEST(TopicGroupTest, SingleGroupDegenerateCase) {
+  EXPECT_EQ(TopicGroupOf("anything", 1), 0u);
+}
+
+}  // namespace
+}  // namespace md

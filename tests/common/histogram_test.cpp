@@ -1,0 +1,146 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace md {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(0.5), 0);
+  EXPECT_EQ(h.StdDev(), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(42);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.Min(), 42);
+  EXPECT_EQ(h.Max(), 42);
+  EXPECT_DOUBLE_EQ(h.Mean(), 42.0);
+  EXPECT_EQ(h.Percentile(0.5), 42);
+  EXPECT_EQ(h.Percentile(1.0), 42);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  // Values < 64 land in unit-width buckets.
+  Histogram h;
+  for (int v = 0; v < 64; ++v) h.Record(v);
+  EXPECT_EQ(h.Percentile(0.01), 0);
+  EXPECT_EQ(h.Percentile(0.5), 31);
+  EXPECT_EQ(h.Percentile(1.0), 63);
+}
+
+TEST(HistogramTest, MeanAndStdDevExact) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_DOUBLE_EQ(h.Mean(), 20.0);
+  EXPECT_NEAR(h.StdDev(), 8.1649658, 1e-6);
+}
+
+TEST(HistogramTest, PercentileWithinRelativeError) {
+  // Log-linear bucketing with 64 sub-buckets: ≲3.2% relative error.
+  Histogram h;
+  Rng rng(42);
+  std::vector<std::int64_t> values;
+  for (int i = 0; i < 100000; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.NextExponential(5e6));  // ~5ms
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.5, 0.9, 0.95, 0.99}) {
+    const auto exact = values[static_cast<std::size_t>(q * (values.size() - 1))];
+    const auto approx = h.Percentile(q);
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                static_cast<double>(exact) * 0.04)
+        << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, RecordNWeightsCounts) {
+  Histogram h;
+  h.RecordN(100, 99);
+  h.RecordN(1000000, 1);
+  EXPECT_EQ(h.Count(), 100u);
+  // P50 must sit in the 100 bucket, P100 near 1e6.
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.5)), 100.0, 4.0);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(1.0)), 1e6, 4e4);
+}
+
+TEST(HistogramTest, MergeEqualsCombinedRecording) {
+  Histogram a, b, combined;
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.NextBelow(1000000));
+    if (i % 2 == 0) {
+      a.Record(v);
+    } else {
+      b.Record(v);
+    }
+    combined.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), combined.Count());
+  EXPECT_DOUBLE_EQ(a.Mean(), combined.Mean());
+  EXPECT_EQ(a.Percentile(0.9), combined.Percentile(0.9));
+  EXPECT_EQ(a.Min(), combined.Min());
+  EXPECT_EQ(a.Max(), combined.Max());
+}
+
+TEST(HistogramTest, NegativeValuesClampToZero) {
+  Histogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.Percentile(1.0), 0);
+}
+
+TEST(HistogramTest, HugeValuesDoNotOverflow) {
+  Histogram h;
+  h.Record(std::int64_t{1} << 55);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_GT(h.Percentile(1.0), std::int64_t{1} << 54);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h;
+  h.Record(123);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Max(), 0);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, MonotonePercentiles) {
+  Histogram h;
+  Rng rng(77);
+  for (int i = 0; i < 10000; ++i) {
+    h.Record(static_cast<std::int64_t>(rng.NextExponential(1e7)));
+  }
+  std::int64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const auto v = h.Percentile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+TEST(SummarizeNanosTest, ConvertsToMilliseconds) {
+  Histogram h;
+  h.Record(10 * kMillisecond);
+  h.Record(20 * kMillisecond);
+  const LatencySummary s = SummarizeNanos(h);
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_NEAR(s.meanMs, 15.0, 0.5);
+  EXPECT_NEAR(s.p99Ms, 20.0, 1.0);
+}
+
+}  // namespace
+}  // namespace md

@@ -1,0 +1,173 @@
+#include "common/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace md {
+namespace {
+
+TEST(MpscQueueTest, FifoOrder) {
+  MpscQueue<int> q;
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(q.TryPush(i).ok());
+  for (int i = 0; i < 10; ++i) {
+    auto v = q.TryPop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(MpscQueueTest, CapacityBackpressure) {
+  MpscQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1).ok());
+  EXPECT_TRUE(q.TryPush(2).ok());
+  EXPECT_EQ(q.TryPush(3).code(), ErrorCode::kCapacity);
+  (void)q.TryPop();
+  EXPECT_TRUE(q.TryPush(3).ok());
+}
+
+TEST(MpscQueueTest, CloseUnblocksConsumer) {
+  MpscQueue<int> q;
+  std::thread consumer([&] {
+    auto v = q.Pop();
+    EXPECT_FALSE(v.has_value());  // closed + empty
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Close();
+  consumer.join();
+}
+
+TEST(MpscQueueTest, PushAfterCloseFails) {
+  MpscQueue<int> q;
+  q.Close();
+  EXPECT_EQ(q.TryPush(1).code(), ErrorCode::kClosed);
+}
+
+TEST(MpscQueueTest, DrainAfterClose) {
+  MpscQueue<int> q;
+  ASSERT_TRUE(q.TryPush(7).ok());
+  q.Close();
+  auto v = q.Pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(MpscQueueTest, PopBatchDrainsUpToMax) {
+  MpscQueue<int> q;
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(q.TryPush(i).ok());
+  std::vector<int> out;
+  EXPECT_EQ(q.PopBatch(out, 4), 4u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(q.PopBatch(out, 100), 6u);
+  EXPECT_EQ(out.size(), 10u);
+}
+
+TEST(MpscQueueTest, MultiProducerAllItemsArriveExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 5000;
+  MpscQueue<int> q(kProducers * kPerProducer);
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        while (!q.TryPush(p * kPerProducer + i).ok()) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  std::vector<char> seen(kProducers * kPerProducer, 0);
+  int received = 0;
+  while (received < kProducers * kPerProducer) {
+    if (auto v = q.Pop()) {
+      ASSERT_GE(*v, 0);
+      ASSERT_LT(*v, kProducers * kPerProducer);
+      ASSERT_EQ(seen[static_cast<std::size_t>(*v)], 0) << "duplicate " << *v;
+      seen[static_cast<std::size_t>(*v)] = 1;
+      ++received;
+    }
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(std::accumulate(seen.begin(), seen.end(), 0),
+            kProducers * kPerProducer);
+}
+
+TEST(MpscQueueTest, PerProducerOrderPreserved) {
+  MpscQueue<std::pair<int, int>> q(100000);
+  constexpr int kPerProducer = 10000;
+  std::thread p1([&] {
+    for (int i = 0; i < kPerProducer; ++i) {
+      while (!q.TryPush({1, i}).ok()) std::this_thread::yield();
+    }
+  });
+  std::thread p2([&] {
+    for (int i = 0; i < kPerProducer; ++i) {
+      while (!q.TryPush({2, i}).ok()) std::this_thread::yield();
+    }
+  });
+  int last1 = -1, last2 = -1, count = 0;
+  while (count < 2 * kPerProducer) {
+    if (auto v = q.Pop()) {
+      if (v->first == 1) {
+        EXPECT_EQ(v->second, last1 + 1);
+        last1 = v->second;
+      } else {
+        EXPECT_EQ(v->second, last2 + 1);
+        last2 = v->second;
+      }
+      ++count;
+    }
+  }
+  p1.join();
+  p2.join();
+}
+
+TEST(SpscRingTest, FifoOrder) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 7; ++i) EXPECT_TRUE(ring.TryPush(i));
+  EXPECT_FALSE(ring.TryPush(99));  // full (one slot sacrificed)
+  for (int i = 0; i < 7; ++i) {
+    auto v = ring.TryPop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(ring.TryPop().has_value());
+}
+
+TEST(SpscRingTest, WrapAroundManyTimes) {
+  SpscRing<int> ring(4);
+  for (int round = 0; round < 1000; ++round) {
+    ASSERT_TRUE(ring.TryPush(round));
+    auto v = ring.TryPop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, round);
+  }
+}
+
+TEST(SpscRingTest, ConcurrentProducerConsumer) {
+  SpscRing<int> ring(1024);
+  constexpr int kItems = 200000;
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) {
+      while (!ring.TryPush(i)) std::this_thread::yield();
+    }
+  });
+  int expected = 0;
+  while (expected < kItems) {
+    if (auto v = ring.TryPop()) {
+      ASSERT_EQ(*v, expected);
+      ++expected;
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.Empty());
+}
+
+}  // namespace
+}  // namespace md

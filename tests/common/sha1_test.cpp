@@ -1,0 +1,57 @@
+#include "common/sha1.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/strutil.hpp"
+
+namespace md {
+namespace {
+
+std::string ToHex(const std::array<std::uint8_t, 20>& digest) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  for (const auto b : digest) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xF]);
+  }
+  return out;
+}
+
+// FIPS 180-1 / well-known test vectors.
+TEST(Sha1Test, EmptyString) {
+  EXPECT_EQ(ToHex(Sha1("")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1Test, Abc) {
+  EXPECT_EQ(ToHex(Sha1("abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Test, TwoBlockMessage) {
+  EXPECT_EQ(ToHex(Sha1("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1Test, MillionAs) {
+  const std::string input(1000000, 'a');
+  EXPECT_EQ(ToHex(Sha1(input)), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1Test, LengthsAroundBlockBoundary) {
+  // Exercise the padding logic at 55/56/63/64/65 bytes (one vs two tail
+  // blocks). Golden values computed with coreutils sha1sum.
+  EXPECT_EQ(ToHex(Sha1(std::string(55, 'x'))),
+            "cef734ba81a024479e09eb5a75b6ddae62e6abf1");
+  EXPECT_EQ(ToHex(Sha1(std::string(56, 'x'))),
+            "901305367c259952f4e7af8323f480d59f81335b");
+  EXPECT_EQ(ToHex(Sha1(std::string(64, 'x'))),
+            "bb2fa3ee7afb9f54c6dfb5d021f14b1ffe40c163");
+}
+
+// The exact value from RFC 6455 §1.3 (handshake example).
+TEST(Sha1Test, WebSocketAcceptExample) {
+  const std::string material = "dGhlIHNhbXBsZSBub25jZQ==258EAFA5-E914-47DA-95CA-C5AB0DC85B11";
+  EXPECT_EQ(Base64Encode(Sha1String(material)), "s3pPLMBiTxaQ9kYGzzhZRbK+xOo=");
+}
+
+}  // namespace
+}  // namespace md

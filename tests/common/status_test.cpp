@@ -1,0 +1,68 @@
+#include "common/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace md {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Err(ErrorCode::kTimeout, "waited 5s");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kTimeout);
+  EXPECT_EQ(s.message(), "waited 5s");
+  EXPECT_EQ(s.ToString(), "TIMEOUT: waited 5s");
+}
+
+TEST(StatusTest, ErrorWithoutMessage) {
+  Status s = Err(ErrorCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NOT_FOUND");
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly) {
+  EXPECT_EQ(Err(ErrorCode::kClosed, "a"), Err(ErrorCode::kClosed, "b"));
+  EXPECT_FALSE(Err(ErrorCode::kClosed) == Err(ErrorCode::kTimeout));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kConflict); ++c) {
+    EXPECT_NE(ErrorCodeName(static_cast<ErrorCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Err(ErrorCode::kUnavailable, "no quorum");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(r.status().message(), "no quorum");
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r->size(), 5u);
+}
+
+}  // namespace
+}  // namespace md

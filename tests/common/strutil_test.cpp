@@ -1,0 +1,92 @@
+#include "common/strutil.hpp"
+
+#include <gtest/gtest.h>
+
+namespace md {
+namespace {
+
+TEST(SplitViewTest, BasicSplit) {
+  const auto parts = SplitView("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitViewTest, EmptyFieldsPreserved) {
+  const auto parts = SplitView(",a,,b,", ',');
+  ASSERT_EQ(parts.size(), 5u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[4], "");
+}
+
+TEST(SplitViewTest, NoSeparator) {
+  const auto parts = SplitView("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(SplitViewTest, EmptyInput) {
+  const auto parts = SplitView("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(TrimViewTest, TrimsBothEnds) {
+  EXPECT_EQ(TrimView("  hello \t\r\n"), "hello");
+  EXPECT_EQ(TrimView("hello"), "hello");
+  EXPECT_EQ(TrimView("   "), "");
+  EXPECT_EQ(TrimView(""), "");
+  EXPECT_EQ(TrimView(" a b "), "a b");
+}
+
+TEST(EqualsIgnoreCaseTest, Comparisons) {
+  EXPECT_TRUE(EqualsIgnoreCase("WebSocket", "websocket"));
+  EXPECT_TRUE(EqualsIgnoreCase("UPGRADE", "upgrade"));
+  EXPECT_FALSE(EqualsIgnoreCase("web", "websocket"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+}
+
+TEST(StartsWithTest, Comparisons) {
+  EXPECT_TRUE(StartsWith("HTTP/1.1 101", "HTTP/1.1"));
+  EXPECT_FALSE(StartsWith("HTTP", "HTTP/1.1"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+}
+
+TEST(FormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(Format("%d-%s-%.2f", 42, "x", 3.14159), "42-x-3.14");
+  EXPECT_EQ(Format("no args"), "no args");
+  // Long output beyond any small internal buffer.
+  const std::string longArg(5000, 'y');
+  EXPECT_EQ(Format("%s", longArg.c_str()).size(), 5000u);
+}
+
+TEST(WithThousandsTest, GroupsDigits) {
+  EXPECT_EQ(WithThousands(0), "0");
+  EXPECT_EQ(WithThousands(999), "999");
+  EXPECT_EQ(WithThousands(1000), "1,000");
+  EXPECT_EQ(WithThousands(1234567), "1,234,567");
+  EXPECT_EQ(WithThousands(100000), "100,000");
+  EXPECT_EQ(WithThousands(10000000), "10,000,000");
+}
+
+// RFC 4648 test vectors.
+TEST(Base64Test, Rfc4648Vectors) {
+  EXPECT_EQ(Base64Encode(""), "");
+  EXPECT_EQ(Base64Encode("f"), "Zg==");
+  EXPECT_EQ(Base64Encode("fo"), "Zm8=");
+  EXPECT_EQ(Base64Encode("foo"), "Zm9v");
+  EXPECT_EQ(Base64Encode("foob"), "Zm9vYg==");
+  EXPECT_EQ(Base64Encode("fooba"), "Zm9vYmE=");
+  EXPECT_EQ(Base64Encode("foobar"), "Zm9vYmFy");
+}
+
+TEST(Base64Test, BinaryInput) {
+  const char raw[] = {'\x00', '\xff', '\x10'};
+  EXPECT_EQ(Base64Encode(std::string_view(raw, 3)), "AP8Q");
+}
+
+}  // namespace
+}  // namespace md

@@ -1,0 +1,227 @@
+// White-box consensus tests: drive a single CoordNode through hand-crafted
+// message sequences (mock Env) to pin down the Raft-subset mechanics the
+// cluster correctness rests on — log repair, vote rules, term handling.
+#include <gtest/gtest.h>
+
+#include "coord/node.hpp"
+#include "simnet/scheduler.hpp"
+
+namespace md::coord {
+namespace {
+
+/// Records outgoing messages; timers run on a sim scheduler.
+class MockEnv final : public Env {
+ public:
+  explicit MockEnv(sim::Scheduler& sched) : sched_(sched) {}
+
+  void Send(NodeId to, const CoordMsg& msg) override {
+    sent.emplace_back(to, msg);
+  }
+  std::uint64_t Schedule(Duration delay, std::function<void()> fn) override {
+    return sched_.Schedule(delay, std::move(fn));
+  }
+  void Cancel(std::uint64_t timerId) override { sched_.Cancel(timerId); }
+  [[nodiscard]] TimePoint Now() const override { return sched_.Now(); }
+  std::uint64_t Random() override { return counter_++; }  // deterministic
+
+  template <typename T>
+  [[nodiscard]] std::vector<std::pair<NodeId, T>> SentOf() const {
+    std::vector<std::pair<NodeId, T>> out;
+    for (const auto& [to, msg] : sent) {
+      if (const auto* typed = std::get_if<T>(&msg)) out.emplace_back(to, *typed);
+    }
+    return out;
+  }
+
+  void ClearSent() { sent.clear(); }
+
+  std::vector<std::pair<NodeId, CoordMsg>> sent;
+
+ private:
+  sim::Scheduler& sched_;
+  std::uint64_t counter_ = 0;
+};
+
+AppendEntries Heartbeat(Term term, NodeId leader, LogIndex prevIdx, Term prevTerm,
+                        LogIndex commit) {
+  AppendEntries msg;
+  msg.term = term;
+  msg.leader = leader;
+  msg.prevLogIndex = prevIdx;
+  msg.prevLogTerm = prevTerm;
+  msg.leaderCommit = commit;
+  return msg;
+}
+
+LogEntry Entry(Term term, const std::string& key, const std::string& value) {
+  return LogEntry{term, PutCmd{key, value}, 0, 0};
+}
+
+class RaftLogTest : public ::testing::Test {
+ protected:
+  RaftLogTest() : env(sched), node(2, {1, 2, 3}, env) { node.Start(); }
+
+  sim::Scheduler sched;
+  MockEnv env;
+  CoordNode node;
+};
+
+TEST_F(RaftLogTest, FollowerAcceptsMatchingAppend) {
+  auto msg = Heartbeat(1, 1, 0, 0, 0);
+  msg.entries = {Entry(1, "a", "1"), Entry(1, "b", "2")};
+  node.HandleMessage(1, msg);
+
+  const auto replies = env.SentOf<AppendReply>();
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_TRUE(replies[0].second.success);
+  EXPECT_EQ(replies[0].second.matchIndex, 2u);
+  EXPECT_EQ(node.term(), 1u);
+  EXPECT_EQ(node.KnownLeader(), std::optional<NodeId>(1));
+}
+
+TEST_F(RaftLogTest, FollowerRejectsGappedAppend) {
+  // prevLogIndex 5 but the follower's log is empty: consistency check fails.
+  auto msg = Heartbeat(1, 1, 5, 1, 0);
+  msg.entries = {Entry(1, "x", "1")};
+  node.HandleMessage(1, msg);
+  const auto replies = env.SentOf<AppendReply>();
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_FALSE(replies[0].second.success);
+}
+
+TEST_F(RaftLogTest, FollowerRejectsStaleTerm) {
+  // Catch the node up to term 3 first.
+  node.HandleMessage(1, Heartbeat(3, 1, 0, 0, 0));
+  env.ClearSent();
+  // A leader from term 2 must be refused (and told the real term).
+  node.HandleMessage(3, Heartbeat(2, 3, 0, 0, 0));
+  const auto replies = env.SentOf<AppendReply>();
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_FALSE(replies[0].second.success);
+  EXPECT_EQ(replies[0].second.term, 3u);
+}
+
+TEST_F(RaftLogTest, ConflictingSuffixIsTruncatedAndReplaced) {
+  // Term-1 leader appends three entries.
+  auto first = Heartbeat(1, 1, 0, 0, 0);
+  first.entries = {Entry(1, "a", "1"), Entry(1, "b", "2"), Entry(1, "c", "3")};
+  node.HandleMessage(1, first);
+  env.ClearSent();
+
+  // A term-2 leader rewrites index 2 onward (the classic divergence repair).
+  auto repair = Heartbeat(2, 3, 1, 1, 0);
+  repair.entries = {Entry(2, "b", "new"), Entry(2, "d", "4")};
+  node.HandleMessage(3, repair);
+
+  const auto replies = env.SentOf<AppendReply>();
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_TRUE(replies[0].second.success);
+  EXPECT_EQ(replies[0].second.matchIndex, 3u);
+
+  // Commit everything and check the applied state reflects the repair.
+  env.ClearSent();
+  node.HandleMessage(3, Heartbeat(2, 3, 3, 2, 3));
+  EXPECT_EQ(node.CommitIndex(), 3u);
+  EXPECT_EQ(node.Read("a")->value, "1");
+  EXPECT_EQ(node.Read("b")->value, "new");
+  EXPECT_EQ(node.Read("d")->value, "4");
+  EXPECT_FALSE(node.Read("c").has_value());  // truncated away
+}
+
+TEST_F(RaftLogTest, IdempotentReAppendDoesNotDuplicate) {
+  auto msg = Heartbeat(1, 1, 0, 0, 0);
+  msg.entries = {Entry(1, "a", "1")};
+  node.HandleMessage(1, msg);
+  node.HandleMessage(1, msg);  // network retransmission
+  env.ClearSent();
+  node.HandleMessage(1, Heartbeat(1, 1, 1, 1, 1));
+  EXPECT_EQ(node.CommitIndex(), 1u);
+  EXPECT_EQ(node.Read("a")->version, 1u);  // applied exactly once
+}
+
+TEST_F(RaftLogTest, CommitNeverExceedsLocalLog) {
+  auto msg = Heartbeat(1, 1, 0, 0, 0);
+  msg.entries = {Entry(1, "a", "1")};
+  msg.leaderCommit = 99;  // leader is far ahead
+  node.HandleMessage(1, msg);
+  EXPECT_EQ(node.CommitIndex(), 1u);  // min(leaderCommit, lastIndex)
+}
+
+TEST_F(RaftLogTest, VoteGrantedOnlyOncePerTerm) {
+  node.HandleMessage(1, RequestVote{5, 1, 0, 0});
+  node.HandleMessage(3, RequestVote{5, 3, 0, 0});
+  const auto votes = env.SentOf<VoteReply>();
+  ASSERT_EQ(votes.size(), 2u);
+  EXPECT_TRUE(votes[0].second.granted);
+  EXPECT_FALSE(votes[1].second.granted);  // already voted for node 1
+}
+
+TEST_F(RaftLogTest, RevoteForSameCandidateIsGranted) {
+  node.HandleMessage(1, RequestVote{5, 1, 0, 0});
+  env.ClearSent();
+  node.HandleMessage(1, RequestVote{5, 1, 0, 0});  // retransmission
+  const auto votes = env.SentOf<VoteReply>();
+  ASSERT_EQ(votes.size(), 1u);
+  EXPECT_TRUE(votes[0].second.granted);
+}
+
+TEST_F(RaftLogTest, VoteDeniedToOutdatedLog) {
+  // Give the node a term-2 entry.
+  auto msg = Heartbeat(2, 1, 0, 0, 0);
+  msg.entries = {Entry(2, "a", "1")};
+  node.HandleMessage(1, msg);
+  env.ClearSent();
+
+  // Candidate with an older last-log term must not win our vote …
+  node.HandleMessage(3, RequestVote{3, 3, /*lastLogIndex=*/5, /*lastLogTerm=*/1});
+  auto votes = env.SentOf<VoteReply>();
+  ASSERT_EQ(votes.size(), 1u);
+  EXPECT_FALSE(votes[0].second.granted);
+
+  env.ClearSent();
+  // … but one with an equal last term and >= index does.
+  node.HandleMessage(3, RequestVote{4, 3, 1, 2});
+  votes = env.SentOf<VoteReply>();
+  ASSERT_EQ(votes.size(), 1u);
+  EXPECT_TRUE(votes[0].second.granted);
+}
+
+TEST_F(RaftLogTest, HigherTermMessageForcesStepDown) {
+  // Make the node a candidate first by letting its election timer fire.
+  sched.RunFor(kSecond);
+  EXPECT_NE(node.role(), Role::kLeader);  // can't win alone in a 3-node group
+  const Term candidateTerm = node.term();
+  EXPECT_GE(candidateTerm, 1u);
+
+  node.HandleMessage(1, Heartbeat(candidateTerm + 5, 1, 0, 0, 0));
+  EXPECT_EQ(node.role(), Role::kFollower);
+  EXPECT_EQ(node.term(), candidateTerm + 5);
+}
+
+TEST_F(RaftLogTest, CrashPreservesDurableStateDropsVolatile) {
+  auto msg = Heartbeat(4, 1, 0, 0, 0);
+  msg.entries = {Entry(4, "a", "1")};
+  msg.leaderCommit = 1;
+  node.HandleMessage(1, msg);
+  EXPECT_EQ(node.CommitIndex(), 1u);
+  EXPECT_TRUE(node.Read("a").has_value());
+
+  node.Crash();
+  EXPECT_FALSE(node.Read("a").has_value());  // store is volatile
+
+  node.Restart();
+  EXPECT_EQ(node.term(), 4u);                // term is durable
+  EXPECT_EQ(node.CommitIndex(), 0u);         // commit point is volatile
+  // The leader re-teaches the commit point; the log itself was durable so
+  // no entries need resending.
+  env.ClearSent();
+  node.HandleMessage(1, Heartbeat(4, 1, 1, 4, 1));
+  const auto replies = env.SentOf<AppendReply>();
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_TRUE(replies[0].second.success);
+  EXPECT_EQ(node.CommitIndex(), 1u);
+  EXPECT_EQ(node.Read("a")->value, "1");
+}
+
+}  // namespace
+}  // namespace md::coord

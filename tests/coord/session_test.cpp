@@ -1,0 +1,141 @@
+// Session lifecycle tests for MiniZK: expiry, revival after reconnection,
+// and the interplay with ephemeral entries that drives coordinator handover.
+#include <gtest/gtest.h>
+
+#include "coord/sim_harness.hpp"
+
+namespace md::coord {
+namespace {
+
+class CoordSessionTest : public ::testing::Test {
+ protected:
+  void MakeCluster(std::size_t n = 3, std::uint64_t seed = 7) {
+    net = std::make_unique<sim::SimNetwork>(sched, Rng(seed));
+    std::vector<sim::HostId> hosts;
+    for (std::size_t i = 0; i < n; ++i) {
+      hosts.push_back(net->AddHost("zk-" + std::to_string(i)));
+    }
+    cluster = std::make_unique<SimCoordCluster>(sched, *net, hosts, CoordConfig{}, seed);
+    cluster->StartAll();
+    for (int i = 0; i < 100; ++i) {
+      sched.RunFor(100 * kMillisecond);
+      if (cluster->LeaderIndex()) return;
+    }
+    FAIL() << "no leader";
+  }
+
+  Status Create(std::size_t node, const std::string& key, const std::string& value) {
+    std::optional<Status> result;
+    cluster->node(node).CreateEphemeral(key, value,
+                                        [&](Status s, std::uint64_t) { result = s; });
+    for (int i = 0; i < 100 && !result; ++i) sched.RunFor(50 * kMillisecond);
+    return result.value_or(Err(ErrorCode::kTimeout, "no cb"));
+  }
+
+  sim::Scheduler sched;
+  std::unique_ptr<sim::SimNetwork> net;
+  std::unique_ptr<SimCoordCluster> cluster;
+};
+
+TEST_F(CoordSessionTest, PartitionExpiresEphemeralsThenHealRevivesSession) {
+  MakeCluster();
+  // Pick a non-leader as the victim so the leader keeps running the
+  // failure detector throughout.
+  const std::size_t leader = cluster->LeaderIndex().value();
+  const std::size_t victim = (leader + 1) % 3;
+
+  ASSERT_TRUE(Create(victim, "eph/v", "x").ok());
+  sched.RunFor(500 * kMillisecond);
+
+  net->Isolate(cluster->HostOf(victim));
+  sched.RunFor(5 * kSecond);  // session timeout (2 s) passes
+  // Survivors no longer see the ephemeral.
+  EXPECT_FALSE(cluster->node(leader).Read("eph/v").has_value());
+
+  net->HealAll(cluster->HostOf(victim));
+  sched.RunFor(3 * kSecond);
+  // The revived session can create ephemerals again.
+  EXPECT_TRUE(Create(victim, "eph/v2", "y").ok());
+  sched.RunFor(kSecond);
+  EXPECT_TRUE(cluster->node(leader).Read("eph/v2").has_value());
+}
+
+TEST_F(CoordSessionTest, ExpiredKeyCanBeReacquiredByAnotherNode) {
+  MakeCluster();
+  const std::size_t leader = cluster->LeaderIndex().value();
+  const std::size_t first = (leader + 1) % 3;
+  const std::size_t second = (leader + 2) % 3;
+
+  ASSERT_TRUE(Create(first, "group/9", "owner-1").ok());
+  // While the owner is alive the key is contended.
+  EXPECT_EQ(Create(second, "group/9", "owner-2").code(), ErrorCode::kConflict);
+
+  cluster->CrashNode(first);
+  sched.RunFor(5 * kSecond);
+  // After expiry the other node wins the create — the takeover primitive.
+  EXPECT_TRUE(Create(second, "group/9", "owner-2").ok());
+  // Local reads are sequentially consistent: give replication a beat before
+  // reading the local replica.
+  sched.RunFor(kSecond);
+  const auto kv = cluster->node(second).Read("group/9");
+  ASSERT_TRUE(kv.has_value());
+  EXPECT_EQ(kv->value, "owner-2");
+}
+
+TEST_F(CoordSessionTest, LeaderCrashStillExpiresDeadSessions) {
+  MakeCluster();
+  const std::size_t leader = cluster->LeaderIndex().value();
+  const std::size_t owner = (leader + 1) % 3;
+  ASSERT_TRUE(Create(owner, "eph/both", "x").ok());
+  sched.RunFor(500 * kMillisecond);
+
+  // The owner AND the leader die (sequentially — single-fault at a time,
+  // with recovery in between is the paper model; here we stress beyond it).
+  cluster->CrashNode(owner);
+  sched.RunFor(kSecond);
+  cluster->CrashNode(leader);
+  // Only one node remains: no quorum, nothing can be expired...
+  sched.RunFor(2 * kSecond);
+  cluster->RestartNode(leader);
+  sched.RunFor(8 * kSecond);
+  // Quorum is back (leader restarted); the dead owner's session expires.
+  const std::size_t survivor = 3 - leader - owner;
+  EXPECT_FALSE(cluster->node(survivor).Read("eph/both").has_value());
+}
+
+TEST_F(CoordSessionTest, PersistentKeysSurviveOwnerCrash) {
+  MakeCluster();
+  const std::size_t leader = cluster->LeaderIndex().value();
+  const std::size_t writer = (leader + 1) % 3;
+  std::optional<Status> result;
+  cluster->node(writer).Put("persist/k", "v",
+                            [&](Status s, std::uint64_t) { result = s; });
+  for (int i = 0; i < 100 && !result; ++i) sched.RunFor(50 * kMillisecond);
+  ASSERT_TRUE(result && result->ok());
+
+  cluster->CrashNode(writer);
+  sched.RunFor(5 * kSecond);
+  EXPECT_TRUE(cluster->node(leader).Read("persist/k").has_value());
+}
+
+TEST_F(CoordSessionTest, EpochVersionsAreMonotonicAcrossTakeovers) {
+  MakeCluster();
+  // Simulate repeated coordinator takeovers: each Put to the epoch key must
+  // return a strictly larger version (the cluster's epoch source).
+  std::uint64_t lastVersion = 0;
+  for (int round = 0; round < 5; ++round) {
+    const std::size_t node = static_cast<std::size_t>(round) % 3;
+    std::optional<std::uint64_t> version;
+    cluster->node(node).Put("epoch/1", "owner-" + std::to_string(round),
+                            [&](Status s, std::uint64_t v) {
+                              if (s.ok()) version = v;
+                            });
+    for (int i = 0; i < 100 && !version; ++i) sched.RunFor(50 * kMillisecond);
+    ASSERT_TRUE(version.has_value()) << "round " << round;
+    EXPECT_GT(*version, lastVersion);
+    lastVersion = *version;
+  }
+}
+
+}  // namespace
+}  // namespace md::coord

@@ -1,0 +1,157 @@
+#include "coord/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/status.hpp"
+
+namespace md::coord {
+namespace {
+
+constexpr std::uint8_t kOk = 0;
+
+TEST(KvStoreTest, CreateThenGet) {
+  KvStore store;
+  const auto r = store.Apply(CreateCmd{"k", "v", 0});
+  EXPECT_EQ(r.errorCode, kOk);
+  EXPECT_EQ(r.version, 1u);
+  const auto kv = store.Get("k");
+  ASSERT_TRUE(kv.has_value());
+  EXPECT_EQ(kv->value, "v");
+  EXPECT_EQ(kv->version, 1u);
+  EXPECT_EQ(kv->ephemeralOwner, 0u);
+}
+
+TEST(KvStoreTest, CreateConflictsIfExists) {
+  KvStore store;
+  (void)store.Apply(CreateCmd{"k", "first", 0});
+  const auto r = store.Apply(CreateCmd{"k", "second", 0});
+  EXPECT_EQ(r.errorCode, static_cast<std::uint8_t>(ErrorCode::kConflict));
+  EXPECT_EQ(store.Get("k")->value, "first");  // unchanged
+}
+
+TEST(KvStoreTest, PutCreatesOrUpdates) {
+  KvStore store;
+  EXPECT_EQ(store.Apply(PutCmd{"k", "v1"}).version, 1u);
+  EXPECT_EQ(store.Apply(PutCmd{"k", "v2"}).version, 2u);
+  EXPECT_EQ(store.Get("k")->value, "v2");
+}
+
+TEST(KvStoreTest, DeleteRemoves) {
+  KvStore store;
+  (void)store.Apply(CreateCmd{"k", "v", 0});
+  EXPECT_EQ(store.Apply(DeleteCmd{"k", 0}).errorCode, kOk);
+  EXPECT_FALSE(store.Get("k").has_value());
+}
+
+TEST(KvStoreTest, DeleteMissingIsNotFound) {
+  KvStore store;
+  EXPECT_EQ(store.Apply(DeleteCmd{"k", 0}).errorCode,
+            static_cast<std::uint8_t>(ErrorCode::kNotFound));
+}
+
+TEST(KvStoreTest, ConditionalDeleteChecksVersion) {
+  KvStore store;
+  (void)store.Apply(PutCmd{"k", "v1"});
+  (void)store.Apply(PutCmd{"k", "v2"});  // version 2
+  EXPECT_EQ(store.Apply(DeleteCmd{"k", 1}).errorCode,
+            static_cast<std::uint8_t>(ErrorCode::kConflict));
+  EXPECT_EQ(store.Apply(DeleteCmd{"k", 2}).errorCode, kOk);
+}
+
+TEST(KvStoreTest, ExpireSessionDeletesOnlyOwnedEphemerals) {
+  KvStore store;
+  (void)store.Apply(CreateCmd{"e1", "v", 7});
+  (void)store.Apply(CreateCmd{"e2", "v", 7});
+  (void)store.Apply(CreateCmd{"other", "v", 8});
+  (void)store.Apply(CreateCmd{"persistent", "v", 0});
+  (void)store.Apply(ExpireSessionCmd{7});
+  EXPECT_FALSE(store.Contains("e1"));
+  EXPECT_FALSE(store.Contains("e2"));
+  EXPECT_TRUE(store.Contains("other"));
+  EXPECT_TRUE(store.Contains("persistent"));
+}
+
+TEST(KvStoreTest, NoopDoesNothing) {
+  KvStore store;
+  (void)store.Apply(CreateCmd{"k", "v", 0});
+  EXPECT_EQ(store.Apply(NoopCmd{}).errorCode, kOk);
+  EXPECT_EQ(store.Size(), 1u);
+}
+
+TEST(KvStoreTest, KeysWithPrefix) {
+  KvStore store;
+  (void)store.Apply(PutCmd{"group/1", "a"});
+  (void)store.Apply(PutCmd{"group/2", "b"});
+  (void)store.Apply(PutCmd{"other/1", "c"});
+  const auto keys = store.KeysWithPrefix("group/");
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "group/1");
+  EXPECT_EQ(keys[1], "group/2");
+  EXPECT_TRUE(store.KeysWithPrefix("zzz").empty());
+}
+
+TEST(KvStoreTest, WatchFiresOnCreateChangeDelete) {
+  KvStore store;
+  std::vector<WatchEvent> events;
+  store.Watch("k", [&](const WatchEvent& e) { events.push_back(e); });
+
+  (void)store.Apply(CreateCmd{"k", "v1", 0});
+  (void)store.Apply(PutCmd{"k", "v2"});
+  (void)store.Apply(DeleteCmd{"k", 0});
+
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].type, WatchEventType::kCreated);
+  EXPECT_EQ(events[0].value, "v1");
+  EXPECT_EQ(events[1].type, WatchEventType::kChanged);
+  EXPECT_EQ(events[1].value, "v2");
+  EXPECT_EQ(events[1].version, 2u);
+  EXPECT_EQ(events[2].type, WatchEventType::kDeleted);
+}
+
+TEST(KvStoreTest, WatchScopedToItsKey) {
+  KvStore store;
+  int fired = 0;
+  store.Watch("a", [&](const WatchEvent&) { ++fired; });
+  (void)store.Apply(PutCmd{"b", "v"});
+  EXPECT_EQ(fired, 0);
+  (void)store.Apply(PutCmd{"a", "v"});
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(KvStoreTest, SessionExpiryFiresDeleteWatches) {
+  KvStore store;
+  std::vector<std::string> deleted;
+  store.Watch("e1", [&](const WatchEvent& e) {
+    if (e.type == WatchEventType::kDeleted) deleted.push_back(e.key);
+  });
+  (void)store.Apply(CreateCmd{"e1", "v", 3});
+  (void)store.Apply(ExpireSessionCmd{3});
+  ASSERT_EQ(deleted.size(), 1u);
+  EXPECT_EQ(deleted[0], "e1");
+}
+
+TEST(KvStoreTest, ResetClearsDataButKeepsWatches) {
+  KvStore store;
+  int fired = 0;
+  store.Watch("k", [&](const WatchEvent&) { ++fired; });
+  (void)store.Apply(PutCmd{"k", "v"});
+  EXPECT_EQ(fired, 1);
+  store.Reset();
+  EXPECT_EQ(store.Size(), 0u);
+  (void)store.Apply(PutCmd{"k", "v"});
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(KvStoreTest, WatchCallbackMayRegisterMoreWatches) {
+  KvStore store;
+  int inner = 0;
+  store.Watch("k", [&](const WatchEvent&) {
+    store.Watch("k", [&](const WatchEvent&) { ++inner; });
+  });
+  (void)store.Apply(PutCmd{"k", "v1"});  // registers inner watch
+  (void)store.Apply(PutCmd{"k", "v2"});  // inner fires once
+  EXPECT_EQ(inner, 1);
+}
+
+}  // namespace
+}  // namespace md::coord

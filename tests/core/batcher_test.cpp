@@ -1,0 +1,149 @@
+#include "core/batcher.hpp"
+
+#include <gtest/gtest.h>
+
+namespace md::core {
+namespace {
+
+Message Msg(const std::string& topic, std::uint64_t seq) {
+  Message m;
+  m.topic = topic;
+  m.seq = seq;
+  m.payload = {static_cast<std::uint8_t>(seq)};
+  return m;
+}
+
+TEST(BatcherTest, SizeTriggeredFlush) {
+  BatchConfig cfg;
+  cfg.maxBytes = 10;
+  std::vector<std::size_t> flushes;
+  Batcher batcher(cfg, [&](BytesView b) { flushes.push_back(b.size()); });
+
+  const Bytes frame(4, 0xAA);
+  batcher.Enqueue(BytesView(frame), 0);  // 4 bytes pending
+  batcher.Enqueue(BytesView(frame), 0);  // 8
+  EXPECT_TRUE(flushes.empty());
+  batcher.Enqueue(BytesView(frame), 0);  // 12 >= 10 -> flush
+  ASSERT_EQ(flushes.size(), 1u);
+  EXPECT_EQ(flushes[0], 12u);
+  EXPECT_EQ(batcher.PendingBytes(), 0u);
+}
+
+TEST(BatcherTest, TimeTriggeredFlush) {
+  BatchConfig cfg;
+  cfg.maxDelay = 10 * kMillisecond;
+  cfg.maxBytes = 1 << 20;
+  int flushed = 0;
+  Batcher batcher(cfg, [&](BytesView) { ++flushed; });
+
+  const Bytes frame(4, 1);
+  batcher.Enqueue(BytesView(frame), 0);
+  batcher.OnTime(5 * kMillisecond);  // too early
+  EXPECT_EQ(flushed, 0);
+  batcher.OnTime(10 * kMillisecond);
+  EXPECT_EQ(flushed, 1);
+}
+
+TEST(BatcherTest, DeadlineTracksFirstEnqueue) {
+  BatchConfig cfg;
+  cfg.maxDelay = 100;
+  Batcher batcher(cfg, [](BytesView) {});
+  EXPECT_FALSE(batcher.Deadline().has_value());
+  const Bytes frame(1, 1);
+  batcher.Enqueue(BytesView(frame), 50);
+  batcher.Enqueue(BytesView(frame), 90);  // deadline stays at first enqueue
+  ASSERT_TRUE(batcher.Deadline().has_value());
+  EXPECT_EQ(*batcher.Deadline(), 150);
+}
+
+TEST(BatcherTest, BatchPreservesByteOrder) {
+  BatchConfig cfg;
+  std::string got;
+  Batcher batcher(cfg, [&](BytesView b) { got.append(AsStringView(b)); });
+  batcher.Enqueue(AsBytes("abc"), 0);
+  batcher.Enqueue(AsBytes("def"), 0);
+  batcher.Flush();
+  EXPECT_EQ(got, "abcdef");
+}
+
+TEST(BatcherTest, CountsFlushesAndBytes) {
+  BatchConfig cfg;
+  Batcher batcher(cfg, [](BytesView) {});
+  batcher.Enqueue(AsBytes("1234"), 0);
+  batcher.Flush();
+  batcher.Enqueue(AsBytes("56"), 0);
+  batcher.Flush();
+  batcher.Flush();  // empty: no-op
+  EXPECT_EQ(batcher.FlushCount(), 2u);
+  EXPECT_EQ(batcher.FlushedBytes(), 6u);
+}
+
+TEST(ConflatorTest, NewestMessagePerTopicWins) {
+  ConflateConfig cfg;
+  std::vector<Message> emitted;
+  Conflator conflator(cfg, [&](const Message& m) { emitted.push_back(m); });
+
+  conflator.Offer(Msg("a", 1), 0);
+  conflator.Offer(Msg("a", 2), 0);
+  conflator.Offer(Msg("a", 3), 0);
+  conflator.Flush();
+  ASSERT_EQ(emitted.size(), 1u);
+  EXPECT_EQ(emitted[0].seq, 3u);
+}
+
+TEST(ConflatorTest, TopicsPreserveFirstArrivalOrder) {
+  ConflateConfig cfg;
+  std::vector<std::string> order;
+  Conflator conflator(cfg, [&](const Message& m) { order.push_back(m.topic); });
+  conflator.Offer(Msg("x", 1), 0);
+  conflator.Offer(Msg("y", 1), 0);
+  conflator.Offer(Msg("x", 2), 0);  // update, does not reorder
+  conflator.Flush();
+  EXPECT_EQ(order, (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(ConflatorTest, TimeWindowFlush) {
+  ConflateConfig cfg;
+  cfg.interval = 100;
+  int emitted = 0;
+  Conflator conflator(cfg, [&](const Message&) { ++emitted; });
+  conflator.Offer(Msg("t", 1), 10);
+  conflator.OnTime(100);  // window ends at 110
+  EXPECT_EQ(emitted, 0);
+  conflator.OnTime(110);
+  EXPECT_EQ(emitted, 1);
+}
+
+TEST(ConflatorTest, WindowRestartsAfterFlush) {
+  ConflateConfig cfg;
+  cfg.interval = 100;
+  Conflator conflator(cfg, [](const Message&) {});
+  conflator.Offer(Msg("t", 1), 0);
+  conflator.Flush();
+  EXPECT_FALSE(conflator.Deadline().has_value());
+  conflator.Offer(Msg("t", 2), 500);
+  ASSERT_TRUE(conflator.Deadline().has_value());
+  EXPECT_EQ(*conflator.Deadline(), 600);
+}
+
+TEST(ConflatorTest, CompressionRatioVisibleInCounters) {
+  ConflateConfig cfg;
+  Conflator conflator(cfg, [](const Message&) {});
+  for (std::uint64_t s = 1; s <= 100; ++s) conflator.Offer(Msg("hot", s), 0);
+  conflator.Offer(Msg("cold", 1), 0);
+  conflator.Flush();
+  EXPECT_EQ(conflator.OfferedCount(), 101u);
+  EXPECT_EQ(conflator.EmittedCount(), 2u);  // 50x reduction on the hot topic
+}
+
+TEST(ConflatorTest, FlushOnEmptyIsNoop) {
+  ConflateConfig cfg;
+  int emitted = 0;
+  Conflator conflator(cfg, [&](const Message&) { ++emitted; });
+  conflator.Flush();
+  conflator.OnTime(1000000);
+  EXPECT_EQ(emitted, 0);
+}
+
+}  // namespace
+}  // namespace md::core

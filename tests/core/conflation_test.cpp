@@ -1,0 +1,195 @@
+// End-to-end tests of server-side conflation and unsubscribe over real TCP.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "client/client.hpp"
+#include "core/server.hpp"
+
+namespace md::core {
+namespace {
+
+using namespace std::chrono_literals;
+
+class LoopThread {
+ public:
+  LoopThread() : thread_([this] { loop_.Run(); }) {}
+  ~LoopThread() {
+    loop_.Stop();
+    thread_.join();
+  }
+  EpollLoop& loop() { return loop_; }
+
+  template <typename Fn>
+  void RunOnLoop(Fn fn) {
+    std::atomic<bool> done{false};
+    loop_.Post([&] {
+      fn();
+      done.store(true);
+    });
+    WaitFor([&] { return done.load(); });
+  }
+
+  static void WaitFor(const std::function<bool()>& pred,
+                      std::chrono::milliseconds timeout = 10000ms) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (!pred()) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "timed out";
+      std::this_thread::sleep_for(1ms);
+    }
+  }
+
+ private:
+  EpollLoop loop_;
+  std::thread thread_;
+};
+
+client::ClientConfig Cfg(std::uint16_t port, const std::string& id) {
+  client::ClientConfig cfg;
+  cfg.servers = {{"127.0.0.1", port, 1.0}};
+  cfg.clientId = id;
+  cfg.seed = Fnv1a64(id);
+  return cfg;
+}
+
+TEST(ServerConflationTest, HotTopicCollapsesToNewestValue) {
+  ServerConfig cfg;
+  cfg.ioThreads = 1;
+  cfg.workers = 1;
+  cfg.enableConflation = true;
+  cfg.conflate.interval = 50 * kMillisecond;
+  Server server(cfg);
+  ASSERT_TRUE(server.Start().ok());
+
+  LoopThread lt;
+  auto sub = std::make_unique<client::Client>(lt.loop(), Cfg(server.Port(), "sub"));
+  auto pub = std::make_unique<client::Client>(lt.loop(), Cfg(server.Port(), "pub"));
+
+  std::atomic<int> received{0};
+  std::atomic<std::uint64_t> lastSeq{0};
+  std::atomic<bool> subscribed{false};
+  lt.RunOnLoop([&] {
+    sub->Subscribe(
+        "price",
+        [&](const Message& m) {
+          received.fetch_add(1);
+          lastSeq.store(m.seq);
+        },
+        [&] { subscribed.store(true); });
+    sub->Start();
+    pub->Start();
+  });
+  LoopThread::WaitFor([&] { return subscribed.load() && pub->IsConnected(); });
+
+  // A burst of 50 updates well inside one conflation window.
+  std::atomic<int> acked{0};
+  lt.RunOnLoop([&] {
+    for (int i = 0; i < 50; ++i) {
+      pub->Publish("price", Bytes{static_cast<std::uint8_t>(i)},
+                   [&](Status) { acked.fetch_add(1); });
+    }
+  });
+  LoopThread::WaitFor([&] { return acked.load() == 50; });
+  // Wait for the window to close and the newest value to arrive.
+  LoopThread::WaitFor([&] { return lastSeq.load() == 50; });
+
+  // Far fewer deliveries than publications; the final value always arrives.
+  EXPECT_LT(received.load(), 25);
+  EXPECT_GE(received.load(), 1);
+
+  lt.RunOnLoop([&] {
+    sub->Stop();
+    pub->Stop();
+  });
+  server.Stop();
+}
+
+TEST(ServerConflationTest, DistinctTopicsAllSurviveWindows) {
+  ServerConfig cfg;
+  cfg.ioThreads = 1;
+  cfg.workers = 1;
+  cfg.enableConflation = true;
+  cfg.conflate.interval = 30 * kMillisecond;
+  Server server(cfg);
+  ASSERT_TRUE(server.Start().ok());
+
+  LoopThread lt;
+  auto sub = std::make_unique<client::Client>(lt.loop(), Cfg(server.Port(), "sub2"));
+  auto pub = std::make_unique<client::Client>(lt.loop(), Cfg(server.Port(), "pub2"));
+
+  std::atomic<int> subscribedCount{0};
+  std::atomic<int> aGot{0}, bGot{0};
+  lt.RunOnLoop([&] {
+    sub->Subscribe("topic/a", [&](const Message&) { aGot.fetch_add(1); },
+                   [&] { subscribedCount.fetch_add(1); });
+    sub->Subscribe("topic/b", [&](const Message&) { bGot.fetch_add(1); },
+                   [&] { subscribedCount.fetch_add(1); });
+    sub->Start();
+    pub->Start();
+  });
+  LoopThread::WaitFor([&] { return subscribedCount.load() == 2 && pub->IsConnected(); });
+
+  std::atomic<int> acked{0};
+  lt.RunOnLoop([&] {
+    pub->Publish("topic/a", Bytes{1}, [&](Status) { acked.fetch_add(1); });
+    pub->Publish("topic/b", Bytes{2}, [&](Status) { acked.fetch_add(1); });
+  });
+  LoopThread::WaitFor([&] { return acked.load() == 2; });
+  // One update each: conflation must deliver both (no cross-topic merging).
+  LoopThread::WaitFor([&] { return aGot.load() >= 1 && bGot.load() >= 1; });
+
+  lt.RunOnLoop([&] {
+    sub->Stop();
+    pub->Stop();
+  });
+  server.Stop();
+}
+
+TEST(ServerUnsubscribeTest, UnsubscribedClientStopsReceiving) {
+  ServerConfig cfg;
+  cfg.ioThreads = 1;
+  cfg.workers = 1;
+  Server server(cfg);
+  ASSERT_TRUE(server.Start().ok());
+
+  LoopThread lt;
+  auto sub = std::make_unique<client::Client>(lt.loop(), Cfg(server.Port(), "sub3"));
+  auto pub = std::make_unique<client::Client>(lt.loop(), Cfg(server.Port(), "pub3"));
+
+  std::atomic<int> received{0};
+  std::atomic<bool> subscribed{false};
+  lt.RunOnLoop([&] {
+    sub->Subscribe("news", [&](const Message&) { received.fetch_add(1); },
+                   [&] { subscribed.store(true); });
+    sub->Start();
+    pub->Start();
+  });
+  LoopThread::WaitFor([&] { return subscribed.load() && pub->IsConnected(); });
+
+  std::atomic<int> acked{0};
+  lt.RunOnLoop([&] {
+    pub->Publish("news", Bytes{1}, [&](Status) { acked.fetch_add(1); });
+  });
+  LoopThread::WaitFor([&] { return received.load() == 1; });
+
+  lt.RunOnLoop([&] { sub->Unsubscribe("news"); });
+  std::this_thread::sleep_for(50ms);  // let the frame reach the worker
+
+  lt.RunOnLoop([&] {
+    pub->Publish("news", Bytes{2}, [&](Status) { acked.fetch_add(1); });
+  });
+  LoopThread::WaitFor([&] { return acked.load() == 2; });
+  std::this_thread::sleep_for(50ms);
+  EXPECT_EQ(received.load(), 1);
+
+  lt.RunOnLoop([&] {
+    sub->Stop();
+    pub->Stop();
+  });
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace md::core

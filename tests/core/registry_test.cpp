@@ -1,0 +1,98 @@
+#include "core/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+namespace md::core {
+namespace {
+
+TEST(RegistryTest, SubscribeAndLookup) {
+  SubscriptionRegistry reg;
+  EXPECT_TRUE(reg.Subscribe("t", 1));
+  EXPECT_TRUE(reg.Subscribe("t", 2));
+  EXPECT_FALSE(reg.Subscribe("t", 1));  // already subscribed
+  const auto subs = reg.SubscribersOf("t");
+  EXPECT_EQ(subs.size(), 2u);
+  EXPECT_EQ(reg.SubscriberCount("t"), 2u);
+}
+
+TEST(RegistryTest, UnsubscribeRemoves) {
+  SubscriptionRegistry reg;
+  reg.Subscribe("t", 1);
+  EXPECT_TRUE(reg.Unsubscribe("t", 1));
+  EXPECT_FALSE(reg.Unsubscribe("t", 1));  // already gone
+  EXPECT_TRUE(reg.SubscribersOf("t").empty());
+  EXPECT_TRUE(reg.TopicsOf(1).empty());
+}
+
+TEST(RegistryTest, DropClientRemovesAllSubscriptions) {
+  SubscriptionRegistry reg;
+  reg.Subscribe("a", 1);
+  reg.Subscribe("b", 1);
+  reg.Subscribe("a", 2);
+  const auto topics = reg.DropClient(1);
+  EXPECT_EQ(topics.size(), 2u);
+  EXPECT_EQ(reg.SubscriberCount("a"), 1u);
+  EXPECT_EQ(reg.SubscriberCount("b"), 0u);
+  EXPECT_TRUE(reg.DropClient(1).empty());  // idempotent
+}
+
+TEST(RegistryTest, TopicsOfClient) {
+  SubscriptionRegistry reg;
+  reg.Subscribe("x", 7);
+  reg.Subscribe("y", 7);
+  auto topics = reg.TopicsOf(7);
+  std::sort(topics.begin(), topics.end());
+  EXPECT_EQ(topics, (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(RegistryTest, ForEachSubscriberVisitsAll) {
+  SubscriptionRegistry reg;
+  for (ClientHandle h = 1; h <= 10; ++h) reg.Subscribe("t", h);
+  std::uint64_t sum = 0;
+  reg.ForEachSubscriber("t", [&](ClientHandle h) { sum += h; });
+  EXPECT_EQ(sum, 55u);
+  reg.ForEachSubscriber("missing", [&](ClientHandle) { FAIL(); });
+}
+
+TEST(RegistryTest, TotalSubscriptions) {
+  SubscriptionRegistry reg;
+  reg.Subscribe("a", 1);
+  reg.Subscribe("b", 1);
+  reg.Subscribe("a", 2);
+  EXPECT_EQ(reg.TotalSubscriptions(), 3u);
+}
+
+TEST(RegistryTest, ConcurrentSubscribeUnsubscribeIsConsistent) {
+  SubscriptionRegistry reg;
+  constexpr int kThreads = 4;
+  constexpr int kClientsPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      for (int i = 0; i < kClientsPerThread; ++i) {
+        const ClientHandle h =
+            static_cast<ClientHandle>(t * kClientsPerThread + i + 1);
+        reg.Subscribe("topic-" + std::to_string(i % 10), h);
+        reg.Subscribe("shared", h);
+        if (i % 3 == 0) reg.DropClient(h);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Every client that wasn't dropped holds exactly 2 subscriptions.
+  std::size_t expectedClients = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kClientsPerThread; ++i) {
+      if (i % 3 != 0) ++expectedClients;
+    }
+  }
+  EXPECT_EQ(reg.TotalSubscriptions(), expectedClients * 2);
+  EXPECT_EQ(reg.SubscriberCount("shared"), expectedClients);
+}
+
+}  // namespace
+}  // namespace md::core

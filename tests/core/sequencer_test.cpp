@@ -1,0 +1,99 @@
+#include "core/sequencer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace md::core {
+namespace {
+
+TEST(SequencerTest, AssignsMonotonicSequences) {
+  Sequencer seq;
+  seq.BeginEpoch(0, 1);
+  for (std::uint64_t expect = 1; expect <= 5; ++expect) {
+    const auto pos = seq.Assign(0, "t");
+    ASSERT_TRUE(pos.has_value());
+    EXPECT_EQ(pos->epoch, 1u);
+    EXPECT_EQ(pos->seq, expect);
+  }
+}
+
+TEST(SequencerTest, TopicsHaveIndependentCounters) {
+  Sequencer seq;
+  seq.BeginEpoch(0, 1);
+  EXPECT_EQ(seq.Assign(0, "a")->seq, 1u);
+  EXPECT_EQ(seq.Assign(0, "a")->seq, 2u);
+  EXPECT_EQ(seq.Assign(0, "b")->seq, 1u);
+}
+
+TEST(SequencerTest, UnassignedGroupYieldsNothing) {
+  Sequencer seq;
+  EXPECT_FALSE(seq.Assign(5, "t").has_value());
+  EXPECT_FALSE(seq.IsSequencing(5));
+}
+
+TEST(SequencerTest, NewEpochRestartsSequences) {
+  Sequencer seq;
+  seq.BeginEpoch(0, 1);
+  (void)seq.Assign(0, "t");
+  (void)seq.Assign(0, "t");
+  seq.BeginEpoch(0, 2);  // takeover with bumped epoch
+  const auto pos = seq.Assign(0, "t");
+  ASSERT_TRUE(pos.has_value());
+  EXPECT_EQ(pos->epoch, 2u);
+  EXPECT_EQ(pos->seq, 1u);
+}
+
+TEST(SequencerTest, PrimeTopicContinuesAfterCachedPosition) {
+  // Cache reconstruction: the coordinator must not reuse sequence numbers.
+  Sequencer seq;
+  seq.BeginEpoch(3, 7);
+  seq.PrimeTopic(3, "t", {7, 41});
+  const auto pos = seq.Assign(3, "t");
+  ASSERT_TRUE(pos.has_value());
+  EXPECT_EQ(pos->epoch, 7u);
+  EXPECT_EQ(pos->seq, 42u);
+}
+
+TEST(SequencerTest, PrimeIgnoresOtherEpochPositions) {
+  Sequencer seq;
+  seq.BeginEpoch(3, 7);
+  seq.PrimeTopic(3, "t", {6, 99});  // stale epoch: ignore
+  EXPECT_EQ(seq.Assign(3, "t")->seq, 1u);
+}
+
+TEST(SequencerTest, PrimeNeverLowersCounter) {
+  Sequencer seq;
+  seq.BeginEpoch(0, 1);
+  seq.PrimeTopic(0, "t", {1, 10});
+  seq.PrimeTopic(0, "t", {1, 5});  // lower: no effect
+  EXPECT_EQ(seq.Assign(0, "t")->seq, 11u);
+}
+
+TEST(SequencerTest, EndEpochStopsSequencing) {
+  Sequencer seq;
+  seq.BeginEpoch(0, 1);
+  ASSERT_TRUE(seq.Assign(0, "t").has_value());
+  seq.EndEpoch(0);
+  EXPECT_FALSE(seq.Assign(0, "t").has_value());
+  EXPECT_FALSE(seq.EpochOf(0).has_value());
+}
+
+TEST(SequencerTest, EpochOfReportsCurrent) {
+  Sequencer seq;
+  seq.BeginEpoch(9, 4);
+  const auto epoch = seq.EpochOf(9);
+  ASSERT_TRUE(epoch.has_value());
+  EXPECT_EQ(*epoch, 4u);
+}
+
+TEST(SequencerTest, GroupsAreIndependent) {
+  Sequencer seq;
+  seq.BeginEpoch(0, 1);
+  seq.BeginEpoch(1, 5);
+  EXPECT_EQ(seq.Assign(0, "t")->epoch, 1u);
+  EXPECT_EQ(seq.Assign(1, "t")->epoch, 5u);
+  EXPECT_EQ(seq.Assign(1, "t")->seq, 2u);
+  EXPECT_EQ(seq.Assign(0, "t")->seq, 2u);
+}
+
+}  // namespace
+}  // namespace md::core

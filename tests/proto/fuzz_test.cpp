@@ -1,0 +1,142 @@
+// Robustness property tests: the wire decoders run on untrusted network
+// input and must never crash, hang, or accept garbage silently — any input
+// either decodes to a frame, asks for more bytes, or errors.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "proto/codec.hpp"
+#include "proto/websocket.hpp"
+
+namespace md {
+namespace {
+
+class DecoderFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DecoderFuzz, RandomBytesNeverCrashDecodeFrame) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 3000; ++i) {
+    Bytes junk(rng.NextBelow(200));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.Next());
+    const auto result = DecodeFrame(BytesView(junk));
+    // Either a valid frame or a protocol error — both are acceptable; the
+    // assertion is "no crash, no UB" (run under sanitizers in CI).
+    if (!result.ok()) {
+      EXPECT_EQ(result.code(), ErrorCode::kProtocol);
+    }
+  }
+}
+
+TEST_P(DecoderFuzz, RandomBytesNeverCrashStreamExtractor) {
+  Rng rng(GetParam() + 1000);
+  for (int i = 0; i < 500; ++i) {
+    ByteQueue q;
+    Bytes junk(rng.NextBelow(400));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.Next());
+    q.Append(BytesView(junk));
+    // Drain until it stops making progress.
+    for (int step = 0; step < 100; ++step) {
+      const std::size_t before = q.size();
+      auto r = ExtractFrame(q);
+      if (!r.status.ok() || !r.frame) break;
+      ASSERT_LT(q.size(), before) << "no progress";
+    }
+  }
+}
+
+TEST_P(DecoderFuzz, RandomBytesNeverCrashWsExtractor) {
+  Rng rng(GetParam() + 2000);
+  for (int i = 0; i < 500; ++i) {
+    ByteQueue q;
+    Bytes junk(rng.NextBelow(300));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.Next());
+    q.Append(BytesView(junk));
+    for (int step = 0; step < 100; ++step) {
+      const std::size_t before = q.size();
+      auto r = ws::ExtractWsFrame(q, rng.NextBool(0.5));
+      if (!r.status.ok() || !r.frame) break;
+      ASSERT_LT(q.size(), before);
+    }
+  }
+}
+
+TEST_P(DecoderFuzz, RandomBytesNeverCrashHandshakeParser) {
+  Rng rng(GetParam() + 3000);
+  for (int i = 0; i < 500; ++i) {
+    ByteQueue q;
+    // Mix plausible HTTP-ish prefixes with garbage.
+    std::string input;
+    if (rng.NextBool(0.5)) input = "GET / HTTP/1.1\r\n";
+    const std::size_t n = rng.NextBelow(300);
+    for (std::size_t j = 0; j < n; ++j) {
+      input.push_back(static_cast<char>(rng.NextBelow(256)));
+    }
+    q.Append(input);
+    (void)ws::ParseClientHandshake(q);
+    ByteQueue q2;
+    q2.Append(input);
+    (void)ws::ParseServerHandshakeResponse(q2, "key");
+  }
+}
+
+TEST_P(DecoderFuzz, SingleByteMutationsOfValidFramesDecodeOrError) {
+  Rng rng(GetParam() + 4000);
+  Message m;
+  m.topic = "sports/game-1";
+  m.payload = Bytes(64, 0x7F);
+  m.epoch = 2;
+  m.seq = 999;
+  m.pubId = {123, 456};
+  Bytes valid;
+  EncodeFrame(Frame(DeliverFrame{m}), valid);
+
+  for (int i = 0; i < 2000; ++i) {
+    Bytes mutated = valid;
+    const std::size_t pos = rng.NextBelow(mutated.size());
+    mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.NextBelow(255));
+    const auto result = DecodeFrame(BytesView(mutated));
+    if (!result.ok()) {
+      EXPECT_EQ(result.code(), ErrorCode::kProtocol);
+    }
+  }
+}
+
+TEST_P(DecoderFuzz, TruncationsOfValidWsFramesNeverCrash) {
+  Rng rng(GetParam() + 5000);
+  Bytes payload(200);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.Next());
+  Bytes wire;
+  ws::EncodeWsFrame(ws::Opcode::kBinary, BytesView(payload), wire, 0xABCD1234);
+
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    ByteQueue q;
+    q.Append(BytesView(wire).subspan(0, cut));
+    auto r = ws::ExtractWsFrame(q, true);
+    EXPECT_TRUE(r.status.ok());       // truncation = "need more", not error
+    EXPECT_FALSE(r.frame.has_value());
+  }
+}
+
+TEST_P(DecoderFuzz, EncodeDecodeIdentityUnderRandomFrames) {
+  Rng rng(GetParam() + 6000);
+  for (int i = 0; i < 500; ++i) {
+    PublishFrame f;
+    f.topic.resize(rng.NextBelow(50));
+    for (auto& c : f.topic) c = static_cast<char>('a' + rng.NextBelow(26));
+    f.payload.resize(rng.NextBelow(500));
+    for (auto& b : f.payload) b = static_cast<std::uint8_t>(rng.Next());
+    f.pubId = {rng.Next(), rng.Next()};
+    f.wantAck = rng.NextBool(0.5);
+    f.publishTs = static_cast<std::int64_t>(rng.Next() >> 1);
+
+    Bytes wire;
+    EncodeFrame(Frame(f), wire);
+    auto decoded = DecodeFrame(BytesView(wire));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(std::get<PublishFrame>(*decoded), f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecoderFuzz, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace md

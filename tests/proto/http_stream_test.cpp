@@ -1,0 +1,173 @@
+#include "proto/http_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace md::http {
+namespace {
+
+TEST(HttpStreamTest, RequestRoundTrip) {
+  const std::string request = BuildStreamRequest("example.com:8080");
+  ByteQueue q;
+  q.Append(request);
+  auto r = ParseStreamRequest(q);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.host, "example.com:8080");
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(HttpStreamTest, ResponseRoundTrip) {
+  ByteQueue q;
+  q.Append(BuildStreamResponse());
+  auto r = ParseStreamResponse(q);
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_TRUE(r.complete);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(HttpStreamTest, PartialHeadNeedsMoreBytes) {
+  ByteQueue q;
+  q.Append(std::string_view("POST /stream HTTP/1.1\r\nHost: x\r\n"));
+  auto r = ParseStreamRequest(q);
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_FALSE(r.complete);
+}
+
+TEST(HttpStreamTest, RejectsWrongPath) {
+  ByteQueue q;
+  q.Append(std::string_view(
+      "POST /other HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"));
+  EXPECT_EQ(ParseStreamRequest(q).status.code(), ErrorCode::kProtocol);
+}
+
+TEST(HttpStreamTest, RejectsMissingChunkedEncoding) {
+  ByteQueue q;
+  q.Append(std::string_view("POST /stream HTTP/1.1\r\nHost: x\r\n\r\n"));
+  EXPECT_EQ(ParseStreamRequest(q).status.code(), ErrorCode::kProtocol);
+}
+
+TEST(HttpStreamTest, RejectsNon200Response) {
+  ByteQueue q;
+  q.Append(std::string_view("HTTP/1.1 404 Not Found\r\n\r\n"));
+  EXPECT_EQ(ParseStreamResponse(q).status.code(), ErrorCode::kProtocol);
+}
+
+TEST(HttpStreamTest, ChunkRoundTrip) {
+  Bytes wire;
+  const Bytes payload{1, 2, 3, 4, 5};
+  EncodeChunk(BytesView(payload), wire);
+  ByteQueue q;
+  q.Append(BytesView(wire));
+  auto r = ExtractChunk(q);
+  ASSERT_TRUE(r.status.ok());
+  ASSERT_TRUE(r.payload.has_value());
+  EXPECT_EQ(*r.payload, payload);
+  EXPECT_FALSE(r.endOfStream);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(HttpStreamTest, ChunkSizeIsHex) {
+  Bytes wire;
+  const Bytes payload(255, 0x7A);  // 0xff
+  EncodeChunk(BytesView(payload), wire);
+  const std::string asText(wire.begin(), wire.begin() + 4);
+  EXPECT_EQ(asText, "ff\r\n");
+}
+
+TEST(HttpStreamTest, FinalChunkSignalsEndOfStream) {
+  Bytes wire;
+  EncodeFinalChunk(wire);
+  ByteQueue q;
+  q.Append(BytesView(wire));
+  auto r = ExtractChunk(q);
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_TRUE(r.endOfStream);
+  EXPECT_FALSE(r.payload.has_value());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(HttpStreamTest, ByteByByteFeedNeverErrors) {
+  Bytes wire;
+  Bytes payload(300);
+  Rng rng(1);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.Next());
+  EncodeChunk(BytesView(payload), wire);
+
+  ByteQueue q;
+  int produced = 0;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    q.Append(BytesView(wire).subspan(i, 1));
+    auto r = ExtractChunk(q);
+    ASSERT_TRUE(r.status.ok()) << "at byte " << i;
+    if (r.payload) {
+      ++produced;
+      EXPECT_EQ(*r.payload, payload);
+    }
+  }
+  EXPECT_EQ(produced, 1);
+}
+
+TEST(HttpStreamTest, BackToBackChunks) {
+  Bytes wire;
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    const Bytes payload(static_cast<std::size_t>(i) + 1, i);
+    EncodeChunk(BytesView(payload), wire);
+  }
+  ByteQueue q;
+  q.Append(BytesView(wire));
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    auto r = ExtractChunk(q);
+    ASSERT_TRUE(r.payload.has_value());
+    EXPECT_EQ(r.payload->size(), static_cast<std::size_t>(i) + 1);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(HttpStreamTest, ChunkExtensionsTolerated) {
+  ByteQueue q;
+  q.Append(std::string_view("3;ext=1\r\nabc\r\n"));
+  auto r = ExtractChunk(q);
+  ASSERT_TRUE(r.status.ok());
+  ASSERT_TRUE(r.payload.has_value());
+  EXPECT_EQ(AsStringView(BytesView(*r.payload)), "abc");
+}
+
+TEST(HttpStreamTest, RejectsBadSizeLine) {
+  ByteQueue q;
+  q.Append(std::string_view("zz\r\nxx\r\n"));
+  EXPECT_EQ(ExtractChunk(q).status.code(), ErrorCode::kProtocol);
+}
+
+TEST(HttpStreamTest, RejectsOversizedChunk) {
+  ByteQueue q;
+  q.Append(std::string_view("ffffff\r\n"));
+  EXPECT_EQ(ExtractChunk(q, /*maxChunk=*/1024).status.code(), ErrorCode::kProtocol);
+}
+
+TEST(HttpStreamTest, RejectsMissingTrailingCrlf) {
+  ByteQueue q;
+  q.Append(std::string_view("3\r\nabcXX"));
+  EXPECT_EQ(ExtractChunk(q).status.code(), ErrorCode::kProtocol);
+}
+
+TEST(HttpStreamTest, FuzzRandomBytesNeverCrash) {
+  Rng rng(77);
+  for (int i = 0; i < 2000; ++i) {
+    ByteQueue q;
+    Bytes junk(rng.NextBelow(100));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.Next());
+    q.Append(BytesView(junk));
+    for (int step = 0; step < 50; ++step) {
+      const std::size_t before = q.size();
+      auto r = ExtractChunk(q);
+      if (!r.status.ok() || (!r.payload && !r.endOfStream)) break;
+      if (q.size() == before) break;
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace md::http

@@ -1,0 +1,117 @@
+#include "simnet/cpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simnet/gc.hpp"
+
+namespace md::sim {
+namespace {
+
+TEST(SimCpuTest, SingleCoreSerializesWork) {
+  SimCpu cpu(1);
+  EXPECT_EQ(cpu.Charge(0, 100), 100);
+  EXPECT_EQ(cpu.Charge(0, 100), 200);  // queued behind the first
+  EXPECT_EQ(cpu.Charge(500, 100), 600);  // idle gap, starts immediately
+}
+
+TEST(SimCpuTest, MultiCoreRunsInParallel) {
+  SimCpu cpu(4);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(cpu.Charge(0, 100), 100);
+  EXPECT_EQ(cpu.Charge(0, 100), 200);  // fifth item queues
+}
+
+TEST(SimCpuTest, BusyTimeAccumulates) {
+  SimCpu cpu(2);
+  cpu.Charge(0, 100);
+  cpu.Charge(0, 50);
+  EXPECT_EQ(cpu.BusyTime(), 150);
+}
+
+TEST(SimCpuTest, UtilizationComputation) {
+  // 2 cores over a 1000ns window with 500ns total busy => 25%.
+  EXPECT_DOUBLE_EQ(SimCpu::Utilization(500, 1000, 2), 0.25);
+  EXPECT_DOUBLE_EQ(SimCpu::Utilization(0, 1000, 2), 0.0);
+  EXPECT_DOUBLE_EQ(SimCpu::Utilization(100, 0, 2), 0.0);
+}
+
+TEST(SimCpuTest, QueueingDelayEmergesNearSaturation) {
+  // Offered load of 2x capacity on one core: completion times fall behind
+  // arrival times linearly — the mechanism behind the paper's latency knee.
+  SimCpu cpu(1);
+  TimePoint lastDone = 0;
+  for (TimePoint arrive = 0; arrive < 1000; arrive += 50) {
+    lastDone = cpu.Charge(arrive, 100);
+  }
+  // 20 items x 100ns = 2000ns of work arriving over 1000ns.
+  EXPECT_EQ(lastDone, 2000);
+}
+
+TEST(SimCpuTest, ResetDropsBacklog) {
+  SimCpu cpu(1);
+  cpu.Charge(0, 1000);
+  cpu.Reset(50);
+  EXPECT_EQ(cpu.Charge(50, 10), 60);
+}
+
+TEST(StopTheWorldPausesTest, PushesCompletionPastPause) {
+  StopTheWorldPauses pauses({{100, 200}, {500, 800}});
+  EXPECT_EQ(pauses.Adjust(50), 50);    // before any pause
+  EXPECT_EQ(pauses.Adjust(100), 200);  // at pause start
+  EXPECT_EQ(pauses.Adjust(150), 200);  // inside
+  EXPECT_EQ(pauses.Adjust(200), 200);  // pause end is exclusive
+  EXPECT_EQ(pauses.Adjust(600), 800);
+  EXPECT_EQ(pauses.Adjust(900), 900);  // after all pauses
+}
+
+TEST(StopTheWorldPausesTest, CpuChargeRespectsPauses) {
+  StopTheWorldPauses pauses({{100, 300}});
+  SimCpu cpu(1);
+  cpu.SetPauseModel(&pauses);
+  // Work finishing at t=150 lands inside the pause; pushed to 300.
+  EXPECT_EQ(cpu.Charge(50, 100), 300);
+}
+
+TEST(ConcurrentCollectorTest, OverheadIsBounded) {
+  ConcurrentCollector gc(1000);
+  for (TimePoint t : {0L, 12345L, 999999999L}) {
+    const TimePoint adj = gc.Adjust(t);
+    EXPECT_GE(adj, t);
+    EXPECT_LE(adj, t + 1000);
+  }
+}
+
+TEST(ConcurrentCollectorTest, AdjustIsPure) {
+  ConcurrentCollector gc(1000);
+  EXPECT_EQ(gc.Adjust(777), gc.Adjust(777));
+}
+
+TEST(GenerateStwScheduleTest, CoversHorizonWithSortedPauses) {
+  GcProfile profile;
+  const auto sched = GenerateStwSchedule(profile, 10 * kMinute, Rng(3));
+  const auto& pauses = sched->pauses();
+  ASSERT_FALSE(pauses.empty());
+  TimePoint prevEnd = 0;
+  for (const auto& p : pauses) {
+    EXPECT_GE(p.start, prevEnd);
+    EXPECT_GT(p.end, p.start);
+    EXPECT_GE(p.end - p.start, kMillisecond);
+    prevEnd = p.end;
+  }
+  // ~10min / 4s mean interval => on the order of 150 pauses.
+  EXPECT_GT(pauses.size(), 50u);
+  EXPECT_LT(pauses.size(), 400u);
+}
+
+TEST(GenerateStwScheduleTest, DeterministicUnderSeed) {
+  GcProfile profile;
+  const auto a = GenerateStwSchedule(profile, kMinute, Rng(9));
+  const auto b = GenerateStwSchedule(profile, kMinute, Rng(9));
+  ASSERT_EQ(a->pauses().size(), b->pauses().size());
+  for (std::size_t i = 0; i < a->pauses().size(); ++i) {
+    EXPECT_EQ(a->pauses()[i].start, b->pauses()[i].start);
+    EXPECT_EQ(a->pauses()[i].end, b->pauses()[i].end);
+  }
+}
+
+}  // namespace
+}  // namespace md::sim

@@ -1,0 +1,152 @@
+#include "simnet/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace md::sim {
+namespace {
+
+class SimNetworkTest : public ::testing::Test {
+ protected:
+  Scheduler sched;
+  SimNetwork net{sched, Rng(1)};
+  HostId a = net.AddHost("a");
+  HostId b = net.AddHost("b");
+  HostId c = net.AddHost("c");
+};
+
+TEST_F(SimNetworkTest, DeliversAfterLatency) {
+  bool delivered = false;
+  net.Send(a, b, 100, [&] { delivered = true; });
+  EXPECT_FALSE(delivered);
+  sched.Run();
+  EXPECT_TRUE(delivered);
+  // Default latency 200us + up to 50us jitter + tx time.
+  EXPECT_GE(sched.Now(), 200 * kMicrosecond);
+  EXPECT_LE(sched.Now(), 300 * kMicrosecond);
+}
+
+TEST_F(SimNetworkTest, PerLinkFifoOrdering) {
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    net.Send(a, b, 100, [&order, i] { order.push_back(i); });
+  }
+  sched.Run();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST_F(SimNetworkTest, DownSenderDropsMessage) {
+  bool delivered = false;
+  net.SetHostUp(a, false);
+  net.Send(a, b, 100, [&] { delivered = true; });
+  sched.Run();
+  EXPECT_FALSE(delivered);
+}
+
+TEST_F(SimNetworkTest, ReceiverCrashDropsInFlight) {
+  bool delivered = false;
+  net.Send(a, b, 100, [&] { delivered = true; });
+  net.SetHostUp(b, false);  // crash before delivery event fires
+  sched.Run();
+  EXPECT_FALSE(delivered);
+}
+
+TEST_F(SimNetworkTest, PartitionBlocksBothDirections) {
+  net.Partition(a, b);
+  int delivered = 0;
+  net.Send(a, b, 10, [&] { ++delivered; });
+  net.Send(b, a, 10, [&] { ++delivered; });
+  net.Send(a, c, 10, [&] { ++delivered; });  // unaffected pair
+  sched.Run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST_F(SimNetworkTest, PartitionCutsInFlightTraffic) {
+  bool delivered = false;
+  net.Send(a, b, 10, [&] { delivered = true; });
+  net.Partition(a, b);  // partition happens while the packet is in flight
+  sched.Run();
+  EXPECT_FALSE(delivered);
+}
+
+TEST_F(SimNetworkTest, HealRestoresDelivery) {
+  net.Partition(a, b);
+  net.Heal(a, b);
+  bool delivered = false;
+  net.Send(a, b, 10, [&] { delivered = true; });
+  sched.Run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST_F(SimNetworkTest, IsolateCutsFromAllPeers) {
+  net.Isolate(a);
+  int delivered = 0;
+  net.Send(a, b, 10, [&] { ++delivered; });
+  net.Send(a, c, 10, [&] { ++delivered; });
+  net.Send(b, c, 10, [&] { ++delivered; });  // other pairs unaffected
+  sched.Run();
+  EXPECT_EQ(delivered, 1);
+  net.HealAll(a);
+  net.Send(a, b, 10, [&] { ++delivered; });
+  sched.Run();
+  EXPECT_EQ(delivered, 2);
+}
+
+TEST_F(SimNetworkTest, BandwidthSerializesLargeTransfers) {
+  // 1 MB at 1 MB/s takes 1 s of transmit time per message.
+  LinkParams slow;
+  slow.latency = 0;
+  slow.jitter = 0;
+  slow.bandwidthBytesPerSec = 1e6;
+  net.SetLink(a, b, slow);
+  std::vector<TimePoint> deliveries;
+  for (int i = 0; i < 3; ++i) {
+    net.Send(a, b, 1'000'000, [&] { deliveries.push_back(sched.Now()); });
+  }
+  sched.Run();
+  ASSERT_EQ(deliveries.size(), 3u);
+  EXPECT_NEAR(static_cast<double>(deliveries[0]), 1e9, 1e7);
+  EXPECT_NEAR(static_cast<double>(deliveries[1]), 2e9, 1e7);
+  EXPECT_NEAR(static_cast<double>(deliveries[2]), 3e9, 1e7);
+}
+
+TEST_F(SimNetworkTest, LossyLinkDropsSomeMessages) {
+  LinkParams lossy;
+  lossy.lossProb = 0.5;
+  net.SetLink(a, b, lossy);
+  int delivered = 0;
+  for (int i = 0; i < 1000; ++i) {
+    net.Send(a, b, 10, [&] { ++delivered; });
+  }
+  sched.Run();
+  EXPECT_GT(delivered, 350);
+  EXPECT_LT(delivered, 650);
+}
+
+TEST_F(SimNetworkTest, DeterministicUnderSameSeed) {
+  auto run = [](std::uint64_t seed) {
+    Scheduler sched;
+    SimNetwork net(sched, Rng(seed));
+    const HostId x = net.AddHost("x");
+    const HostId y = net.AddHost("y");
+    std::vector<TimePoint> times;
+    for (int i = 0; i < 20; ++i) {
+      net.Send(x, y, 100, [&times, &sched] { times.push_back(sched.Now()); });
+    }
+    sched.Run();
+    return times;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST_F(SimNetworkTest, HostNamesAndCount) {
+  EXPECT_EQ(net.HostCount(), 3u);
+  EXPECT_EQ(net.HostName(a), "a");
+  EXPECT_TRUE(net.IsUp(c));
+}
+
+}  // namespace
+}  // namespace md::sim

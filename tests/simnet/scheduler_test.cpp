@@ -1,0 +1,137 @@
+#include "simnet/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace md::sim {
+namespace {
+
+TEST(SchedulerTest, EventsRunInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.Schedule(30, [&] { order.push_back(3); });
+  s.Schedule(10, [&] { order.push_back(1); });
+  s.Schedule(20, [&] { order.push_back(2); });
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.Now(), 30);
+}
+
+TEST(SchedulerTest, TiesBreakByInsertionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.Schedule(5, [&order, i] { order.push_back(i); });
+  }
+  s.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SchedulerTest, NowAdvancesOnlyOnEvents) {
+  Scheduler s;
+  EXPECT_EQ(s.Now(), 0);
+  s.Schedule(100, [] {});
+  EXPECT_EQ(s.Now(), 0);
+  s.Run();
+  EXPECT_EQ(s.Now(), 100);
+}
+
+TEST(SchedulerTest, EventsCanScheduleMoreEvents) {
+  Scheduler s;
+  std::vector<TimePoint> times;
+  std::function<void()> recur = [&] {
+    times.push_back(s.Now());
+    if (times.size() < 5) s.Schedule(10, recur);
+  };
+  s.Schedule(10, recur);
+  s.Run();
+  EXPECT_EQ(times, (std::vector<TimePoint>{10, 20, 30, 40, 50}));
+}
+
+TEST(SchedulerTest, CancelPreventsExecution) {
+  Scheduler s;
+  bool ran = false;
+  const TimerId id = s.Schedule(10, [&] { ran = true; });
+  s.Cancel(id);
+  s.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SchedulerTest, CancelAfterFireIsHarmless) {
+  Scheduler s;
+  int runs = 0;
+  const TimerId id = s.Schedule(10, [&] { ++runs; });
+  s.Run();
+  s.Cancel(id);
+  s.Schedule(5, [&] { ++runs; });
+  s.Run();
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(SchedulerTest, RunUntilStopsAtDeadline) {
+  Scheduler s;
+  std::vector<TimePoint> fired;
+  for (TimePoint t = 10; t <= 100; t += 10) {
+    s.ScheduleAt(t, [&fired, &s] { fired.push_back(s.Now()); });
+  }
+  s.RunUntil(45);
+  EXPECT_EQ(fired, (std::vector<TimePoint>{10, 20, 30, 40}));
+  EXPECT_EQ(s.Now(), 45);
+  s.RunUntil(100);
+  EXPECT_EQ(fired.size(), 10u);
+}
+
+TEST(SchedulerTest, RunForIsRelative) {
+  Scheduler s;
+  int count = 0;
+  s.Schedule(10, [&] { ++count; });
+  s.Schedule(30, [&] { ++count; });
+  s.RunFor(20);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(s.Now(), 20);
+  s.RunFor(20);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SchedulerTest, PastEventsClampToNow) {
+  Scheduler s;
+  s.Schedule(50, [] {});
+  s.Run();
+  TimePoint firedAt = -1;
+  s.ScheduleAt(10, [&] { firedAt = s.Now(); });  // in the past
+  s.Run();
+  EXPECT_EQ(firedAt, 50);
+}
+
+TEST(SchedulerTest, NegativeDelayClampsToNow) {
+  Scheduler s;
+  s.Schedule(50, [] {});
+  s.Run();
+  TimePoint firedAt = -1;
+  s.Schedule(-100, [&] { firedAt = s.Now(); });
+  s.Run();
+  EXPECT_EQ(firedAt, 50);
+}
+
+TEST(SchedulerTest, PendingAndExecutedCounts) {
+  Scheduler s;
+  s.Schedule(1, [] {});
+  s.Schedule(2, [] {});
+  EXPECT_EQ(s.PendingEvents(), 2u);
+  s.Run();
+  EXPECT_EQ(s.PendingEvents(), 0u);
+  EXPECT_EQ(s.ExecutedEvents(), 2u);
+}
+
+TEST(SimClockTest, TracksSchedulerTime) {
+  Scheduler s;
+  SimClock clock(s);
+  EXPECT_EQ(clock.Now(), 0);
+  s.Schedule(42, [] {});
+  s.Run();
+  EXPECT_EQ(clock.Now(), 42);
+}
+
+}  // namespace
+}  // namespace md::sim

@@ -1,0 +1,72 @@
+// Minimal command-line flag parsing for the CLI tools (no external deps).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace md::tools {
+
+/// Parses "--key value" and "--key=value" pairs; positional args rejected.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        Add(arg.substr(0, eq), arg.substr(eq + 1));
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        Add(arg, argv[++i]);
+      } else {
+        Add(arg, "true");  // bare flag
+      }
+    }
+  }
+
+  [[nodiscard]] std::string Get(const std::string& key,
+                                const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() || it->second.empty() ? fallback
+                                                     : it->second.back();
+  }
+
+  [[nodiscard]] long GetInt(const std::string& key, long fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end() || it->second.empty()) return fallback;
+    return std::atol(it->second.back().c_str());
+  }
+
+  [[nodiscard]] bool GetBool(const std::string& key, bool fallback = false) const {
+    const auto it = values_.find(key);
+    if (it == values_.end() || it->second.empty()) return fallback;
+    return it->second.back() == "true" || it->second.back() == "1";
+  }
+
+  /// All values given for a repeatable flag (e.g. --peer ... --peer ...).
+  [[nodiscard]] std::vector<std::string> GetAll(const std::string& key) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? std::vector<std::string>{} : it->second;
+  }
+
+  [[nodiscard]] bool Has(const std::string& key) const {
+    return values_.contains(key);
+  }
+
+ private:
+  void Add(const std::string& key, std::string value) {
+    values_[key].push_back(std::move(value));
+  }
+
+  std::map<std::string, std::vector<std::string>> values_;
+};
+
+}  // namespace md::tools
