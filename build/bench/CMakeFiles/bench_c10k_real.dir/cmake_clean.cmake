@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c10k_real.dir/bench_c10k_real.cpp.o"
+  "CMakeFiles/bench_c10k_real.dir/bench_c10k_real.cpp.o.d"
+  "bench_c10k_real"
+  "bench_c10k_real.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c10k_real.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

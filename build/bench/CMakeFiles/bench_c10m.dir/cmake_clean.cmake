@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c10m.dir/bench_c10m.cpp.o"
+  "CMakeFiles/bench_c10m.dir/bench_c10m.cpp.o.d"
+  "bench_c10m"
+  "bench_c10m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c10m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

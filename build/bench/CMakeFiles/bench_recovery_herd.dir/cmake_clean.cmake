@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recovery_herd.dir/bench_recovery_herd.cpp.o"
+  "CMakeFiles/bench_recovery_herd.dir/bench_recovery_herd.cpp.o.d"
+  "bench_recovery_herd"
+  "bench_recovery_herd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recovery_herd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

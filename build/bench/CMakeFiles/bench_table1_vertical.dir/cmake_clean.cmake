@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_vertical.dir/bench_table1_vertical.cpp.o"
+  "CMakeFiles/bench_table1_vertical.dir/bench_table1_vertical.cpp.o.d"
+  "bench_table1_vertical"
+  "bench_table1_vertical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_vertical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_failover.dir/bench_table2_failover.cpp.o"
+  "CMakeFiles/bench_table2_failover.dir/bench_table2_failover.cpp.o.d"
+  "bench_table2_failover"
+  "bench_table2_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

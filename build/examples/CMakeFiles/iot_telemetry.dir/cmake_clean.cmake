@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iot_telemetry.dir/iot_telemetry.cpp.o"
+  "CMakeFiles/iot_telemetry.dir/iot_telemetry.cpp.o.d"
+  "iot_telemetry"
+  "iot_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iot_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

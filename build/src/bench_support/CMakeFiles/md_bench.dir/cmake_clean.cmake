@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_bench.dir/engine_model.cpp.o"
+  "CMakeFiles/md_bench.dir/engine_model.cpp.o.d"
+  "libmd_bench.a"
+  "libmd_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_client.dir/client.cpp.o"
+  "CMakeFiles/md_client.dir/client.cpp.o.d"
+  "libmd_client.a"
+  "libmd_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

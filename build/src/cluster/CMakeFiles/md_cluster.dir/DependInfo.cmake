@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/node.cpp" "src/cluster/CMakeFiles/md_cluster.dir/node.cpp.o" "gcc" "src/cluster/CMakeFiles/md_cluster.dir/node.cpp.o.d"
+  "/root/repo/src/cluster/tcp_host.cpp" "src/cluster/CMakeFiles/md_cluster.dir/tcp_host.cpp.o" "gcc" "src/cluster/CMakeFiles/md_cluster.dir/tcp_host.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/md_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/md_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/md_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/coord/CMakeFiles/md_coord.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/md_transport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

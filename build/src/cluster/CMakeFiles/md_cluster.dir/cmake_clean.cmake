@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_cluster.dir/node.cpp.o"
+  "CMakeFiles/md_cluster.dir/node.cpp.o.d"
+  "CMakeFiles/md_cluster.dir/tcp_host.cpp.o"
+  "CMakeFiles/md_cluster.dir/tcp_host.cpp.o.d"
+  "libmd_cluster.a"
+  "libmd_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

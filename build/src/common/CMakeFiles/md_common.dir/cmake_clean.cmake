@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_common.dir/histogram.cpp.o"
+  "CMakeFiles/md_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/md_common.dir/logging.cpp.o"
+  "CMakeFiles/md_common.dir/logging.cpp.o.d"
+  "CMakeFiles/md_common.dir/sha1.cpp.o"
+  "CMakeFiles/md_common.dir/sha1.cpp.o.d"
+  "CMakeFiles/md_common.dir/status.cpp.o"
+  "CMakeFiles/md_common.dir/status.cpp.o.d"
+  "CMakeFiles/md_common.dir/strutil.cpp.o"
+  "CMakeFiles/md_common.dir/strutil.cpp.o.d"
+  "libmd_common.a"
+  "libmd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_coord.dir/codec.cpp.o"
+  "CMakeFiles/md_coord.dir/codec.cpp.o.d"
+  "CMakeFiles/md_coord.dir/node.cpp.o"
+  "CMakeFiles/md_coord.dir/node.cpp.o.d"
+  "CMakeFiles/md_coord.dir/store.cpp.o"
+  "CMakeFiles/md_coord.dir/store.cpp.o.d"
+  "libmd_coord.a"
+  "libmd_coord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_coord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

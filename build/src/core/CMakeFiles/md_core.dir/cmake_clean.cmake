@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_core.dir/cache.cpp.o"
+  "CMakeFiles/md_core.dir/cache.cpp.o.d"
+  "CMakeFiles/md_core.dir/registry.cpp.o"
+  "CMakeFiles/md_core.dir/registry.cpp.o.d"
+  "CMakeFiles/md_core.dir/server.cpp.o"
+  "CMakeFiles/md_core.dir/server.cpp.o.d"
+  "libmd_core.a"
+  "libmd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/codec.cpp" "src/proto/CMakeFiles/md_proto.dir/codec.cpp.o" "gcc" "src/proto/CMakeFiles/md_proto.dir/codec.cpp.o.d"
+  "/root/repo/src/proto/http_stream.cpp" "src/proto/CMakeFiles/md_proto.dir/http_stream.cpp.o" "gcc" "src/proto/CMakeFiles/md_proto.dir/http_stream.cpp.o.d"
+  "/root/repo/src/proto/websocket.cpp" "src/proto/CMakeFiles/md_proto.dir/websocket.cpp.o" "gcc" "src/proto/CMakeFiles/md_proto.dir/websocket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/md_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_proto.dir/codec.cpp.o"
+  "CMakeFiles/md_proto.dir/codec.cpp.o.d"
+  "CMakeFiles/md_proto.dir/http_stream.cpp.o"
+  "CMakeFiles/md_proto.dir/http_stream.cpp.o.d"
+  "CMakeFiles/md_proto.dir/websocket.cpp.o"
+  "CMakeFiles/md_proto.dir/websocket.cpp.o.d"
+  "libmd_proto.a"
+  "libmd_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

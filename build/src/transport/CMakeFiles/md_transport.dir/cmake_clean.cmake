@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_transport.dir/epoll_loop.cpp.o"
+  "CMakeFiles/md_transport.dir/epoll_loop.cpp.o.d"
+  "CMakeFiles/md_transport.dir/inproc.cpp.o"
+  "CMakeFiles/md_transport.dir/inproc.cpp.o.d"
+  "libmd_transport.a"
+  "libmd_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

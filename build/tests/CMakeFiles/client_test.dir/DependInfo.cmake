@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/client/client_test.cpp" "tests/CMakeFiles/client_test.dir/client/client_test.cpp.o" "gcc" "tests/CMakeFiles/client_test.dir/client/client_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/md_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/md_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/md_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/md_proto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster/cluster_test.cpp" "tests/CMakeFiles/cluster_test.dir/cluster/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/cluster_test.cpp.o.d"
+  "/root/repo/tests/cluster/determinism_test.cpp" "tests/CMakeFiles/cluster_test.dir/cluster/determinism_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/determinism_test.cpp.o.d"
+  "/root/repo/tests/cluster/node_unit_test.cpp" "tests/CMakeFiles/cluster_test.dir/cluster/node_unit_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/node_unit_test.cpp.o.d"
+  "/root/repo/tests/cluster/protocol_edge_test.cpp" "tests/CMakeFiles/cluster_test.dir/cluster/protocol_edge_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/protocol_edge_test.cpp.o.d"
+  "/root/repo/tests/cluster/replication_degree_test.cpp" "tests/CMakeFiles/cluster_test.dir/cluster/replication_degree_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/replication_degree_test.cpp.o.d"
+  "/root/repo/tests/cluster/tcp_host_test.cpp" "tests/CMakeFiles/cluster_test.dir/cluster/tcp_host_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/tcp_host_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/md_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/md_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/md_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/md_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/coord/CMakeFiles/md_coord.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/md_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/md_transport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/coord/codec_test.cpp" "tests/CMakeFiles/coord_test.dir/coord/codec_test.cpp.o" "gcc" "tests/CMakeFiles/coord_test.dir/coord/codec_test.cpp.o.d"
+  "/root/repo/tests/coord/node_test.cpp" "tests/CMakeFiles/coord_test.dir/coord/node_test.cpp.o" "gcc" "tests/CMakeFiles/coord_test.dir/coord/node_test.cpp.o.d"
+  "/root/repo/tests/coord/raft_log_test.cpp" "tests/CMakeFiles/coord_test.dir/coord/raft_log_test.cpp.o" "gcc" "tests/CMakeFiles/coord_test.dir/coord/raft_log_test.cpp.o.d"
+  "/root/repo/tests/coord/session_test.cpp" "tests/CMakeFiles/coord_test.dir/coord/session_test.cpp.o" "gcc" "tests/CMakeFiles/coord_test.dir/coord/session_test.cpp.o.d"
+  "/root/repo/tests/coord/store_test.cpp" "tests/CMakeFiles/coord_test.dir/coord/store_test.cpp.o" "gcc" "tests/CMakeFiles/coord_test.dir/coord/store_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/md_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/coord/CMakeFiles/md_coord.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coord_test.dir/coord/codec_test.cpp.o"
+  "CMakeFiles/coord_test.dir/coord/codec_test.cpp.o.d"
+  "CMakeFiles/coord_test.dir/coord/node_test.cpp.o"
+  "CMakeFiles/coord_test.dir/coord/node_test.cpp.o.d"
+  "CMakeFiles/coord_test.dir/coord/raft_log_test.cpp.o"
+  "CMakeFiles/coord_test.dir/coord/raft_log_test.cpp.o.d"
+  "CMakeFiles/coord_test.dir/coord/session_test.cpp.o"
+  "CMakeFiles/coord_test.dir/coord/session_test.cpp.o.d"
+  "CMakeFiles/coord_test.dir/coord/store_test.cpp.o"
+  "CMakeFiles/coord_test.dir/coord/store_test.cpp.o.d"
+  "coord_test"
+  "coord_test.pdb"
+  "coord_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coord_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

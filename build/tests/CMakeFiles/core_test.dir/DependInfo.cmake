@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/batcher_test.cpp" "tests/CMakeFiles/core_test.dir/core/batcher_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/batcher_test.cpp.o.d"
+  "/root/repo/tests/core/cache_test.cpp" "tests/CMakeFiles/core_test.dir/core/cache_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/cache_test.cpp.o.d"
+  "/root/repo/tests/core/conflation_test.cpp" "tests/CMakeFiles/core_test.dir/core/conflation_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/conflation_test.cpp.o.d"
+  "/root/repo/tests/core/registry_test.cpp" "tests/CMakeFiles/core_test.dir/core/registry_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/registry_test.cpp.o.d"
+  "/root/repo/tests/core/sequencer_test.cpp" "tests/CMakeFiles/core_test.dir/core/sequencer_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/sequencer_test.cpp.o.d"
+  "/root/repo/tests/core/server_test.cpp" "tests/CMakeFiles/core_test.dir/core/server_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/server_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/md_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/md_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/md_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/md_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/md_transport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/proto/codec_test.cpp" "tests/CMakeFiles/proto_test.dir/proto/codec_test.cpp.o" "gcc" "tests/CMakeFiles/proto_test.dir/proto/codec_test.cpp.o.d"
+  "/root/repo/tests/proto/fuzz_test.cpp" "tests/CMakeFiles/proto_test.dir/proto/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/proto_test.dir/proto/fuzz_test.cpp.o.d"
+  "/root/repo/tests/proto/http_stream_test.cpp" "tests/CMakeFiles/proto_test.dir/proto/http_stream_test.cpp.o" "gcc" "tests/CMakeFiles/proto_test.dir/proto/http_stream_test.cpp.o.d"
+  "/root/repo/tests/proto/websocket_test.cpp" "tests/CMakeFiles/proto_test.dir/proto/websocket_test.cpp.o" "gcc" "tests/CMakeFiles/proto_test.dir/proto/websocket_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/md_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/md_proto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

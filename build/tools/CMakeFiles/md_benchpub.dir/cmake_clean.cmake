@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_benchpub.dir/md_benchpub.cpp.o"
+  "CMakeFiles/md_benchpub.dir/md_benchpub.cpp.o.d"
+  "md_benchpub"
+  "md_benchpub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_benchpub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_benchsub.dir/md_benchsub.cpp.o"
+  "CMakeFiles/md_benchsub.dir/md_benchsub.cpp.o.d"
+  "md_benchsub"
+  "md_benchsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_benchsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

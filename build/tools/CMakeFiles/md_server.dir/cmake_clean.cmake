@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_server.dir/md_server.cpp.o"
+  "CMakeFiles/md_server.dir/md_server.cpp.o.d"
+  "md_server"
+  "md_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
