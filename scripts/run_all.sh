@@ -2,10 +2,19 @@
 # Regenerates the recorded outputs at the repository root:
 #   test_output.txt  — full ctest run
 #   bench_output.txt — every bench binary (paper tables/figures + ablations)
+# and smoke-checks the reliability tooling: the chaos suite under
+# AddressSanitizer plus a 50-seed md_chaos sweep.
 set -u
 cd "$(dirname "$0")/.."
 cmake -B build -G Ninja && cmake --build build || exit 1
 ctest --test-dir build 2>&1 | tee test_output.txt
+
+# Chaos harness under ASan: the fault paths (crash teardown, reconnection
+# sync, gap-stall timers) are where lifetime bugs would hide.
+cmake -B build-asan -G Ninja -DMD_SANITIZE=address \
+  && cmake --build build-asan --target chaos_test md_chaos || exit 1
+./build-asan/tests/chaos_test || exit 1
+./build-asan/tools/md_chaos --seeds 50 || exit 1
 : > bench_output.txt
 for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue

@@ -420,6 +420,7 @@ void Client::HandleDeliver(const Message& msg) {
 
   if (IsDuplicate(msg, ts)) {
     ++stats_.duplicatesFiltered;
+    if (deliveryObserver_) deliveryObserver_(msg, /*duplicate=*/true);
     return;
   }
   RememberPubId(msg.pubId);
@@ -440,6 +441,7 @@ void Client::HandleDeliver(const Message& msg) {
   }
   ts.lastPos = PosOf(msg);
   ++stats_.messagesReceived;
+  if (deliveryObserver_) deliveryObserver_(msg, /*duplicate=*/false);
   if (ts.handler) ts.handler(msg);
 }
 

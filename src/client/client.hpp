@@ -119,6 +119,16 @@ class Client {
     connectionListener_ = std::move(listener);
   }
 
+  /// Observation tap for verification harnesses (chaos tests): fires for
+  /// every DELIVER frame of a subscribed topic, with `duplicate` telling
+  /// whether the client-side filter suppressed it. Calls with
+  /// `duplicate == false` are exactly the application-visible stream, in
+  /// delivery order. No protocol effect.
+  using DeliveryObserver = std::function<void(const Message&, bool duplicate)>;
+  void SetDeliveryObserver(DeliveryObserver observer) {
+    deliveryObserver_ = std::move(observer);
+  }
+
   /// The reconnect delay the library would pick for the given attempt
   /// number (1-based) — exposed so benchmarks/operators can study the herd
   /// behaviour of a policy with the exact production formula.
@@ -202,6 +212,7 @@ class Client {
 
   ClientStats stats_;
   ConnectionListener connectionListener_;
+  DeliveryObserver deliveryObserver_;
 };
 
 }  // namespace md::client

@@ -1,0 +1,636 @@
+// Deterministic chaos harness (FoundationDB-style simulation testing).
+//
+// From a single seed, FaultPlan::Generate derives a randomized schedule of
+// serialized fault windows — server crashes (with restart), server partitions
+// (with heal), and inter-server link flaps — which ChaosDriver applies to a
+// SimCluster while real client-library publishers and subscribers run
+// traffic through it. An InvariantChecker observes every client's
+// post-filter delivery stream and checks the paper's §5 guarantees:
+//
+//   [order]     per (subscriber, topic): strictly increasing (epoch, seq),
+//   [dup]       per (subscriber, topic): no publication delivered twice,
+//   [agreement] one publication per (topic, position) across all clients
+//               (two subscribers never see different data at one position),
+//   [loss]      every acked publication reaches every subscriber of its
+//               topic (all runs fit inside the cache retention window),
+//   [fence]     a server partitioned from its peers long enough to detect
+//               quorum loss has self-fenced and closed its local clients,
+//   [cache]     after heal + quiesce, every server's cache holds every
+//               acked publication (replication + reconstruction, §5.2.2),
+//
+// The fault windows are serialized (at most one server-level fault active at
+// a time) to stay inside the paper's single-fault model; concurrent faults
+// can legitimately lose messages. Everything — fault schedule, client
+// randomness, link-level duplication — derives from the seed, so a run
+// replays byte-identically: ChaosReport::trace is comparable across runs and
+// any violation is reproducible from its `--seed N --events ...` line alone.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "client/client.hpp"
+#include "cluster/sim_cluster.hpp"
+
+namespace md::cluster {
+
+// ---------------------------------------------------------------------------
+// Fault plans
+// ---------------------------------------------------------------------------
+
+struct FaultEvent {
+  enum class Kind : std::uint8_t { kCrash, kPartition, kLinkFlap };
+  Kind kind = Kind::kCrash;
+  std::size_t victim = 0;
+  std::size_t peer = 0;     // second endpoint, kLinkFlap only
+  Duration at = 0;          // offset from chaos start (ms granularity)
+  Duration duration = 0;    // fault window; then restart / heal
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+inline const char* FaultKindName(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::kCrash: return "crash";
+    case FaultEvent::Kind::kPartition: return "part";
+    case FaultEvent::Kind::kLinkFlap: return "flap";
+  }
+  return "?";
+}
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::size_t servers = 3;
+  std::vector<FaultEvent> events;
+
+  /// Randomized serialized fault windows. Partition windows are long enough
+  /// for quorum-loss detection (so [fence] can be asserted); gaps between
+  /// windows leave room for cache reconstruction, keeping the schedule
+  /// inside the single-fault model. All times have millisecond granularity
+  /// so ToString()/Parse() round-trip exactly.
+  static FaultPlan Generate(std::uint64_t seed, std::size_t servers,
+                            std::size_t minEvents) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.servers = servers;
+    Rng rng(seed ^ 0x5DEECE66DULL);
+    const std::size_t count = minEvents + rng.NextBelow(3);
+    std::int64_t atMs = 1000 + static_cast<std::int64_t>(rng.NextBelow(1000));
+    for (std::size_t i = 0; i < count; ++i) {
+      FaultEvent ev;
+      const std::uint64_t roll = rng.NextBelow(10);
+      std::int64_t durMs = 0;
+      if (roll < 4) {
+        ev.kind = FaultEvent::Kind::kCrash;
+        durMs = 2000 + static_cast<std::int64_t>(rng.NextBelow(2500));
+      } else if (roll < 8 || servers < 2) {
+        ev.kind = FaultEvent::Kind::kPartition;
+        durMs = 5000 + static_cast<std::int64_t>(rng.NextBelow(2500));
+      } else {
+        ev.kind = FaultEvent::Kind::kLinkFlap;
+        durMs = 1000 + static_cast<std::int64_t>(rng.NextBelow(2000));
+      }
+      ev.victim = rng.NextBelow(servers);
+      if (ev.kind == FaultEvent::Kind::kLinkFlap) {
+        ev.peer = (ev.victim + 1 + rng.NextBelow(servers - 1)) % servers;
+      }
+      ev.at = atMs * kMillisecond;
+      ev.duration = durMs * kMillisecond;
+      plan.events.push_back(ev);
+      atMs += durMs + 5000 + static_cast<std::int64_t>(rng.NextBelow(3000));
+    }
+    return plan;
+  }
+
+  /// Fault window horizon: when the last recovery action fires.
+  [[nodiscard]] Duration Horizon() const {
+    Duration h = 0;
+    for (const auto& ev : events) h = std::max(h, ev.at + ev.duration);
+    return h;
+  }
+
+  /// Compact repro form: "crash:1@3200+2500;flap:0-2@9900+1500;..."
+  /// (victim[-peer]@startMs+durationMs).
+  [[nodiscard]] std::string ToString() const {
+    std::string out;
+    for (const auto& ev : events) {
+      if (!out.empty()) out += ';';
+      out += FaultKindName(ev.kind);
+      out += ':' + std::to_string(ev.victim);
+      if (ev.kind == FaultEvent::Kind::kLinkFlap) {
+        out += '-' + std::to_string(ev.peer);
+      }
+      out += '@' + std::to_string(ev.at / kMillisecond);
+      out += '+' + std::to_string(ev.duration / kMillisecond);
+    }
+    return out;
+  }
+
+  /// Inverse of ToString(). Returns nullopt on malformed input.
+  static std::optional<FaultPlan> Parse(const std::string& text,
+                                        std::size_t servers = 3) {
+    FaultPlan plan;
+    plan.servers = servers;
+    std::size_t start = 0;
+    while (start < text.size()) {
+      std::size_t end = text.find(';', start);
+      if (end == std::string::npos) end = text.size();
+      const std::string item = text.substr(start, end - start);
+      start = end + 1;
+      if (item.empty()) continue;
+
+      const auto colon = item.find(':');
+      const auto atPos = item.find('@');
+      const auto plus = item.find('+');
+      if (colon == std::string::npos || atPos == std::string::npos ||
+          plus == std::string::npos || colon > atPos || atPos > plus) {
+        return std::nullopt;
+      }
+      FaultEvent ev;
+      const std::string kind = item.substr(0, colon);
+      if (kind == "crash") {
+        ev.kind = FaultEvent::Kind::kCrash;
+      } else if (kind == "part") {
+        ev.kind = FaultEvent::Kind::kPartition;
+      } else if (kind == "flap") {
+        ev.kind = FaultEvent::Kind::kLinkFlap;
+      } else {
+        return std::nullopt;
+      }
+      try {
+        std::string who = item.substr(colon + 1, atPos - colon - 1);
+        const auto dash = who.find('-');
+        if (dash != std::string::npos) {
+          ev.peer = std::stoul(who.substr(dash + 1));
+          who = who.substr(0, dash);
+        } else if (ev.kind == FaultEvent::Kind::kLinkFlap) {
+          return std::nullopt;
+        }
+        ev.victim = std::stoul(who);
+        ev.at = std::stoll(item.substr(atPos + 1, plus - atPos - 1)) * kMillisecond;
+        ev.duration = std::stoll(item.substr(plus + 1)) * kMillisecond;
+      } catch (...) {
+        return std::nullopt;
+      }
+      if (ev.victim >= servers || ev.peer >= servers || ev.at < 0 ||
+          ev.duration <= 0) {
+        return std::nullopt;
+      }
+      plan.events.push_back(ev);
+    }
+    return plan;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Invariant checking
+// ---------------------------------------------------------------------------
+
+class InvariantChecker {
+ public:
+  /// Declare that `subscriber` subscribes to `topic` (before traffic starts);
+  /// the [loss] check only covers declared subscriptions.
+  void AddSubscription(const std::string& subscriber, const std::string& topic) {
+    topicSubscribers_[topic].insert(subscriber);
+  }
+
+  /// Record a DELIVER observed at `subscriber` (duplicate = suppressed by the
+  /// client-side filter; only post-filter deliveries enter the streams).
+  void OnDelivery(const std::string& subscriber, const Message& m,
+                  bool duplicate) {
+    if (duplicate) {
+      ++duplicatesFiltered_;
+      return;
+    }
+    ++deliveries_;
+    streams_[{subscriber, m.topic}].push_back({PosOf(m), m.pubId, m.payload});
+  }
+
+  /// Record a successful publish acknowledgement.
+  void OnAck(const std::string& topic, const PublicationId& id) {
+    ++acked_;
+    ackedByTopic_[topic].push_back(id);
+  }
+
+  /// Fencing state of a partitioned server, sampled at the end of a
+  /// partition window that exceeded the detection threshold.
+  void OnPartitionObservation(std::size_t server, bool fenced,
+                              std::size_t localClients) {
+    partitionObs_.push_back({server, fenced, localClients});
+  }
+
+  /// Post-quiesce fencing state of every server (all faults healed).
+  void OnFinalFenceState(std::size_t server, bool fenced) {
+    if (fenced) {
+      violations_.push_back("[fence] server " + std::to_string(server) +
+                            " still fenced after all faults healed");
+    }
+  }
+
+  /// Post-quiesce cache contents of one server for one topic.
+  void OnFinalCache(std::size_t server, const std::string& topic,
+                    std::set<PublicationId> ids) {
+    finalCaches_[{server, topic}] = std::move(ids);
+    haveFinalCaches_ = true;
+  }
+
+  [[nodiscard]] std::uint64_t deliveries() const noexcept { return deliveries_; }
+  [[nodiscard]] std::uint64_t duplicatesFiltered() const noexcept {
+    return duplicatesFiltered_;
+  }
+  [[nodiscard]] std::uint64_t acked() const noexcept { return acked_; }
+
+  /// Runs every check; an empty result means all invariants held.
+  [[nodiscard]] std::vector<std::string> Check() const {
+    std::vector<std::string> out = violations_;
+
+    // [order] + [dup] per (subscriber, topic) stream.
+    std::map<std::pair<std::string, std::string>, std::set<PublicationId>>
+        streamIds;
+    for (const auto& [key, stream] : streams_) {
+      auto& ids = streamIds[key];
+      for (std::size_t i = 0; i < stream.size(); ++i) {
+        if (i > 0 && !(stream[i - 1].pos < stream[i].pos)) {
+          out.push_back("[order] " + key.first + "/" + key.second + ": pos " +
+                        PosStr(stream[i].pos) + " delivered after " +
+                        PosStr(stream[i - 1].pos));
+        }
+        if (!ids.insert(stream[i].id).second) {
+          out.push_back("[dup] " + key.first + "/" + key.second +
+                        ": publication " + IdStr(stream[i].id) +
+                        " delivered twice");
+        }
+      }
+    }
+
+    // [agreement] one publication (and payload) per (topic, position).
+    std::map<std::pair<std::string, StreamPos>,
+             std::pair<PublicationId, Bytes>> byPos;
+    for (const auto& [key, stream] : streams_) {
+      for (const auto& d : stream) {
+        const auto [it, inserted] =
+            byPos.try_emplace({key.second, d.pos}, d.id, d.payload);
+        if (!inserted &&
+            (it->second.first != d.id || it->second.second != d.payload)) {
+          out.push_back("[agreement] " + key.second + " pos " + PosStr(d.pos) +
+                        ": " + IdStr(it->second.first) + " vs " + IdStr(d.id));
+        }
+      }
+    }
+
+    // [loss] every acked publication reached every declared subscriber.
+    for (const auto& [topic, ids] : ackedByTopic_) {
+      const auto subsIt = topicSubscribers_.find(topic);
+      if (subsIt == topicSubscribers_.end()) continue;
+      for (const auto& sub : subsIt->second) {
+        const auto streamIt = streamIds.find({sub, topic});
+        for (const auto& id : ids) {
+          if (streamIt == streamIds.end() || !streamIt->second.contains(id)) {
+            out.push_back("[loss] acked publication " + IdStr(id) + " on " +
+                          topic + " never delivered to " + sub);
+          }
+        }
+      }
+    }
+
+    // [fence] partitioned minority servers self-fenced and shed clients.
+    for (const auto& obs : partitionObs_) {
+      if (!obs.fenced) {
+        out.push_back("[fence] server " + std::to_string(obs.server) +
+                      " not fenced at end of partition window");
+      } else if (obs.localClients != 0) {
+        out.push_back("[fence] server " + std::to_string(obs.server) +
+                      " fenced but kept " + std::to_string(obs.localClients) +
+                      " local clients");
+      }
+    }
+
+    // [cache] every acked publication replicated into every final cache.
+    if (haveFinalCaches_) {
+      for (const auto& [key, ids] : finalCaches_) {
+        const auto ackIt = ackedByTopic_.find(key.second);
+        if (ackIt == ackedByTopic_.end()) continue;
+        for (const auto& id : ackIt->second) {
+          if (!ids.contains(id)) {
+            out.push_back("[cache] server " + std::to_string(key.first) +
+                          " missing acked publication " + IdStr(id) + " on " +
+                          key.second);
+          }
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  struct Delivery {
+    StreamPos pos;
+    PublicationId id;
+    Bytes payload;
+  };
+  struct PartitionObs {
+    std::size_t server = 0;
+    bool fenced = false;
+    std::size_t localClients = 0;
+  };
+
+  static std::string PosStr(StreamPos pos) {
+    return std::to_string(pos.epoch) + ":" + std::to_string(pos.seq);
+  }
+  static std::string IdStr(const PublicationId& id) {
+    return std::to_string(id.clientHash % 99991) + "#" +
+           std::to_string(id.counter);
+  }
+
+  std::map<std::pair<std::string, std::string>, std::vector<Delivery>> streams_;
+  std::map<std::string, std::set<std::string>> topicSubscribers_;
+  std::map<std::string, std::vector<PublicationId>> ackedByTopic_;
+  std::vector<PartitionObs> partitionObs_;
+  std::map<std::pair<std::size_t, std::string>, std::set<PublicationId>>
+      finalCaches_;
+  bool haveFinalCaches_ = false;
+  std::vector<std::string> violations_;
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t duplicatesFiltered_ = 0;
+  std::uint64_t acked_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Chaos driver
+// ---------------------------------------------------------------------------
+
+struct ChaosOptions {
+  std::uint64_t seed = 1;
+  std::size_t servers = 3;
+  std::size_t subscribers = 3;
+  std::size_t publishers = 2;
+  std::size_t topics = 2;
+  std::size_t publicationsPerPublisher = 24;
+  /// 0 = auto: spread the publications across the fault horizon.
+  Duration publishInterval = 0;
+  std::size_t minFaultEvents = 5;
+  /// Message-level duplication on inter-server links (client dedup must
+  /// absorb the resulting re-deliveries / re-sequencings).
+  double peerDuplicateProb = 0.02;
+  Duration quiesce = 12 * kSecond;
+  bool checkCaches = true;
+  /// Explicit schedule (repro / minimization); overrides generation.
+  std::optional<FaultPlan> plan;
+};
+
+struct ChaosReport {
+  FaultPlan plan;
+  std::vector<std::string> violations;
+  /// Deterministic event log: every fault application, ack and delivery with
+  /// its virtual timestamp. Byte-identical across runs of the same options.
+  std::vector<std::string> trace;
+  std::uint64_t acked = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t duplicatesFiltered = 0;
+
+  [[nodiscard]] bool Passed() const noexcept { return violations.empty(); }
+};
+
+class ChaosDriver {
+ public:
+  /// Partition windows at least this long assert the [fence] invariant
+  /// (quorum-loss detection needs session expiry + fence checks).
+  static constexpr Duration kFenceObservable = 5 * kSecond;
+
+  explicit ChaosDriver(ChaosOptions opts) : opts_(std::move(opts)) {}
+
+  ChaosReport Run() {
+    ChaosReport report;
+    report.plan = opts_.plan ? *opts_.plan
+                             : FaultPlan::Generate(opts_.seed, opts_.servers,
+                                                   opts_.minFaultEvents);
+    const FaultPlan& plan = report.plan;
+    InvariantChecker checker;
+
+    sim::Scheduler sched;
+    SimCluster::Options copts;
+    copts.servers = opts_.servers;
+    copts.seed = opts_.seed;
+    copts.serverLinks.duplicateProb = opts_.peerDuplicateProb;
+    SimCluster cluster(sched, copts);
+    cluster.StartAll();
+    sched.RunFor(2 * kSecond);
+
+    auto trace = [&](std::string line) {
+      line += " @" + std::to_string(sched.Now());
+      report.trace.push_back(std::move(line));
+    };
+
+    std::vector<std::string> topics;
+    for (std::size_t t = 0; t < opts_.topics; ++t) {
+      topics.push_back("chaos-" + std::to_string(t));
+    }
+
+    auto makeClient = [&](const std::string& id) {
+      client::ClientConfig cfg;
+      for (std::size_t i = 0; i < cluster.size(); ++i) {
+        cfg.servers.push_back({"server", cluster.ClientPort(i), 1.0});
+      }
+      cfg.clientId = id;
+      cfg.seed = Fnv1a64(id) ^ opts_.seed;
+      cfg.ackTimeout = 3 * kSecond;
+      cfg.backoffBase = 50 * kMillisecond;
+      cfg.backoffMax = 500 * kMillisecond;
+      cfg.blacklistTtl = 5 * kSecond;
+      auto c = std::make_unique<client::Client>(cluster.clientLoop(), cfg);
+      return c;
+    };
+
+    std::vector<std::unique_ptr<client::Client>> subs;
+    for (std::size_t i = 0; i < opts_.subscribers; ++i) {
+      const std::string id = "sub-" + std::to_string(i);
+      auto sub = makeClient(id);
+      sub->SetDeliveryObserver([&checker, &trace, id](const Message& m,
+                                                      bool duplicate) {
+        checker.OnDelivery(id, m, duplicate);
+        trace((duplicate ? "drop " : "recv ") + id + " " + m.topic + " " +
+              std::to_string(m.epoch) + ":" + std::to_string(m.seq) + " pub#" +
+              std::to_string(m.pubId.counter));
+      });
+      for (const auto& topic : topics) {
+        sub->Subscribe(topic, [](const Message&) {});
+        checker.AddSubscription(id, topic);
+      }
+      sub->Start();
+      subs.push_back(std::move(sub));
+    }
+
+    std::vector<std::unique_ptr<client::Client>> pubs;
+    for (std::size_t j = 0; j < opts_.publishers; ++j) {
+      auto pub = makeClient("pub-" + std::to_string(j));
+      pub->Start();
+      pubs.push_back(std::move(pub));
+    }
+    sched.RunFor(kSecond);  // let everyone connect
+
+    // --- primer publications -----------------------------------------------
+    // One message per topic before any fault fires, so every subscriber holds
+    // a resume position on every stream. A client that first hears of a topic
+    // while its server is fenced subscribes "from now" — the protocol owes it
+    // no history, and the loss invariant must not pretend otherwise.
+    auto primer = makeClient("primer");
+    primer->Start();
+    sched.RunFor(200 * kMillisecond);
+    const std::uint64_t primerHash = Fnv1a64("primer");
+    for (std::size_t t = 0; t < topics.size(); ++t) {
+      const std::string& topic = topics[t];
+      const PublicationId pubId{primerHash, t + 1};
+      trace("pub primer#" + std::to_string(t + 1) + " " + topic);
+      primer->Publish(topic, Bytes{0xEE, static_cast<std::uint8_t>(t)},
+                      [&checker, &trace, t, topic, pubId](Status s) {
+        if (s.ok()) {
+          checker.OnAck(topic, pubId);
+          trace("ack primer#" + std::to_string(t + 1) + " " + topic);
+        } else {
+          trace("nack primer#" + std::to_string(t + 1) + " " + topic);
+        }
+      });
+    }
+    sched.RunFor(kSecond);  // primer acks + deliveries settle
+    primer->Stop();
+
+    // --- fault schedule (offsets are relative to now) ----------------------
+    for (const auto& ev : plan.events) {
+      sched.Schedule(ev.at, [&, ev] {
+        switch (ev.kind) {
+          case FaultEvent::Kind::kCrash:
+            trace("fault crash server-" + std::to_string(ev.victim));
+            cluster.CrashServer(ev.victim);
+            break;
+          case FaultEvent::Kind::kPartition:
+            trace("fault partition server-" + std::to_string(ev.victim));
+            cluster.PartitionServer(ev.victim);
+            break;
+          case FaultEvent::Kind::kLinkFlap:
+            trace("fault flap server-" + std::to_string(ev.victim) +
+                  "<->server-" + std::to_string(ev.peer));
+            cluster.network().FlapLink(cluster.HostOf(ev.victim),
+                                       cluster.HostOf(ev.peer), ev.duration);
+            break;
+        }
+      });
+      sched.Schedule(ev.at + ev.duration, [&, ev] {
+        switch (ev.kind) {
+          case FaultEvent::Kind::kCrash:
+            trace("recover restart server-" + std::to_string(ev.victim));
+            cluster.RestartServer(ev.victim);
+            break;
+          case FaultEvent::Kind::kPartition: {
+            // A single-member cluster is its own quorum: cutting its (zero)
+            // peer links can never cost it quorum contact, so fencing is not
+            // expected there.
+            if (ev.duration >= kFenceObservable && cluster.size() >= 2) {
+              const bool fenced = cluster.node(ev.victim).IsFenced();
+              const std::size_t local =
+                  cluster.node(ev.victim).LocalClientCount();
+              checker.OnPartitionObservation(ev.victim, fenced, local);
+              trace("observe server-" + std::to_string(ev.victim) +
+                    " fenced=" + std::to_string(fenced ? 1 : 0) +
+                    " clients=" + std::to_string(local));
+            }
+            trace("recover heal server-" + std::to_string(ev.victim));
+            cluster.HealServer(ev.victim);
+            break;
+          }
+          case FaultEvent::Kind::kLinkFlap:
+            // FlapLink's own heal fires at this same timestamp but after this
+            // event (insertion order); heal explicitly so the TCP-style
+            // recovery sync below runs against an open link.
+            trace("recover flap-end server-" + std::to_string(ev.victim) +
+                  "<->server-" + std::to_string(ev.peer));
+            cluster.network().Heal(cluster.HostOf(ev.victim),
+                                   cluster.HostOf(ev.peer));
+            cluster.ResyncLink(ev.victim, ev.peer);
+            break;
+        }
+      });
+    }
+
+    // --- publish traffic ---------------------------------------------------
+    const Duration horizon = plan.Horizon();
+    Duration interval = opts_.publishInterval;
+    if (interval <= 0) {
+      interval = std::max<Duration>(
+          200 * kMillisecond,
+          horizon / static_cast<Duration>(
+                        std::max<std::size_t>(1, opts_.publicationsPerPublisher)));
+    }
+    const Duration stagger =
+        interval / static_cast<Duration>(std::max<std::size_t>(1, opts_.publishers));
+    for (std::size_t j = 0; j < opts_.publishers; ++j) {
+      const std::string id = "pub-" + std::to_string(j);
+      const std::uint64_t clientHash = Fnv1a64(id);
+      for (std::size_t k = 0; k < opts_.publicationsPerPublisher; ++k) {
+        const Duration when =
+            static_cast<Duration>(k) * interval + static_cast<Duration>(j) * stagger;
+        const std::string& topic = topics[(j + k) % topics.size()];
+        // Client::Publish assigns pubId {hash(clientId), n} for the n-th
+        // publication, so the ack can be tied back without a protocol hook.
+        const PublicationId pubId{clientHash, k + 1};
+        sched.Schedule(when, [&, j, k, topic, id, pubId] {
+          trace("pub " + id + "#" + std::to_string(k + 1) + " " + topic);
+          Bytes payload{static_cast<std::uint8_t>(j),
+                        static_cast<std::uint8_t>(k & 0xFF),
+                        static_cast<std::uint8_t>(k >> 8)};
+          pubs[j]->Publish(topic, std::move(payload),
+                           [&checker, &trace, id, k, topic, pubId](Status s) {
+            if (s.ok()) {
+              checker.OnAck(topic, pubId);
+              trace("ack " + id + "#" + std::to_string(k + 1) + " " + topic);
+            } else {
+              trace("nack " + id + "#" + std::to_string(k + 1) + " " + topic);
+            }
+          });
+        });
+      }
+    }
+
+    const Duration trafficEnd =
+        static_cast<Duration>(opts_.publicationsPerPublisher) * interval;
+    sched.RunFor(std::max(horizon, trafficEnd) + opts_.quiesce);
+
+    // --- final observations ------------------------------------------------
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      checker.OnFinalFenceState(i, cluster.node(i).IsFenced());
+      if (opts_.checkCaches) {
+        for (const auto& topic : topics) {
+          std::set<PublicationId> ids;
+          for (const auto& m : cluster.node(i).cache().GetAfter(topic, {0, 0})) {
+            ids.insert(m.pubId);
+          }
+          checker.OnFinalCache(i, topic, std::move(ids));
+        }
+      }
+    }
+
+    report.acked = checker.acked();
+    report.deliveries = checker.deliveries();
+    report.duplicatesFiltered = checker.duplicatesFiltered();
+    trace("end acked=" + std::to_string(report.acked) +
+          " deliveries=" + std::to_string(report.deliveries) +
+          " dupsFiltered=" + std::to_string(report.duplicatesFiltered));
+    report.violations = checker.Check();
+
+    // Stop clients while the cluster still exists so teardown acks (kClosed)
+    // fire now, not against a dead loop.
+    for (auto& pub : pubs) pub->Stop();
+    for (auto& sub : subs) sub->Stop();
+    return report;
+  }
+
+ private:
+  ChaosOptions opts_;
+};
+
+}  // namespace md::cluster

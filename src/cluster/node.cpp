@@ -43,6 +43,9 @@ void ClusterNode::Crash() {
   pendingContact_.clear();
   pendingCoord_.clear();
   syncing_.clear();
+  for (const auto& [topic, timer] : gapStalled_) env_.Cancel(timer);
+  gapStalled_.clear();
+  deliveryCursor_.clear();
 }
 
 void ClusterNode::Restart() {
@@ -242,6 +245,9 @@ void ClusterNode::SequenceAndBroadcast(const ParkedPublication& pub) {
   msg.pubId = pub.pubId;
   msg.publishTs = pub.publishTs;
 
+  if (!deliveryCursor_.contains(msg.topic)) {
+    deliveryCursor_[msg.topic] = cache_.LastPos(msg.topic).value_or(StreamPos{});
+  }
   cache_.Append(msg, env_.Now());
   ++stats_.published;
 
@@ -269,7 +275,7 @@ void ClusterNode::SequenceAndBroadcast(const ParkedPublication& pub) {
   bcast.coordinatorId = cfg_.serverId;
   for (const std::string& peer : peers_) env_.SendToPeer(peer, bcast);
 
-  DeliverToLocalSubscribers(msg);
+  DeliverInOrder(msg.topic);
 }
 
 void ClusterNode::AttemptTakeover(std::uint32_t group) {
@@ -396,6 +402,30 @@ void ClusterNode::OnBroadcast(const std::string& from, const BroadcastFrame& bca
     entry = {bcast.coordinatorId, bcast.msg.epoch};
   }
 
+  // The transport is FIFO, so a sequence gap means broadcasts were lost to a
+  // connection break (partition, link fault). Appending past the gap would
+  // bake a hole into the cache that reconstruction can no longer see — the
+  // sync "have" positions report only the newest entry — so ask the
+  // coordinator to backfill first (§5.2.2: "ask from the cache of the peer
+  // the messages after the last sequence number it previously received").
+  // An epoch jump is indistinguishable from a gap locally; sync then too
+  // (the response is empty when nothing was missed).
+  const auto last = cache_.LastPos(bcast.msg.topic);
+  if (last && PosOf(bcast.msg) > *last &&
+      (bcast.msg.epoch > last->epoch || bcast.msg.seq > last->seq + 1)) {
+    CacheSyncReqFrame req;
+    req.group = bcast.group;
+    req.have = cache_.GroupPositions(bcast.group);
+    env_.SendToPeer(from, req);
+    // Local fan-out stalls until the backfill lands: subscribers must see the
+    // hole's messages before anything sequenced after them. Replication and
+    // publisher acks are not held up.
+    StallDelivery(bcast.msg.topic);
+  }
+  if (!deliveryCursor_.contains(bcast.msg.topic)) {
+    deliveryCursor_[bcast.msg.topic] = last.value_or(StreamPos{});
+  }
+
   cache_.Append(bcast.msg, env_.Now());
   env_.SendToPeer(from, BroadcastAckFrame{bcast.group, bcast.msg.epoch,
                                           bcast.msg.seq, bcast.msg.topic});
@@ -406,7 +436,7 @@ void ClusterNode::OnBroadcast(const std::string& from, const BroadcastFrame& bca
   // ReplicatedNotice instead.
   if (cfg_.ackCopies <= 2) AckContactPending(bcast.msg.pubId, true);
 
-  DeliverToLocalSubscribers(bcast.msg);
+  DeliverInOrder(bcast.msg.topic);
 }
 
 void ClusterNode::OnBroadcastAck(const std::string&, const BroadcastAckFrame& ack) {
@@ -509,7 +539,24 @@ void ClusterNode::OnCacheSyncResp(const CacheSyncRespFrame& resp) {
   for (const Message& msg : resp.messages) {
     if (cache_.Insert(msg, env_.Now())) ++stats_.recoveredMessages;
   }
-  if (resp.done) syncing_.erase(resp.group);
+  if (!resp.done) return;
+  syncing_.erase(resp.group);
+  // A completed sync is the release condition for topics stalled behind a
+  // sequence gap in this group.
+  for (auto it = gapStalled_.begin(); it != gapStalled_.end();) {
+    if (GroupOf(it->first) != resp.group) {
+      ++it;
+      continue;
+    }
+    env_.Cancel(it->second);
+    it = gapStalled_.erase(it);
+  }
+  // Flush every live stream in the group past the backfill. This also covers
+  // holes no broadcast ever exposed — a stream's tail lost to a link fault is
+  // recovered by the reconnection sync, and subscribers must still see it.
+  for (const auto& [topic, cursor] : deliveryCursor_) {
+    if (GroupOf(topic) == resp.group) DeliverInOrder(topic);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -532,6 +579,25 @@ void ClusterNode::DeliverToLocalSubscribers(const Message& msg) {
   registry_.ForEachSubscriber(msg.topic, [&](ClientHandle client) {
     ++stats_.delivered;
     env_.SendToClient(client, DeliverFrame{msg});
+  });
+}
+
+void ClusterNode::DeliverInOrder(const std::string& topic) {
+  if (gapStalled_.contains(topic)) return;
+  StreamPos& cursor = deliveryCursor_[topic];
+  for (const Message& msg : cache_.GetAfter(topic, cursor)) {
+    cursor = PosOf(msg);
+    DeliverToLocalSubscribers(msg);
+  }
+}
+
+void ClusterNode::StallDelivery(const std::string& topic) {
+  if (gapStalled_.contains(topic)) return;
+  gapStalled_[topic] = env_.Schedule(cfg_.gapSyncTimeout, [this, topic] {
+    // The backfill never completed (peer gone mid-sync). Resume with what the
+    // cache holds rather than stalling the stream forever.
+    gapStalled_.erase(topic);
+    DeliverInOrder(topic);
   });
 }
 

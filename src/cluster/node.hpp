@@ -56,6 +56,10 @@ struct ClusterConfig {
   Duration fenceCheckInterval = 200 * kMillisecond;
   /// Peers answer cache-sync requests in chunks of this many messages.
   std::size_t cacheSyncChunk = 512;
+  /// A topic whose broadcast stream shows a sequence gap stalls local fan-out
+  /// while the backfill sync runs; after this long it resumes with whatever
+  /// the cache holds (the syncing peer may have crashed mid-answer).
+  Duration gapSyncTimeout = kSecond;
   /// Copies that must exist before a publication is acknowledged (paper
   /// §5.2: default 2 = contact + coordinator, tolerating one fault; raising
   /// it tolerates more concurrent faults at higher ack latency — the
@@ -195,6 +199,8 @@ class ClusterNode {
   void Unfence();
   void StartCacheReconstruction();
   void DeliverToLocalSubscribers(const Message& msg);
+  void DeliverInOrder(const std::string& topic);
+  void StallDelivery(const std::string& topic);
   void AckContactPending(const PublicationId& pubId, bool ok);
 
   [[nodiscard]] std::uint32_t GroupOf(const std::string& topic) const noexcept {
@@ -230,6 +236,11 @@ class ClusterNode {
   std::map<PublicationId, PendingContact> pendingContact_;
   std::map<CoordAckKey, PendingCoord> pendingCoord_;
   std::set<std::uint32_t> syncing_;  // groups with cache sync outstanding
+  /// In-order local fan-out: per topic, the last position handed to local
+  /// subscribers. Live broadcasts advance it through the cache so a backfilled
+  /// gap is delivered before anything sequenced after it.
+  std::map<std::string, StreamPos> deliveryCursor_;
+  std::map<std::string, std::uint64_t> gapStalled_;  // topic -> timeout timer
   std::function<void(const Message&)> deliveryHook_;
 
   ClusterNodeStats stats_;

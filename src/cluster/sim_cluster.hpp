@@ -96,6 +96,9 @@ class SimCluster {
   }
   [[nodiscard]] std::size_t size() const noexcept { return servers_.size(); }
   [[nodiscard]] sim::SimNetwork& network() noexcept { return net_; }
+  [[nodiscard]] sim::HostId HostOf(std::size_t i) const {
+    return servers_.at(i)->host;
+  }
 
   // --- faults ----------------------------------------------------------------
 
@@ -125,6 +128,16 @@ class SimCluster {
   }
 
   void HealServer(std::size_t i) { net_.HealAll(servers_[i]->host); }
+
+  /// Link-recovery cache sync between two servers — what the real TCP host
+  /// does when an inter-server connection re-establishes after a link fault
+  /// (see TcpClusterHost). Call after healing a link flap: in-flight frames
+  /// dropped by the flap model a broken TCP connection, and this models its
+  /// recovery handshake.
+  void ResyncLink(std::size_t i, std::size_t j) {
+    servers_.at(i)->node->SyncFromPeer(servers_.at(j)->id);
+    servers_.at(j)->node->SyncFromPeer(servers_.at(i)->id);
+  }
 
  private:
   struct ServerHost {

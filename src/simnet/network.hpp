@@ -27,6 +27,19 @@ struct LinkParams {
   Duration jitter = 50 * kMicrosecond;    // uniform [0, jitter)
   double lossProb = 0.0;                  // applies to non-TCP-modelled links
   double bandwidthBytesPerSec = 1.25e9;   // 10 GbE
+  // Message-level fault injection (chaos harness). All three are driven by
+  // the network's seeded Rng, so fault schedules replay exactly under a seed.
+  double duplicateProb = 0.0;     // deliver the message a second time
+  double reorderProb = 0.0;       // message escapes per-link FIFO ordering
+  Duration reorderDelayMax = 2 * kMillisecond;  // extra delay of a reordered msg
+};
+
+/// Counters for injected message-level faults (deterministic under a seed).
+struct LinkFaultStats {
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t flaps = 0;
 };
 
 class SimNetwork {
@@ -71,6 +84,19 @@ class SimNetwork {
     linkOverride_[Key(a, b)] = params;
   }
 
+  /// Timed link flap: cut the a<->b pair now, heal it `downFor` later.
+  /// Healing is unconditional — callers must not interleave a flap with a
+  /// longer-lived Partition() of the same pair.
+  void FlapLink(HostId a, HostId b, Duration downFor) {
+    Partition(a, b);
+    ++faultStats_.flaps;
+    sched_.Schedule(downFor, [this, a, b] { Heal(a, b); });
+  }
+
+  [[nodiscard]] const LinkFaultStats& faultStats() const noexcept {
+    return faultStats_;
+  }
+
   /// Send `sizeBytes` from `from` to `to`; `deliver` runs at delivery time
   /// unless either end is down or the pair is partitioned *at that moment*
   /// (checked again on delivery — a partition can cut in-flight traffic).
@@ -78,7 +104,10 @@ class SimNetwork {
             std::function<void()> deliver) {
     if (!hosts_.at(from).up) return;
     const LinkParams& link = ParamsFor(from, to);
-    if (link.lossProb > 0.0 && rng_.NextBool(link.lossProb)) return;
+    if (link.lossProb > 0.0 && rng_.NextBool(link.lossProb)) {
+      ++faultStats_.dropped;
+      return;
+    }
 
     // Serialize on the directed link's transmit queue (bandwidth model).
     const Duration txTime = link.bandwidthBytesPerSec > 0
@@ -100,11 +129,21 @@ class SimNetwork {
     if (deliverAt <= lastDelivery) deliverAt = lastDelivery + 1;
     lastDelivery = deliverAt;
 
-    sched_.ScheduleAt(deliverAt, [this, from, to, fn = std::move(deliver)] {
-      if (!hosts_.at(from).up || !hosts_.at(to).up) return;
-      if (ArePartitioned(from, to)) return;
-      fn();
-    });
+    // A reordered message is held back past its FIFO slot; later sends keep
+    // the original slot as their floor, so they can overtake it.
+    if (link.reorderProb > 0.0 && rng_.NextBool(link.reorderProb)) {
+      ++faultStats_.reordered;
+      deliverAt += 1 + static_cast<Duration>(rng_.NextBelow(
+          static_cast<std::uint64_t>(link.reorderDelayMax) + 1));
+    }
+
+    ScheduleDelivery(deliverAt, from, to, deliver);
+    if (link.duplicateProb > 0.0 && rng_.NextBool(link.duplicateProb)) {
+      ++faultStats_.duplicated;
+      const Duration dupDelay = 1 + static_cast<Duration>(rng_.NextBelow(
+          static_cast<std::uint64_t>(link.latency) + 1));
+      ScheduleDelivery(deliverAt + dupDelay, from, to, deliver);
+    }
   }
 
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
@@ -128,6 +167,15 @@ class SimNetwork {
     return it != linkOverride_.end() ? it->second : defaults_;
   }
 
+  void ScheduleDelivery(TimePoint at, HostId from, HostId to,
+                        const std::function<void()>& deliver) {
+    sched_.ScheduleAt(at, [this, from, to, fn = deliver] {
+      if (!hosts_.at(from).up || !hosts_.at(to).up) return;
+      if (ArePartitioned(from, to)) return;
+      fn();
+    });
+  }
+
   Scheduler& sched_;
   Rng rng_;
   LinkParams defaults_;
@@ -136,6 +184,7 @@ class SimNetwork {
   std::map<std::pair<HostId, HostId>, LinkParams> linkOverride_;
   std::map<std::pair<HostId, HostId>, TimePoint> txFreeAt_;
   std::map<std::pair<HostId, HostId>, TimePoint> lastDeliveryAt_;
+  LinkFaultStats faultStats_;
 };
 
 }  // namespace md::sim

@@ -397,6 +397,48 @@ TEST_F(ClientTest, StopFailsPendingPublishes) {
   EXPECT_EQ(ackStatus.code(), ErrorCode::kClosed);
 }
 
+TEST_F(ClientTest, RestartOfSameServerDoesNotRedeliverReceivedMessages) {
+  // Crash + restart of the *same* server: the restarted instance reconstructs
+  // its cache and replays from the start of the stream (a fresh FakeServer
+  // ignores the resume position entirely — the worst case). The client must
+  // filter everything at or below its resume position and deliver only the
+  // genuinely new tail.
+  auto server = std::make_unique<FakeServer>(loop, 1000, "fake-1");
+  Client client(loop, BaseConfig({1000}));
+  std::vector<std::uint64_t> seqs;
+  client.Subscribe("t", [&](const Message& m) { seqs.push_back(m.seq); });
+  client.Start();
+  sched.RunFor(kSecond);
+
+  server->Deliver("t", 1, 1, PublicationId{0xFEED, 1});
+  server->Deliver("t", 1, 2, PublicationId{0xFEED, 2});
+  server->Deliver("t", 1, 3, PublicationId{0xFEED, 3});
+  sched.RunFor(100 * kMillisecond);
+  ASSERT_EQ(seqs, (std::vector<std::uint64_t>{1, 2, 3}));
+
+  // Fail-stop: connection severed, listener gone while the server is down.
+  server->CloseConnection();
+  server.reset();
+  sched.RunFor(kSecond);
+  EXPECT_FALSE(client.IsConnected());
+
+  // Restart on the same port, then replay the whole cached stream 1..5.
+  server = std::make_unique<FakeServer>(loop, 1000, "fake-1");
+  sched.RunFor(5 * kSecond);
+  ASSERT_TRUE(client.IsConnected());
+  const auto subs = server->FramesOf<SubscribeFrame>();
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_TRUE(subs[0].hasResumePos);
+  EXPECT_EQ(subs[0].resumeAfter, (StreamPos{1, 3}));
+
+  for (std::uint64_t seq = 1; seq <= 5; ++seq) {
+    server->Deliver("t", 1, seq, PublicationId{0xFEED, seq});
+  }
+  sched.RunFor(kSecond);
+  EXPECT_EQ(seqs, (std::vector<std::uint64_t>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(client.stats().duplicatesFiltered, 3u);
+}
+
 TEST_F(ClientTest, DeliveryForUnknownTopicIgnored) {
   FakeServer server(loop, 1000, "fake-1");
   Client client(loop, BaseConfig({1000}));

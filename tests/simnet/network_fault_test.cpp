@@ -1,0 +1,164 @@
+// SimNetwork message-level fault primitives: probabilistic drop, duplication
+// and reorder plus timed link flaps must be (a) statistically plausible and
+// (b) exactly reproducible under a fixed seed — the chaos harness depends on
+// byte-identical replay of fault schedules.
+#include "simnet/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace md::sim {
+namespace {
+
+class NetworkFaultTest : public ::testing::Test {
+ protected:
+  Scheduler sched;
+  SimNetwork net{sched, Rng(42)};
+  HostId a = net.AddHost("a");
+  HostId b = net.AddHost("b");
+};
+
+TEST_F(NetworkFaultTest, DropCountsAreDeterministicUnderSeed) {
+  auto run = [](std::uint64_t seed) {
+    Scheduler sched;
+    SimNetwork net(sched, Rng(seed));
+    const HostId x = net.AddHost("x");
+    const HostId y = net.AddHost("y");
+    LinkParams lossy;
+    lossy.lossProb = 0.3;
+    net.SetLink(x, y, lossy);
+    int delivered = 0;
+    for (int i = 0; i < 1000; ++i) net.Send(x, y, 10, [&] { ++delivered; });
+    sched.Run();
+    return std::make_pair(delivered, net.faultStats().dropped);
+  };
+  const auto [delivered1, dropped1] = run(7);
+  const auto [delivered2, dropped2] = run(7);
+  EXPECT_EQ(delivered1, delivered2);
+  EXPECT_EQ(dropped1, dropped2);
+  EXPECT_EQ(static_cast<std::uint64_t>(delivered1) + dropped1, 1000u);
+  // ~300 expected drops.
+  EXPECT_GT(dropped1, 200u);
+  EXPECT_LT(dropped1, 400u);
+  const auto [delivered3, dropped3] = run(8);
+  EXPECT_NE(dropped1, dropped3);  // different seed, different schedule
+  EXPECT_EQ(static_cast<std::uint64_t>(delivered3) + dropped3, 1000u);
+}
+
+TEST_F(NetworkFaultTest, DuplicationDeliversTwiceAndCounts) {
+  LinkParams dup;
+  dup.duplicateProb = 0.5;
+  net.SetLink(a, b, dup);
+  int delivered = 0;
+  for (int i = 0; i < 1000; ++i) net.Send(a, b, 10, [&] { ++delivered; });
+  sched.Run();
+  EXPECT_EQ(static_cast<std::uint64_t>(delivered),
+            1000u + net.faultStats().duplicated);
+  EXPECT_GT(net.faultStats().duplicated, 350u);
+  EXPECT_LT(net.faultStats().duplicated, 650u);
+}
+
+TEST_F(NetworkFaultTest, DuplicationIsDeterministicUnderSeed) {
+  auto run = [] {
+    Scheduler sched;
+    SimNetwork net(sched, Rng(5));
+    const HostId x = net.AddHost("x");
+    const HostId y = net.AddHost("y");
+    LinkParams dup;
+    dup.duplicateProb = 0.25;
+    net.SetLink(x, y, dup);
+    std::vector<TimePoint> deliveries;
+    for (int i = 0; i < 200; ++i) {
+      net.Send(x, y, 10, [&] { deliveries.push_back(sched.Now()); });
+    }
+    sched.Run();
+    return std::make_pair(deliveries, net.faultStats().duplicated);
+  };
+  const auto [times1, count1] = run();
+  const auto [times2, count2] = run();
+  EXPECT_EQ(times1, times2);  // byte-identical delivery schedule
+  EXPECT_EQ(count1, count2);
+  EXPECT_GT(count1, 0u);
+}
+
+TEST_F(NetworkFaultTest, ReorderBreaksFifoForSomeMessages) {
+  LinkParams reorder;
+  reorder.jitter = 0;
+  reorder.reorderProb = 0.2;
+  reorder.reorderDelayMax = 5 * kMillisecond;  // >> latency: forces overtakes
+  net.SetLink(a, b, reorder);
+  std::vector<int> order;
+  for (int i = 0; i < 500; ++i) {
+    net.Send(a, b, 10, [&order, i] { order.push_back(i); });
+  }
+  sched.Run();
+  ASSERT_EQ(order.size(), 500u);
+  std::size_t inversions = 0;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (order[i] < order[i - 1]) ++inversions;
+  }
+  EXPECT_GT(inversions, 0u);
+  EXPECT_EQ(net.faultStats().reordered, 0u + net.faultStats().reordered);
+  EXPECT_GT(net.faultStats().reordered, 50u);   // ~100 expected
+  EXPECT_LT(net.faultStats().reordered, 180u);
+}
+
+TEST_F(NetworkFaultTest, ReorderCountsAreDeterministicUnderSeed) {
+  auto run = [] {
+    Scheduler sched;
+    SimNetwork net(sched, Rng(11));
+    const HostId x = net.AddHost("x");
+    const HostId y = net.AddHost("y");
+    LinkParams reorder;
+    reorder.reorderProb = 0.3;
+    net.SetLink(x, y, reorder);
+    std::vector<int> order;
+    for (int i = 0; i < 300; ++i) {
+      net.Send(x, y, 10, [&order, i] { order.push_back(i); });
+    }
+    sched.Run();
+    return std::make_pair(order, net.faultStats().reordered);
+  };
+  const auto [order1, count1] = run();
+  const auto [order2, count2] = run();
+  EXPECT_EQ(order1, order2);
+  EXPECT_EQ(count1, count2);
+}
+
+TEST_F(NetworkFaultTest, NoFaultsConfiguredKeepsCountersZero) {
+  for (int i = 0; i < 100; ++i) net.Send(a, b, 10, [] {});
+  sched.Run();
+  EXPECT_EQ(net.faultStats().dropped, 0u);
+  EXPECT_EQ(net.faultStats().duplicated, 0u);
+  EXPECT_EQ(net.faultStats().reordered, 0u);
+  EXPECT_EQ(net.faultStats().flaps, 0u);
+}
+
+TEST_F(NetworkFaultTest, FlapCutsLinkThenHealsOnSchedule) {
+  int delivered = 0;
+  net.FlapLink(a, b, 500 * kMillisecond);
+  EXPECT_TRUE(net.ArePartitioned(a, b));
+  EXPECT_EQ(net.faultStats().flaps, 1u);
+
+  net.Send(a, b, 10, [&] { ++delivered; });  // dropped: link down
+  sched.RunFor(100 * kMillisecond);
+  EXPECT_EQ(delivered, 0);
+
+  sched.RunFor(500 * kMillisecond);  // past the flap window
+  EXPECT_FALSE(net.ArePartitioned(a, b));
+  net.Send(a, b, 10, [&] { ++delivered; });
+  sched.Run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST_F(NetworkFaultTest, FlapDropsInFlightTraffic) {
+  bool delivered = false;
+  net.Send(a, b, 10, [&] { delivered = true; });
+  net.FlapLink(a, b, kSecond);  // cut while the message is in flight
+  sched.Run();
+  EXPECT_FALSE(delivered);
+}
+
+}  // namespace
+}  // namespace md::sim

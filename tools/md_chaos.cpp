@@ -1,0 +1,154 @@
+// md_chaos — deterministic chaos sweeps against the simulated cluster.
+//
+// Runs seed-derived fault schedules (crash/restart, partition/heal, link
+// flaps) against a full SimCluster with real client-library traffic and
+// checks every delivery invariant (see src/cluster/chaos.hpp). Exits
+// non-zero if any seed produces a violation, printing a minimized repro
+// line that replays the failure standalone.
+//
+//   md_chaos --seed 17                        # one seed, verbose
+//   md_chaos --seeds 50                       # sweep seeds 1..50
+//   md_chaos --first 100 --seeds 200          # sweep seeds 100..299
+//   md_chaos --seed 17 --events "crash:1@2000+2500;part:0@12000+6000"
+//   md_chaos --seed 17 --trace                # dump the full event trace
+//
+// Flags: --servers N (3), --min-events N (5), --publications N (24),
+//        --subscribers N (3), --publishers N (2), --topics N (2),
+//        --no-minimize, --quiet
+#include <cstdio>
+#include <string>
+
+#include "cluster/chaos.hpp"
+#include "tools/flags.hpp"
+
+namespace {
+
+using md::cluster::ChaosDriver;
+using md::cluster::ChaosOptions;
+using md::cluster::ChaosReport;
+using md::cluster::FaultPlan;
+
+ChaosReport RunOnce(const ChaosOptions& opts) {
+  return ChaosDriver(opts).Run();
+}
+
+/// Greedy event minimization: repeatedly try dropping single events from the
+/// failing plan, keeping any removal that still violates an invariant, until
+/// no single removal does. The result is a locally-minimal failing schedule.
+FaultPlan Minimize(const ChaosOptions& base, const FaultPlan& failing) {
+  FaultPlan current = failing;
+  bool shrunk = true;
+  while (shrunk && current.events.size() > 1) {
+    shrunk = false;
+    for (std::size_t i = 0; i < current.events.size(); ++i) {
+      FaultPlan candidate = current;
+      candidate.events.erase(candidate.events.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+      ChaosOptions opts = base;
+      opts.plan = candidate;
+      if (!RunOnce(opts).Passed()) {
+        current = std::move(candidate);
+        shrunk = true;
+        break;  // restart scan against the smaller plan
+      }
+    }
+  }
+  return current;
+}
+
+void PrintRepro(const ChaosOptions& opts, const FaultPlan& plan) {
+  std::printf("repro: md_chaos --seed %llu --servers %zu --events \"%s\"\n",
+              static_cast<unsigned long long>(opts.seed), opts.servers,
+              plan.ToString().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  md::tools::Flags flags(argc, argv);
+
+  ChaosOptions base;
+  base.servers = static_cast<std::size_t>(flags.GetInt("servers", 3));
+  base.subscribers = static_cast<std::size_t>(flags.GetInt("subscribers", 3));
+  base.publishers = static_cast<std::size_t>(flags.GetInt("publishers", 2));
+  base.topics = static_cast<std::size_t>(flags.GetInt("topics", 2));
+  base.publicationsPerPublisher =
+      static_cast<std::size_t>(flags.GetInt("publications", 24));
+  base.minFaultEvents = static_cast<std::size_t>(flags.GetInt("min-events", 5));
+  const bool quiet = flags.GetBool("quiet");
+  const bool dumpTrace = flags.GetBool("trace");
+  const bool minimize = !flags.GetBool("no-minimize");
+
+  std::uint64_t first = static_cast<std::uint64_t>(flags.GetInt("first", 1));
+  std::uint64_t count = static_cast<std::uint64_t>(flags.GetInt("seeds", 0));
+  if (flags.Has("seed")) {
+    first = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+    count = 1;
+  } else if (count == 0) {
+    count = 1;
+  }
+
+  std::optional<FaultPlan> explicitPlan;
+  if (flags.Has("events")) {
+    explicitPlan = FaultPlan::Parse(flags.Get("events"), base.servers);
+    if (!explicitPlan) {
+      std::fprintf(stderr, "md_chaos: cannot parse --events \"%s\"\n",
+                   flags.Get("events").c_str());
+      return 2;
+    }
+    if (count != 1) {
+      std::fprintf(stderr, "md_chaos: --events requires a single --seed\n");
+      return 2;
+    }
+  }
+
+  int failures = 0;
+  for (std::uint64_t seed = first; seed < first + count; ++seed) {
+    ChaosOptions opts = base;
+    opts.seed = seed;
+    opts.plan = explicitPlan;
+    const ChaosReport report = RunOnce(opts);
+
+    if (dumpTrace) {
+      for (const auto& line : report.trace) std::printf("%s\n", line.c_str());
+    }
+    if (report.Passed()) {
+      if (!quiet) {
+        std::printf(
+            "seed %llu: PASS  (%zu fault events, %llu acked, %llu delivered, "
+            "%llu dups filtered)\n",
+            static_cast<unsigned long long>(seed), report.plan.events.size(),
+            static_cast<unsigned long long>(report.acked),
+            static_cast<unsigned long long>(report.deliveries),
+            static_cast<unsigned long long>(report.duplicatesFiltered));
+      }
+      continue;
+    }
+
+    ++failures;
+    std::printf("seed %llu: FAIL  (%zu fault events: %s)\n",
+                static_cast<unsigned long long>(seed),
+                report.plan.events.size(), report.plan.ToString().c_str());
+    for (const auto& v : report.violations) {
+      std::printf("  %s\n", v.c_str());
+    }
+    if (minimize && report.plan.events.size() > 1) {
+      const FaultPlan minimal = Minimize(opts, report.plan);
+      std::printf("minimized to %zu event(s)\n", minimal.events.size());
+      PrintRepro(opts, minimal);
+    } else {
+      PrintRepro(opts, report.plan);
+    }
+  }
+
+  if (failures > 0) {
+    std::printf("md_chaos: %d of %llu seed(s) FAILED\n", failures,
+                static_cast<unsigned long long>(count));
+    return 1;
+  }
+  if (!quiet) {
+    std::printf("md_chaos: all %llu seed(s) passed\n",
+                static_cast<unsigned long long>(count));
+  }
+  return 0;
+}
