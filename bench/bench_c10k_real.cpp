@@ -24,6 +24,7 @@
 #include "client/client.hpp"
 #include "common/histogram.hpp"
 #include "core/server.hpp"
+#include "obs/metrics.hpp"
 
 using namespace md;
 using namespace md::bench;
@@ -62,9 +63,12 @@ int main() {
       "bursts.\n\n",
       clients, kTopics, bursts);
 
+  obs::MetricsRegistry registry;
   core::ServerConfig serverCfg;
   serverCfg.ioThreads = 2;
   serverCfg.workers = 2;
+  serverCfg.serverId = "c10k";
+  serverCfg.metrics = &registry;
   core::Server server(serverCfg);
   if (!server.Start().ok()) {
     std::fprintf(stderr, "server start failed\n");
@@ -166,6 +170,24 @@ int main() {
   std::printf("e2e latency ms: median %.2f mean %.2f p95 %.2f p99 %.2f\n",
               summary.medianMs, summary.meanMs, summary.p95Ms, summary.p99Ms);
 
+  // Server-side view from the metrics registry: the same Snapshot() the
+  // /metrics endpoint renders, read in-process.
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  const std::string serverLabel = "server=\"c10k\"";
+  const double srvDelivered = snap.Value("md_core_delivered_total", serverLabel);
+  const double srvBytesOut = snap.Value("md_core_bytes_out_total", serverLabel);
+  std::printf("server counters: delivered %.0f, bytes out %.0f, "
+              "epoll wakeups %.0f\n",
+              srvDelivered, srvBytesOut,
+              snap.Total("md_transport_epoll_wakeups_total"));
+  if (const auto* e2e =
+          snap.Find("md_trace_end_to_end_ns", "domain=\"wall\"")) {
+    std::printf("server-side publish->socket-write ms: median %.2f p99 %.2f "
+                "(%llu traced)\n",
+                e2e->summary.medianMs, e2e->summary.p99Ms,
+                static_cast<unsigned long long>(e2e->count));
+  }
+
   std::vector<ShapeCheck> checks;
   // Both socket ends share this process's fd budget; when the hard limit is
   // below ~20,256 the population is capped and the check reports the cap.
@@ -179,6 +201,10 @@ int main() {
                     received.load() == expected});
   checks.push_back({"real fan-out latency acceptable (p99 < 2000 ms)", 0,
                     summary.p99Ms, summary.p99Ms < 2000.0});
+  // The registry's server-side delivery counter covers every client receipt.
+  checks.push_back({"server delivered counter covers client receipts",
+                    static_cast<double>(received.load()), srvDelivered,
+                    srvDelivered >= static_cast<double>(received.load())});
   PrintShapeChecks(checks);
 
   // Teardown.

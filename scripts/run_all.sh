@@ -15,6 +15,14 @@ cmake -B build-asan -G Ninja -DMD_SANITIZE=address \
   && cmake --build build-asan --target chaos_test md_chaos || exit 1
 ./build-asan/tests/chaos_test || exit 1
 ./build-asan/tools/md_chaos --seeds 50 || exit 1
+
+# Metrics leg: the exposition goldens and live-scrape test, plain and under
+# ThreadSanitizer — the sharded counters, tracer in-flight map and registry
+# snapshot are the concurrency-bearing surfaces of src/obs.
+./build/tests/obs_test || exit 1
+cmake -B build-tsan -G Ninja -DMD_SANITIZE=thread \
+  && cmake --build build-tsan --target obs_test || exit 1
+./build-tsan/tests/obs_test || exit 1
 : > bench_output.txt
 for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue

@@ -240,6 +240,28 @@ class InvariantChecker {
     haveFinalCaches_ = true;
   }
 
+  /// Cluster-wide counter totals read from the metrics registry after
+  /// quiesce, plus the fault-schedule context needed to bound them.
+  struct MetricsTotals {
+    std::uint64_t published = 0;   // md_cluster_published_total, summed
+    std::uint64_t delivered = 0;   // md_cluster_delivered_total, summed
+    std::uint64_t backfilled = 0;  // md_cluster_backfilled_total, summed
+    std::uint64_t fences = 0;      // md_cluster_fences_total, summed
+    std::uint64_t unfences = 0;    // md_cluster_unfences_total, summed
+    std::uint64_t crashFaults = 0;    // crash windows in the fault plan
+    std::size_t stillFenced = 0;      // servers fenced at observation time
+    std::int64_t failoverMaxNs = 0;   // longest recorded fence→unfence span
+    Duration failoverBound = 0;       // ceiling allowed for failoverMaxNs
+    std::int64_t replicationPendingSum = 0;  // gauge total, all servers
+  };
+
+  /// Couples the registry's view of the run to the checker's own event
+  /// counts — a metric that drifts from ground truth is a bug even when
+  /// delivery invariants hold.
+  void OnMetricsTotals(const MetricsTotals& totals) {
+    metrics_ = totals;
+  }
+
   [[nodiscard]] std::uint64_t deliveries() const noexcept { return deliveries_; }
   [[nodiscard]] std::uint64_t duplicatesFiltered() const noexcept {
     return duplicatesFiltered_;
@@ -311,6 +333,62 @@ class InvariantChecker {
       }
     }
 
+    // [metrics] registry totals agree with the checker's ground truth.
+    if (metrics_) {
+      const MetricsTotals& t = *metrics_;
+      // Every client-side receipt (post-filter delivery or filtered
+      // duplicate) left some server as a counted delivery.
+      if (t.delivered < deliveries_ + duplicatesFiltered_) {
+        out.push_back("[metrics] cluster delivered counter " +
+                      std::to_string(t.delivered) +
+                      " below client-observed receipts " +
+                      std::to_string(deliveries_ + duplicatesFiltered_));
+      }
+      // An ack is only sent after the publication was sequenced, which is
+      // exactly when the published counter ticks.
+      if (t.published < acked_) {
+        out.push_back("[metrics] cluster published counter " +
+                      std::to_string(t.published) + " below acked count " +
+                      std::to_string(acked_));
+      }
+      // Every partition window observed as fenced incremented the counter.
+      std::uint64_t observedFenced = 0;
+      for (const auto& obs : partitionObs_) {
+        if (obs.fenced) ++observedFenced;
+      }
+      if (t.fences < observedFenced) {
+        out.push_back("[metrics] fence counter " + std::to_string(t.fences) +
+                      " below observed fenced partitions " +
+                      std::to_string(observedFenced));
+      }
+      // A fence span ends by exactly one of: unfence, crash (volatile state
+      // lost) or still being fenced at observation time.
+      if (t.unfences > t.fences) {
+        out.push_back("[metrics] unfence counter " +
+                      std::to_string(t.unfences) + " exceeds fence counter " +
+                      std::to_string(t.fences));
+      }
+      if (t.fences > t.unfences + t.crashFaults + t.stillFenced) {
+        out.push_back("[metrics] fence counter " + std::to_string(t.fences) +
+                      " exceeds unfences+crashes+stillFenced " +
+                      std::to_string(t.unfences + t.crashFaults +
+                                     t.stillFenced));
+      }
+      // A failover span tracks its fault window: detection plus recovery
+      // slack on top of the longest scheduled fault.
+      if (t.failoverBound > 0 && t.failoverMaxNs > t.failoverBound) {
+        out.push_back("[metrics] failover span " +
+                      std::to_string(t.failoverMaxNs) + "ns exceeds bound " +
+                      std::to_string(t.failoverBound) + "ns");
+      }
+      // The pending-replication gauge is balanced: every increment has a
+      // matching decrement (ack, crash drain or fence drain).
+      if (t.replicationPendingSum < 0) {
+        out.push_back("[metrics] replication-pending gauge is negative: " +
+                      std::to_string(t.replicationPendingSum));
+      }
+    }
+
     // [cache] every acked publication replicated into every final cache.
     if (haveFinalCaches_) {
       for (const auto& [key, ids] : finalCaches_) {
@@ -355,6 +433,7 @@ class InvariantChecker {
   std::map<std::pair<std::size_t, std::string>, std::set<PublicationId>>
       finalCaches_;
   bool haveFinalCaches_ = false;
+  std::optional<MetricsTotals> metrics_;
   std::vector<std::string> violations_;
   std::uint64_t deliveries_ = 0;
   std::uint64_t duplicatesFiltered_ = 0;
@@ -382,6 +461,9 @@ struct ChaosOptions {
   bool checkCaches = true;
   /// Explicit schedule (repro / minimization); overrides generation.
   std::optional<FaultPlan> plan;
+  /// Metrics destination for the simulated cluster; nullptr keeps each run
+  /// on a private registry (seed sweeps must not share counters).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct ChaosReport {
@@ -393,6 +475,8 @@ struct ChaosReport {
   std::uint64_t acked = 0;
   std::uint64_t deliveries = 0;
   std::uint64_t duplicatesFiltered = 0;
+  /// Post-quiesce registry snapshot (benches and tests read totals off it).
+  obs::MetricsSnapshot metrics;
 
   [[nodiscard]] bool Passed() const noexcept { return violations.empty(); }
 };
@@ -418,6 +502,7 @@ class ChaosDriver {
     copts.servers = opts_.servers;
     copts.seed = opts_.seed;
     copts.serverLinks.duplicateProb = opts_.peerDuplicateProb;
+    copts.metrics = opts_.metrics;
     SimCluster cluster(sched, copts);
     cluster.StartAll();
     sched.RunFor(2 * kSecond);
@@ -614,12 +699,48 @@ class ChaosDriver {
       }
     }
 
+    // Couple the registry to the checker's ground truth ([metrics] checks).
+    report.metrics = cluster.metrics().Snapshot();
+    InvariantChecker::MetricsTotals totals;
+    totals.published = static_cast<std::uint64_t>(
+        report.metrics.Total("md_cluster_published_total"));
+    totals.delivered = static_cast<std::uint64_t>(
+        report.metrics.Total("md_cluster_delivered_total"));
+    totals.backfilled = static_cast<std::uint64_t>(
+        report.metrics.Total("md_cluster_backfilled_total"));
+    totals.fences = static_cast<std::uint64_t>(
+        report.metrics.Total("md_cluster_fences_total"));
+    totals.unfences = static_cast<std::uint64_t>(
+        report.metrics.Total("md_cluster_unfences_total"));
+    totals.replicationPendingSum = static_cast<std::int64_t>(
+        report.metrics.Total("md_cluster_replication_pending"));
+    Duration maxFault = 0;
+    for (const auto& ev : plan.events) {
+      if (ev.kind == FaultEvent::Kind::kCrash) ++totals.crashFaults;
+      maxFault = std::max(maxFault, ev.duration);
+    }
+    // Fault window plus quorum-loss detection and recovery slack.
+    totals.failoverBound = maxFault + 15 * kSecond;
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      if (cluster.node(i).IsFenced()) ++totals.stillFenced;
+    }
+    if (const auto* fam = report.metrics.Family("md_cluster_failover_ns")) {
+      for (const auto& sample : fam->samples) {
+        if (sample.count > 0) {
+          totals.failoverMaxNs = std::max(totals.failoverMaxNs, sample.max);
+        }
+      }
+    }
+    checker.OnMetricsTotals(totals);
+
     report.acked = checker.acked();
     report.deliveries = checker.deliveries();
     report.duplicatesFiltered = checker.duplicatesFiltered();
     trace("end acked=" + std::to_string(report.acked) +
           " deliveries=" + std::to_string(report.deliveries) +
-          " dupsFiltered=" + std::to_string(report.duplicatesFiltered));
+          " dupsFiltered=" + std::to_string(report.duplicatesFiltered) +
+          " fences=" + std::to_string(totals.fences) +
+          " unfences=" + std::to_string(totals.unfences));
     report.violations = checker.Check();
 
     // Stop clients while the cluster still exists so teardown acks (kClosed)

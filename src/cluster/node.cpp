@@ -13,7 +13,22 @@ ClusterNode::ClusterNode(ClusterConfig cfg, ClusterEnv& env,
       env_(env),
       coord_(coord),
       peers_(std::move(peerIds)),
-      cache_(cfg_.cache) {}
+      cache_(cfg_.cache),
+      cm_(cfg_.metrics != nullptr ? *cfg_.metrics
+                                  : obs::MetricsRegistry::Default(),
+          obs::ServerLabel(cfg_.serverId)) {}
+
+ClusterNodeStats ClusterNode::stats() const {
+  ClusterNodeStats s;
+  s.published = cm_.published.Value();
+  s.forwarded = cm_.forwarded.Value();
+  s.delivered = cm_.delivered.Value();
+  s.rejects = cm_.rejects.Value();
+  s.takeovers = cm_.takeovers.Value();
+  s.fences = cm_.fences.Value();
+  s.recoveredMessages = cm_.backfilled.Value();
+  return s;
+}
 
 // ---------------------------------------------------------------------------
 // Lifecycle
@@ -41,11 +56,13 @@ void ClusterNode::Crash() {
   electing_.clear();
   parked_.clear();
   pendingContact_.clear();
+  cm_.replicationPending.Add(-static_cast<std::int64_t>(pendingCoord_.size()));
   pendingCoord_.clear();
   syncing_.clear();
   for (const auto& [topic, timer] : gapStalled_) env_.Cancel(timer);
   gapStalled_.clear();
   deliveryCursor_.clear();
+  fenceStart_ = -1;  // a crash supersedes any open fence span
 }
 
 void ClusterNode::Restart() {
@@ -138,7 +155,7 @@ void ClusterNode::HandleSubscribe(ClientHandle client, const SubscribeFrame& sub
   env_.SendToClient(client, SubAckFrame{sub.topic, true});
   if (sub.hasResumePos) {
     for (const Message& missed : cache_.GetAfter(sub.topic, sub.resumeAfter)) {
-      ++stats_.delivered;
+      cm_.delivered.Inc();
       env_.SendToClient(client, DeliverFrame{missed});
     }
   }
@@ -195,7 +212,7 @@ void ClusterNode::RoutePublication(ParkedPublication pub) {
   const auto it = gossip_.find(group);
   if (it != gossip_.end() && it->second.serverId != cfg_.serverId) {
     // Known coordinator: forward.
-    ++stats_.forwarded;
+    cm_.forwarded.Inc();
     ForwardPubFrame fwd;
     fwd.topic = pub.topic;
     fwd.payload = pub.payload;
@@ -215,7 +232,7 @@ void ClusterNode::RoutePublication(ParkedPublication pub) {
     parked_[group].push_back(std::move(pub));
     AttemptTakeover(group);
   } else {
-    ++stats_.forwarded;
+    cm_.forwarded.Inc();
     ForwardPubFrame fwd;
     fwd.topic = pub.topic;
     fwd.payload = pub.payload;
@@ -249,7 +266,7 @@ void ClusterNode::SequenceAndBroadcast(const ParkedPublication& pub) {
     deliveryCursor_[msg.topic] = cache_.LastPos(msg.topic).value_or(StreamPos{});
   }
   cache_.Append(msg, env_.Now());
-  ++stats_.published;
+  cm_.published.Inc();
 
   // Track the pending ack. A local publisher is acknowledged after
   // ackCopies-1 replication confirmations. A forwarded publication is
@@ -263,10 +280,12 @@ void ClusterNode::SequenceAndBroadcast(const ParkedPublication& pub) {
       env_.Cancel(contact.mapped().timeoutTimer);
     }
     pendingCoord_[{msg.topic, msg.epoch, msg.seq}] =
-        PendingCoord{pub.publisher, {}, pub.pubId, 0};
+        PendingCoord{pub.publisher, {}, pub.pubId, 0, env_.Now()};
+    cm_.replicationPending.Add(1);
   } else if (!pub.originServerId.empty() && cfg_.ackCopies > 2) {
     pendingCoord_[{msg.topic, msg.epoch, msg.seq}] =
-        PendingCoord{0, pub.originServerId, pub.pubId, 0};
+        PendingCoord{0, pub.originServerId, pub.pubId, 0, env_.Now()};
+    cm_.replicationPending.Add(1);
   }
 
   BroadcastFrame bcast;
@@ -312,7 +331,7 @@ void ClusterNode::AttemptTakeover(std::uint32_t group) {
 }
 
 void ClusterNode::FinishTakeover(std::uint32_t group, std::uint32_t epoch) {
-  ++stats_.takeovers;
+  cm_.takeovers.Inc();
   myGroups_.insert(group);
   sequencer_.BeginEpoch(group, epoch);
   // Never reissue sequence numbers for positions already cached.
@@ -342,7 +361,7 @@ void ClusterNode::RejectParked(std::uint32_t group) {
   auto node = parked_.extract(group);
   if (node.empty()) return;
   for (const ParkedPublication& pub : node.mapped()) {
-    ++stats_.rejects;
+    cm_.rejects.Inc();
     if (!pub.originServerId.empty()) {
       env_.SendToPeer(pub.originServerId, ForwardRejectFrame{pub.pubId, pub.topic});
     } else if (pub.publisher != 0) {
@@ -457,6 +476,8 @@ void ClusterNode::OnBroadcastAck(const std::string&, const BroadcastAckFrame& ac
     env_.SendToPeer(pending.originServerId,
                     ReplicatedNoticeFrame{pending.pubId, ack.topic});
   }
+  cm_.replicationAckNs.Record(env_.Now() - pending.start);
+  cm_.replicationPending.Add(-1);
   pendingCoord_.erase(it);
 }
 
@@ -501,7 +522,7 @@ void ClusterNode::OnForwardReject(const ForwardRejectFrame& reject) {
   // the publication failed so it republishes (by then gossip has the
   // winner).
   AckContactPending(reject.pubId, false);
-  ++stats_.rejects;
+  cm_.rejects.Inc();
 }
 
 void ClusterNode::OnGossipAnnounce(const GossipAnnounceFrame& announce) {
@@ -537,7 +558,7 @@ void ClusterNode::OnCacheSyncReq(const std::string& from, const CacheSyncReqFram
 
 void ClusterNode::OnCacheSyncResp(const CacheSyncRespFrame& resp) {
   for (const Message& msg : resp.messages) {
-    if (cache_.Insert(msg, env_.Now())) ++stats_.recoveredMessages;
+    if (cache_.Insert(msg, env_.Now())) cm_.backfilled.Inc();
   }
   if (!resp.done) return;
   syncing_.erase(resp.group);
@@ -577,7 +598,7 @@ void ClusterNode::AckContactPending(const PublicationId& pubId, bool ok) {
 void ClusterNode::DeliverToLocalSubscribers(const Message& msg) {
   if (deliveryHook_) deliveryHook_(msg);
   registry_.ForEachSubscriber(msg.topic, [&](ClientHandle client) {
-    ++stats_.delivered;
+    cm_.delivered.Inc();
     env_.SendToClient(client, DeliverFrame{msg});
   });
 }
@@ -622,7 +643,8 @@ void ClusterNode::Fence() {
   // its local clients, and lets them reconnect to the other cluster
   // members."
   fenced_ = true;
-  ++stats_.fences;
+  fenceStart_ = env_.Now();
+  cm_.fences.Inc();
   MD_INFO("%s: lost quorum contact — fencing, closing %zu clients",
           cfg_.serverId.c_str(), clients_.size());
   const auto clients = clients_;  // CloseClient may reenter OnClientDisconnect
@@ -640,16 +662,24 @@ void ClusterNode::Fence() {
   for (auto& [group, queue] : parked_) {
     for (const auto& pub : queue) {
       if (!pub.originServerId.empty()) continue;  // origin will time out
-      if (pub.publisher != 0) ++stats_.rejects;
+      if (pub.publisher != 0) cm_.rejects.Inc();
     }
   }
   parked_.clear();
+  cm_.replicationPending.Add(-static_cast<std::int64_t>(pendingCoord_.size()));
   pendingCoord_.clear();
 }
 
 void ClusterNode::Unfence() {
   MD_INFO("%s: quorum contact restored — recovering", cfg_.serverId.c_str());
   fenced_ = false;
+  cm_.unfences.Inc();
+  if (fenceStart_ >= 0) {
+    const Duration span = env_.Now() - fenceStart_;
+    cm_.failoverLastNs.Set(span);
+    cm_.failoverNs.Record(span);
+    fenceStart_ = -1;
+  }
   gossip_.clear();  // stale after the partition
   // "When the partition is restored, the server can recover following the
   // same procedure as for a crash failure."

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "obs/families.hpp"
 #include "coord/node.hpp"
 #include "core/cache.hpp"
 #include "core/registry.hpp"
@@ -65,8 +66,13 @@ struct ClusterConfig {
   /// it tolerates more concurrent faults at higher ack latency — the
   /// extension the paper sketches). Must be <= cluster size.
   std::size_t ackCopies = 2;
+  /// Metrics destination; nullptr uses the process-wide default registry.
+  /// The registry must outlive the node.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
+/// Legacy plain-struct view of the node's counters, built from the metrics
+/// registry on demand (kept so existing callers read `.stats().field`).
 struct ClusterNodeStats {
   std::uint64_t published = 0;        // publications sequenced by this node
   std::uint64_t forwarded = 0;        // publications forwarded to coordinators
@@ -117,7 +123,8 @@ class ClusterNode {
 
   // --- introspection ----------------------------------------------------------
   [[nodiscard]] const std::string& serverId() const noexcept { return cfg_.serverId; }
-  [[nodiscard]] const ClusterNodeStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] ClusterNodeStats stats() const;
+  [[nodiscard]] const obs::ClusterMetrics& metrics() const noexcept { return cm_; }
   [[nodiscard]] const core::Cache& cache() const noexcept { return cache_; }
   [[nodiscard]] std::size_t LocalClientCount() const noexcept { return clients_.size(); }
   [[nodiscard]] bool CoordinatesGroup(std::uint32_t group) const {
@@ -157,6 +164,7 @@ class ClusterNode {
     std::string originServerId;      // contact server awaiting a notice, or ""
     PublicationId pubId;
     std::size_t acksReceived = 0;
+    TimePoint start = 0;             // broadcast time, for replication-ack latency
   };
   using CoordAckKey = std::tuple<std::string, std::uint32_t, std::uint64_t>;
 
@@ -243,7 +251,8 @@ class ClusterNode {
   std::map<std::string, std::uint64_t> gapStalled_;  // topic -> timeout timer
   std::function<void(const Message&)> deliveryHook_;
 
-  ClusterNodeStats stats_;
+  obs::ClusterMetrics cm_;
+  TimePoint fenceStart_ = -1;  // Now() at the last Fence(); -1 = not fenced
 };
 
 }  // namespace md::cluster

@@ -43,6 +43,10 @@ class SimCluster {
     sim::LinkParams serverLinks;           // inter-server network
     Duration clientLinkDelay = 2 * kMillisecond;
     std::uint64_t seed = 42;
+    /// Shared metrics registry for every node in the cluster; nullptr gives
+    /// the cluster its own private registry (keeps repeated sim runs in one
+    /// process from accumulating into the process-wide default).
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   explicit SimCluster(sim::Scheduler& sched, Options options)
@@ -50,6 +54,11 @@ class SimCluster {
         opts_(options),
         net_(sched, Rng(options.seed), options.serverLinks),
         clientLoop_(sched, options.clientLinkDelay) {
+    if (opts_.metrics == nullptr) {
+      ownedRegistry_ = std::make_unique<obs::MetricsRegistry>();
+      opts_.metrics = ownedRegistry_.get();
+    }
+    opts_.coordConfig.metrics = opts_.metrics;
     std::vector<sim::HostId> hosts;
     for (std::size_t i = 0; i < opts_.servers; ++i) {
       hosts.push_back(net_.AddHost("server-" + std::to_string(i + 1)));
@@ -73,6 +82,7 @@ class SimCluster {
       server->env = std::make_unique<NodeEnv>(*this, i, opts_.seed + 100 + i);
       ClusterConfig cfg = opts_.nodeConfig;
       cfg.serverId = ids[i];
+      cfg.metrics = opts_.metrics;
       server->node = std::make_unique<ClusterNode>(cfg, *server->env,
                                                    coordCluster_->node(i), peers);
       servers_.push_back(std::move(server));
@@ -96,6 +106,7 @@ class SimCluster {
   }
   [[nodiscard]] std::size_t size() const noexcept { return servers_.size(); }
   [[nodiscard]] sim::SimNetwork& network() noexcept { return net_; }
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return *opts_.metrics; }
   [[nodiscard]] sim::HostId HostOf(std::size_t i) const {
     return servers_.at(i)->host;
   }
@@ -240,6 +251,7 @@ class SimCluster {
 
   sim::Scheduler& sched_;
   Options opts_;
+  std::unique_ptr<obs::MetricsRegistry> ownedRegistry_;
   sim::SimNetwork net_;
   InprocLoop clientLoop_;
   std::unique_ptr<coord::SimCoordCluster> coordCluster_;

@@ -80,6 +80,19 @@ class Histogram {
 
   [[nodiscard]] std::int64_t Median() const noexcept { return Percentile(0.5); }
 
+  /// Recorded values at or below `value` (bucket-granular: a bucket counts
+  /// once its upper edge is <= value). Drives cumulative `le` buckets in the
+  /// Prometheus exposition (src/obs).
+  [[nodiscard]] std::uint64_t CountAtOrBelow(std::int64_t value) const noexcept {
+    if (value < 0 || total_ == 0) return 0;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      if (BucketUpperBound(static_cast<int>(i)) > value) break;
+      seen += counts_[i];
+    }
+    return seen;
+  }
+
   void Reset() noexcept {
     counts_.fill(0);
     total_ = 0;
@@ -103,6 +116,17 @@ class Histogram {
     const int idx = kSubBuckets + (octave - 1) * (kSubBuckets / 2) +
                     (sub - kSubBuckets / 2);
     return idx < kBucketCount ? idx : kBucketCount - 1;
+  }
+
+  /// Largest value mapping into bucket idx (inclusive). Monotonic in idx.
+  static std::int64_t BucketUpperBound(int idx) noexcept {
+    if (idx < kSubBuckets) return idx;
+    const int rel = idx - kSubBuckets;
+    const int octave = rel / (kSubBuckets / 2) + 1;
+    const int sub = rel % (kSubBuckets / 2) + kSubBuckets / 2;
+    const std::uint64_t base = static_cast<std::uint64_t>(sub) << octave;
+    const std::uint64_t width = 1ULL << octave;
+    return static_cast<std::int64_t>(base + width - 1);
   }
 
   static std::int64_t BucketMidpoint(int idx) noexcept {

@@ -8,7 +8,15 @@ namespace md::coord {
 
 CoordNode::CoordNode(NodeId id, std::vector<NodeId> members, Env& env,
                      CoordConfig cfg)
-    : id_(id), members_(std::move(members)), env_(env), cfg_(cfg) {}
+    : id_(id),
+      members_(std::move(members)),
+      env_(env),
+      cfg_(cfg),
+      om_(cfg_.metrics != nullptr ? *cfg_.metrics
+                                  : obs::MetricsRegistry::Default(),
+          obs::NodeLabel(std::to_string(id_))) {
+  store_.SetFireCounter(&om_.watchFires);
+}
 
 // ---------------------------------------------------------------------------
 // Lifecycle
@@ -73,6 +81,7 @@ void CoordNode::ResetElectionDeadline() {
 // ---------------------------------------------------------------------------
 
 void CoordNode::StartElection() {
+  om_.elections.Inc();
   role_ = Role::kCandidate;
   currentTerm_ += 1;
   votedFor_ = id_;
@@ -293,6 +302,7 @@ void CoordNode::CheckSessions() {
     if (expiredSessions_.contains(peer)) continue;
     if (now - lastAck_[peer] > cfg_.sessionTimeout) {
       MD_INFO("coord %u: expiring session of node %u", id_, peer);
+      om_.sessionExpirations.Inc();
       expiredSessions_.insert(peer);
       log_.push_back(LogEntry{currentTerm_, ExpireSessionCmd{peer}, 0, 0});
       BroadcastHeartbeats();
@@ -350,7 +360,13 @@ void CoordNode::SubmitWrite(Command cmd, WriteCallback cb) {
   const std::uint64_t requestId = nextRequestId_++;
 
   PendingLocal pending;
-  pending.cb = std::move(cb);
+  // Wrap the callback so every completion path — commit, timeout, FailPending
+  // — lands in the client-visible write-latency histogram.
+  pending.cb = [this, start = env_.Now(), cb = std::move(cb)](
+                   Status s, std::uint64_t version) {
+    om_.writeNs.Record(env_.Now() - start);
+    if (cb) cb(std::move(s), version);
+  };
   pending.timeoutTimer = env_.Schedule(cfg_.requestTimeout, [this, requestId] {
     auto node = pendingLocal_.extract(requestId);
     if (node.empty()) return;

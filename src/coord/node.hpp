@@ -26,6 +26,7 @@
 
 #include "common/status.hpp"
 #include "common/time.hpp"
+#include "obs/families.hpp"
 #include "coord/messages.hpp"
 #include "coord/store.hpp"
 
@@ -54,6 +55,9 @@ struct CoordConfig {
   Duration quorumLossThreshold = 1 * kSecond;
   /// Origin-side timeout for forwarded writes.
   Duration requestTimeout = 1 * kSecond;
+  /// Metrics destination; nullptr uses the process-wide default registry.
+  /// The registry must outlive the node.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 enum class Role : std::uint8_t { kFollower, kCandidate, kLeader };
@@ -178,6 +182,8 @@ class CoordNode {
     std::uint64_t timeoutTimer = 0;
   };
   std::map<std::uint64_t, PendingLocal> pendingLocal_;  // requests I originated
+
+  obs::CoordMetrics om_;
 };
 
 }  // namespace md::coord

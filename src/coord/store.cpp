@@ -89,7 +89,10 @@ void KvStore::Fire(const WatchEvent& event) {
   if (it == watches_.end()) return;
   // Copy: a watch callback may register further watches on the same key.
   const auto fns = it->second;
-  for (const auto& fn : fns) fn(event);
+  for (const auto& fn : fns) {
+    if (fireCounter_ != nullptr) fireCounter_->Inc();
+    fn(event);
+  }
 }
 
 }  // namespace md::coord

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "coord/messages.hpp"
+#include "obs/metrics.hpp"
 
 namespace md::coord {
 
@@ -66,11 +67,16 @@ class KvStore {
   /// Rebuild from scratch (restart): clears data and keeps watches.
   void Reset() { data_.clear(); }
 
+  /// Counts every watch-callback invocation; nullptr disables. The counter
+  /// must outlive the store.
+  void SetFireCounter(obs::Counter* counter) noexcept { fireCounter_ = counter; }
+
  private:
   void Fire(const WatchEvent& event);
 
   std::map<std::string, KeyValue> data_;
   std::map<std::string, std::vector<WatchFn>> watches_;
+  obs::Counter* fireCounter_ = nullptr;
 };
 
 }  // namespace md::coord

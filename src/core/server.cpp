@@ -69,7 +69,16 @@ void EncodeForMode(const Frame& frame, std::uint8_t mode, Bytes& out) {
 // ---------------------------------------------------------------------------
 
 Server::Server(ServerConfig cfg)
-    : cfg_(std::move(cfg)), cache_(cfg_.cache) {
+    : cfg_(std::move(cfg)),
+      metrics_(cfg_.metrics != nullptr ? *cfg_.metrics
+                                       : obs::MetricsRegistry::Default()),
+      m_(metrics_, obs::ServerLabel(cfg_.serverId)),
+      tm_(metrics_),
+      tracer_(metrics_, [] { return RealClock::Instance().Now(); }, "wall"),
+      cache_(cfg_.cache) {
+  // Pre-register the full schema so GET /metrics exposes every family from
+  // the first scrape, not just the ones that have seen traffic.
+  obs::RegisterStandardFamilies(metrics_);
   if (cfg_.ioThreads < 1) cfg_.ioThreads = 1;
   if (cfg_.workers < 1) cfg_.workers = 1;
 }
@@ -87,6 +96,7 @@ Status Server::Start() {
   for (int i = 0; i < cfg_.ioThreads; ++i) {
     auto io = std::make_unique<IoThread>();
     io->loop = std::make_unique<EpollLoop>();
+    io->loop->SetMetrics(&tm_);
     auto listener = io->loop->Listen(boundPort_ != 0 ? boundPort_ : cfg_.port);
     if (!listener.ok()) {
       running_.store(false);
@@ -136,13 +146,13 @@ void Server::Stop() {
 
 ServerStats Server::Stats() const {
   ServerStats s;
-  s.connectionsAccepted = statAccepted_.load(std::memory_order_relaxed);
-  s.connectionsActive = statActive_.load(std::memory_order_relaxed);
-  s.framesReceived = statFrames_.load(std::memory_order_relaxed);
-  s.published = statPublished_.load(std::memory_order_relaxed);
-  s.delivered = statDelivered_.load(std::memory_order_relaxed);
-  s.bytesOut = statBytesOut_.load(std::memory_order_relaxed);
-  s.protocolErrors = statProtoErrors_.load(std::memory_order_relaxed);
+  s.connectionsAccepted = m_.accepted.Value();
+  s.connectionsActive = static_cast<std::uint64_t>(m_.active.Value());
+  s.framesReceived = m_.frames.Value();
+  s.published = m_.published.Value();
+  s.delivered = m_.delivered.Value();
+  s.bytesOut = m_.bytesOut.Value();
+  s.protocolErrors = m_.protoErrors.Value();
   return s;
 }
 
@@ -164,7 +174,7 @@ void Server::OnAccept(std::size_t ioIndex, ConnectionPtr conn) {
     session->batcher = std::make_unique<Batcher>(
         cfg_.batch, [this, weak = std::weak_ptr<Session>(session)](BytesView data) {
           if (auto s = weak.lock()) {
-            statBytesOut_.fetch_add(data.size(), std::memory_order_relaxed);
+            m_.bytesOut.Inc(data.size());
             (void)s->conn->Send(data);
           }
         });
@@ -179,13 +189,13 @@ void Server::OnAccept(std::size_t ioIndex, ConnectionPtr conn) {
           Bytes wire;
           EncodeForMode(Frame(DeliverFrame{m}),
                         static_cast<std::uint8_t>(s->mode), wire);
-          statDelivered_.fetch_add(1, std::memory_order_relaxed);
+          m_.delivered.Inc();
           WriteOut(s, BytesView(wire));
         });
   }
 
-  statAccepted_.fetch_add(1, std::memory_order_relaxed);
-  statActive_.fetch_add(1, std::memory_order_relaxed);
+  m_.accepted.Inc();
+  m_.active.Add(1);
   {
     std::lock_guard lock(sessionsMutex_);
     sessions_[session->handle] = session;
@@ -217,6 +227,26 @@ void Server::ParseFrames(const SessionPtr& session) {
   }
 
   if (session->mode == Mode::kWsHandshake) {
+    // A plain-HTTP scrape of /metrics shares the "GET " prefix with the
+    // WebSocket upgrade; peek the request line and intercept it before the
+    // handshake parser (which requires Upgrade headers) rejects it.
+    const auto text = AsStringView(session->in.Peek());
+    const auto lineEnd = text.find("\r\n");
+    if (lineEnd != std::string_view::npos) {
+      const auto line = text.substr(0, lineEnd);  // "GET <path> HTTP/1.1"
+      const auto pathStart = line.find(' ');
+      const auto pathEnd = line.find(' ', pathStart + 1);
+      if (pathStart != std::string_view::npos &&
+          pathEnd != std::string_view::npos &&
+          line.substr(pathStart + 1, pathEnd - pathStart - 1) == "/metrics") {
+        if (text.find("\r\n\r\n") == std::string_view::npos) return;
+        ServeMetrics(session);
+        return;
+      }
+    } else if (text.size() > 8 * 1024) {
+      FailSession(session, Err(ErrorCode::kProtocol, "request line too long"));
+      return;
+    }
     auto hs = ws::ParseClientHandshake(session->in);
     if (!hs.status.ok()) {
       FailSession(session, hs.status);
@@ -224,7 +254,7 @@ void Server::ParseFrames(const SessionPtr& session) {
     }
     if (!hs.handshake) return;  // need more bytes
     const std::string response = ws::BuildServerHandshakeResponse(hs.handshake->key);
-    statBytesOut_.fetch_add(response.size(), std::memory_order_relaxed);
+    m_.bytesOut.Inc(response.size());
     (void)session->conn->Send(AsBytes(response));
     session->mode = Mode::kWs;
   }
@@ -237,7 +267,7 @@ void Server::ParseFrames(const SessionPtr& session) {
     }
     if (!req.complete) return;
     const std::string response = http::BuildStreamResponse();
-    statBytesOut_.fetch_add(response.size(), std::memory_order_relaxed);
+    m_.bytesOut.Inc(response.size());
     (void)session->conn->Send(AsBytes(response));
     session->mode = Mode::kHttp;
   }
@@ -300,7 +330,7 @@ void Server::ParseFrames(const SessionPtr& session) {
       frame = std::move(*r.frame);
     }
 
-    statFrames_.fetch_add(1, std::memory_order_relaxed);
+    m_.frames.Inc();
     Worker& worker = *workers_[session->workerIndex];
     if (!worker.queue.TryPush(Job{session, std::move(frame)}).ok()) {
       // Worker overloaded: shed this client rather than buffer unboundedly.
@@ -310,17 +340,34 @@ void Server::ParseFrames(const SessionPtr& session) {
   }
 }
 
+void Server::ServeMetrics(const SessionPtr& session) {
+  const std::string body =
+      obs::RenderPrometheus(metrics_.Snapshot(), RealClock::Instance().Now());
+  std::string response =
+      "HTTP/1.1 200 OK\r\n"
+      "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+      "Content-Length: " +
+      std::to_string(body.size()) +
+      "\r\n"
+      "Connection: close\r\n"
+      "\r\n";
+  response += body;
+  m_.bytesOut.Inc(response.size());
+  (void)session->conn->Send(AsBytes(response));
+  session->conn->Close();
+}
+
 void Server::FailSession(const SessionPtr& session, const Status& status) {
   MD_DEBUG("closing session %llu: %s",
            static_cast<unsigned long long>(session->handle),
            status.ToString().c_str());
-  statProtoErrors_.fetch_add(1, std::memory_order_relaxed);
+  m_.protoErrors.Inc();
   session->conn->Close();
 }
 
 void Server::OnClosed(const SessionPtr& session) {
   if (!session->open.exchange(false)) return;
-  statActive_.fetch_sub(1, std::memory_order_relaxed);
+  m_.active.Add(-1);
   // Let the session's Worker clean up subscriptions in order with any frames
   // still queued ahead.
   Worker& worker = *workers_[session->workerIndex];
@@ -386,19 +433,24 @@ void Server::HandleSubscribe(const SessionPtr& session, const SubscribeFrame& su
   if (sub.hasResumePos) {
     // Recovery: replay everything cached after the client's last position.
     for (const Message& missed : cache_.GetAfter(sub.topic, sub.resumeAfter)) {
-      statDelivered_.fetch_add(1, std::memory_order_relaxed);
+      m_.delivered.Inc();
       SendFrame(session, DeliverFrame{missed});
     }
   }
 }
 
 void Server::HandlePublish(const SessionPtr& session, const PublishFrame& pub) {
+  const obs::TraceKey traceKey{pub.pubId.clientHash, pub.pubId.counter};
+  tracer_.Begin(traceKey);
+
   const std::uint32_t group = cache_.GroupOf(pub.topic);
   const auto pos = sequencer_.Assign(group, pub.topic);
   if (!pos) {
+    tracer_.Discard(traceKey);
     if (pub.wantAck) SendFrame(session, PubAckFrame{pub.pubId, false});
     return;
   }
+  tracer_.Stamp(traceKey, obs::Stage::kSequenced);
 
   Message msg;
   msg.topic = pub.topic;
@@ -408,7 +460,8 @@ void Server::HandlePublish(const SessionPtr& session, const PublishFrame& pub) {
   msg.pubId = pub.pubId;
   msg.publishTs = pub.publishTs;
   cache_.Append(msg, RealClock::Instance().Now());
-  statPublished_.fetch_add(1, std::memory_order_relaxed);
+  tracer_.Stamp(traceKey, obs::Stage::kCached);
+  m_.published.Inc();
 
   // Acknowledge after the message is durably cached (single-node guarantee;
   // the cluster version acks after replication to 2 servers — see
@@ -420,7 +473,10 @@ void Server::HandlePublish(const SessionPtr& session, const PublishFrame& pub) {
   const Frame deliver{DeliverFrame{std::move(msg)}};
 
   const auto subscribers = registry_.SubscribersOf(pub.topic);
-  if (subscribers.empty()) return;
+  if (subscribers.empty()) {
+    tracer_.Discard(traceKey);
+    return;
+  }
 
   std::vector<SessionPtr> targets;
   targets.reserve(subscribers.size());
@@ -432,10 +488,13 @@ void Server::HandlePublish(const SessionPtr& session, const PublishFrame& pub) {
     }
   }
 
+  tracer_.Stamp(traceKey, obs::Stage::kFannedOut);
+
   std::shared_ptr<const Message> sharedMsg;
   if (cfg_.enableConflation) {
     sharedMsg = std::make_shared<const Message>(std::get<DeliverFrame>(deliver).msg);
   }
+  bool traced = false;
   for (const SessionPtr& target : targets) {
     if (!target->open.load(std::memory_order_relaxed)) continue;
     if (cfg_.enableConflation) {
@@ -452,9 +511,14 @@ void Server::HandlePublish(const SessionPtr& session, const PublishFrame& pub) {
       EncodeForMode(deliver, modeKey, *bytes);
       wire = std::move(bytes);
     }
-    statDelivered_.fetch_add(1, std::memory_order_relaxed);
-    SendEncoded(target, wire);
+    m_.delivered.Inc();
+    // The first socket write finalizes the trace (first-subscriber latency);
+    // later stamps for the same key are no-ops.
+    SendEncoded(target, wire, traced ? std::nullopt
+                                     : std::optional<obs::TraceKey>(traceKey));
+    traced = true;
   }
+  if (!traced) tracer_.Discard(traceKey);  // conflated or all targets closed
 }
 
 void Server::DropSession(const SessionPtr& session) {
@@ -474,12 +538,17 @@ void Server::SendFrame(const SessionPtr& session, const Frame& frame) {
 }
 
 void Server::SendEncoded(const SessionPtr& session,
-                         const std::shared_ptr<const Bytes>& wire) {
+                         const std::shared_ptr<const Bytes>& wire,
+                         std::optional<obs::TraceKey> trace) {
   // All writes funnel through the session's IoThread: the connection, the
   // batcher and the conflator are only ever touched there.
-  session->loop->Post([this, session, wire] {
-    if (!session->open.load(std::memory_order_relaxed)) return;
+  session->loop->Post([this, session, wire, trace] {
+    if (!session->open.load(std::memory_order_relaxed)) {
+      if (trace) tracer_.Discard(*trace);
+      return;
+    }
     WriteOut(session, BytesView(*wire));
+    if (trace) tracer_.Stamp(*trace, obs::Stage::kSocketWritten);
   });
 }
 
@@ -492,7 +561,7 @@ void Server::WriteOut(const SessionPtr& session, BytesView wire) {
                                    [this, session] { FlushBatch(session); });
     }
   } else {
-    statBytesOut_.fetch_add(wire.size(), std::memory_order_relaxed);
+    m_.bytesOut.Inc(wire.size());
     (void)session->conn->Send(wire);
   }
 }

@@ -31,6 +31,8 @@
 #include <vector>
 
 #include "common/queue.hpp"
+#include "obs/families.hpp"
+#include "obs/trace.hpp"
 #include "core/batcher.hpp"
 #include "core/cache.hpp"
 #include "core/registry.hpp"
@@ -54,6 +56,9 @@ struct ServerConfig {
   bool enableConflation = false;
   ConflateConfig conflate;
   std::size_t maxFrameSize = 1 * 1024 * 1024;
+  /// Metrics destination; nullptr uses the process-wide default registry.
+  /// The registry must outlive the server.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct ServerStats {
@@ -82,6 +87,7 @@ class Server {
   [[nodiscard]] ServerStats Stats() const;
   [[nodiscard]] const Cache& cache() const noexcept { return cache_; }
   [[nodiscard]] const ServerConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
 
  private:
   struct Session;
@@ -109,6 +115,9 @@ class Server {
   void OnClosed(const SessionPtr& session);
   void ParseFrames(const SessionPtr& session);
   void FailSession(const SessionPtr& session, const Status& status);
+  /// Answers a plain-HTTP `GET /metrics` scrape with the Prometheus text
+  /// exposition, then closes (scrapes are one-shot, not upgraded sessions).
+  void ServeMetrics(const SessionPtr& session);
 
   // Called on the session's Worker thread.
   void WorkerMain(std::size_t index);
@@ -120,7 +129,8 @@ class Server {
   // Send path (any thread -> session's IoThread).
   void SendFrame(const SessionPtr& session, const Frame& frame);
   void SendEncoded(const SessionPtr& session,
-                   const std::shared_ptr<const Bytes>& wire);
+                   const std::shared_ptr<const Bytes>& wire,
+                   std::optional<obs::TraceKey> trace = std::nullopt);
   void SendDeliverConflated(const SessionPtr& session,
                             const std::shared_ptr<const Message>& msg);
   void FlushBatch(const SessionPtr& session);
@@ -128,6 +138,10 @@ class Server {
   void WriteOut(const SessionPtr& session, BytesView wire);
 
   ServerConfig cfg_;
+  obs::MetricsRegistry& metrics_;
+  obs::CoreMetrics m_;
+  obs::TransportMetrics tm_;
+  obs::Tracer tracer_;
   std::atomic<bool> running_{false};
   std::uint16_t boundPort_ = 0;
 
@@ -139,15 +153,6 @@ class Server {
   Sequencer sequencer_;
 
   std::atomic<std::uint64_t> nextHandle_{1};
-
-  // Stats counters.
-  std::atomic<std::uint64_t> statAccepted_{0};
-  std::atomic<std::uint64_t> statActive_{0};
-  std::atomic<std::uint64_t> statFrames_{0};
-  std::atomic<std::uint64_t> statPublished_{0};
-  std::atomic<std::uint64_t> statDelivered_{0};
-  std::atomic<std::uint64_t> statBytesOut_{0};
-  std::atomic<std::uint64_t> statProtoErrors_{0};
 
   // Live sessions (for fan-out lookup by handle).
   mutable std::mutex sessionsMutex_;

@@ -1,0 +1,155 @@
+#include "obs/families.hpp"
+
+namespace md::obs {
+
+namespace {
+
+// Family names + help, in one place so the bundles and
+// RegisterStandardFamilies can't drift apart.
+
+constexpr std::string_view kCoreAccepted = "md_core_connections_accepted_total";
+constexpr std::string_view kCoreAcceptedHelp = "TCP connections accepted";
+constexpr std::string_view kCoreActive = "md_core_connections_active";
+constexpr std::string_view kCoreActiveHelp = "Currently open client sessions";
+constexpr std::string_view kCoreFrames = "md_core_frames_received_total";
+constexpr std::string_view kCoreFramesHelp = "Protocol frames parsed";
+constexpr std::string_view kCorePublished = "md_core_published_total";
+constexpr std::string_view kCorePublishedHelp = "Publications accepted";
+constexpr std::string_view kCoreDelivered = "md_core_delivered_total";
+constexpr std::string_view kCoreDeliveredHelp =
+    "Messages delivered to subscribers";
+constexpr std::string_view kCoreBytesOut = "md_core_bytes_out_total";
+constexpr std::string_view kCoreBytesOutHelp = "Payload bytes written to clients";
+constexpr std::string_view kCoreProtoErrors = "md_core_protocol_errors_total";
+constexpr std::string_view kCoreProtoErrorsHelp =
+    "Sessions dropped for protocol violations";
+
+constexpr std::string_view kTransWakeups = "md_transport_epoll_wakeups_total";
+constexpr std::string_view kTransWakeupsHelp = "epoll_wait returns";
+constexpr std::string_view kTransBytesRead = "md_transport_bytes_read_total";
+constexpr std::string_view kTransBytesReadHelp = "Bytes read from sockets";
+constexpr std::string_view kTransBytesWritten =
+    "md_transport_bytes_written_total";
+constexpr std::string_view kTransBytesWrittenHelp = "Bytes written to sockets";
+constexpr std::string_view kTransQueueBytes = "md_transport_send_queue_bytes";
+constexpr std::string_view kTransQueueBytesHelp =
+    "Bytes buffered across all connection send queues";
+constexpr std::string_view kTransTimers = "md_transport_timers_fired_total";
+constexpr std::string_view kTransTimersHelp = "Loop timers fired";
+
+constexpr std::string_view kClusPublished = "md_cluster_published_total";
+constexpr std::string_view kClusPublishedHelp =
+    "Publications sequenced by this node as topic owner";
+constexpr std::string_view kClusForwarded = "md_cluster_forwarded_total";
+constexpr std::string_view kClusForwardedHelp =
+    "Publications forwarded to the owning node";
+constexpr std::string_view kClusDelivered = "md_cluster_delivered_total";
+constexpr std::string_view kClusDeliveredHelp =
+    "Messages delivered to local subscribers";
+constexpr std::string_view kClusRejects = "md_cluster_rejects_total";
+constexpr std::string_view kClusRejectsHelp =
+    "Publications rejected (fenced or not owner)";
+constexpr std::string_view kClusTakeovers = "md_cluster_takeovers_total";
+constexpr std::string_view kClusTakeoversHelp =
+    "Topic ownership takeovers completed";
+constexpr std::string_view kClusFences = "md_cluster_fences_total";
+constexpr std::string_view kClusFencesHelp =
+    "Transitions into the fenced (quorum-lost) state";
+constexpr std::string_view kClusUnfences = "md_cluster_unfences_total";
+constexpr std::string_view kClusUnfencesHelp =
+    "Transitions out of the fenced state";
+constexpr std::string_view kClusBackfilled = "md_cluster_backfilled_total";
+constexpr std::string_view kClusBackfilledHelp =
+    "Messages recovered from peers on takeover";
+constexpr std::string_view kClusReplPending = "md_cluster_replication_pending";
+constexpr std::string_view kClusReplPendingHelp =
+    "Publications awaiting replication acks";
+constexpr std::string_view kClusReplAck = "md_cluster_replication_ack_ns";
+constexpr std::string_view kClusReplAckHelp =
+    "Publish-to-replication-quorum latency";
+constexpr std::string_view kClusFailoverLast = "md_cluster_failover_last_ns";
+constexpr std::string_view kClusFailoverLastHelp =
+    "Duration of the most recent fence-to-unfence span";
+constexpr std::string_view kClusFailover = "md_cluster_failover_ns";
+constexpr std::string_view kClusFailoverHelp =
+    "Fence-to-unfence (failover) durations";
+
+constexpr std::string_view kCoordExpirations =
+    "md_coord_session_expirations_total";
+constexpr std::string_view kCoordExpirationsHelp =
+    "Coordination sessions expired by the leader";
+constexpr std::string_view kCoordWatchFires = "md_coord_watch_fires_total";
+constexpr std::string_view kCoordWatchFiresHelp = "Watch callbacks fired";
+constexpr std::string_view kCoordElections = "md_coord_elections_total";
+constexpr std::string_view kCoordElectionsHelp = "Leader elections started";
+constexpr std::string_view kCoordWrite = "md_coord_write_ns";
+constexpr std::string_view kCoordWriteHelp =
+    "Client-visible coordination write latency";
+
+}  // namespace
+
+CoreMetrics::CoreMetrics(MetricsRegistry& r, std::string_view labels)
+    : accepted(r.GetCounter(kCoreAccepted, kCoreAcceptedHelp, labels)),
+      active(r.GetGauge(kCoreActive, kCoreActiveHelp, labels)),
+      frames(r.GetCounter(kCoreFrames, kCoreFramesHelp, labels)),
+      published(r.GetCounter(kCorePublished, kCorePublishedHelp, labels)),
+      delivered(r.GetCounter(kCoreDelivered, kCoreDeliveredHelp, labels)),
+      bytesOut(r.GetCounter(kCoreBytesOut, kCoreBytesOutHelp, labels)),
+      protoErrors(
+          r.GetCounter(kCoreProtoErrors, kCoreProtoErrorsHelp, labels)) {}
+
+TransportMetrics::TransportMetrics(MetricsRegistry& r, std::string_view labels)
+    : wakeups(r.GetCounter(kTransWakeups, kTransWakeupsHelp, labels)),
+      bytesRead(r.GetCounter(kTransBytesRead, kTransBytesReadHelp, labels)),
+      bytesWritten(
+          r.GetCounter(kTransBytesWritten, kTransBytesWrittenHelp, labels)),
+      sendQueueBytes(
+          r.GetGauge(kTransQueueBytes, kTransQueueBytesHelp, labels)),
+      timersFired(r.GetCounter(kTransTimers, kTransTimersHelp, labels)) {}
+
+ClusterMetrics::ClusterMetrics(MetricsRegistry& r, std::string_view labels)
+    : published(r.GetCounter(kClusPublished, kClusPublishedHelp, labels)),
+      forwarded(r.GetCounter(kClusForwarded, kClusForwardedHelp, labels)),
+      delivered(r.GetCounter(kClusDelivered, kClusDeliveredHelp, labels)),
+      rejects(r.GetCounter(kClusRejects, kClusRejectsHelp, labels)),
+      takeovers(r.GetCounter(kClusTakeovers, kClusTakeoversHelp, labels)),
+      fences(r.GetCounter(kClusFences, kClusFencesHelp, labels)),
+      unfences(r.GetCounter(kClusUnfences, kClusUnfencesHelp, labels)),
+      backfilled(r.GetCounter(kClusBackfilled, kClusBackfilledHelp, labels)),
+      replicationPending(
+          r.GetGauge(kClusReplPending, kClusReplPendingHelp, labels)),
+      replicationAckNs(r.GetHistogram(kClusReplAck, kClusReplAckHelp, labels)),
+      failoverLastNs(
+          r.GetGauge(kClusFailoverLast, kClusFailoverLastHelp, labels)),
+      failoverNs(r.GetHistogram(kClusFailover, kClusFailoverHelp, labels)) {}
+
+CoordMetrics::CoordMetrics(MetricsRegistry& r, std::string_view labels)
+    : sessionExpirations(
+          r.GetCounter(kCoordExpirations, kCoordExpirationsHelp, labels)),
+      watchFires(r.GetCounter(kCoordWatchFires, kCoordWatchFiresHelp, labels)),
+      elections(r.GetCounter(kCoordElections, kCoordElectionsHelp, labels)),
+      writeNs(r.GetHistogram(kCoordWrite, kCoordWriteHelp, labels)) {}
+
+void RegisterStandardFamilies(MetricsRegistry& registry) {
+  CoreMetrics core(registry);
+  TransportMetrics transport(registry);
+  ClusterMetrics cluster(registry);
+  CoordMetrics coord(registry);
+  registry.GetHistogram("md_trace_stage_ns",
+                        "Latency between consecutive pipeline stages");
+  registry.GetHistogram(
+      "md_trace_end_to_end_ns",
+      "Publish-received to terminal-stage latency per publication");
+  registry.GetCounter("md_trace_dropped_total",
+                      "Traces evicted before reaching their terminal stage");
+}
+
+std::string ServerLabel(std::string_view serverName) {
+  return "server=\"" + std::string(serverName) + "\"";
+}
+
+std::string NodeLabel(std::string_view nodeId) {
+  return "node=\"" + std::string(nodeId) + "\"";
+}
+
+}  // namespace md::obs

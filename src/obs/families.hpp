@@ -1,0 +1,85 @@
+// Standard metric families for each subsystem, bundled so wiring code grabs
+// one struct of references instead of repeating name/help strings at every
+// increment site. Constructing a bundle registers (or re-finds) its families;
+// references stay valid for the registry's lifetime.
+//
+// RegisterStandardFamilies() pre-registers every family with an unlabeled
+// zero-valued child so a freshly started server already exposes the full
+// schema on GET /metrics (and the golden exposition test sees a stable
+// family set regardless of which subsystems happen to be active).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace md::obs {
+
+/// core::Server counters (one bundle per server, labeled server="<name>";
+/// empty label text for a standalone server).
+struct CoreMetrics {
+  explicit CoreMetrics(MetricsRegistry& registry, std::string_view labels = "");
+
+  Counter& accepted;
+  Gauge& active;
+  Counter& frames;
+  Counter& published;
+  Counter& delivered;
+  Counter& bytesOut;
+  Counter& protoErrors;
+};
+
+/// transport::EpollLoop counters (process-wide; all loops share one bundle).
+struct TransportMetrics {
+  explicit TransportMetrics(MetricsRegistry& registry,
+                            std::string_view labels = "");
+
+  Counter& wakeups;
+  Counter& bytesRead;
+  Counter& bytesWritten;
+  Gauge& sendQueueBytes;
+  Counter& timersFired;
+};
+
+/// cluster::Node counters (one bundle per node, labeled server="<name>").
+struct ClusterMetrics {
+  explicit ClusterMetrics(MetricsRegistry& registry,
+                          std::string_view labels = "");
+
+  Counter& published;
+  Counter& forwarded;
+  Counter& delivered;
+  Counter& rejects;
+  Counter& takeovers;
+  Counter& fences;
+  Counter& unfences;
+  Counter& backfilled;
+  Gauge& replicationPending;
+  LatencyHistogram& replicationAckNs;
+  Gauge& failoverLastNs;
+  LatencyHistogram& failoverNs;
+};
+
+/// coord (MiniZK) counters (one bundle per coord node, labeled node="<id>").
+struct CoordMetrics {
+  explicit CoordMetrics(MetricsRegistry& registry, std::string_view labels = "");
+
+  Counter& sessionExpirations;
+  Counter& watchFires;
+  Counter& elections;
+  LatencyHistogram& writeNs;
+};
+
+/// Pre-registers every standard family (core, transport, cluster, coord,
+/// trace) with an unlabeled child so the exposition schema is complete from
+/// process start.
+void RegisterStandardFamilies(MetricsRegistry& registry);
+
+/// `server="<name>"` label text for per-server children.
+[[nodiscard]] std::string ServerLabel(std::string_view serverName);
+
+/// `node="<id>"` label text for per-coord-node children.
+[[nodiscard]] std::string NodeLabel(std::string_view nodeId);
+
+}  // namespace md::obs

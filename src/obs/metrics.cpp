@@ -1,0 +1,258 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace md::obs {
+
+const char* MetricKindName(MetricKind kind) noexcept {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+const std::vector<std::int64_t>& ExpositionBucketBounds() {
+  static const std::vector<std::int64_t> kBounds = {
+      1 * kMicrosecond,    10 * kMicrosecond,  50 * kMicrosecond,
+      100 * kMicrosecond,  500 * kMicrosecond, 1 * kMillisecond,
+      5 * kMillisecond,    10 * kMillisecond,  50 * kMillisecond,
+      100 * kMillisecond,  500 * kMillisecond, 1 * kSecond,
+      5 * kSecond,         10 * kSecond,
+  };
+  return kBounds;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+MetricsRegistry::Family& MetricsRegistry::GetFamily(std::string_view name,
+                                                    std::string_view help,
+                                                    MetricKind kind) {
+  const auto it = families_.find(name);
+  if (it != families_.end()) return it->second;
+  Family family;
+  family.help = std::string(help);
+  family.kind = kind;
+  return families_.emplace(std::string(name), std::move(family)).first->second;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view help,
+                                     std::string_view labels) {
+  std::lock_guard lock(mu_);
+  auto& child = GetFamily(name, help, MetricKind::kCounter)
+                    .counters[std::string(labels)];
+  if (!child) child = std::make_unique<Counter>();
+  return *child;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name, std::string_view help,
+                                 std::string_view labels) {
+  std::lock_guard lock(mu_);
+  auto& child =
+      GetFamily(name, help, MetricKind::kGauge).gauges[std::string(labels)];
+  if (!child) child = std::make_unique<Gauge>();
+  return *child;
+}
+
+LatencyHistogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                                std::string_view help,
+                                                std::string_view labels) {
+  std::lock_guard lock(mu_);
+  auto& child = GetFamily(name, help, MetricKind::kHistogram)
+                    .histograms[std::string(labels)];
+  if (!child) child = std::make_unique<LatencyHistogram>();
+  return *child;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard lock(mu_);
+  snap.families.reserve(families_.size());
+  for (const auto& [name, family] : families_) {
+    FamilySnapshot fs;
+    fs.name = name;
+    fs.help = family.help;
+    fs.kind = family.kind;
+    for (const auto& [labels, counter] : family.counters) {
+      SampleSnapshot s;
+      s.labels = labels;
+      s.value = static_cast<double>(counter->Value());
+      fs.samples.push_back(std::move(s));
+    }
+    for (const auto& [labels, gauge] : family.gauges) {
+      SampleSnapshot s;
+      s.labels = labels;
+      s.value = static_cast<double>(gauge->Value());
+      fs.samples.push_back(std::move(s));
+    }
+    for (const auto& [labels, hist] : family.histograms) {
+      const Histogram merged = hist->Merged();
+      SampleSnapshot s;
+      s.labels = labels;
+      s.count = merged.Count();
+      s.sum = static_cast<double>(merged.Mean()) *
+              static_cast<double>(merged.Count());
+      s.min = merged.Min();
+      s.max = merged.Max();
+      s.summary = SummarizeNanos(merged);
+      for (const std::int64_t bound : ExpositionBucketBounds()) {
+        s.buckets.emplace_back(bound, merged.CountAtOrBelow(bound));
+      }
+      fs.samples.push_back(std::move(s));
+    }
+    snap.families.push_back(std::move(fs));
+  }
+  return snap;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot lookups
+// ---------------------------------------------------------------------------
+
+const FamilySnapshot* MetricsSnapshot::Family(std::string_view name) const {
+  for (const auto& f : families) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+const SampleSnapshot* MetricsSnapshot::Find(std::string_view name,
+                                            std::string_view labels) const {
+  const FamilySnapshot* family = Family(name);
+  if (family == nullptr) return nullptr;
+  for (const auto& s : family->samples) {
+    if (s.labels == labels) return &s;
+  }
+  return nullptr;
+}
+
+double MetricsSnapshot::Value(std::string_view name,
+                              std::string_view labels) const {
+  const SampleSnapshot* s = Find(name, labels);
+  return s != nullptr ? s->value : 0.0;
+}
+
+double MetricsSnapshot::Total(std::string_view name) const {
+  const FamilySnapshot* f = Family(name);
+  if (f == nullptr) return 0.0;
+  double total = 0.0;
+  for (const SampleSnapshot& s : f->samples) total += s.value;
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Exposition
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// All recorded values are integral nanoseconds (or counts); printing them as
+/// integers keeps the exposition byte-stable for golden comparison.
+std::string Num(double v) { return std::to_string(std::llround(v)); }
+
+void AppendSampleName(std::string& out, std::string_view name,
+                      std::string_view suffix, std::string_view labels,
+                      std::string_view extraLabel = "") {
+  out += name;
+  out += suffix;
+  if (!labels.empty() || !extraLabel.empty()) {
+    out += '{';
+    out += labels;
+    if (!labels.empty() && !extraLabel.empty()) out += ',';
+    out += extraLabel;
+    out += '}';
+  }
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const MetricsSnapshot& snapshot,
+                             TimePoint scrapedAt) {
+  std::string out;
+  for (const auto& family : snapshot.families) {
+    out += "# HELP " + family.name + " " + family.help + "\n";
+    out += "# TYPE " + family.name + " ";
+    out += MetricKindName(family.kind);
+    out += '\n';
+    for (const auto& s : family.samples) {
+      if (family.kind != MetricKind::kHistogram) {
+        AppendSampleName(out, family.name, "", s.labels);
+        out += ' ' + Num(s.value) + '\n';
+        continue;
+      }
+      for (const auto& [bound, cumulative] : s.buckets) {
+        AppendSampleName(out, family.name, "_bucket", s.labels,
+                         "le=\"" + std::to_string(bound) + "\"");
+        out += ' ' + std::to_string(cumulative) + '\n';
+      }
+      AppendSampleName(out, family.name, "_bucket", s.labels, "le=\"+Inf\"");
+      out += ' ' + std::to_string(s.count) + '\n';
+      AppendSampleName(out, family.name, "_sum", s.labels);
+      out += ' ' + Num(s.sum) + '\n';
+      AppendSampleName(out, family.name, "_count", s.labels);
+      out += ' ' + std::to_string(s.count) + '\n';
+    }
+  }
+  out += "# scraped_at " + std::to_string(scrapedAt) + "\n";
+  return out;
+}
+
+std::string NormalizeExposition(std::string_view exposition) {
+  std::string out;
+  out.reserve(exposition.size());
+  std::size_t start = 0;
+  while (start <= exposition.size()) {
+    std::size_t end = exposition.find('\n', start);
+    if (end == std::string_view::npos) end = exposition.size();
+    const std::string_view line = exposition.substr(start, end - start);
+    if (line.rfind("# scraped_at ", 0) == 0) {
+      out += "# scraped_at TS";
+    } else {
+      out += line;
+    }
+    if (end < exposition.size()) out += '\n';
+    start = end + 1;
+  }
+  return out;
+}
+
+std::string MaskExpositionValues(std::string_view exposition) {
+  std::string out;
+  out.reserve(exposition.size());
+  std::size_t start = 0;
+  while (start <= exposition.size()) {
+    std::size_t end = exposition.find('\n', start);
+    if (end == std::string_view::npos) end = exposition.size();
+    const std::string_view line = exposition.substr(start, end - start);
+    if (line.rfind("# scraped_at ", 0) == 0) {
+      out += "# scraped_at TS";
+    } else if (!line.empty() && line[0] != '#') {
+      // `<name>[{labels}] <value>` — labels may contain spaces inside quotes,
+      // so split at the last space (values never contain one).
+      const std::size_t space = line.rfind(' ');
+      if (space == std::string_view::npos) {
+        out += line;
+      } else {
+        out += line.substr(0, space);
+        out += " V";
+      }
+    } else {
+      out += line;
+    }
+    if (end < exposition.size()) out += '\n';
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace md::obs

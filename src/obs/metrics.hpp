@@ -1,0 +1,211 @@
+// Process-wide metrics subsystem (ROADMAP: quantitative claims need
+// instrumentation before any perf PR can prove itself).
+//
+// Three primitive types, all safe for concurrent writers:
+//   - Counter: monotonically increasing, sharded across cache-line-padded
+//     per-thread slots so hot-path increments never contend; aggregated on
+//     read.
+//   - Gauge:   a single settable/adjustable value (queue depths, active
+//     connections, last-failover duration).
+//   - LatencyHistogram: log-bucketed (HDR-style, reusing md::Histogram)
+//     value distribution, sharded the same way and merged on read.
+//
+// A MetricsRegistry owns metric *families* (name + help + kind) with labeled
+// children (e.g. md_cluster_fences_total{server="server-1"}). Everything is
+// exposed two ways:
+//   - Snapshot(): a plain struct the chaos harness and benches consume
+//     directly (no text parsing on the assertion path),
+//   - RenderPrometheus(): the text exposition format served as GET /metrics
+//     by core::Server.
+//
+// Writers hold references obtained once at wiring time (GetCounter/...); the
+// registry mutex is only taken at registration and snapshot, never on the
+// increment path.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/time.hpp"
+
+namespace md::obs {
+
+/// Stable small index for the calling thread, used to pick a shard.
+inline std::size_t ThreadShard(std::size_t shards) noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot % shards;
+}
+
+/// Monotonic counter, sharded per thread, aggregated on read.
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 8;
+
+  void Inc(std::uint64_t n = 1) noexcept {
+    slots_[ThreadShard(kShards)].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t Value() const noexcept {
+    std::uint64_t sum = 0;
+    for (const Slot& s : slots_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Slot, kShards> slots_{};
+};
+
+/// Instantaneous value (may go up and down).
+class Gauge {
+ public:
+  void Set(std::int64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void Add(std::int64_t d) noexcept { v_.fetch_add(d, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t Value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Log-bucketed latency histogram, sharded per thread and merged on read.
+/// Each shard wraps an md::Histogram behind its own mutex; with one writer
+/// thread per shard the lock is uncontended, and Merged() pays the cost.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kShards = 4;
+
+  void Record(std::int64_t nanos) noexcept {
+    Shard& s = shards_[ThreadShard(kShards)];
+    std::lock_guard lock(s.mu);
+    s.h.Record(nanos);
+  }
+
+  /// Aggregated view across all shards.
+  [[nodiscard]] Histogram Merged() const {
+    Histogram out;
+    for (const Shard& s : shards_) {
+      std::lock_guard lock(s.mu);
+      out.Merge(s.h);
+    }
+    return out;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    Histogram h;
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] const char* MetricKindName(MetricKind kind) noexcept;
+
+/// One child of a family: its label set (raw `k="v",k2="v2"` text, empty for
+/// the unlabeled child) plus the values read at snapshot time.
+struct SampleSnapshot {
+  std::string labels;
+  double value = 0;  // counter / gauge reading
+
+  // Histogram-only fields.
+  std::uint64_t count = 0;
+  double sum = 0;  // accumulated nanoseconds
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+  LatencySummary summary;  // median/mean/p90/p95/p99, milliseconds
+  /// Cumulative counts at the fixed exposition bounds (ns, ascending).
+  std::vector<std::pair<std::int64_t, std::uint64_t>> buckets;
+};
+
+struct FamilySnapshot {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  std::vector<SampleSnapshot> samples;  // sorted by label text
+};
+
+/// Point-in-time view of a whole registry; families sorted by name.
+struct MetricsSnapshot {
+  std::vector<FamilySnapshot> families;
+
+  [[nodiscard]] const FamilySnapshot* Family(std::string_view name) const;
+  [[nodiscard]] const SampleSnapshot* Find(std::string_view name,
+                                           std::string_view labels = "") const;
+  /// Counter/gauge reading; 0 when the sample does not exist.
+  [[nodiscard]] double Value(std::string_view name,
+                             std::string_view labels = "") const;
+  /// Sum of a family's value across every labeled child (cluster-wide
+  /// totals of per-server counters); 0 when the family does not exist.
+  [[nodiscard]] double Total(std::string_view name) const;
+};
+
+/// Upper bounds (ns) of the fixed exposition buckets (+Inf is implicit).
+[[nodiscard]] const std::vector<std::int64_t>& ExpositionBucketBounds();
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the child of the named family with the given label text,
+  /// creating family and child as needed. References stay valid for the
+  /// registry's lifetime. The first registration of a name fixes its kind
+  /// and help text.
+  Counter& GetCounter(std::string_view name, std::string_view help,
+                      std::string_view labels = "");
+  Gauge& GetGauge(std::string_view name, std::string_view help,
+                  std::string_view labels = "");
+  LatencyHistogram& GetHistogram(std::string_view name, std::string_view help,
+                                 std::string_view labels = "");
+
+  [[nodiscard]] MetricsSnapshot Snapshot() const;
+
+  /// Process-wide default instance (used when no registry is injected).
+  static MetricsRegistry& Default();
+
+ private:
+  struct Family {
+    std::string help;
+    MetricKind kind = MetricKind::kCounter;
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms;
+  };
+
+  Family& GetFamily(std::string_view name, std::string_view help,
+                    MetricKind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family, std::less<>> families_;
+};
+
+/// Prometheus text exposition (format 0.0.4). `scrapedAt` is stamped into a
+/// trailing comment; tests normalize it away (NormalizeExposition).
+[[nodiscard]] std::string RenderPrometheus(const MetricsSnapshot& snapshot,
+                                           TimePoint scrapedAt);
+
+/// Replaces the scrape-time comment with a fixed token so fixed-seed
+/// expositions byte-compare against checked-in golden files.
+[[nodiscard]] std::string NormalizeExposition(std::string_view exposition);
+
+/// Masks every sample value (but not names, labels, bucket bounds or
+/// structure) — locks the exposition *shape* where values are timing-derived.
+[[nodiscard]] std::string MaskExpositionValues(std::string_view exposition);
+
+}  // namespace md::obs

@@ -14,6 +14,7 @@
 
 #include "common/logging.hpp"
 #include "common/strutil.hpp"
+#include "obs/families.hpp"
 
 namespace md {
 
@@ -73,6 +74,7 @@ Status TcpConnection::Send(BytesView data) {
     const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
     if (n > 0) {
       written = static_cast<std::size_t>(n);
+      if (auto* m = loop_.metrics()) m->bytesWritten.Inc(written);
     } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
       CloseNow();
       return Err(ErrorCode::kClosed, "write failed");
@@ -80,6 +82,9 @@ Status TcpConnection::Send(BytesView data) {
   }
   if (written < data.size()) {
     out_.Append(data.subspan(written));
+    if (auto* m = loop_.metrics()) {
+      m->sendQueueBytes.Add(static_cast<std::int64_t>(data.size() - written));
+    }
     if (!wantWrite_) {
       wantWrite_ = true;
       UpdateEpollInterest();
@@ -101,6 +106,9 @@ void TcpConnection::CloseNow() {
   ::close(fd_);
   const int fd = fd_;
   fd_ = -1;
+  if (auto* m = loop_.metrics(); m != nullptr && !out_.empty()) {
+    m->sendQueueBytes.Add(-static_cast<std::int64_t>(out_.size()));
+  }
   out_.Clear();
   // Run the close notification after unwinding (the caller may be inside
   // HandleReadable), then release both handlers: they often capture this
@@ -127,6 +135,7 @@ void TcpConnection::HandleReadable() {
   while (fd_ >= 0) {
     const ssize_t n = ::read(fd_, buf, sizeof(buf));
     if (n > 0) {
+      if (auto* m = loop_.metrics()) m->bytesRead.Inc(static_cast<std::size_t>(n));
       if (dataHandler_) dataHandler_(BytesView(buf, static_cast<std::size_t>(n)));
       if (n < static_cast<ssize_t>(sizeof(buf))) break;
     } else if (n == 0) {
@@ -147,6 +156,10 @@ void TcpConnection::HandleWritable() {
     const ssize_t n = ::send(fd_, chunk.data(), chunk.size(), MSG_NOSIGNAL);
     if (n > 0) {
       out_.Consume(static_cast<std::size_t>(n));
+      if (auto* m = loop_.metrics()) {
+        m->bytesWritten.Inc(static_cast<std::size_t>(n));
+        m->sendQueueBytes.Add(-static_cast<std::int64_t>(n));
+      }
     } else {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
       if (errno == EINTR) continue;
@@ -262,6 +275,7 @@ void EpollLoop::Run() {
       MD_ERROR("epoll_wait: %s", std::strerror(errno));
       break;
     }
+    if (metrics_ != nullptr) metrics_->wakeups.Inc();
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
       const std::uint32_t ev = events[i].events;
@@ -345,6 +359,7 @@ void EpollLoop::FireDueTimers() {
     if (it == timerTasks_.end()) continue;  // cancelled
     TaskFn task = std::move(it->second);
     timerTasks_.erase(it);
+    if (metrics_ != nullptr) metrics_->timersFired.Inc();
     task();
   }
 }

@@ -20,6 +20,10 @@
 
 namespace md {
 
+namespace obs {
+struct TransportMetrics;
+}  // namespace obs
+
 class EpollLoop;
 
 namespace detail {
@@ -98,6 +102,15 @@ class EpollLoop final : public EventLoop {
   void Connect(const std::string& host, std::uint16_t port,
                ConnectCallback cb) override;
 
+  /// Optional instrumentation (wakeups, bytes, queue depth, timers). The
+  /// bundle must outlive the loop; call before Run(). nullptr disables.
+  void SetMetrics(obs::TransportMetrics* metrics) noexcept {
+    metrics_ = metrics;
+  }
+  [[nodiscard]] obs::TransportMetrics* metrics() const noexcept {
+    return metrics_;
+  }
+
   // Internal plumbing for connections/listeners (dispatch is by fd).
   void Register(int fd, std::uint32_t events);
   void Modify(int fd, std::uint32_t events);
@@ -137,6 +150,7 @@ class EpollLoop final : public EventLoop {
   int epollFd_ = -1;
   int wakeFd_ = -1;
   int emergencyFd_ = -1;
+  obs::TransportMetrics* metrics_ = nullptr;
   std::atomic<bool> running_{false};
 
   std::mutex postMutex_;

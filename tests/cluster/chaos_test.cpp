@@ -142,6 +142,76 @@ TEST(InvariantCheckerTest, DetectsFencingFailures) {
   for (const auto& s : v) EXPECT_NE(s.find("[fence]"), std::string::npos) << s;
 }
 
+TEST(InvariantCheckerTest, ConsistentMetricsTotalsPass) {
+  InvariantChecker c;
+  c.AddSubscription("s", "t");
+  c.OnAck("t", {0xABCD, 1});
+  c.OnDelivery("s", Msg("t", 1, 1, 1), false);
+  c.OnDelivery("s", Msg("t", 1, 1, 1), true);  // filtered duplicate
+  InvariantChecker::MetricsTotals t;
+  t.published = 1;   // == acked
+  t.delivered = 2;   // == post-filter + filtered receipts
+  t.fences = 1;
+  t.unfences = 1;
+  t.failoverMaxNs = 2 * kSecond;
+  t.failoverBound = 10 * kSecond;
+  c.OnMetricsTotals(t);
+  EXPECT_TRUE(c.Check().empty());
+}
+
+TEST(InvariantCheckerTest, DetectsCounterDriftFromGroundTruth) {
+  InvariantChecker c;
+  c.AddSubscription("s", "t");
+  c.OnAck("t", {0xABCD, 1});
+  c.OnDelivery("s", Msg("t", 1, 1, 1), false);
+  c.OnDelivery("s", Msg("t", 1, 1, 1), true);
+  InvariantChecker::MetricsTotals t;
+  t.published = 0;  // below the 1 acked publication
+  t.delivered = 1;  // below the 2 client-observed receipts
+  c.OnMetricsTotals(t);
+  const auto v = c.Check();
+  ASSERT_EQ(v.size(), 2u);
+  for (const auto& s : v) EXPECT_NE(s.find("[metrics]"), std::string::npos) << s;
+}
+
+TEST(InvariantCheckerTest, DetectsFenceCounterMismatch) {
+  InvariantChecker c;
+  c.OnPartitionObservation(1, /*fenced=*/true, 0);
+  InvariantChecker::MetricsTotals t;
+  t.fences = 0;    // a fenced partition was observed, so >= 1 expected
+  t.unfences = 1;  // exceeds the fence count
+  c.OnMetricsTotals(t);
+  const auto v = c.Check();
+  ASSERT_EQ(v.size(), 2u);
+  for (const auto& s : v) EXPECT_NE(s.find("[metrics]"), std::string::npos) << s;
+}
+
+TEST(InvariantCheckerTest, DetectsUnterminatedFenceSpans) {
+  InvariantChecker c;
+  InvariantChecker::MetricsTotals t;
+  t.fences = 3;  // only one crash and one unfence can absorb a span
+  t.unfences = 1;
+  t.crashFaults = 1;
+  t.stillFenced = 0;
+  c.OnMetricsTotals(t);
+  const auto v = c.Check();
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].find("[metrics]"), std::string::npos) << v[0];
+  EXPECT_NE(v[0].find("exceeds unfences"), std::string::npos) << v[0];
+}
+
+TEST(InvariantCheckerTest, DetectsFailoverSpanBeyondBoundAndNegativeGauge) {
+  InvariantChecker c;
+  InvariantChecker::MetricsTotals t;
+  t.failoverBound = 1 * kSecond;
+  t.failoverMaxNs = 2 * kSecond;  // fence span exceeds the fault-window bound
+  t.replicationPendingSum = -1;   // unbalanced gauge (double decrement)
+  c.OnMetricsTotals(t);
+  const auto v = c.Check();
+  ASSERT_EQ(v.size(), 2u);
+  for (const auto& s : v) EXPECT_NE(s.find("[metrics]"), std::string::npos) << s;
+}
+
 TEST(InvariantCheckerTest, DetectsCacheHole) {
   InvariantChecker c;
   c.OnAck("t", {0xABCD, 1});
@@ -173,6 +243,15 @@ TEST_P(ChaosSeeds, InvariantsHoldAndTraceIsReproducible) {
   EXPECT_EQ(faultsApplied, a.plan.events.size());
   EXPECT_GT(a.acked, 0u);
   EXPECT_GT(a.deliveries, 0u);
+
+  // The report's registry snapshot is coupled to the run: server-side
+  // counters bound the client-side observations (also asserted as [metrics]
+  // invariants inside Check(), repeated here against the exposed snapshot).
+  EXPECT_GE(a.metrics.Total("md_cluster_published_total"),
+            static_cast<double>(a.acked));
+  EXPECT_GE(a.metrics.Total("md_cluster_delivered_total"),
+            static_cast<double>(a.deliveries + a.duplicatesFiltered));
+  EXPECT_NE(a.metrics.Family("md_cluster_failover_ns"), nullptr);
 
   std::string joined;
   for (const auto& v : a.violations) joined += "\n  " + v;

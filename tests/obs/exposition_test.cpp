@@ -1,0 +1,259 @@
+// Golden-output tests for the Prometheus text exposition.
+//
+// Three layers, each stricter than the last:
+//   1. a hand-driven registry rendered byte-exactly against a checked-in
+//      golden (format regressions: ordering, label syntax, suffixes),
+//   2. a fixed-seed simulated cluster run whose normalized exposition must
+//      be byte-identical to a golden AND across repeated runs (virtual-time
+//      determinism extends to every metric value),
+//   3. a live core::Server scraped over a real TCP socket (endpoint wiring,
+//      HTTP framing, full standard-family schema).
+//
+// Regenerate goldens after an intentional format change with:
+//   MD_REGEN_GOLDEN=1 ./obs_test --gtest_filter='ExpositionGolden*'
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "client/client.hpp"
+#include "cluster/chaos.hpp"
+#include "core/server.hpp"
+#include "transport/epoll_loop.hpp"
+
+namespace md::obs {
+namespace {
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(MD_SOURCE_DIR) + "/tests/obs/golden/" + name;
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Byte-compares `got` against the golden; under MD_REGEN_GOLDEN=1 rewrites
+// the golden instead (and fails, so a regen run is never mistaken for green).
+void CompareGolden(const std::string& name, const std::string& got) {
+  const std::string path = GoldenPath(name);
+  if (std::getenv("MD_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << got;
+    FAIL() << "regenerated " << path << " — rerun without MD_REGEN_GOLDEN";
+  }
+  const std::string want = ReadFileOrEmpty(path);
+  ASSERT_FALSE(want.empty()) << "missing golden " << path
+                             << " (run with MD_REGEN_GOLDEN=1 to create)";
+  EXPECT_EQ(got, want) << "exposition drifted from " << path;
+}
+
+// --- 1. hand-driven format golden -------------------------------------------
+
+TEST(ExpositionGoldenTest, HandDrivenRegistryRendersByteExactly) {
+  MetricsRegistry registry;
+  Counter& plain = registry.GetCounter("demo_events_total", "Demo events.");
+  plain.Inc(3);
+  Counter& labeled = registry.GetCounter("demo_events_total", "Demo events.",
+                                         "shard=\"a\",zone=\"eu\"");
+  labeled.Inc(41);
+  Gauge& gauge = registry.GetGauge("demo_queue_depth", "Demo queue depth.");
+  gauge.Set(-7);
+  LatencyHistogram& hist =
+      registry.GetHistogram("demo_latency_ns", "Demo latency.", "path=\"hot\"");
+  hist.Record(500);                    // below first bound
+  hist.Record(90 * kMicrosecond);      // mid-range
+  hist.Record(2 * kMillisecond);
+  hist.Record(7 * kSecond);            // above second-to-last bound
+  hist.Record(30 * kSecond);           // beyond every finite bound
+
+  const std::string text = RenderPrometheus(registry.Snapshot(), 12345);
+  CompareGolden("exposition_format.golden", text);
+
+  // The normalizer rewrites only the scrape timestamp line.
+  const std::string normalized = NormalizeExposition(text);
+  EXPECT_NE(normalized.find("# scraped_at TS"), std::string::npos);
+  EXPECT_EQ(NormalizeExposition(normalized), normalized);
+
+  // The value mask keeps names/labels and folds every sample value to V.
+  const std::string masked = MaskExpositionValues(text);
+  EXPECT_NE(masked.find("demo_events_total{shard=\"a\",zone=\"eu\"} V"),
+            std::string::npos);
+  EXPECT_EQ(masked.find(" 41"), std::string::npos);
+}
+
+// --- 2. fixed-seed simulated cluster golden ---------------------------------
+
+cluster::ChaosReport FixedSeedRun() {
+  cluster::ChaosOptions opts;
+  opts.seed = 5;
+  opts.plan = cluster::FaultPlan::Parse("crash:0@1500+2500;part:1@11000+6000", 3);
+  return cluster::ChaosDriver(opts).Run();
+}
+
+TEST(ExpositionGoldenTest, SimulatedClusterExpositionIsDeterministic) {
+  const cluster::ChaosReport a = FixedSeedRun();
+  ASSERT_TRUE(a.Passed());
+  const std::string textA = NormalizeExposition(RenderPrometheus(a.metrics, 0));
+
+  // Virtual time makes every counter, gauge and histogram value — not just
+  // the schema — identical across runs.
+  const cluster::ChaosReport b = FixedSeedRun();
+  const std::string textB = NormalizeExposition(RenderPrometheus(b.metrics, 0));
+  EXPECT_EQ(textA, textB) << "same seed produced different metric values";
+
+  CompareGolden("exposition_sim.golden", textA);
+}
+
+// --- 3. live server scrape ---------------------------------------------------
+
+std::string HttpGet(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string req =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < req.size()) {
+    const ssize_t n = ::send(fd, req.data() + sent, req.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::size_t CountOccurrences(const std::string& text, const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(MetricsEndpointTest, LiveServerServesFullSchemaOverHttp) {
+  MetricsRegistry registry;
+  core::ServerConfig cfg;
+  cfg.ioThreads = 1;
+  cfg.workers = 1;
+  cfg.serverId = "metrics-live";
+  cfg.metrics = &registry;
+  core::Server server(cfg);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string response = HttpGet(server.Port(), "/metrics");
+  ASSERT_FALSE(response.empty()) << "no response from /metrics";
+  EXPECT_EQ(response.rfind("HTTP/1.1 200 OK\r\n", 0), 0u) << response.substr(0, 80);
+  EXPECT_NE(response.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+
+  const std::size_t bodyAt = response.find("\r\n\r\n");
+  ASSERT_NE(bodyAt, std::string::npos);
+  const std::string body = response.substr(bodyAt + 4);
+
+  // The standard schema spans every subsystem, >= 12 families, even before
+  // any traffic (RegisterStandardFamilies pre-registers unlabeled children).
+  EXPECT_GE(CountOccurrences(body, "# TYPE "), 12u);
+  for (const char* family : {
+           "md_core_connections_active",
+           "md_core_published_total",
+           "md_core_bytes_out_total",
+           "md_transport_epoll_wakeups_total",
+           "md_transport_bytes_written_total",
+           "md_cluster_fences_total",
+           "md_cluster_failover_ns",
+           "md_cluster_replication_ack_ns",
+           "md_coord_write_ns",
+           "md_coord_session_expirations_total",
+           "md_trace_end_to_end_ns",
+           "md_trace_stage_ns",
+       }) {
+    EXPECT_NE(body.find(std::string("# TYPE ") + family), std::string::npos)
+        << "family missing from exposition: " << family;
+  }
+  EXPECT_NE(body.find("# scraped_at "), std::string::npos);
+
+  // Traffic moves the counters the next scrape reports.
+  EpollLoop loop;
+  std::thread loopThread([&] { loop.Run(); });
+  client::ClientConfig ccfg;
+  ccfg.servers = {{"127.0.0.1", server.Port(), 1.0}};
+  ccfg.clientId = "scraper";
+  ccfg.seed = 7;
+  auto cli = std::make_unique<client::Client>(loop, ccfg);
+  std::atomic<int> received{0};
+  std::atomic<bool> acked{false};
+  std::atomic<bool> connected{false};
+  loop.Post([&] {
+    cli->SetConnectionListener([&](bool up) { connected.store(up); });
+    cli->Subscribe("obs", [&](const Message&) { received.fetch_add(1); });
+    cli->Start();
+  });
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!connected.load() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(connected.load());
+  loop.Post([&] {
+    cli->Publish("obs", Bytes{1, 2, 3}, [&](Status s) { acked.store(s.ok()); });
+  });
+  while ((!acked.load() || received.load() < 1) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(acked.load());
+  EXPECT_EQ(received.load(), 1);
+
+  const std::string after = HttpGet(server.Port(), "/metrics");
+  EXPECT_NE(after.find("md_core_published_total{server=\"metrics-live\"} 1"),
+            std::string::npos);
+  EXPECT_NE(after.find("md_core_delivered_total{server=\"metrics-live\"} 1"),
+            std::string::npos);
+  // The wall-domain tracer saw the full pipeline of that publication.
+  EXPECT_NE(after.find("md_trace_end_to_end_ns_count{domain=\"wall\"} 1"),
+            std::string::npos);
+
+  // Non-metrics HTTP paths still go through the WebSocket handshake parser
+  // (and fail it), not the metrics endpoint.
+  const std::string other = HttpGet(server.Port(), "/other");
+  EXPECT_EQ(other.find("md_core_published_total"), std::string::npos);
+
+  loop.Post([&] { cli->Stop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  loop.Stop();
+  loopThread.join();
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace md::obs

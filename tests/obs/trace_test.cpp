@@ -1,0 +1,140 @@
+// Tracer unit tests on a manual clock: stage deltas and end-to-end spans
+// land in the right registry histograms, skipped stages and discards record
+// nothing, and the in-flight map stays bounded under eviction pressure.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace md::obs {
+namespace {
+
+class TracerTest : public ::testing::Test {
+ protected:
+  TracerTest()
+      : tracer_(registry_, [this] { return now_; }, "virtual") {}
+
+  [[nodiscard]] const SampleSnapshot* StageSample(Stage stage) {
+    snap_ = registry_.Snapshot();
+    const std::string labels = std::string("domain=\"virtual\",stage=\"") +
+                               StageName(stage) + "\"";
+    return snap_.Find("md_trace_stage_ns", labels);
+  }
+
+  [[nodiscard]] const SampleSnapshot* EndToEndSample() {
+    snap_ = registry_.Snapshot();
+    return snap_.Find("md_trace_end_to_end_ns", "domain=\"virtual\"");
+  }
+
+  MetricsRegistry registry_;
+  TimePoint now_ = 0;
+  Tracer tracer_;
+  MetricsSnapshot snap_;
+};
+
+TEST_F(TracerTest, RecordsConsecutiveStageDeltasAndEndToEnd) {
+  const TraceKey key{42, 1};
+  now_ = 1'000;
+  tracer_.Begin(key);
+  now_ = 3'000;
+  tracer_.Stamp(key, Stage::kSequenced);   // +2000
+  now_ = 4'500;
+  tracer_.Stamp(key, Stage::kCached);      // +1500
+  now_ = 5'000;
+  tracer_.Stamp(key, Stage::kFannedOut);   // +500
+  now_ = 9'000;
+  tracer_.Stamp(key, Stage::kSocketWritten);  // +4000, finalizes
+
+  EXPECT_EQ(tracer_.InflightForTest(), 0u);
+  const auto* seq = StageSample(Stage::kSequenced);
+  ASSERT_NE(seq, nullptr);
+  EXPECT_EQ(seq->count, 1u);
+  EXPECT_EQ(seq->min, 2'000);
+  const auto* cached = StageSample(Stage::kCached);
+  ASSERT_NE(cached, nullptr);
+  EXPECT_EQ(cached->min, 1'500);
+  const auto* fanned = StageSample(Stage::kFannedOut);
+  ASSERT_NE(fanned, nullptr);
+  EXPECT_EQ(fanned->min, 500);
+  const auto* written = StageSample(Stage::kSocketWritten);
+  ASSERT_NE(written, nullptr);
+  EXPECT_EQ(written->min, 4'000);
+  const auto* e2e = EndToEndSample();
+  ASSERT_NE(e2e, nullptr);
+  EXPECT_EQ(e2e->count, 1u);
+  EXPECT_EQ(e2e->min, 8'000);
+}
+
+TEST_F(TracerTest, SkippedStagesRecordNothingButEndToEndStillLands) {
+  const TraceKey key{42, 2};
+  now_ = 100;
+  tracer_.Begin(key);
+  now_ = 700;
+  tracer_.Stamp(key, Stage::kSocketWritten);  // skips 3 middle stages
+
+  const auto* e2e = EndToEndSample();
+  ASSERT_NE(e2e, nullptr);
+  EXPECT_EQ(e2e->count, 1u);
+  EXPECT_EQ(e2e->min, 600);
+  const auto* seq = StageSample(Stage::kSequenced);
+  ASSERT_TRUE(seq == nullptr || seq->count == 0);
+}
+
+TEST_F(TracerTest, DiscardAndUnknownKeysRecordNothing) {
+  const TraceKey key{42, 3};
+  now_ = 100;
+  tracer_.Begin(key);
+  tracer_.Discard(key);
+  EXPECT_EQ(tracer_.InflightForTest(), 0u);
+
+  tracer_.Stamp(key, Stage::kSocketWritten);       // already discarded
+  tracer_.Stamp(TraceKey{9, 9}, Stage::kCached);   // never begun
+  const auto* e2e = EndToEndSample();
+  ASSERT_TRUE(e2e == nullptr || e2e->count == 0);
+}
+
+TEST_F(TracerTest, TerminalStampWithoutLaterStagesDoubleCounting) {
+  // Re-stamping after finalization must be a no-op (first-subscriber
+  // semantics: only the first socket write ends the trace).
+  const TraceKey key{42, 4};
+  tracer_.Begin(key);
+  now_ = 50;
+  tracer_.Stamp(key, Stage::kSocketWritten);
+  now_ = 9'999;
+  tracer_.Stamp(key, Stage::kSocketWritten);
+  const auto* e2e = EndToEndSample();
+  ASSERT_NE(e2e, nullptr);
+  EXPECT_EQ(e2e->count, 1u);
+  EXPECT_EQ(e2e->max, 50);
+}
+
+TEST_F(TracerTest, InflightIsBoundedAndEvictionsAreCounted) {
+  for (std::uint64_t i = 0; i < Tracer::kMaxInflight + 500; ++i) {
+    tracer_.Begin(TraceKey{7, i});
+  }
+  EXPECT_LE(tracer_.InflightForTest(), Tracer::kMaxInflight);
+  snap_ = registry_.Snapshot();
+  EXPECT_GE(snap_.Value("md_trace_dropped_total", "domain=\"virtual\""), 500.0);
+  // Evicted traces are forgotten: stamping them records nothing.
+  tracer_.Stamp(TraceKey{7, 0}, Stage::kSocketWritten);
+  const auto* e2e = EndToEndSample();
+  ASSERT_TRUE(e2e == nullptr || e2e->count == 0);
+}
+
+TEST_F(TracerTest, BeginReplacesStaleTraceWithSameKey) {
+  const TraceKey key{42, 5};
+  now_ = 100;
+  tracer_.Begin(key);
+  now_ = 10'000;
+  tracer_.Begin(key);  // a publisher retry restarts the trace
+  now_ = 10'200;
+  tracer_.Stamp(key, Stage::kSocketWritten);
+  const auto* e2e = EndToEndSample();
+  ASSERT_NE(e2e, nullptr);
+  EXPECT_EQ(e2e->count, 1u);
+  EXPECT_EQ(e2e->min, 200);  // measured from the second Begin
+}
+
+}  // namespace
+}  // namespace md::obs
