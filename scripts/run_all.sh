@@ -21,8 +21,17 @@ cmake -B build-asan -G Ninja -DMD_SANITIZE=address \
 # snapshot are the concurrency-bearing surfaces of src/obs.
 ./build/tests/obs_test || exit 1
 cmake -B build-tsan -G Ninja -DMD_SANITIZE=thread \
-  && cmake --build build-tsan --target obs_test || exit 1
+  && cmake --build build-tsan --target obs_test core_test || exit 1
 ./build-tsan/tests/obs_test || exit 1
+
+# Fan-out leg: the CoW subscriber-snapshot churn test under TSan (writers
+# hammer Subscribe/Unsubscribe/DropClient against concurrent snapshot
+# readers), then a small bench_fanout sweep as a delivery smoke check — the
+# binary exits nonzero unless delivered == expected on both data paths.
+./build-tsan/tests/core_test \
+  --gtest_filter='RegistryConcurrencyTest.*:*ServerFanoutTest*' || exit 1
+MD_BENCH_FANOUT_CLIENTS=64 MD_BENCH_FANOUT_TOPICS=4 MD_BENCH_FANOUT_BURSTS=10 \
+  MD_BENCH_FANOUT_OUT=/dev/null ./build/bench/bench_fanout || exit 1
 : > bench_output.txt
 for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue

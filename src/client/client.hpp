@@ -18,6 +18,7 @@
 //     backoff to avoid the herd effect.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -188,7 +189,9 @@ class Client {
   ClientConfig cfg_;
   Rng rng_;
 
-  State state_ = State::kIdle;
+  // Written only on the loop thread; atomic because IsConnected() is a
+  // documented cross-thread poll for test/bench harnesses.
+  std::atomic<State> state_{State::kIdle};
   ConnectionPtr conn_;
   ByteQueue in_;
   std::string wsKey_;

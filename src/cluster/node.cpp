@@ -597,10 +597,12 @@ void ClusterNode::AckContactPending(const PublicationId& pubId, bool ok) {
 
 void ClusterNode::DeliverToLocalSubscribers(const Message& msg) {
   if (deliveryHook_) deliveryHook_(msg);
-  registry_.ForEachSubscriber(msg.topic, [&](ClientHandle client) {
-    cm_.delivered.Inc();
-    env_.SendToClient(client, DeliverFrame{msg});
-  });
+  // CoW snapshot + batched host delivery: the registry lock is held only for
+  // a shared_ptr copy, and the env encodes the frame once for all targets.
+  const core::SubscriberSnapshot subs = registry_.Snapshot(msg.topic);
+  if (!subs || subs->empty()) return;
+  cm_.delivered.Inc(subs->size());
+  env_.SendToClients(*subs, DeliverFrame{msg});
 }
 
 void ClusterNode::DeliverInOrder(const std::string& topic) {

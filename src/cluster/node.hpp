@@ -89,6 +89,14 @@ class ClusterEnv {
   virtual ~ClusterEnv() = default;
   virtual void SendToPeer(const std::string& serverId, const Frame& frame) = 0;
   virtual void SendToClient(ClientHandle client, const Frame& frame) = 0;
+  /// Batched fan-out: one frame to many clients. Hosts override this to
+  /// encode the wire bytes once and share them across every socket write
+  /// (the local-delivery cursor path hands whole subscriber snapshots here);
+  /// the default preserves per-client semantics exactly.
+  virtual void SendToClients(const std::vector<ClientHandle>& clients,
+                             const Frame& frame) {
+    for (const ClientHandle client : clients) SendToClient(client, frame);
+  }
   /// Forcibly close a client connection (self-fencing).
   virtual void CloseClient(ClientHandle client) = 0;
   virtual std::uint64_t Schedule(Duration delay, std::function<void()> fn) = 0;

@@ -29,6 +29,22 @@ class TcpClusterHost::NodeEnv final : public ClusterEnv {
     (void)it->second->conn->Send(BytesView(wire));
   }
 
+  void SendToClients(const std::vector<ClientHandle>& clients,
+                     const Frame& frame) override {
+    // Fan-out fast path: encode once, share the bytes across every target.
+    Bytes wire;
+    bool encoded = false;
+    for (const ClientHandle client : clients) {
+      const auto it = host_.clients_.find(client);
+      if (it == host_.clients_.end()) continue;
+      if (!encoded) {
+        EncodeFramed(frame, wire);
+        encoded = true;
+      }
+      (void)it->second->conn->Send(BytesView(wire));
+    }
+  }
+
   void CloseClient(ClientHandle client) override {
     auto node = host_.clients_.extract(client);
     if (!node.empty()) node.mapped()->conn->Close();

@@ -12,16 +12,27 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/hash.hpp"
 #include "common/time.hpp"
 #include "proto/message.hpp"
 
 namespace md::core {
+
+/// Transparent string hasher: lets unordered_map keyed by std::string be
+/// probed with a string_view (no temporary std::string per lookup).
+struct TransparentStringHash {
+  using is_transparent = void;
+  [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+    return static_cast<std::size_t>(Fnv1a64(s));
+  }
+};
 
 struct BatchConfig {
   Duration maxDelay = 10 * kMillisecond;  // flush at latest this long after 1st frame
@@ -59,10 +70,22 @@ class Batcher {
     ++flushCount_;
     flushedBytes_ += pending_.size();
     flush_(BytesView(pending_));
+    // clear() keeps the allocation, so the steady state refills the same
+    // buffer with zero reallocations window after window. Only a
+    // pathological burst far beyond the size budget releases memory.
     pending_.clear();
+    if (pending_.capacity() > ShrinkThreshold()) Bytes().swap(pending_);
   }
 
   [[nodiscard]] std::size_t PendingBytes() const noexcept { return pending_.size(); }
+  /// Retained buffer capacity (tests assert no-realloc steady state).
+  [[nodiscard]] std::size_t BufferCapacity() const noexcept {
+    return pending_.capacity();
+  }
+  /// Capacity above which Flush releases the buffer instead of retaining it.
+  [[nodiscard]] std::size_t ShrinkThreshold() const noexcept {
+    return 4 * cfg_.maxBytes + 64 * 1024;
+  }
   [[nodiscard]] std::uint64_t FlushCount() const noexcept { return flushCount_; }
   [[nodiscard]] std::uint64_t FlushedBytes() const noexcept { return flushedBytes_; }
 
@@ -91,9 +114,11 @@ class Conflator {
   void Offer(const Message& msg, TimePoint now) {
     if (slots_.empty()) windowStart_ = now;
     ++offered_;
-    const auto it = bySlot_.find(msg.topic);
+    // Transparent lookup: probe by string_view, materialize the key only on
+    // first sight of a topic.
+    const auto it = bySlot_.find(std::string_view(msg.topic));
     if (it == bySlot_.end()) {
-      bySlot_[msg.topic] = slots_.size();
+      bySlot_.emplace(msg.topic, slots_.size());
       slots_.push_back(msg);
     } else {
       slots_[it->second] = msg;  // newest wins
@@ -115,18 +140,43 @@ class Conflator {
       ++emitted_;
       emit_(m);
     }
+    // Both containers keep their allocations across windows (vector clear()
+    // retains capacity; unordered_map clear() retains its bucket array), so
+    // a steady per-window topic set never reallocates. A one-off burst far
+    // above the steady state releases the slot storage.
     slots_.clear();
+    if (slots_.capacity() > kShrinkSlots) {
+      std::vector<Message>().swap(slots_);
+      slots_.reserve(kShrinkSlots / 4);
+    }
     bySlot_.clear();
+  }
+
+  /// Pre-sizes both containers for an expected per-window topic count.
+  void Reserve(std::size_t topics) {
+    slots_.reserve(topics);
+    bySlot_.reserve(topics);
   }
 
   [[nodiscard]] std::uint64_t OfferedCount() const noexcept { return offered_; }
   [[nodiscard]] std::uint64_t EmittedCount() const noexcept { return emitted_; }
+  /// Retained slot capacity (tests assert no-realloc steady state).
+  [[nodiscard]] std::size_t SlotCapacity() const noexcept {
+    return slots_.capacity();
+  }
+  [[nodiscard]] std::size_t SlotBuckets() const noexcept {
+    return bySlot_.bucket_count();
+  }
+
+  static constexpr std::size_t kShrinkSlots = 4096;
 
  private:
   ConflateConfig cfg_;
   EmitFn emit_;
   std::vector<Message> slots_;
-  std::map<std::string, std::size_t> bySlot_;
+  std::unordered_map<std::string, std::size_t, TransparentStringHash,
+                     std::equal_to<>>
+      bySlot_;
   TimePoint windowStart_ = 0;
   std::uint64_t offered_ = 0;
   std::uint64_t emitted_ = 0;

@@ -7,7 +7,9 @@ bool SubscriptionRegistry::Subscribe(const std::string& topic, ClientHandle clie
   {
     Shard& shard = ShardFor(topic);
     std::lock_guard lock(shard.mutex);
-    inserted = shard.byTopic[topic].insert(client).second;
+    TopicEntry& entry = shard.byTopic[topic];
+    inserted = entry.members.insert(client).second;
+    if (inserted) entry.snapshot.reset();  // invalidate; rebuilt on next read
   }
   if (inserted) {
     std::lock_guard lock(clientsMutex_);
@@ -23,8 +25,9 @@ bool SubscriptionRegistry::Unsubscribe(const std::string& topic, ClientHandle cl
     std::lock_guard lock(shard.mutex);
     const auto it = shard.byTopic.find(topic);
     if (it != shard.byTopic.end()) {
-      erased = it->second.erase(client) > 0;
-      if (it->second.empty()) shard.byTopic.erase(it);
+      erased = it->second.members.erase(client) > 0;
+      if (erased) it->second.snapshot.reset();
+      if (it->second.members.empty()) shard.byTopic.erase(it);
     }
   }
   if (erased) {
@@ -52,36 +55,49 @@ std::vector<std::string> SubscriptionRegistry::DropClient(ClientHandle client) {
     std::lock_guard lock(shard.mutex);
     const auto it = shard.byTopic.find(topic);
     if (it != shard.byTopic.end()) {
-      it->second.erase(client);
-      if (it->second.empty()) shard.byTopic.erase(it);
+      if (it->second.members.erase(client) > 0) it->second.snapshot.reset();
+      if (it->second.members.empty()) shard.byTopic.erase(it);
     }
   }
   return topics;
 }
 
-std::vector<ClientHandle> SubscriptionRegistry::SubscribersOf(
-    const std::string& topic) const {
+const SubscriberSnapshot& SubscriptionRegistry::SnapshotLocked(
+    const TopicEntry& entry) {
+  if (!entry.snapshot) {
+    entry.snapshot = std::make_shared<const std::vector<ClientHandle>>(
+        entry.members.begin(), entry.members.end());
+  }
+  return entry.snapshot;
+}
+
+SubscriberSnapshot SubscriptionRegistry::Snapshot(const std::string& topic) const {
   const Shard& shard = ShardFor(topic);
   std::lock_guard lock(shard.mutex);
   const auto it = shard.byTopic.find(topic);
-  if (it == shard.byTopic.end()) return {};
-  return {it->second.begin(), it->second.end()};
+  if (it == shard.byTopic.end()) return nullptr;
+  return SnapshotLocked(it->second);
+}
+
+std::vector<ClientHandle> SubscriptionRegistry::SubscribersOf(
+    const std::string& topic) const {
+  const SubscriberSnapshot snap = Snapshot(topic);
+  if (!snap) return {};
+  return *snap;
 }
 
 void SubscriptionRegistry::ForEachSubscriber(
     const std::string& topic, const std::function<void(ClientHandle)>& fn) const {
-  const Shard& shard = ShardFor(topic);
-  std::lock_guard lock(shard.mutex);
-  const auto it = shard.byTopic.find(topic);
-  if (it == shard.byTopic.end()) return;
-  for (const ClientHandle client : it->second) fn(client);
+  const SubscriberSnapshot snap = Snapshot(topic);
+  if (!snap) return;
+  for (const ClientHandle client : *snap) fn(client);
 }
 
 std::size_t SubscriptionRegistry::SubscriberCount(const std::string& topic) const {
   const Shard& shard = ShardFor(topic);
   std::lock_guard lock(shard.mutex);
   const auto it = shard.byTopic.find(topic);
-  return it == shard.byTopic.end() ? 0 : it->second.size();
+  return it == shard.byTopic.end() ? 0 : it->second.members.size();
 }
 
 std::vector<std::string> SubscriptionRegistry::TopicsOf(ClientHandle client) const {

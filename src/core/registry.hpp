@@ -1,13 +1,22 @@
 // Subscription registry: topic -> subscribers and client -> topics.
 //
-// Sharded by topic hash so concurrent Workers touch disjoint locks on the
-// fan-out path. Client ids are opaque 64-bit handles assigned by the server
-// (connection identities), not the application-level client-id strings.
+// Sharded by topic hash so concurrent Workers touch disjoint locks, and
+// copy-on-write on the read path: every topic keeps an immutable, shared
+// snapshot of its subscriber set that the fan-out path grabs with a brief
+// lock + shared_ptr copy. Mutations (subscribe/unsubscribe/drop) invalidate
+// the snapshot; the next reader rebuilds it once, so a publish-dominated
+// workload pays O(1) per publish regardless of subscriber count, while a
+// churn burst costs one O(N) rebuild for the whole burst instead of one
+// O(N) set copy per publish.
+//
+// Client ids are opaque 64-bit handles assigned by the server (connection
+// identities), not the application-level client-id strings.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
@@ -18,6 +27,11 @@
 namespace md::core {
 
 using ClientHandle = std::uint64_t;
+
+/// Immutable, shared view of one topic's subscribers (ascending handle
+/// order). Holders may read it lock-free for as long as they keep the
+/// shared_ptr; it is never mutated after publication.
+using SubscriberSnapshot = std::shared_ptr<const std::vector<ClientHandle>>;
 
 class SubscriptionRegistry {
  public:
@@ -34,11 +48,18 @@ class SubscriptionRegistry {
   /// Removes every subscription of `client`; returns the topics it held.
   std::vector<std::string> DropClient(ClientHandle client);
 
-  /// Snapshot of subscribers for a topic (copy: fan-out iterates lock-free).
+  /// The hot fan-out read: the topic's current subscriber snapshot, or
+  /// nullptr when the topic has no subscribers. The lock is held only for
+  /// the shared_ptr copy (plus a one-off rebuild after churn).
+  [[nodiscard]] SubscriberSnapshot Snapshot(const std::string& topic) const;
+
+  /// Snapshot of subscribers for a topic as a fresh vector (copies the CoW
+  /// snapshot; prefer Snapshot() on hot paths).
   [[nodiscard]] std::vector<ClientHandle> SubscribersOf(const std::string& topic) const;
 
-  /// Visits subscribers without copying (lock held during visit — keep `fn`
-  /// cheap; used on the hot fan-out path).
+  /// Visits subscribers of the topic's current snapshot. The shard lock is
+  /// NOT held during the visit (the snapshot is immutable), so `fn` may
+  /// re-enter the registry.
   void ForEachSubscriber(const std::string& topic,
                          const std::function<void(ClientHandle)>& fn) const;
 
@@ -47,9 +68,17 @@ class SubscriptionRegistry {
   [[nodiscard]] std::size_t TotalSubscriptions() const;
 
  private:
+  struct TopicEntry {
+    std::set<ClientHandle> members;  // mutation-side source of truth
+    /// Cached immutable view; nullptr after a mutation until the next read
+    /// rebuilds it (lazily, so a churn burst invalidates instead of
+    /// rebuilding N times).
+    mutable SubscriberSnapshot snapshot;
+  };
+
   struct Shard {
     mutable std::mutex mutex;
-    std::map<std::string, std::set<ClientHandle>> byTopic;
+    std::map<std::string, TopicEntry> byTopic;
   };
 
   [[nodiscard]] Shard& ShardFor(const std::string& topic) {
@@ -58,6 +87,10 @@ class SubscriptionRegistry {
   [[nodiscard]] const Shard& ShardFor(const std::string& topic) const {
     return shards_[Fnv1a64(topic) % shards_.size()];
   }
+
+  /// Returns the entry's snapshot, rebuilding it if a mutation invalidated
+  /// it. Caller must hold the shard mutex.
+  static const SubscriberSnapshot& SnapshotLocked(const TopicEntry& entry);
 
   std::vector<Shard> shards_;
 

@@ -1,7 +1,5 @@
 #include "core/server.hpp"
 
-#include <map>
-
 #include "common/logging.hpp"
 #include "proto/http_stream.hpp"
 #include "common/strutil.hpp"
@@ -19,8 +17,9 @@ struct Server::Session : std::enable_shared_from_this<Server::Session> {
   ConnectionPtr conn;
   EpollLoop* loop = nullptr;
 
-  // Protocol mode, auto-detected from the first bytes. All parse state is
-  // touched only on the session's IoThread.
+  // Protocol mode, auto-detected from the first bytes. Written only on the
+  // session's IoThread (during the handshake, before any frame reaches a
+  // Worker); read by Workers on the fan-out encode path, hence atomic.
   enum class Mode : std::uint8_t {
     kDetect,
     kWsHandshake,
@@ -29,7 +28,11 @@ struct Server::Session : std::enable_shared_from_this<Server::Session> {
     kHttp,
     kRaw,
   };
-  Mode mode = Mode::kDetect;
+  static constexpr std::size_t kModeCount = 6;
+  std::atomic<Mode> mode{Mode::kDetect};
+  [[nodiscard]] Mode CurrentMode() const noexcept {
+    return mode.load(std::memory_order_relaxed);
+  }
   ByteQueue in;
 
   // Worker-thread state.
@@ -136,9 +139,9 @@ void Server::Stop() {
   for (auto& io : ioThreads_) {
     if (io->thread.joinable()) io->thread.join();
   }
-  {
-    std::lock_guard lock(sessionsMutex_);
-    sessions_.clear();
+  for (SessionShard& shard : sessionShards_) {
+    std::lock_guard lock(shard.mutex);
+    shard.map.clear();
   }
   workers_.clear();
   ioThreads_.clear();
@@ -188,7 +191,7 @@ void Server::OnAccept(std::size_t ioIndex, ConnectionPtr conn) {
           if (!s || !s->open.load(std::memory_order_relaxed)) return;
           Bytes wire;
           EncodeForMode(Frame(DeliverFrame{m}),
-                        static_cast<std::uint8_t>(s->mode), wire);
+                        static_cast<std::uint8_t>(s->CurrentMode()), wire);
           m_.delivered.Inc();
           WriteOut(s, BytesView(wire));
         });
@@ -197,8 +200,9 @@ void Server::OnAccept(std::size_t ioIndex, ConnectionPtr conn) {
   m_.accepted.Inc();
   m_.active.Add(1);
   {
-    std::lock_guard lock(sessionsMutex_);
-    sessions_[session->handle] = session;
+    SessionShard& shard = ShardOf(session->handle);
+    std::lock_guard lock(shard.mutex);
+    shard.map[session->handle] = session;
   }
 
   session->conn->SetDataHandler(
@@ -214,19 +218,28 @@ void Server::OnData(const SessionPtr& session, BytesView data) {
 void Server::ParseFrames(const SessionPtr& session) {
   using Mode = Session::Mode;
 
-  if (session->mode == Mode::kDetect) {
+  // The session's IoThread is the only writer of `mode`; keep a local copy
+  // and publish transitions with relaxed stores (Workers observing the mode
+  // are ordered behind the frame handoff through the Worker queue).
+  Mode mode = session->CurrentMode();
+  const auto setMode = [&](Mode m) {
+    mode = m;
+    session->mode.store(m, std::memory_order_relaxed);
+  };
+
+  if (mode == Mode::kDetect) {
     if (session->in.size() < 4) return;
     const auto head = AsStringView(session->in.Peek()).substr(0, 4);
     if (head == "GET ") {
-      session->mode = Mode::kWsHandshake;  // WebSocket upgrade
+      setMode(Mode::kWsHandshake);  // WebSocket upgrade
     } else if (head == "POST") {
-      session->mode = Mode::kHttpHandshake;  // HTTP chunked-stream fallback
+      setMode(Mode::kHttpHandshake);  // HTTP chunked-stream fallback
     } else {
-      session->mode = Mode::kRaw;
+      setMode(Mode::kRaw);
     }
   }
 
-  if (session->mode == Mode::kWsHandshake) {
+  if (mode == Mode::kWsHandshake) {
     // A plain-HTTP scrape of /metrics shares the "GET " prefix with the
     // WebSocket upgrade; peek the request line and intercept it before the
     // handshake parser (which requires Upgrade headers) rejects it.
@@ -256,10 +269,10 @@ void Server::ParseFrames(const SessionPtr& session) {
     const std::string response = ws::BuildServerHandshakeResponse(hs.handshake->key);
     m_.bytesOut.Inc(response.size());
     (void)session->conn->Send(AsBytes(response));
-    session->mode = Mode::kWs;
+    setMode(Mode::kWs);
   }
 
-  if (session->mode == Mode::kHttpHandshake) {
+  if (mode == Mode::kHttpHandshake) {
     auto req = http::ParseStreamRequest(session->in);
     if (!req.status.ok()) {
       FailSession(session, req.status);
@@ -269,12 +282,12 @@ void Server::ParseFrames(const SessionPtr& session) {
     const std::string response = http::BuildStreamResponse();
     m_.bytesOut.Inc(response.size());
     (void)session->conn->Send(AsBytes(response));
-    session->mode = Mode::kHttp;
+    setMode(Mode::kHttp);
   }
 
   while (session->open.load(std::memory_order_relaxed)) {
     std::optional<Frame> frame;
-    if (session->mode == Mode::kWs) {
+    if (mode == Mode::kWs) {
       auto r = ws::ExtractWsFrame(session->in, /*expectMasked=*/true, cfg_.maxFrameSize);
       if (!r.status.ok()) {
         FailSession(session, r.status);
@@ -303,7 +316,7 @@ void Server::ParseFrames(const SessionPtr& session) {
         default:
           continue;  // text/pong/continuation ignored
       }
-    } else if (session->mode == Mode::kHttp) {
+    } else if (mode == Mode::kHttp) {
       auto r = http::ExtractChunk(session->in, cfg_.maxFrameSize);
       if (!r.status.ok()) {
         FailSession(session, r.status);
@@ -468,63 +481,140 @@ void Server::HandlePublish(const SessionPtr& session, const PublishFrame& pub) {
   // src/cluster).
   if (pub.wantAck) SendFrame(session, PubAckFrame{pub.pubId, true});
 
-  // Fan-out. Encode the wire bytes once per transport flavour and share.
-  std::map<std::uint8_t, std::shared_ptr<const Bytes>> wireByMode;
-  const Frame deliver{DeliverFrame{std::move(msg)}};
-
-  const auto subscribers = registry_.SubscribersOf(pub.topic);
-  if (subscribers.empty()) {
+  // Fan-out: grab the topic's CoW subscriber snapshot (lock-brief shared_ptr
+  // copy), resolve handles through the sharded session table, and group the
+  // live targets by their IoThread.
+  const SubscriberSnapshot subscribers = registry_.Snapshot(pub.topic);
+  if (!subscribers || subscribers->empty()) {
     tracer_.Discard(traceKey);
     return;
   }
 
-  std::vector<SessionPtr> targets;
-  targets.reserve(subscribers.size());
-  {
-    std::lock_guard lock(sessionsMutex_);
-    for (const ClientHandle h : subscribers) {
-      const auto it = sessions_.find(h);
-      if (it != sessions_.end()) targets.push_back(it->second);
-    }
+  const Frame deliver{DeliverFrame{std::move(msg)}};
+
+  std::vector<std::vector<SessionPtr>> byIo(ioThreads_.size());
+  std::size_t live = 0;
+  for (const ClientHandle h : *subscribers) {
+    SessionPtr target = FindSession(h);
+    if (!target || !target->open.load(std::memory_order_relaxed)) continue;
+    byIo[target->ioIndex].push_back(std::move(target));
+    ++live;
+  }
+  if (live == 0) {
+    tracer_.Discard(traceKey);  // every subscriber already closed
+    return;
   }
 
   tracer_.Stamp(traceKey, obs::Stage::kFannedOut);
 
   std::shared_ptr<const Message> sharedMsg;
   if (cfg_.enableConflation) {
+    // Conflation works on messages, so encoding happens per emission (the
+    // delivered counter advances there as suppressed duplicates are
+    // intentionally never delivered).
     sharedMsg = std::make_shared<const Message>(std::get<DeliverFrame>(deliver).msg);
   }
-  bool traced = false;
-  for (const SessionPtr& target : targets) {
-    if (!target->open.load(std::memory_order_relaxed)) continue;
-    if (cfg_.enableConflation) {
-      // Conflation works on messages, so encoding happens per emission
-      // (delivered counter advances there as suppressed duplicates are
-      // intentionally never delivered).
-      SendDeliverConflated(target, sharedMsg);
+  if (cfg_.fanoutBatching) {
+    FanOutBatched(std::move(byIo), deliver, sharedMsg, traceKey);
+  } else {
+    FanOutPerSubscriber(byIo, deliver, sharedMsg, traceKey);
+  }
+}
+
+void Server::FanOutBatched(std::vector<std::vector<SessionPtr>>&& byIo,
+                           const Frame& deliver,
+                           const std::shared_ptr<const Message>& sharedMsg,
+                           obs::TraceKey traceKey) {
+  // Encode once per transport flavour present among the targets; the fixed
+  // array (indexed by Session::Mode) is shared across every IoThread batch.
+  std::array<std::shared_ptr<const Bytes>, Session::kModeCount> wires{};
+
+  bool traceAttached = false;
+  for (std::size_t io = 0; io < byIo.size(); ++io) {
+    std::vector<SessionPtr>& targets = byIo[io];
+    if (targets.empty()) continue;
+    EpollLoop* loop = ioThreads_[io]->loop.get();
+
+    if (sharedMsg) {
+      // Conflated delivery: one task per loop offering the message to each
+      // target's conflator (traces are discarded below, as on the per-
+      // subscriber path — conflation decouples emission from this publish).
+      loop->Post([this, targets = std::move(targets), sharedMsg] {
+        for (const SessionPtr& s : targets) OfferConflatedOnLoop(s, *sharedMsg);
+      });
       continue;
     }
-    const auto modeKey = static_cast<std::uint8_t>(target->mode);
-    std::shared_ptr<const Bytes>& wire = wireByMode[modeKey];
-    if (!wire) {
-      auto bytes = std::make_shared<Bytes>();
-      EncodeForMode(deliver, modeKey, *bytes);
-      wire = std::move(bytes);
+
+    for (const SessionPtr& target : targets) {
+      const auto modeKey = static_cast<std::size_t>(target->CurrentMode());
+      std::shared_ptr<const Bytes>& wire = wires[modeKey];
+      if (!wire) {
+        auto bytes = std::make_shared<Bytes>();
+        EncodeForMode(deliver, static_cast<std::uint8_t>(modeKey), *bytes);
+        wire = std::move(bytes);
+      }
+      m_.delivered.Inc();
     }
-    m_.delivered.Inc();
-    // The first socket write finalizes the trace (first-subscriber latency);
-    // later stamps for the same key are no-ops.
-    SendEncoded(target, wire, traced ? std::nullopt
-                                     : std::optional<obs::TraceKey>(traceKey));
-    traced = true;
+
+    // The first live socket write finalizes the trace (first-subscriber
+    // latency); only the first batch carries the key.
+    const std::optional<obs::TraceKey> trace =
+        traceAttached ? std::nullopt : std::optional<obs::TraceKey>(traceKey);
+    traceAttached = true;
+    loop->Post([this, targets = std::move(targets), wires, trace] {
+      bool stamped = false;
+      for (const SessionPtr& s : targets) {
+        if (!s->open.load(std::memory_order_relaxed)) continue;
+        const auto& wire = wires[static_cast<std::size_t>(s->CurrentMode())];
+        if (!wire) continue;
+        WriteOut(s, BytesView(*wire));
+        if (trace && !stamped) {
+          tracer_.Stamp(*trace, obs::Stage::kSocketWritten);
+          stamped = true;
+        }
+      }
+      if (trace && !stamped) tracer_.Discard(*trace);  // all closed meanwhile
+    });
   }
-  if (!traced) tracer_.Discard(traceKey);  // conflated or all targets closed
+  if (!traceAttached) tracer_.Discard(traceKey);  // conflated fan-out
+}
+
+void Server::FanOutPerSubscriber(const std::vector<std::vector<SessionPtr>>& byIo,
+                                 const Frame& deliver,
+                                 const std::shared_ptr<const Message>& sharedMsg,
+                                 obs::TraceKey traceKey) {
+  // Pre-batching path: one posted closure (and eventfd wakeup) per
+  // subscriber. Kept behind ServerConfig::fanoutBatching=false so the
+  // bench_fanout ablation can measure exactly what batching buys.
+  std::array<std::shared_ptr<const Bytes>, Session::kModeCount> wires{};
+  bool traced = false;
+  for (const std::vector<SessionPtr>& targets : byIo) {
+    for (const SessionPtr& target : targets) {
+      if (sharedMsg) {
+        SendDeliverConflated(target, sharedMsg);
+        continue;
+      }
+      const auto modeKey = static_cast<std::size_t>(target->CurrentMode());
+      std::shared_ptr<const Bytes>& wire = wires[modeKey];
+      if (!wire) {
+        auto bytes = std::make_shared<Bytes>();
+        EncodeForMode(deliver, static_cast<std::uint8_t>(modeKey), *bytes);
+        wire = std::move(bytes);
+      }
+      m_.delivered.Inc();
+      SendEncoded(target, wire, traced ? std::nullopt
+                                       : std::optional<obs::TraceKey>(traceKey));
+      traced = true;
+    }
+  }
+  if (!traced) tracer_.Discard(traceKey);  // conflated fan-out
 }
 
 void Server::DropSession(const SessionPtr& session) {
   registry_.DropClient(session->handle);
-  std::lock_guard lock(sessionsMutex_);
-  sessions_.erase(session->handle);
+  SessionShard& shard = ShardOf(session->handle);
+  std::lock_guard lock(shard.mutex);
+  shard.map.erase(session->handle);
 }
 
 // ---------------------------------------------------------------------------
@@ -533,7 +623,7 @@ void Server::DropSession(const SessionPtr& session) {
 
 void Server::SendFrame(const SessionPtr& session, const Frame& frame) {
   auto wire = std::make_shared<Bytes>();
-  EncodeForMode(frame, static_cast<std::uint8_t>(session->mode), *wire);
+  EncodeForMode(frame, static_cast<std::uint8_t>(session->CurrentMode()), *wire);
   SendEncoded(session, wire);
 }
 
@@ -568,17 +658,20 @@ void Server::WriteOut(const SessionPtr& session, BytesView wire) {
 
 void Server::SendDeliverConflated(const SessionPtr& session,
                                   const std::shared_ptr<const Message>& msg) {
-  session->loop->Post([this, session, msg] {
-    if (!session->open.load(std::memory_order_relaxed) || !session->conflator) {
-      return;
-    }
-    session->conflator->Offer(*msg, session->loop->Now());
-    if (!session->conflateTimerArmed) {
-      session->conflateTimerArmed = true;
-      session->loop->ScheduleTimer(cfg_.conflate.interval,
-                                   [this, session] { FlushConflator(session); });
-    }
-  });
+  session->loop->Post(
+      [this, session, msg] { OfferConflatedOnLoop(session, *msg); });
+}
+
+void Server::OfferConflatedOnLoop(const SessionPtr& session, const Message& msg) {
+  if (!session->open.load(std::memory_order_relaxed) || !session->conflator) {
+    return;
+  }
+  session->conflator->Offer(msg, session->loop->Now());
+  if (!session->conflateTimerArmed) {
+    session->conflateTimerArmed = true;
+    session->loop->ScheduleTimer(cfg_.conflate.interval,
+                                 [this, session] { FlushConflator(session); });
+  }
 }
 
 void Server::FlushConflator(const SessionPtr& session) {

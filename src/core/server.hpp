@@ -21,6 +21,7 @@
 // scenario); multi-server replication lives in src/cluster.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -55,6 +56,11 @@ struct ServerConfig {
   /// the newest message of each of its topics.
   bool enableConflation = false;
   ConflateConfig conflate;
+  /// Per-IoThread delivery batching: fan-out posts one task per IoThread
+  /// carrying the shared wire bytes and that loop's target list, instead of
+  /// one closure + wakeup per subscriber. Off = legacy per-subscriber posts
+  /// (kept for the bench_fanout ablation).
+  bool fanoutBatching = true;
   std::size_t maxFrameSize = 1 * 1024 * 1024;
   /// Metrics destination; nullptr uses the process-wide default registry.
   /// The registry must outlive the server.
@@ -126,6 +132,18 @@ class Server {
   void HandleSubscribe(const SessionPtr& session, const SubscribeFrame& sub);
   void DropSession(const SessionPtr& session);
 
+  /// Batched fan-out: targets are grouped by IoThread and each loop gets ONE
+  /// posted task carrying the shared wire bytes plus its target list.
+  void FanOutBatched(std::vector<std::vector<SessionPtr>>&& byIo,
+                     const Frame& deliver,
+                     const std::shared_ptr<const Message>& sharedMsg,
+                     obs::TraceKey traceKey);
+  /// Legacy fan-out: one posted closure per subscriber (ablation baseline).
+  void FanOutPerSubscriber(const std::vector<std::vector<SessionPtr>>& byIo,
+                           const Frame& deliver,
+                           const std::shared_ptr<const Message>& sharedMsg,
+                           obs::TraceKey traceKey);
+
   // Send path (any thread -> session's IoThread).
   void SendFrame(const SessionPtr& session, const Frame& frame);
   void SendEncoded(const SessionPtr& session,
@@ -133,6 +151,8 @@ class Server {
                    std::optional<obs::TraceKey> trace = std::nullopt);
   void SendDeliverConflated(const SessionPtr& session,
                             const std::shared_ptr<const Message>& msg);
+  /// IoThread-side half of conflated delivery (batch tasks call it directly).
+  void OfferConflatedOnLoop(const SessionPtr& session, const Message& msg);
   void FlushBatch(const SessionPtr& session);
   void FlushConflator(const SessionPtr& session);
   void WriteOut(const SessionPtr& session, BytesView wire);
@@ -154,9 +174,25 @@ class Server {
 
   std::atomic<std::uint64_t> nextHandle_{1};
 
-  // Live sessions (for fan-out lookup by handle).
-  mutable std::mutex sessionsMutex_;
-  std::unordered_map<ClientHandle, SessionPtr> sessions_;
+  // Live sessions (fan-out lookup by handle), sharded by a mixed handle hash
+  // so concurrent Workers resolving fan-out targets never serialize on one
+  // global mutex. Power-of-two count: shard selection is a mask.
+  static constexpr std::size_t kSessionShards = 16;
+  static_assert((kSessionShards & (kSessionShards - 1)) == 0);
+  struct SessionShard {
+    mutable std::mutex mutex;
+    std::unordered_map<ClientHandle, SessionPtr> map;
+  };
+  [[nodiscard]] SessionShard& ShardOf(ClientHandle handle) {
+    return sessionShards_[MixU64(handle) & (kSessionShards - 1)];
+  }
+  [[nodiscard]] SessionPtr FindSession(ClientHandle handle) {
+    SessionShard& shard = ShardOf(handle);
+    std::lock_guard lock(shard.mutex);
+    const auto it = shard.map.find(handle);
+    return it == shard.map.end() ? nullptr : it->second;
+  }
+  std::array<SessionShard, kSessionShards> sessionShards_;
 };
 
 }  // namespace md::core

@@ -36,6 +36,9 @@ constexpr std::string_view kTransQueueBytesHelp =
     "Bytes buffered across all connection send queues";
 constexpr std::string_view kTransTimers = "md_transport_timers_fired_total";
 constexpr std::string_view kTransTimersHelp = "Loop timers fired";
+constexpr std::string_view kTransTasksPosted = "md_transport_tasks_posted_total";
+constexpr std::string_view kTransTasksPostedHelp =
+    "Cross-thread tasks enqueued onto event loops";
 
 constexpr std::string_view kClusPublished = "md_cluster_published_total";
 constexpr std::string_view kClusPublishedHelp =
@@ -105,7 +108,9 @@ TransportMetrics::TransportMetrics(MetricsRegistry& r, std::string_view labels)
           r.GetCounter(kTransBytesWritten, kTransBytesWrittenHelp, labels)),
       sendQueueBytes(
           r.GetGauge(kTransQueueBytes, kTransQueueBytesHelp, labels)),
-      timersFired(r.GetCounter(kTransTimers, kTransTimersHelp, labels)) {}
+      timersFired(r.GetCounter(kTransTimers, kTransTimersHelp, labels)),
+      tasksPosted(
+          r.GetCounter(kTransTasksPosted, kTransTasksPostedHelp, labels)) {}
 
 ClusterMetrics::ClusterMetrics(MetricsRegistry& r, std::string_view labels)
     : published(r.GetCounter(kClusPublished, kClusPublishedHelp, labels)),

@@ -40,6 +40,7 @@ struct TransportMetrics {
   Counter& bytesWritten;
   Gauge& sendQueueBytes;
   Counter& timersFired;
+  Counter& tasksPosted;
 };
 
 /// cluster::Node counters (one bundle per node, labeled server="<name>").

@@ -322,12 +322,40 @@ void EpollLoop::Stop() {
 }
 
 void EpollLoop::Post(TaskFn task) {
+  bool needWake = false;
   {
     std::lock_guard lock(postMutex_);
+    // Coalesced wakeup: tasks landing behind an undrained one ride its
+    // pending eventfd signal — the loop drains the whole vector per wake.
+    needWake = posted_.empty();
     posted_.push_back(std::move(task));
   }
-  const std::uint64_t one = 1;
-  [[maybe_unused]] const ssize_t n = ::write(wakeFd_, &one, sizeof(one));
+  if (metrics_ != nullptr) metrics_->tasksPosted.Inc();
+  if (needWake) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wakeFd_, &one, sizeof(one));
+  }
+}
+
+void EpollLoop::PostBatch(std::vector<TaskFn> tasks) {
+  if (tasks.empty()) return;
+  const std::uint64_t count = tasks.size();
+  bool needWake = false;
+  {
+    std::lock_guard lock(postMutex_);
+    needWake = posted_.empty();
+    if (posted_.empty()) {
+      posted_ = std::move(tasks);
+    } else {
+      posted_.insert(posted_.end(), std::make_move_iterator(tasks.begin()),
+                     std::make_move_iterator(tasks.end()));
+    }
+  }
+  if (metrics_ != nullptr) metrics_->tasksPosted.Inc(count);
+  if (needWake) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wakeFd_, &one, sizeof(one));
+  }
 }
 
 void EpollLoop::DrainPostedTasks() {

@@ -95,6 +95,9 @@ class EpollLoop final : public EventLoop {
   void Run() override;
   void Stop() override;
   void Post(TaskFn task) override;
+  /// Enqueues several tasks with one lock acquisition and (at most) one
+  /// eventfd wakeup — the cross-thread half of fan-out batching.
+  void PostBatch(std::vector<TaskFn> tasks);
   std::uint64_t ScheduleTimer(Duration delay, TaskFn task) override;
   void CancelTimer(std::uint64_t id) override;
   [[nodiscard]] TimePoint Now() const override;

@@ -145,5 +145,97 @@ TEST(ConflatorTest, FlushOnEmptyIsNoop) {
   EXPECT_EQ(emitted, 0);
 }
 
+TEST(BatcherTest, SteadyStateRetainsCapacityAcrossFlushes) {
+  BatchConfig cfg;
+  cfg.maxBytes = 1 << 20;
+  Batcher batcher(cfg, [](BytesView) {});
+  const Bytes frame(256, 0xAB);
+
+  // Warm-up window sizes the buffer once.
+  for (int i = 0; i < 16; ++i) batcher.Enqueue(BytesView(frame), 0);
+  batcher.Flush();
+  const std::size_t cap = batcher.BufferCapacity();
+  ASSERT_GE(cap, 16u * 256u);
+
+  // Steady state: identical windows must never reallocate (clear() keeps
+  // capacity and the shrink guard only fires far above the byte budget).
+  for (int window = 0; window < 100; ++window) {
+    for (int i = 0; i < 16; ++i) batcher.Enqueue(BytesView(frame), 0);
+    batcher.Flush();
+    ASSERT_EQ(batcher.BufferCapacity(), cap) << "realloc in window " << window;
+  }
+}
+
+TEST(BatcherTest, PathologicalBurstReleasesBuffer) {
+  BatchConfig cfg;
+  cfg.maxBytes = 1024;
+  std::size_t flushedSize = 0;
+  Batcher batcher(cfg, [&](BytesView b) { flushedSize = b.size(); });
+
+  // One frame far beyond the shrink threshold triggers an immediate
+  // size-based flush and then releases the oversized buffer.
+  const Bytes huge(batcher.ShrinkThreshold() + 1, 0xCD);
+  batcher.Enqueue(BytesView(huge), 0);
+  EXPECT_EQ(flushedSize, huge.size());
+  EXPECT_LT(batcher.BufferCapacity(), batcher.ShrinkThreshold());
+}
+
+TEST(ConflatorTest, SteadyStateRetainsCapacityAcrossWindows) {
+  ConflateConfig cfg;
+  Conflator conflator(cfg, [](const Message&) {});
+  constexpr int kTopics = 16;
+
+  // Warm-up windows size the slot vector and the hash buckets.
+  for (int window = 0; window < 3; ++window) {
+    for (int t = 0; t < kTopics; ++t) {
+      conflator.Offer(Msg("topic-" + std::to_string(t), 1), 0);
+      conflator.Offer(Msg("topic-" + std::to_string(t), 2), 0);
+    }
+    conflator.Flush();
+  }
+  const std::size_t cap = conflator.SlotCapacity();
+  const std::size_t buckets = conflator.SlotBuckets();
+  ASSERT_GE(cap, static_cast<std::size_t>(kTopics));
+  ASSERT_GT(buckets, 0u);
+
+  // Steady state: the same per-window topic set never reallocates either
+  // container.
+  for (int window = 0; window < 100; ++window) {
+    for (int t = 0; t < kTopics; ++t) {
+      conflator.Offer(Msg("topic-" + std::to_string(t), 3), 0);
+    }
+    ASSERT_EQ(conflator.SlotCapacity(), cap) << "slot realloc, window " << window;
+    conflator.Flush();
+    ASSERT_EQ(conflator.SlotBuckets(), buckets)
+        << "bucket realloc, window " << window;
+  }
+}
+
+TEST(ConflatorTest, ReserveSizesContainersUpFront) {
+  ConflateConfig cfg;
+  Conflator conflator(cfg, [](const Message&) {});
+  conflator.Reserve(64);
+  const std::size_t cap = conflator.SlotCapacity();
+  const std::size_t buckets = conflator.SlotBuckets();
+  EXPECT_GE(cap, 64u);
+  for (int t = 0; t < 64; ++t) {
+    conflator.Offer(Msg("r-" + std::to_string(t), 1), 0);
+  }
+  EXPECT_EQ(conflator.SlotCapacity(), cap);
+  EXPECT_EQ(conflator.SlotBuckets(), buckets);
+}
+
+TEST(ConflatorTest, BurstAboveShrinkLimitReleasesSlotStorage) {
+  ConflateConfig cfg;
+  Conflator conflator(cfg, [](const Message&) {});
+  const std::size_t burst = Conflator::kShrinkSlots + 1;
+  for (std::size_t t = 0; t < burst; ++t) {
+    conflator.Offer(Msg("burst-" + std::to_string(t), 1), 0);
+  }
+  ASSERT_GE(conflator.SlotCapacity(), burst);
+  conflator.Flush();
+  EXPECT_LE(conflator.SlotCapacity(), Conflator::kShrinkSlots);
+}
+
 }  // namespace
 }  // namespace md::core

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <thread>
 
 namespace md::core {
@@ -92,6 +93,94 @@ TEST(RegistryTest, ConcurrentSubscribeUnsubscribeIsConsistent) {
   }
   EXPECT_EQ(reg.TotalSubscriptions(), expectedClients * 2);
   EXPECT_EQ(reg.SubscriberCount("shared"), expectedClients);
+}
+
+TEST(RegistryTest, SnapshotIsImmutableAndShared) {
+  SubscriptionRegistry reg;
+  reg.Subscribe("t", 3);
+  reg.Subscribe("t", 1);
+  reg.Subscribe("t", 2);
+
+  const SubscriberSnapshot snap = reg.Snapshot("t");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(*snap, (std::vector<ClientHandle>{1, 2, 3}));
+
+  // No churn: repeated reads share the same cached snapshot object.
+  EXPECT_EQ(reg.Snapshot("t").get(), snap.get());
+
+  // Churn invalidates the cache — the next read builds a NEW object while
+  // the old one stays untouched for readers still holding it.
+  reg.Subscribe("t", 4);
+  const SubscriberSnapshot next = reg.Snapshot("t");
+  ASSERT_NE(next, nullptr);
+  EXPECT_NE(next.get(), snap.get());
+  EXPECT_EQ(*next, (std::vector<ClientHandle>{1, 2, 3, 4}));
+  EXPECT_EQ(*snap, (std::vector<ClientHandle>{1, 2, 3}));
+
+  // No-op mutations keep the cached snapshot.
+  reg.Subscribe("t", 4);      // duplicate
+  reg.Unsubscribe("t", 99);   // absent
+  EXPECT_EQ(reg.Snapshot("t").get(), next.get());
+
+  EXPECT_EQ(reg.Snapshot("missing"), nullptr);
+}
+
+// Hammer test (the TSan leg in run_all.sh targets this): writers churn
+// subscriptions while readers continuously take snapshots. A snapshot must
+// never observe a torn set — it is always sorted, duplicate-free, and only
+// holds handles a writer could legitimately have subscribed.
+TEST(RegistryConcurrencyTest, SnapshotsNeverTearUnderChurn) {
+  SubscriptionRegistry reg;
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 2;
+  constexpr int kIterations = 2000;
+  constexpr ClientHandle kMaxHandle = kWriters * kIterations;
+  const std::vector<std::string> topics = {"alpha", "beta", "gamma", "delta",
+                                           "epsilon"};
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&reg, &topics, w] {
+      for (int i = 0; i < kIterations; ++i) {
+        const ClientHandle h = static_cast<ClientHandle>(w * kIterations + i + 1);
+        const std::string& topic = topics[static_cast<std::size_t>(i) % topics.size()];
+        reg.Subscribe(topic, h);
+        if (i % 2 == 0) reg.Unsubscribe(topic, h);
+        if (i % 5 == 0) reg.DropClient(h);
+      }
+    });
+  }
+  std::atomic<std::uint64_t> snapshotsChecked{0};
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&reg, &topics, &stop, &snapshotsChecked, kMaxHandle] {
+      std::size_t next = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string& topic = topics[next++ % topics.size()];
+        const SubscriberSnapshot snap = reg.Snapshot(topic);
+        if (snap == nullptr) continue;
+        ASSERT_TRUE(std::is_sorted(snap->begin(), snap->end()));
+        ASSERT_EQ(std::adjacent_find(snap->begin(), snap->end()), snap->end());
+        for (const ClientHandle h : *snap) {
+          ASSERT_GE(h, 1u);
+          ASSERT_LE(h, kMaxHandle);
+        }
+        snapshotsChecked.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) threads[static_cast<std::size_t>(w)].join();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+  EXPECT_GT(snapshotsChecked.load(), 0u);
+
+  // Writers left every (w*kIterations + i + 1) with i odd, i % 5 != 0
+  // subscribed to exactly one topic.
+  std::size_t expected = 0;
+  for (int i = 0; i < kIterations; ++i) {
+    if (i % 2 != 0 && i % 5 != 0) ++expected;
+  }
+  EXPECT_EQ(reg.TotalSubscriptions(), expected * kWriters);
 }
 
 }  // namespace

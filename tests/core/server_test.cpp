@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <thread>
@@ -302,6 +303,81 @@ TEST(ServerBatchingTest, BatchingReducesWritesButDeliversAll) {
   });
   server.Stop();
 }
+
+// Per-subscriber in-order delivery across the fan-out path, with enough
+// subscribers to span both IoThreads and enough messages to interleave
+// batched posts. Runs once with per-IoThread batching (the default) and once
+// on the legacy per-subscriber path, so both stay correct and comparable.
+class ServerFanoutTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ServerFanoutTest, BatchedFanOutPreservesPerSubscriberOrder) {
+  ServerConfig cfg;
+  cfg.ioThreads = 2;
+  cfg.workers = 2;
+  cfg.fanoutBatching = GetParam();
+  Server server(cfg);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kSubs = 8;
+  constexpr int kMessages = 100;
+  ClientLoopThread lt;
+  std::vector<std::unique_ptr<client::Client>> subs;
+  std::array<std::atomic<int>, kSubs> received{};
+  std::array<std::atomic<bool>, kSubs> ordered{};
+  for (auto& o : ordered) o.store(true);
+  std::atomic<int> connected{0};
+
+  lt.RunOnLoop([&] {
+    for (int i = 0; i < kSubs; ++i) {
+      auto c = std::make_unique<client::Client>(
+          lt.loop(), MakeClientConfig(server.Port(), "fo-sub-" + std::to_string(i)));
+      c->Subscribe("ladder",
+                   [&, i, next = std::uint64_t(1)](const Message& m) mutable {
+                     if (m.seq != next++) ordered[i].store(false);
+                     received[i].fetch_add(1);
+                   });
+      c->SetConnectionListener([&](bool up) {
+        if (up) connected.fetch_add(1);
+      });
+      c->Start();
+      subs.push_back(std::move(c));
+    }
+  });
+  ClientLoopThread::WaitFor([&] { return connected.load() == kSubs; });
+
+  auto pub = std::make_unique<client::Client>(
+      lt.loop(), MakeClientConfig(server.Port(), "fo-pub"));
+  lt.RunOnLoop([&] { pub->Start(); });
+  ClientLoopThread::WaitFor([&] { return pub->IsConnected(); });
+
+  lt.RunOnLoop([&] {
+    for (int i = 0; i < kMessages; ++i) {
+      pub->Publish("ladder", Bytes{static_cast<std::uint8_t>(i)});
+    }
+  });
+  ClientLoopThread::WaitFor([&] {
+    for (int i = 0; i < kSubs; ++i) {
+      if (received[i].load() != kMessages) return false;
+    }
+    return true;
+  });
+  for (int i = 0; i < kSubs; ++i) {
+    EXPECT_TRUE(ordered[i].load()) << "subscriber " << i << " saw out-of-order seq";
+  }
+  EXPECT_GE(server.Stats().delivered,
+            static_cast<std::uint64_t>(kSubs) * kMessages);
+
+  lt.RunOnLoop([&] {
+    for (auto& c : subs) c->Stop();
+    pub->Stop();
+  });
+  server.Stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(BothPaths, ServerFanoutTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Batched" : "PerSubscriber";
+                         });
 
 TEST(ServerStatsTest, CountsConnectionsAndTraffic) {
   ServerConfig cfg;
