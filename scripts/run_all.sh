@@ -16,6 +16,16 @@ cmake -B build-asan -G Ninja -DMD_SANITIZE=address \
 ./build-asan/tests/chaos_test || exit 1
 ./build-asan/tools/md_chaos --seeds 50 || exit 1
 
+# Slow-consumer leg: an explicit stalled-subscriber fault under ASan (the
+# eviction path frees a session with megabytes still parked — exactly where a
+# use-after-flush would hide), then the backpressure bench as a bounds smoke
+# check: it exits nonzero unless peak pending stays under the hard watermark
+# and healthy subscribers lose nothing.
+./build-asan/tools/md_chaos --seed 7 --events "slow:0@1500+6000" || exit 1
+./build-asan/tools/md_chaos --seed 11 --events "slow:1@2000+5000" || exit 1
+MD_BENCH_SLOWCONS_CLIENTS=8 MD_BENCH_SLOWCONS_MSGS=600 \
+  MD_BENCH_SLOWCONS_OUT=/dev/null ./build/bench/bench_slow_consumer || exit 1
+
 # Metrics leg: the exposition goldens and live-scrape test, plain and under
 # ThreadSanitizer — the sharded counters, tracer in-flight map and registry
 # snapshot are the concurrency-bearing surfaces of src/obs.

@@ -97,6 +97,9 @@ void Client::OnConnected(ConnectionPtr conn) {
   in_.Clear();
   conn_->SetDataHandler([this](BytesView data) { OnData(data); });
   conn_->SetCloseHandler([this] { OnConnectionLost(); });
+  // A paused client stays paused across reconnects (chaos fault windows span
+  // the eviction + reconnect cycle they are meant to exercise).
+  if (readPaused_) conn_->SetReadPaused(true);
 
   const ServerAddress& addr = cfg_.servers[*currentServer_];
   switch (cfg_.transport) {

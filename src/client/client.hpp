@@ -130,6 +130,15 @@ class Client {
     deliveryObserver_ = std::move(observer);
   }
 
+  /// Fault injection for chaos/backpressure tests: while paused the client's
+  /// connection stops consuming inbound bytes (a stalled TCP reader), so the
+  /// server's send queue toward this client backs up. Persists across
+  /// reconnects until unpaused. Loop thread only.
+  void PauseReads(bool paused) {
+    readPaused_ = paused;
+    if (conn_) conn_->SetReadPaused(paused);
+  }
+
   /// The reconnect delay the library would pick for the given attempt
   /// number (1-based) — exposed so benchmarks/operators can study the herd
   /// behaviour of a policy with the exact production formula.
@@ -192,6 +201,7 @@ class Client {
   // Written only on the loop thread; atomic because IsConnected() is a
   // documented cross-thread poll for test/bench harnesses.
   std::atomic<State> state_{State::kIdle};
+  bool readPaused_ = false;
   ConnectionPtr conn_;
   ByteQueue in_;
   std::string wsKey_;

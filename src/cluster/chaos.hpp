@@ -2,10 +2,11 @@
 //
 // From a single seed, FaultPlan::Generate derives a randomized schedule of
 // serialized fault windows — server crashes (with restart), server partitions
-// (with heal), and inter-server link flaps — which ChaosDriver applies to a
-// SimCluster while real client-library publishers and subscribers run
-// traffic through it. An InvariantChecker observes every client's
-// post-filter delivery stream and checks the paper's §5 guarantees:
+// (with heal), inter-server link flaps, and slow subscribers (a client whose
+// reads stall, backing up the server's send queue) — which ChaosDriver
+// applies to a SimCluster while real client-library publishers and
+// subscribers run traffic through it. An InvariantChecker observes every
+// client's post-filter delivery stream and checks the paper's §5 guarantees:
 //
 //   [order]     per (subscriber, topic): strictly increasing (epoch, seq),
 //   [dup]       per (subscriber, topic): no publication delivered twice,
@@ -17,6 +18,10 @@
 //               quorum loss has self-fenced and closed its local clients,
 //   [cache]     after heal + quiesce, every server's cache holds every
 //               acked publication (replication + reconstruction, §5.2.2),
+//   [backpressure] no client connection's pending bytes ever exceed the hard
+//               watermark (sampled every 100ms of virtual time) — a stalled
+//               subscriber is conflated/dropped/evicted, never buffered
+//               without bound,
 //
 // The fault windows are serialized (at most one server-level fault active at
 // a time) to stay inside the paper's single-fault model; concurrent faults
@@ -45,12 +50,15 @@ namespace md::cluster {
 // ---------------------------------------------------------------------------
 
 struct FaultEvent {
-  enum class Kind : std::uint8_t { kCrash, kPartition, kLinkFlap };
+  enum class Kind : std::uint8_t { kCrash, kPartition, kLinkFlap,
+                                   kSlowSubscriber };
   Kind kind = Kind::kCrash;
+  /// Server index — except kSlowSubscriber, where it indexes the subscriber
+  /// whose reads stall for the window.
   std::size_t victim = 0;
   std::size_t peer = 0;     // second endpoint, kLinkFlap only
   Duration at = 0;          // offset from chaos start (ms granularity)
-  Duration duration = 0;    // fault window; then restart / heal
+  Duration duration = 0;    // fault window; then restart / heal / resume
 
   friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
 };
@@ -60,6 +68,7 @@ inline const char* FaultKindName(FaultEvent::Kind kind) {
     case FaultEvent::Kind::kCrash: return "crash";
     case FaultEvent::Kind::kPartition: return "part";
     case FaultEvent::Kind::kLinkFlap: return "flap";
+    case FaultEvent::Kind::kSlowSubscriber: return "slow";
   }
   return "?";
 }
@@ -75,7 +84,8 @@ struct FaultPlan {
   /// inside the single-fault model. All times have millisecond granularity
   /// so ToString()/Parse() round-trip exactly.
   static FaultPlan Generate(std::uint64_t seed, std::size_t servers,
-                            std::size_t minEvents) {
+                            std::size_t minEvents,
+                            std::size_t subscribers = 3) {
     FaultPlan plan;
     plan.seed = seed;
     plan.servers = servers;
@@ -86,17 +96,24 @@ struct FaultPlan {
       FaultEvent ev;
       const std::uint64_t roll = rng.NextBelow(10);
       std::int64_t durMs = 0;
-      if (roll < 4) {
+      if (roll < 3) {
         ev.kind = FaultEvent::Kind::kCrash;
         durMs = 2000 + static_cast<std::int64_t>(rng.NextBelow(2500));
-      } else if (roll < 8 || servers < 2) {
+      } else if (roll < 6 || servers < 2) {
         ev.kind = FaultEvent::Kind::kPartition;
         durMs = 5000 + static_cast<std::int64_t>(rng.NextBelow(2500));
-      } else {
+      } else if (roll < 8 || subscribers == 0) {
         ev.kind = FaultEvent::Kind::kLinkFlap;
         durMs = 1000 + static_cast<std::int64_t>(rng.NextBelow(2000));
+      } else {
+        // Long enough to overrun the soft watermark + eviction grace, so the
+        // overflow policy (not luck) is what bounds the send queue.
+        ev.kind = FaultEvent::Kind::kSlowSubscriber;
+        durMs = 4000 + static_cast<std::int64_t>(rng.NextBelow(4000));
       }
-      ev.victim = rng.NextBelow(servers);
+      ev.victim = ev.kind == FaultEvent::Kind::kSlowSubscriber
+                      ? rng.NextBelow(subscribers)
+                      : rng.NextBelow(servers);
       if (ev.kind == FaultEvent::Kind::kLinkFlap) {
         ev.peer = (ev.victim + 1 + rng.NextBelow(servers - 1)) % servers;
       }
@@ -132,9 +149,11 @@ struct FaultPlan {
     return out;
   }
 
-  /// Inverse of ToString(). Returns nullopt on malformed input.
+  /// Inverse of ToString(). Returns nullopt on malformed input. `subscribers`
+  /// bounds the victim of "slow" events (a subscriber index, not a server).
   static std::optional<FaultPlan> Parse(const std::string& text,
-                                        std::size_t servers = 3) {
+                                        std::size_t servers = 3,
+                                        std::size_t subscribers = 3) {
     FaultPlan plan;
     plan.servers = servers;
     std::size_t start = 0;
@@ -160,6 +179,8 @@ struct FaultPlan {
         ev.kind = FaultEvent::Kind::kPartition;
       } else if (kind == "flap") {
         ev.kind = FaultEvent::Kind::kLinkFlap;
+      } else if (kind == "slow") {
+        ev.kind = FaultEvent::Kind::kSlowSubscriber;
       } else {
         return std::nullopt;
       }
@@ -178,7 +199,9 @@ struct FaultPlan {
       } catch (...) {
         return std::nullopt;
       }
-      if (ev.victim >= servers || ev.peer >= servers || ev.at < 0 ||
+      const std::size_t victimBound =
+          ev.kind == FaultEvent::Kind::kSlowSubscriber ? subscribers : servers;
+      if (ev.victim >= victimBound || ev.peer >= servers || ev.at < 0 ||
           ev.duration <= 0) {
         return std::nullopt;
       }
@@ -223,6 +246,24 @@ class InvariantChecker {
   void OnPartitionObservation(std::size_t server, bool fenced,
                               std::size_t localClients) {
     partitionObs_.push_back({server, fenced, localClients});
+  }
+
+  /// Periodic sample of the largest client send-queue depth on one server.
+  /// The transport's hard watermark is an all-or-nothing bound: a stalled
+  /// subscriber may pin its queue *at* the mark, never past it.
+  void OnPendingSample(std::size_t server, std::size_t pendingBytes,
+                       std::size_t hardWatermark) {
+    maxPendingObserved_ = std::max(maxPendingObserved_, pendingBytes);
+    if (pendingBytes > hardWatermark) {
+      violations_.push_back(
+          "[backpressure] server " + std::to_string(server) + " buffered " +
+          std::to_string(pendingBytes) + " bytes toward one client, over the " +
+          std::to_string(hardWatermark) + "-byte hard watermark");
+    }
+  }
+
+  [[nodiscard]] std::size_t maxPendingObserved() const noexcept {
+    return maxPendingObserved_;
   }
 
   /// Post-quiesce fencing state of every server (all faults healed).
@@ -438,6 +479,7 @@ class InvariantChecker {
   std::uint64_t deliveries_ = 0;
   std::uint64_t duplicatesFiltered_ = 0;
   std::uint64_t acked_ = 0;
+  std::size_t maxPendingObserved_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -461,6 +503,16 @@ struct ChaosOptions {
   bool checkCaches = true;
   /// Explicit schedule (repro / minimization); overrides generation.
   std::optional<FaultPlan> plan;
+  /// Client-connection watermarks for the simulated servers. Chaos frames are
+  /// tiny (~60 wire bytes), so the marks sit far below production defaults:
+  /// a paused subscriber crosses soft within a few publications and the run
+  /// actually exercises grace, eviction and reconnect-backfill. The grace
+  /// (500ms) comfortably covers a healthy resume-backfill burst at the sim's
+  /// 2ms client RTT.
+  core::BackpressureConfig clientBackpressure{
+      /*softWatermark=*/384, /*hardWatermark=*/16 * 1024,
+      /*lowWatermark=*/128, core::OverflowPolicy::kDisconnect,
+      /*evictGrace=*/500 * kMillisecond};
   /// Metrics destination for the simulated cluster; nullptr keeps each run
   /// on a private registry (seed sweeps must not share counters).
   obs::MetricsRegistry* metrics = nullptr;
@@ -493,7 +545,8 @@ class ChaosDriver {
     ChaosReport report;
     report.plan = opts_.plan ? *opts_.plan
                              : FaultPlan::Generate(opts_.seed, opts_.servers,
-                                                   opts_.minFaultEvents);
+                                                   opts_.minFaultEvents,
+                                                   opts_.subscribers);
     const FaultPlan& plan = report.plan;
     InvariantChecker checker;
 
@@ -503,6 +556,7 @@ class ChaosDriver {
     copts.seed = opts_.seed;
     copts.serverLinks.duplicateProb = opts_.peerDuplicateProb;
     copts.metrics = opts_.metrics;
+    copts.clientBackpressure = opts_.clientBackpressure;
     SimCluster cluster(sched, copts);
     cluster.StartAll();
     sched.RunFor(2 * kSecond);
@@ -603,6 +657,10 @@ class ChaosDriver {
             cluster.network().FlapLink(cluster.HostOf(ev.victim),
                                        cluster.HostOf(ev.peer), ev.duration);
             break;
+          case FaultEvent::Kind::kSlowSubscriber:
+            trace("fault slow sub-" + std::to_string(ev.victim));
+            if (ev.victim < subs.size()) subs[ev.victim]->PauseReads(true);
+            break;
         }
       });
       sched.Schedule(ev.at + ev.duration, [&, ev] {
@@ -638,9 +696,32 @@ class ChaosDriver {
                                    cluster.HostOf(ev.peer));
             cluster.ResyncLink(ev.victim, ev.peer);
             break;
+          case FaultEvent::Kind::kSlowSubscriber:
+            // Resume drains the parked backlog (and any eviction close) in
+            // order; the client then reconnects and backfills from its
+            // resume position — [loss]/[order]/[dup] verify convergence.
+            trace("recover slow-end sub-" + std::to_string(ev.victim));
+            if (ev.victim < subs.size()) subs[ev.victim]->PauseReads(false);
+            break;
         }
       });
     }
+
+    // --- backpressure sampler ----------------------------------------------
+    // Every 100ms of virtual time, record the deepest client send queue per
+    // server; the [backpressure] invariant bounds it by the hard watermark.
+    const std::size_t hardMark = opts_.clientBackpressure.hardWatermark;
+    auto sampler = std::make_shared<std::function<void()>>();
+    // Weak self-reference: the local shared_ptr owns the function for the
+    // whole run; a by-value capture would be a shared_ptr cycle (leak).
+    *sampler = [&checker, &cluster, &sched, hardMark,
+                weak = std::weak_ptr<std::function<void()>>(sampler)] {
+      for (std::size_t i = 0; i < cluster.size(); ++i) {
+        checker.OnPendingSample(i, cluster.MaxClientPending(i), hardMark);
+      }
+      if (auto self = weak.lock()) sched.Schedule(100 * kMillisecond, *self);
+    };
+    sched.Schedule(100 * kMillisecond, *sampler);
 
     // --- publish traffic ---------------------------------------------------
     const Duration horizon = plan.Horizon();

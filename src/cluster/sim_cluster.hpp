@@ -16,11 +16,13 @@
 // MiniZK quorum loss and answers by self-fencing).
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
 #include "cluster/node.hpp"
 #include "coord/sim_harness.hpp"
+#include "core/backpressure.hpp"
 #include "proto/codec.hpp"
 #include "simnet/network.hpp"
 #include "transport/inproc.hpp"
@@ -47,6 +49,13 @@ class SimCluster {
     /// the cluster its own private registry (keeps repeated sim runs in one
     /// process from accumulating into the process-wide default).
     obs::MetricsRegistry* metrics = nullptr;
+    /// Slow-consumer policy applied to every client connection. Defaults are
+    /// generous relative to sim traffic (256 KiB soft / 1 MiB hard) so only
+    /// tests that deliberately stall a client ever cross them.
+    core::BackpressureConfig clientBackpressure{
+        /*softWatermark=*/256 * 1024, /*hardWatermark=*/1024 * 1024,
+        /*lowWatermark=*/64 * 1024, core::OverflowPolicy::kDisconnect,
+        /*evictGrace=*/250 * kMillisecond};
   };
 
   explicit SimCluster(sim::Scheduler& sched, Options options)
@@ -59,6 +68,7 @@ class SimCluster {
       opts_.metrics = ownedRegistry_.get();
     }
     opts_.coordConfig.metrics = opts_.metrics;
+    scm_ = std::make_unique<obs::SlowConsumerMetrics>(*opts_.metrics);
     std::vector<sim::HostId> hosts;
     for (std::size_t i = 0; i < opts_.servers; ++i) {
       hosts.push_back(net_.AddHost("server-" + std::to_string(i + 1)));
@@ -110,6 +120,18 @@ class SimCluster {
   [[nodiscard]] sim::HostId HostOf(std::size_t i) const {
     return servers_.at(i)->host;
   }
+  /// Largest send-queue depth among server i's client connections — the
+  /// quantity the backpressure invariant bounds by the hard watermark.
+  [[nodiscard]] std::size_t MaxClientPending(std::size_t i) const {
+    std::size_t maxPending = 0;
+    for (const auto& [handle, conn] : servers_.at(i)->connections) {
+      maxPending = std::max(maxPending, conn->PendingBytes());
+    }
+    return maxPending;
+  }
+  [[nodiscard]] const obs::SlowConsumerMetrics& slowConsumerMetrics() const {
+    return *scm_;
+  }
 
   // --- faults ----------------------------------------------------------------
 
@@ -151,6 +173,13 @@ class SimCluster {
   }
 
  private:
+  /// Per-client backpressure state (single-strand: scheduler events only).
+  struct ClientState {
+    bool overSoft = false;
+    bool evictTimerArmed = false;
+    bool evicting = false;
+  };
+
   struct ServerHost {
     std::size_t index = 0;
     std::string id;
@@ -161,6 +190,7 @@ class SimCluster {
     ClientHandle nextHandle = 1;
     std::map<ClientHandle, ConnectionPtr> connections;
     std::map<ClientHandle, std::shared_ptr<ByteQueue>> inbox;
+    std::map<ClientHandle, std::shared_ptr<ClientState>> bp;
   };
 
   class NodeEnv final : public ClusterEnv {
@@ -182,17 +212,17 @@ class SimCluster {
 
     void SendToClient(ClientHandle client, const Frame& frame) override {
       ServerHost& server = *cluster_.servers_[index_];
-      const auto it = server.connections.find(client);
-      if (it == server.connections.end()) return;
+      if (!server.connections.contains(client)) return;
       Bytes wire;
       EncodeFramed(frame, wire);
-      (void)it->second->Send(BytesView(wire));
+      (void)cluster_.SendClientWire(server, client, BytesView(wire));
     }
 
     void CloseClient(ClientHandle client) override {
       ServerHost& server = *cluster_.servers_[index_];
       auto node = server.connections.extract(client);
       server.inbox.erase(client);
+      server.bp.erase(client);
       if (!node.empty()) node.mapped()->Close();
     }
 
@@ -225,6 +255,14 @@ class SimCluster {
       server.connections[handle] = conn;
       auto inbox = std::make_shared<ByteQueue>();
       server.inbox[handle] = inbox;
+      auto state = std::make_shared<ClientState>();
+      server.bp[handle] = state;
+      conn->SetWatermarks(opts_.clientBackpressure.ToWatermarks());
+      conn->SetDrainedHandler([this, state] {
+        if (!state->overSoft) return;
+        state->overSoft = false;
+        scm_->sessionsOverSoft.Add(-1);
+      });
       conn->SetDataHandler([this, &server, handle, inbox](BytesView data) {
         inbox->Append(data);
         while (true) {
@@ -241,17 +279,83 @@ class SimCluster {
           server.node->OnClientFrame(handle, *r.frame);
         }
       });
-      conn->SetCloseHandler([&server, handle] {
+      conn->SetCloseHandler([this, &server, handle, state] {
+        if (state->overSoft) {
+          state->overSoft = false;
+          scm_->sessionsOverSoft.Add(-1);
+        }
         server.connections.erase(handle);
         server.inbox.erase(handle);
+        server.bp.erase(handle);
         server.node->OnClientDisconnect(handle);
       });
     });
   }
 
+  /// Status-checked client write applying Options::clientBackpressure: a
+  /// soft-accepted kCapacity arms the eviction grace timer; a hard-rejected
+  /// kCapacity (whole frame refused => stream gap) evicts immediately.
+  bool SendClientWire(ServerHost& server, ClientHandle handle, BytesView wire) {
+    const auto connIt = server.connections.find(handle);
+    const auto bpIt = server.bp.find(handle);
+    if (connIt == server.connections.end() || bpIt == server.bp.end()) {
+      return false;
+    }
+    const ConnectionPtr& conn = connIt->second;
+    const std::shared_ptr<ClientState>& state = bpIt->second;
+    if (state->evicting || !conn->IsOpen()) return false;
+    const std::size_t before = conn->PendingBytes();
+    const Status st = conn->Send(wire);
+    if (st.ok()) return true;
+    if (st.code() != ErrorCode::kCapacity) return false;
+    const bool accepted = conn->PendingBytes() > before;
+    if (!state->overSoft) {
+      state->overSoft = true;
+      scm_->softOverflows.Inc();
+      scm_->sessionsOverSoft.Add(1);
+      scm_->queueDepthBytes.Record(
+          static_cast<std::int64_t>(conn->PendingBytes()));
+    }
+    if (!accepted) {
+      EvictSlowClient(server, handle);
+      return false;
+    }
+    if (!state->evictTimerArmed) {
+      state->evictTimerArmed = true;
+      sched_.Schedule(
+          opts_.clientBackpressure.evictGrace, [this, &server, handle, state] {
+            state->evictTimerArmed = false;
+            if (!state->overSoft || state->evicting) return;
+            const auto it = server.connections.find(handle);
+            if (it == server.connections.end() || !it->second->IsOpen()) return;
+            EvictSlowClient(server, handle);
+          });
+    }
+    return true;
+  }
+
+  void EvictSlowClient(ServerHost& server, ClientHandle handle) {
+    const auto connIt = server.connections.find(handle);
+    const auto bpIt = server.bp.find(handle);
+    if (connIt == server.connections.end() || bpIt == server.bp.end()) return;
+    if (bpIt->second->evicting) return;
+    bpIt->second->evicting = true;
+    scm_->disconnects.Inc();
+    // Best-effort close notice, then close. The inproc transport delivers
+    // parked bytes before the close, so a paused client that resumes sees
+    // the whole backlog, then the DisconnectFrame, then EOF — same ordering
+    // a real socket gives. The close handler notifies the node.
+    Bytes notice;
+    EncodeFramed(Frame(DisconnectFrame{"slow consumer: send queue overflow"}),
+                 notice);
+    (void)connIt->second->Send(BytesView(notice));
+    connIt->second->CloseAfterFlush();
+  }
+
   sim::Scheduler& sched_;
   Options opts_;
   std::unique_ptr<obs::MetricsRegistry> ownedRegistry_;
+  std::unique_ptr<obs::SlowConsumerMetrics> scm_;
   sim::SimNetwork net_;
   InprocLoop clientLoop_;
   std::unique_ptr<coord::SimCoordCluster> coordCluster_;

@@ -26,12 +26,14 @@ class TcpClusterHost::NodeEnv final : public ClusterEnv {
     if (it == host_.clients_.end()) return;
     Bytes wire;
     EncodeFramed(frame, wire);
-    (void)it->second->conn->Send(BytesView(wire));
+    (void)host_.SendClientWire(client, it->second, BytesView(wire));
   }
 
   void SendToClients(const std::vector<ClientHandle>& clients,
                      const Frame& frame) override {
     // Fan-out fast path: encode once, share the bytes across every target.
+    // Each write still goes through the watermark-checked path, so one
+    // stalled subscriber in the batch cannot buffer the host to death.
     Bytes wire;
     bool encoded = false;
     for (const ClientHandle client : clients) {
@@ -41,7 +43,7 @@ class TcpClusterHost::NodeEnv final : public ClusterEnv {
         EncodeFramed(frame, wire);
         encoded = true;
       }
-      (void)it->second->conn->Send(BytesView(wire));
+      (void)host_.SendClientWire(client, it->second, BytesView(wire));
     }
   }
 
@@ -85,7 +87,11 @@ class TcpClusterHost::CoordEnv final : public coord::Env {
 // Lifecycle
 // ---------------------------------------------------------------------------
 
-TcpClusterHost::TcpClusterHost(TcpHostConfig cfg) : cfg_(std::move(cfg)) {
+TcpClusterHost::TcpClusterHost(TcpHostConfig cfg)
+    : cfg_(std::move(cfg)),
+      scm_(cfg_.cluster.metrics != nullptr ? *cfg_.cluster.metrics
+                                           : obs::MetricsRegistry::Default(),
+           obs::ServerLabel(cfg_.serverId)) {
   loop_ = std::make_unique<EpollLoop>();
   nodeEnv_ = std::make_unique<NodeEnv>(*this, cfg_.seed);
   coordEnv_ = std::make_unique<CoordEnv>(*this, cfg_.seed + 1);
@@ -192,6 +198,13 @@ void TcpClusterHost::OnClientAccept(ConnectionPtr conn) {
   client->conn = conn;
   clients_[handle] = client;
 
+  conn->SetWatermarks(cfg_.clientBackpressure.ToWatermarks());
+  conn->SetDrainedHandler([this, client] {
+    if (!client->overSoft) return;
+    client->overSoft = false;
+    scm_.sessionsOverSoft.Add(-1);
+  });
+
   conn->SetDataHandler([this, handle, client](BytesView data) {
     client->in.Append(data);
     while (true) {
@@ -206,7 +219,11 @@ void TcpClusterHost::OnClientAccept(ConnectionPtr conn) {
       node_->OnClientFrame(handle, *r.frame);
     }
   });
-  conn->SetCloseHandler([this, handle] {
+  conn->SetCloseHandler([this, handle, client] {
+    if (client->overSoft) {
+      client->overSoft = false;
+      scm_.sessionsOverSoft.Add(-1);
+    }
     clients_.erase(handle);
     node_->OnClientDisconnect(handle);
   });
@@ -390,6 +407,58 @@ void TcpClusterHost::SendCoordMsg(coord::NodeId to, const coord::CoordMsg& msg) 
   }
   if (link.backlog.size() < kMaxBacklogFrames) link.backlog.push_back(std::move(wire));
   EnsureCoordLink(to);
+}
+
+bool TcpClusterHost::SendClientWire(ClientHandle handle,
+                                    const std::shared_ptr<ClientConn>& client,
+                                    BytesView wire) {
+  if (client->evicting || !client->conn->IsOpen()) return false;
+  const std::size_t before = client->conn->PendingBytes();
+  const Status st = client->conn->Send(wire);
+  if (st.ok()) return true;
+  if (st.code() != ErrorCode::kCapacity) return false;
+  // kCapacity: bytes were accepted iff PendingBytes moved (soft overflow);
+  // otherwise the whole frame was rejected at the hard mark.
+  const bool accepted = client->conn->PendingBytes() > before;
+  if (!client->overSoft) {
+    client->overSoft = true;
+    scm_.softOverflows.Inc();
+    scm_.sessionsOverSoft.Add(1);
+    scm_.queueDepthBytes.Record(
+        static_cast<std::int64_t>(client->conn->PendingBytes()));
+  }
+  if (!accepted) {
+    // The stream now has a gap; eviction forces the reconnect + resume path,
+    // which backfills everything the client missed.
+    EvictSlowClient(handle, client);
+    return false;
+  }
+  if (!client->evictTimerArmed) {
+    client->evictTimerArmed = true;
+    loop_->ScheduleTimer(
+        cfg_.clientBackpressure.evictGrace, [this, handle, client] {
+          client->evictTimerArmed = false;
+          if (client->overSoft && !client->evicting && client->conn->IsOpen()) {
+            EvictSlowClient(handle, client);
+          }
+        });
+  }
+  return true;
+}
+
+void TcpClusterHost::EvictSlowClient(ClientHandle handle,
+                                     const std::shared_ptr<ClientConn>& client) {
+  if (client->evicting) return;
+  client->evicting = true;
+  scm_.disconnects.Inc();
+  MD_INFO("%s: evicting slow client %llu (%zu bytes pending)",
+          cfg_.serverId.c_str(), static_cast<unsigned long long>(handle),
+          client->conn->PendingBytes());
+  Bytes notice;
+  EncodeFramed(Frame(DisconnectFrame{"slow consumer: send queue overflow"}),
+               notice);
+  (void)client->conn->Send(BytesView(notice));
+  client->conn->CloseAfterFlush();
 }
 
 void TcpClusterHost::RetryLinks() {

@@ -23,6 +23,7 @@
 #include "cluster/node.hpp"
 #include "coord/codec.hpp"
 #include "coord/node.hpp"
+#include "core/backpressure.hpp"
 #include "proto/codec.hpp"
 #include "transport/epoll_loop.hpp"
 
@@ -47,6 +48,11 @@ struct TcpHostConfig {
   coord::CoordConfig coord;
   std::uint64_t seed = 1;
   Duration peerRetryInterval = 500 * kMillisecond;
+  /// Slow-consumer policy for client connections. Peer/coord links keep the
+  /// transport defaults (effectively unbounded): dropping replication traffic
+  /// to a peer would violate the cluster's delivery guarantees — peers are
+  /// governed by the backlog cap + cache sync instead.
+  core::BackpressureConfig clientBackpressure;
 };
 
 class TcpClusterHost {
@@ -76,6 +82,10 @@ class TcpClusterHost {
   struct ClientConn {
     ConnectionPtr conn;
     ByteQueue in;
+    // Backpressure state (loop-thread only).
+    bool overSoft = false;
+    bool evictTimerArmed = false;
+    bool evicting = false;
   };
 
   struct PeerLink {
@@ -103,10 +113,18 @@ class TcpClusterHost {
   void SendPeerFrame(const std::string& serverId, const Frame& frame);
   void SendCoordMsg(coord::NodeId to, const coord::CoordMsg& msg);
   void RetryLinks();
+  /// Status-checked client write applying `clientBackpressure` (loop thread):
+  /// soft-accepted kCapacity arms the eviction grace timer, hard-rejected
+  /// kCapacity (frame lost => stream gap) evicts immediately.
+  bool SendClientWire(ClientHandle handle,
+                      const std::shared_ptr<ClientConn>& client, BytesView wire);
+  void EvictSlowClient(ClientHandle handle,
+                       const std::shared_ptr<ClientConn>& client);
   [[nodiscard]] const TcpPeerAddress* PeerById(const std::string& serverId) const;
   [[nodiscard]] const TcpPeerAddress* PeerByNode(coord::NodeId nodeId) const;
 
   TcpHostConfig cfg_;
+  obs::SlowConsumerMetrics scm_;
   std::unique_ptr<EpollLoop> loop_;
   std::thread thread_;
   std::atomic<bool> running_{false};

@@ -1,0 +1,48 @@
+// Slow-consumer overflow policy (paper §4: a handful of stalled clients must
+// not consume unbounded server memory).
+//
+// The transport enforces the mechanical bound (src/transport/transport.hpp
+// Watermarks: soft = advisory kCapacity, hard = append rejected), and the
+// embedding server chooses what to do with a session that crossed the soft
+// mark. Shared between the single-node engine (core::Server) and the cluster
+// hosts (tcp_host / sim_cluster) so both delivery paths obey one policy.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+#include "transport/transport.hpp"
+
+namespace md::core {
+
+enum class OverflowPolicy : std::uint8_t {
+  /// Default: evict the session (kCapacity close reason). At-least-once
+  /// clients recover by reconnecting and resuming from their last position —
+  /// the cache/cursor path replays everything missed, in order.
+  kDisconnect,
+  /// Route the session's topics through the Conflator while it is over the
+  /// soft mark: it keeps receiving the newest value per topic at a bounded
+  /// rate instead of an ever-growing backlog ("current value" streams).
+  kConflate,
+  /// At-most-once sessions: silently drop new deliveries while over the soft
+  /// mark (counted in md_slow_consumer_dropped_total).
+  kDropNewest,
+};
+
+struct BackpressureConfig {
+  std::size_t softWatermark = 1 * 1024 * 1024;
+  std::size_t hardWatermark = 4 * 1024 * 1024;
+  /// Drained notification threshold (recovery from an excursion).
+  std::size_t lowWatermark = 128 * 1024;
+  OverflowPolicy policy = OverflowPolicy::kDisconnect;
+  /// kDisconnect evicts only if the session is still over the soft mark this
+  /// long after first crossing it — a healthy client absorbing a burst
+  /// drains within the grace and survives; a stalled one does not.
+  Duration evictGrace = 250 * kMillisecond;
+
+  [[nodiscard]] Watermarks ToWatermarks() const {
+    return Watermarks{softWatermark, hardWatermark, lowWatermark};
+  }
+};
+
+}  // namespace md::core

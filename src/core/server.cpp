@@ -44,6 +44,12 @@ struct Server::Session : std::enable_shared_from_this<Server::Session> {
   std::unique_ptr<Conflator> conflator;
   bool conflateTimerArmed = false;
 
+  // Backpressure state, owned by the session's IoThread (set on a kCapacity
+  // Send result, cleared by the connection's drained callback).
+  bool overSoft = false;
+  bool evictTimerArmed = false;
+  bool evicting = false;
+
   std::atomic<bool> open{true};
 };
 
@@ -77,6 +83,7 @@ Server::Server(ServerConfig cfg)
                                        : obs::MetricsRegistry::Default()),
       m_(metrics_, obs::ServerLabel(cfg_.serverId)),
       tm_(metrics_),
+      scm_(metrics_, obs::ServerLabel(cfg_.serverId)),
       tracer_(metrics_, [] { return RealClock::Instance().Now(); }, "wall"),
       cache_(cfg_.cache) {
   // Pre-register the full schema so GET /metrics exposes every family from
@@ -173,27 +180,43 @@ void Server::OnAccept(std::size_t ioIndex, ConnectionPtr conn) {
   session->workerIndex = MixU64(session->handle) % workers_.size();
   session->conn = std::move(conn);
   session->loop = ioThreads_[ioIndex]->loop.get();
+  session->conn->SetWatermarks(cfg_.backpressure.ToWatermarks());
+  // Low-watermark recovery: the connection drained below wm.low after a
+  // soft excursion — the session is healthy again (IoThread callback).
+  session->conn->SetDrainedHandler(
+      [this, weak = std::weak_ptr<Session>(session)] {
+        auto s = weak.lock();
+        if (!s || !s->overSoft) return;
+        s->overSoft = false;
+        scm_.sessionsOverSoft.Add(-1);
+      });
   if (cfg_.enableBatching) {
     session->batcher = std::make_unique<Batcher>(
         cfg_.batch, [this, weak = std::weak_ptr<Session>(session)](BytesView data) {
           if (auto s = weak.lock()) {
-            m_.bytesOut.Inc(data.size());
-            (void)s->conn->Send(data);
+            (void)SendOnLoop(s, data, /*deliverClass=*/false);
           }
         });
   }
-  if (cfg_.enableConflation) {
+  if (cfg_.enableConflation ||
+      cfg_.backpressure.policy == OverflowPolicy::kConflate) {
     // Emits the newest message per topic at each window close (IoThread).
+    // With enableConflation this is the delivery path for every session and
+    // `delivered` advances per emission (suppressed duplicates never count);
+    // under the kConflate overflow policy the fan-out already counted the
+    // delivery when it routed the message here, so emissions must not.
+    const bool countEmits = cfg_.enableConflation;
     session->conflator = std::make_unique<Conflator>(
         cfg_.conflate,
-        [this, weak = std::weak_ptr<Session>(session)](const Message& m) {
+        [this, countEmits,
+         weak = std::weak_ptr<Session>(session)](const Message& m) {
           auto s = weak.lock();
           if (!s || !s->open.load(std::memory_order_relaxed)) return;
           Bytes wire;
           EncodeForMode(Frame(DeliverFrame{m}),
                         static_cast<std::uint8_t>(s->CurrentMode()), wire);
-          m_.delivered.Inc();
-          WriteOut(s, BytesView(wire));
+          if (countEmits) m_.delivered.Inc();
+          WriteOut(s, BytesView(wire), /*deliverClass=*/true);
         });
   }
 
@@ -267,8 +290,7 @@ void Server::ParseFrames(const SessionPtr& session) {
     }
     if (!hs.handshake) return;  // need more bytes
     const std::string response = ws::BuildServerHandshakeResponse(hs.handshake->key);
-    m_.bytesOut.Inc(response.size());
-    (void)session->conn->Send(AsBytes(response));
+    (void)SendOnLoop(session, AsBytes(response), /*deliverClass=*/false);
     setMode(Mode::kWs);
   }
 
@@ -280,8 +302,7 @@ void Server::ParseFrames(const SessionPtr& session) {
     }
     if (!req.complete) return;
     const std::string response = http::BuildStreamResponse();
-    m_.bytesOut.Inc(response.size());
-    (void)session->conn->Send(AsBytes(response));
+    (void)SendOnLoop(session, AsBytes(response), /*deliverClass=*/false);
     setMode(Mode::kHttp);
   }
 
@@ -305,9 +326,11 @@ void Server::ParseFrames(const SessionPtr& session) {
           break;
         }
         case ws::Opcode::kPing: {
+          // Keepalive is control-class: it bypasses the overflow policy so a
+          // responsive client is never dropped for another session's backlog.
           Bytes pong;
           ws::EncodeWsFrame(ws::Opcode::kPong, BytesView(r.frame->payload), pong);
-          (void)session->conn->Send(BytesView(pong));
+          (void)SendOnLoop(session, BytesView(pong), /*deliverClass=*/false);
           continue;
         }
         case ws::Opcode::kClose:
@@ -365,9 +388,8 @@ void Server::ServeMetrics(const SessionPtr& session) {
       "Connection: close\r\n"
       "\r\n";
   response += body;
-  m_.bytesOut.Inc(response.size());
-  (void)session->conn->Send(AsBytes(response));
-  session->conn->Close();
+  (void)SendOnLoop(session, AsBytes(response), /*deliverClass=*/false);
+  session->conn->CloseAfterFlush();
 }
 
 void Server::FailSession(const SessionPtr& session, const Status& status) {
@@ -381,6 +403,10 @@ void Server::FailSession(const SessionPtr& session, const Status& status) {
 void Server::OnClosed(const SessionPtr& session) {
   if (!session->open.exchange(false)) return;
   m_.active.Add(-1);
+  if (session->overSoft) {  // close handler runs on the session's IoThread
+    session->overSoft = false;
+    scm_.sessionsOverSoft.Add(-1);
+  }
   // Let the session's Worker clean up subscriptions in order with any frames
   // still queued ahead.
   Worker& worker = *workers_[session->workerIndex];
@@ -508,10 +534,13 @@ void Server::HandlePublish(const SessionPtr& session, const PublishFrame& pub) {
   tracer_.Stamp(traceKey, obs::Stage::kFannedOut);
 
   std::shared_ptr<const Message> sharedMsg;
-  if (cfg_.enableConflation) {
+  if (cfg_.enableConflation ||
+      cfg_.backpressure.policy == OverflowPolicy::kConflate) {
     // Conflation works on messages, so encoding happens per emission (the
     // delivered counter advances there as suppressed duplicates are
-    // intentionally never delivered).
+    // intentionally never delivered). The kConflate overflow policy also
+    // needs the message alongside the wire bytes: sessions over their soft
+    // watermark divert to their conflator at write time.
     sharedMsg = std::make_shared<const Message>(std::get<DeliverFrame>(deliver).msg);
   }
   if (cfg_.fanoutBatching) {
@@ -535,7 +564,7 @@ void Server::FanOutBatched(std::vector<std::vector<SessionPtr>>&& byIo,
     if (targets.empty()) continue;
     EpollLoop* loop = ioThreads_[io]->loop.get();
 
-    if (sharedMsg) {
+    if (sharedMsg && cfg_.enableConflation) {
       // Conflated delivery: one task per loop offering the message to each
       // target's conflator (traces are discarded below, as on the per-
       // subscriber path — conflation decouples emission from this publish).
@@ -561,13 +590,20 @@ void Server::FanOutBatched(std::vector<std::vector<SessionPtr>>&& byIo,
     const std::optional<obs::TraceKey> trace =
         traceAttached ? std::nullopt : std::optional<obs::TraceKey>(traceKey);
     traceAttached = true;
-    loop->Post([this, targets = std::move(targets), wires, trace] {
+    loop->Post([this, targets = std::move(targets), wires, sharedMsg, trace] {
       bool stamped = false;
       for (const SessionPtr& s : targets) {
         if (!s->open.load(std::memory_order_relaxed)) continue;
+        if (sharedMsg && s->overSoft && s->conflator) {
+          // kConflate overflow policy: while this session is over its soft
+          // watermark it gets the newest value per topic, not the backlog.
+          scm_.conflated.Inc();
+          OfferConflatedOnLoop(s, *sharedMsg);
+          continue;
+        }
         const auto& wire = wires[static_cast<std::size_t>(s->CurrentMode())];
         if (!wire) continue;
-        WriteOut(s, BytesView(*wire));
+        WriteOut(s, BytesView(*wire), /*deliverClass=*/true);
         if (trace && !stamped) {
           tracer_.Stamp(*trace, obs::Stage::kSocketWritten);
           stamped = true;
@@ -590,7 +626,7 @@ void Server::FanOutPerSubscriber(const std::vector<std::vector<SessionPtr>>& byI
   bool traced = false;
   for (const std::vector<SessionPtr>& targets : byIo) {
     for (const SessionPtr& target : targets) {
-      if (sharedMsg) {
+      if (sharedMsg && cfg_.enableConflation) {
         SendDeliverConflated(target, sharedMsg);
         continue;
       }
@@ -602,8 +638,9 @@ void Server::FanOutPerSubscriber(const std::vector<std::vector<SessionPtr>>& byI
         wire = std::move(bytes);
       }
       m_.delivered.Inc();
-      SendEncoded(target, wire, traced ? std::nullopt
-                                       : std::optional<obs::TraceKey>(traceKey));
+      SendEncoded(target, wire,
+                  traced ? std::nullopt : std::optional<obs::TraceKey>(traceKey),
+                  /*deliverClass=*/true, sharedMsg);
       traced = true;
     }
   }
@@ -629,21 +666,37 @@ void Server::SendFrame(const SessionPtr& session, const Frame& frame) {
 
 void Server::SendEncoded(const SessionPtr& session,
                          const std::shared_ptr<const Bytes>& wire,
-                         std::optional<obs::TraceKey> trace) {
+                         std::optional<obs::TraceKey> trace, bool deliverClass,
+                         std::shared_ptr<const Message> msgForConflate) {
   // All writes funnel through the session's IoThread: the connection, the
   // batcher and the conflator are only ever touched there.
-  session->loop->Post([this, session, wire, trace] {
+  session->loop->Post([this, session, wire, trace, deliverClass,
+                       msgForConflate = std::move(msgForConflate)] {
     if (!session->open.load(std::memory_order_relaxed)) {
       if (trace) tracer_.Discard(*trace);
       return;
     }
-    WriteOut(session, BytesView(*wire));
+    if (msgForConflate && session->overSoft && session->conflator) {
+      scm_.conflated.Inc();
+      OfferConflatedOnLoop(session, *msgForConflate);
+      if (trace) tracer_.Discard(*trace);
+      return;
+    }
+    WriteOut(session, BytesView(*wire), deliverClass);
     if (trace) tracer_.Stamp(*trace, obs::Stage::kSocketWritten);
   });
 }
 
-void Server::WriteOut(const SessionPtr& session, BytesView wire) {
+void Server::WriteOut(const SessionPtr& session, BytesView wire,
+                      bool deliverClass) {
   if (session->batcher) {
+    // kDropNewest sheds a deliver-class frame before it enters the batcher —
+    // the same point a direct write would have dropped it.
+    if (deliverClass && session->overSoft &&
+        cfg_.backpressure.policy == OverflowPolicy::kDropNewest) {
+      scm_.dropped.Inc();
+      return;
+    }
     session->batcher->Enqueue(wire, session->loop->Now());
     if (!session->flushTimerArmed && session->batcher->PendingBytes() > 0) {
       session->flushTimerArmed = true;
@@ -651,9 +704,90 @@ void Server::WriteOut(const SessionPtr& session, BytesView wire) {
                                    [this, session] { FlushBatch(session); });
     }
   } else {
-    m_.bytesOut.Inc(wire.size());
-    (void)session->conn->Send(wire);
+    (void)SendOnLoop(session, wire, deliverClass);
   }
+}
+
+bool Server::SendOnLoop(const SessionPtr& session, BytesView wire,
+                        bool deliverClass) {
+  if (session->evicting || !session->conn->IsOpen()) return false;
+  if (deliverClass && session->overSoft &&
+      cfg_.backpressure.policy == OverflowPolicy::kDropNewest) {
+    scm_.dropped.Inc();
+    return false;
+  }
+  const std::size_t before = session->conn->PendingBytes();
+  const Status st = session->conn->Send(wire);
+  if (st.ok()) {
+    m_.bytesOut.Inc(wire.size());
+    return true;
+  }
+  if (st.code() != ErrorCode::kCapacity) return false;  // closed under us
+  // kCapacity is ambiguous by design: over-soft Sends accept the bytes, over-
+  // hard Sends reject the whole frame. PendingBytes moved iff accepted
+  // (deterministic — we are on the connection's IoThread).
+  const bool accepted = session->conn->PendingBytes() > before;
+  if (accepted) m_.bytesOut.Inc(wire.size());
+  if (!session->overSoft) {
+    session->overSoft = true;
+    scm_.softOverflows.Inc();
+    scm_.sessionsOverSoft.Add(1);
+  }
+  // Sample depth on every over-soft send (already the slow path): the
+  // histogram's max is the peak backlog any session ever pinned, which is
+  // what the hard watermark bounds.
+  scm_.queueDepthBytes.Record(
+      static_cast<std::int64_t>(session->conn->PendingBytes()));
+  if (cfg_.backpressure.policy == OverflowPolicy::kDisconnect) {
+    if (!accepted) {
+      // Hard reject under kDisconnect: the frame is lost and the stream has a
+      // gap, so the only correct continuation is eviction — an at-least-once
+      // client reconnects and backfills past the gap.
+      EvictSlowConsumer(session);
+    } else if (!session->evictTimerArmed) {
+      // Grace before eviction: a healthy client absorbing a burst (e.g. its
+      // own resume backfill) drains below the low watermark within the grace
+      // and survives; a stalled one is still over soft when the timer fires.
+      session->evictTimerArmed = true;
+      session->loop->ScheduleTimer(
+          cfg_.backpressure.evictGrace, [this, session] {
+            session->evictTimerArmed = false;
+            if (session->overSoft && !session->evicting &&
+                session->open.load(std::memory_order_relaxed)) {
+              EvictSlowConsumer(session);
+            }
+          });
+    }
+  } else if (!accepted) {
+    scm_.dropped.Inc();  // kConflate/kDropNewest past the hard mark: shed
+  }
+  return accepted;
+}
+
+void Server::EvictSlowConsumer(const SessionPtr& session) {
+  if (session->evicting) return;
+  session->evicting = true;
+  scm_.disconnects.Inc();
+  MD_INFO("evicting slow consumer %llu (%s): %zu bytes pending",
+          static_cast<unsigned long long>(session->handle),
+          session->conn->PeerName().c_str(), session->conn->PendingBytes());
+  // Best-effort close notice so a client that is merely slow (not dead)
+  // learns this was a policy eviction, then a flush-bounded close. Encoded
+  // per transport flavour: a WS endpoint must see a proper Close frame
+  // (1013 "try again later"), not a mid-stream TCP reset.
+  Bytes notice;
+  if (session->CurrentMode() == Session::Mode::kWs) {
+    Bytes payload{static_cast<std::uint8_t>(ws::kClosePolicyTryAgainLater >> 8),
+                  static_cast<std::uint8_t>(ws::kClosePolicyTryAgainLater)};
+    static constexpr std::string_view kReason = "slow consumer";
+    payload.insert(payload.end(), kReason.begin(), kReason.end());
+    ws::EncodeWsFrame(ws::Opcode::kClose, BytesView(payload), notice);
+  } else {
+    EncodeForMode(Frame(DisconnectFrame{"slow consumer: send queue overflow"}),
+                  static_cast<std::uint8_t>(session->CurrentMode()), notice);
+  }
+  (void)session->conn->Send(BytesView(notice));
+  session->conn->CloseAfterFlush();
 }
 
 void Server::SendDeliverConflated(const SessionPtr& session,

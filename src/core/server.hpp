@@ -34,6 +34,7 @@
 #include "common/queue.hpp"
 #include "obs/families.hpp"
 #include "obs/trace.hpp"
+#include "core/backpressure.hpp"
 #include "core/batcher.hpp"
 #include "core/cache.hpp"
 #include "core/registry.hpp"
@@ -61,6 +62,9 @@ struct ServerConfig {
   /// one closure + wakeup per subscriber. Off = legacy per-subscriber posts
   /// (kept for the bench_fanout ablation).
   bool fanoutBatching = true;
+  /// Slow-consumer handling: send-queue watermarks every client connection is
+  /// held to, and what to do with a session that stays over the soft mark.
+  BackpressureConfig backpressure;
   std::size_t maxFrameSize = 1 * 1024 * 1024;
   /// Metrics destination; nullptr uses the process-wide default registry.
   /// The registry must outlive the server.
@@ -148,19 +152,32 @@ class Server {
   void SendFrame(const SessionPtr& session, const Frame& frame);
   void SendEncoded(const SessionPtr& session,
                    const std::shared_ptr<const Bytes>& wire,
-                   std::optional<obs::TraceKey> trace = std::nullopt);
+                   std::optional<obs::TraceKey> trace = std::nullopt,
+                   bool deliverClass = false,
+                   std::shared_ptr<const Message> msgForConflate = nullptr);
   void SendDeliverConflated(const SessionPtr& session,
                             const std::shared_ptr<const Message>& msg);
   /// IoThread-side half of conflated delivery (batch tasks call it directly).
   void OfferConflatedOnLoop(const SessionPtr& session, const Message& msg);
   void FlushBatch(const SessionPtr& session);
   void FlushConflator(const SessionPtr& session);
-  void WriteOut(const SessionPtr& session, BytesView wire);
+  void WriteOut(const SessionPtr& session, BytesView wire,
+                bool deliverClass = false);
+  /// The one place connection->Send() is called (IoThread only). Applies the
+  /// overflow policy on a kCapacity result: distinguishes soft-accepted from
+  /// hard-rejected via PendingBytes(), counts metrics, and arms the eviction
+  /// grace timer / drops the frame per ServerConfig::backpressure. Returns
+  /// whether the bytes were accepted into the connection.
+  bool SendOnLoop(const SessionPtr& session, BytesView wire, bool deliverClass);
+  /// Sends a policy close notice (WS Close 1013 or DisconnectFrame), then
+  /// CloseAfterFlush() so the notice reaches clients that are still reading.
+  void EvictSlowConsumer(const SessionPtr& session);
 
   ServerConfig cfg_;
   obs::MetricsRegistry& metrics_;
   obs::CoreMetrics m_;
   obs::TransportMetrics tm_;
+  obs::SlowConsumerMetrics scm_;
   obs::Tracer tracer_;
   std::atomic<bool> running_{false};
   std::uint16_t boundPort_ = 0;

@@ -40,6 +40,26 @@ constexpr std::string_view kTransTasksPosted = "md_transport_tasks_posted_total"
 constexpr std::string_view kTransTasksPostedHelp =
     "Cross-thread tasks enqueued onto event loops";
 
+constexpr std::string_view kSlowSoftOverflows =
+    "md_slow_consumer_soft_overflows_total";
+constexpr std::string_view kSlowSoftOverflowsHelp =
+    "Sessions crossing the soft send-queue watermark";
+constexpr std::string_view kSlowDisconnects = "md_slow_consumer_disconnects_total";
+constexpr std::string_view kSlowDisconnectsHelp =
+    "Sessions evicted by the slow-consumer overflow policy";
+constexpr std::string_view kSlowConflated = "md_slow_consumer_conflated_total";
+constexpr std::string_view kSlowConflatedHelp =
+    "Deliveries routed through the conflator while over the soft watermark";
+constexpr std::string_view kSlowDropped = "md_slow_consumer_dropped_total";
+constexpr std::string_view kSlowDroppedHelp =
+    "Deliveries dropped by the overflow policy (drop-newest or hard reject)";
+constexpr std::string_view kSlowOverSoft = "md_slow_consumer_sessions_over_soft";
+constexpr std::string_view kSlowOverSoftHelp =
+    "Sessions currently above the soft send-queue watermark";
+constexpr std::string_view kSlowQueueDepth = "md_slow_consumer_queue_depth_bytes";
+constexpr std::string_view kSlowQueueDepthHelp =
+    "Send-queue depth sampled at soft-watermark crossings";
+
 constexpr std::string_view kClusPublished = "md_cluster_published_total";
 constexpr std::string_view kClusPublishedHelp =
     "Publications sequenced by this node as topic owner";
@@ -112,6 +132,17 @@ TransportMetrics::TransportMetrics(MetricsRegistry& r, std::string_view labels)
       tasksPosted(
           r.GetCounter(kTransTasksPosted, kTransTasksPostedHelp, labels)) {}
 
+SlowConsumerMetrics::SlowConsumerMetrics(MetricsRegistry& r,
+                                         std::string_view labels)
+    : softOverflows(
+          r.GetCounter(kSlowSoftOverflows, kSlowSoftOverflowsHelp, labels)),
+      disconnects(r.GetCounter(kSlowDisconnects, kSlowDisconnectsHelp, labels)),
+      conflated(r.GetCounter(kSlowConflated, kSlowConflatedHelp, labels)),
+      dropped(r.GetCounter(kSlowDropped, kSlowDroppedHelp, labels)),
+      sessionsOverSoft(r.GetGauge(kSlowOverSoft, kSlowOverSoftHelp, labels)),
+      queueDepthBytes(
+          r.GetHistogram(kSlowQueueDepth, kSlowQueueDepthHelp, labels)) {}
+
 ClusterMetrics::ClusterMetrics(MetricsRegistry& r, std::string_view labels)
     : published(r.GetCounter(kClusPublished, kClusPublishedHelp, labels)),
       forwarded(r.GetCounter(kClusForwarded, kClusForwardedHelp, labels)),
@@ -138,6 +169,7 @@ CoordMetrics::CoordMetrics(MetricsRegistry& r, std::string_view labels)
 void RegisterStandardFamilies(MetricsRegistry& registry) {
   CoreMetrics core(registry);
   TransportMetrics transport(registry);
+  SlowConsumerMetrics slowConsumer(registry);
   ClusterMetrics cluster(registry);
   CoordMetrics coord(registry);
   registry.GetHistogram("md_trace_stage_ns",

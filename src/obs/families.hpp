@@ -43,6 +43,21 @@ struct TransportMetrics {
   Counter& tasksPosted;
 };
 
+/// Slow-consumer backpressure counters (per server, labeled server="<name>"
+/// in core; unlabeled in the sim cluster harness). Tracks watermark
+/// excursions and what the overflow policy did about them.
+struct SlowConsumerMetrics {
+  explicit SlowConsumerMetrics(MetricsRegistry& registry,
+                               std::string_view labels = "");
+
+  Counter& softOverflows;
+  Counter& disconnects;
+  Counter& conflated;
+  Counter& dropped;
+  Gauge& sessionsOverSoft;
+  LatencyHistogram& queueDepthBytes;
+};
+
 /// cluster::Node counters (one bundle per node, labeled server="<name>").
 struct ClusterMetrics {
   explicit ClusterMetrics(MetricsRegistry& registry,

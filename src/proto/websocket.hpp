@@ -27,6 +27,10 @@ enum class Opcode : std::uint8_t {
   kPong = 0xA,
 };
 
+/// RFC 6455 §7.4.1 close status: the server is overloaded for this client
+/// ("try again later") — sent when the slow-consumer policy evicts a session.
+inline constexpr std::uint16_t kClosePolicyTryAgainLater = 1013;
+
 struct WsFrame {
   Opcode opcode = Opcode::kBinary;
   bool fin = true;

@@ -60,11 +60,26 @@ TcpConnection::TcpConnection(EpollLoop& loop, int fd, std::string peer)
 }
 
 TcpConnection::~TcpConnection() {
-  if (fd_ >= 0) ::close(fd_);
+  // A connection torn down without CloseNow (loop destruction) still owes
+  // the gauge its buffered bytes back.
+  if (fd_ >= 0) {
+    if (auto* m = loop_.metrics(); m != nullptr && !out_.empty()) {
+      m->sendQueueBytes.Add(-static_cast<std::int64_t>(out_.size()));
+    }
+    ::close(fd_);
+  }
 }
 
 Status TcpConnection::Send(BytesView data) {
   if (fd_ < 0) return Err(ErrorCode::kClosed, "connection closed");
+
+  // Hard watermark: reject the whole frame up front. Checking before the
+  // direct write keeps frames atomic — a partially-written frame whose tail
+  // was refused would corrupt the stream. (out_.size() <= wm_.hard holds by
+  // induction, so the subtraction cannot underflow.)
+  if (data.size() > wm_.hard - out_.size()) {
+    return Err(ErrorCode::kCapacity, "send rejected: over hard watermark");
+  }
 
   // Fast path: nothing buffered — try a direct write first.
   std::size_t written = 0;
@@ -89,8 +104,9 @@ Status TcpConnection::Send(BytesView data) {
       wantWrite_ = true;
       UpdateEpollInterest();
     }
-    if (out_.size() > kHighWaterMark) {
-      return Err(ErrorCode::kCapacity, "write buffer over high-water mark");
+    if (out_.size() > wm_.soft) {
+      overSoft_ = true;
+      return Err(ErrorCode::kCapacity, "write buffer over soft watermark");
     }
   }
   return OkStatus();
@@ -98,6 +114,28 @@ Status TcpConnection::Send(BytesView data) {
 
 void TcpConnection::Close() {
   CloseNow();
+}
+
+void TcpConnection::CloseAfterFlush() {
+  if (fd_ < 0) return;
+  if (out_.empty()) {
+    CloseNow();
+    return;
+  }
+  if (closeAfterFlush_) return;
+  closeAfterFlush_ = true;
+  // A peer that never drains (the very consumer being evicted) must not pin
+  // the fd forever; reap after a bounded grace.
+  auto self = shared_from_this();
+  loop_.ScheduleTimer(kCloseFlushGrace, [self] {
+    if (self->fd_ >= 0) self->CloseNow();
+  });
+}
+
+void TcpConnection::SetReadPaused(bool paused) {
+  if (readPaused_ == paused) return;
+  readPaused_ = paused;
+  if (fd_ >= 0) UpdateEpollInterest();
 }
 
 void TcpConnection::CloseNow() {
@@ -171,10 +209,19 @@ void TcpConnection::HandleWritable() {
     wantWrite_ = false;
     UpdateEpollInterest();
   }
+  if (fd_ >= 0 && overSoft_ && out_.size() <= wm_.low) {
+    overSoft_ = false;
+    if (drainedHandler_) {
+      // Copy before invoking: the handler may replace itself (or Close()).
+      auto handler = drainedHandler_;
+      handler();
+    }
+  }
+  if (fd_ >= 0 && closeAfterFlush_ && out_.empty()) CloseNow();
 }
 
 void TcpConnection::UpdateEpollInterest() {
-  loop_.Modify(fd_, EPOLLIN | (wantWrite_ ? EPOLLOUT : 0u));
+  loop_.Modify(fd_, (readPaused_ ? 0u : EPOLLIN) | (wantWrite_ ? EPOLLOUT : 0u));
 }
 
 // ---------------------------------------------------------------------------

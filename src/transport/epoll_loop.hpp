@@ -36,24 +36,31 @@ class TcpConnection final : public Connection,
 
   Status Send(BytesView data) override;
   void Close() override;
+  void CloseAfterFlush() override;
   [[nodiscard]] bool IsOpen() const override { return fd_ >= 0; }
   [[nodiscard]] std::size_t PendingBytes() const override { return out_.size(); }
   [[nodiscard]] std::string PeerName() const override { return peer_; }
+  /// Drops EPOLLIN interest while paused — the kernel receive buffer (and
+  /// eventually the peer's send buffer) backs up exactly like a stalled
+  /// reader. Loop thread only.
+  void SetReadPaused(bool paused) override;
 
   // Loop-internal:
   void HandleReadable();
   void HandleWritable();
   void CloseNow();
-  /// Drops both handlers. Handlers commonly capture the connection (or an
+  /// Drops all handlers. Handlers commonly capture the connection (or an
   /// owner that holds it) in a shared_ptr; releasing them breaks that
   /// reference cycle so closed connections can actually be freed.
   void DetachHandlers() noexcept {
     dataHandler_ = nullptr;
     closeHandler_ = nullptr;
+    drainedHandler_ = nullptr;
   }
   [[nodiscard]] int fd() const noexcept { return fd_; }
 
-  static constexpr std::size_t kHighWaterMark = 8 * 1024 * 1024;
+  /// Graceful close that never flushes (dead peer) still closes after this.
+  static constexpr Duration kCloseFlushGrace = 5 * kSecond;
 
  private:
   void UpdateEpollInterest();
@@ -63,6 +70,8 @@ class TcpConnection final : public Connection,
   std::string peer_;
   ByteQueue out_;
   bool wantWrite_ = false;
+  bool readPaused_ = false;
+  bool closeAfterFlush_ = false;
 };
 
 class TcpListener final : public Listener {

@@ -13,16 +13,34 @@ Status InprocConnection::Send(BytesView data) {
   if (!open_) return Err(ErrorCode::kClosed, "connection closed");
   auto peer = peer_.lock();
   if (!peer) return Err(ErrorCode::kClosed, "peer gone");
+  // Same watermark contract as TcpConnection: whole-frame hard rejection
+  // first (outPending_ <= wm_.hard by induction), soft advisory after the
+  // bytes are accepted.
+  if (data.size() > wm_.hard - outPending_) {
+    return Err(ErrorCode::kCapacity, "send rejected: over hard watermark");
+  }
+  outPending_ += data.size();
   Bytes copy(data.begin(), data.end());
   loop_.scheduler().Schedule(
       loop_.deliveryDelay(),
       [peer, copy = std::move(copy)]() mutable { peer->DeliverData(std::move(copy)); });
+  if (outPending_ > wm_.soft) {
+    overSoft_ = true;
+    return Err(ErrorCode::kCapacity, "write buffer over soft watermark");
+  }
   return OkStatus();
 }
 
 void InprocConnection::Close() {
   if (!open_) return;
   open_ = false;
+  // Parked-but-never-consumed bytes must not leak the sender's accounting.
+  if (!parked_.empty()) {
+    std::size_t parkedBytes = 0;
+    for (const Bytes& b : parked_) parkedBytes += b.size();
+    parked_.clear();
+    if (auto peer = peer_.lock()) peer->OnPeerConsumed(parkedBytes);
+  }
   if (auto peer = peer_.lock()) {
     loop_.scheduler().Schedule(loop_.deliveryDelay(),
                                [peer] { peer->DeliverClose(); });
@@ -43,12 +61,59 @@ void InprocConnection::Close() {
 }
 
 void InprocConnection::DeliverData(Bytes data) {
-  if (!open_) return;
+  if (!open_) {
+    // Receiver already closed: bytes are discarded (as a dead TCP peer
+    // would), but the sender's pending accounting must not leak.
+    if (auto peer = peer_.lock()) peer->OnPeerConsumed(data.size());
+    return;
+  }
+  if (readPaused_ || !parked_.empty()) {
+    parked_.push_back(std::move(data));
+    return;
+  }
+  Consume(std::move(data));
+}
+
+void InprocConnection::Consume(Bytes data) {
+  const std::size_t n = data.size();
   if (dataHandler_) dataHandler_(BytesView(data));
+  if (auto peer = peer_.lock()) peer->OnPeerConsumed(n);
+}
+
+void InprocConnection::OnPeerConsumed(std::size_t n) {
+  outPending_ -= n < outPending_ ? n : outPending_;
+  if (overSoft_ && outPending_ <= wm_.low) {
+    overSoft_ = false;
+    if (drainedHandler_) {
+      auto handler = drainedHandler_;  // may replace itself / close
+      handler();
+    }
+  }
+}
+
+void InprocConnection::SetReadPaused(bool paused) {
+  readPaused_ = paused;
+  if (paused) return;
+  // Drain the parked backlog in arrival order; a handler may re-pause.
+  while (!readPaused_ && open_ && !parked_.empty()) {
+    Bytes data = std::move(parked_.front());
+    parked_.pop_front();
+    Consume(std::move(data));
+  }
+  if (open_ && !readPaused_ && parked_.empty() && pendingClose_) {
+    pendingClose_ = false;
+    DeliverClose();
+  }
 }
 
 void InprocConnection::DeliverClose() {
   if (!open_) return;
+  if (readPaused_ || !parked_.empty()) {
+    // The close arrived behind parked data: a real socket delivers the
+    // ordered bytes first, then EOF. Resume replays them, then closes.
+    pendingClose_ = true;
+    return;
+  }
   open_ = false;
   // Scheduler events are sequential, so no handler is mid-execution here.
   dataHandler_ = nullptr;

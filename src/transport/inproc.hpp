@@ -31,24 +31,41 @@ class InprocConnection final
   Status Send(BytesView data) override;
   void Close() override;
   [[nodiscard]] bool IsOpen() const override { return open_; }
-  [[nodiscard]] std::size_t PendingBytes() const override { return 0; }
+  /// Bytes sent but not yet consumed by the peer's data handler — in-flight
+  /// scheduler events plus anything parked at a read-paused peer. This is
+  /// the inproc analogue of TCP's unwritten send buffer, so simnet tests see
+  /// real backpressure instead of a hard-coded 0.
+  [[nodiscard]] std::size_t PendingBytes() const override { return outPending_; }
   [[nodiscard]] std::string PeerName() const override { return peerName_; }
+  /// While paused, inbound deliveries park in arrival order (the peer's
+  /// PendingBytes keeps counting them); Resume drains the backlog in order,
+  /// then any deferred close.
+  void SetReadPaused(bool paused) override;
 
   void BindPeer(std::shared_ptr<InprocConnection> peer) { peer_ = std::move(peer); }
 
   // Called via scheduler events.
   void DeliverData(Bytes data);
   void DeliverClose();
+  /// Peer-side acknowledgement that `n` sent bytes were consumed.
+  void OnPeerConsumed(std::size_t n);
   void DetachHandlers() noexcept {
     dataHandler_ = nullptr;
     closeHandler_ = nullptr;
+    drainedHandler_ = nullptr;
   }
 
  private:
+  void Consume(Bytes data);
+
   InprocLoop& loop_;
   std::string peerName_;
   std::weak_ptr<InprocConnection> peer_;
   bool open_ = true;
+  std::size_t outPending_ = 0;
+  std::deque<Bytes> parked_;
+  bool readPaused_ = false;
+  bool pendingClose_ = false;
 };
 
 class InprocListener final : public Listener {

@@ -12,6 +12,7 @@
 // arrives in order and without duplication (TCP semantics).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -22,19 +23,48 @@
 
 namespace md {
 
+/// Send-buffer watermarks (slow-consumer backpressure).
+///
+///   - soft: Send() still accepts the bytes but returns kCapacity so the
+///     caller can apply its overflow policy (throttle, conflate, evict).
+///   - hard: Send() rejects the append outright — kCapacity with nothing
+///     buffered — so PendingBytes() is bounded by `hard` no matter how the
+///     caller reacts. Rejection is all-or-nothing per call: a frame that
+///     does not fit is never partially queued (that would tear the stream).
+///   - low: once the buffer was over `soft`, the drained handler fires when
+///     PendingBytes() falls back to <= low.
+///
+/// Defaults preserve the historical behaviour (8 MiB advisory mark, no hard
+/// rejection, no drain notifications); client-facing owners are expected to
+/// configure real limits per deployment.
+struct Watermarks {
+  std::size_t soft = 8 * 1024 * 1024;
+  std::size_t hard = SIZE_MAX;
+  std::size_t low = 0;
+};
+
 class Connection {
  public:
   using DataHandler = std::function<void(BytesView)>;
   using CloseHandler = std::function<void()>;
+  using DrainedHandler = std::function<void()>;
 
   virtual ~Connection() = default;
 
-  /// Buffered, non-blocking send. Returns kCapacity if the write buffer is
-  /// over its high-water mark (caller should throttle), kClosed if closed.
+  /// Buffered, non-blocking send. Returns kCapacity when the write buffer is
+  /// over the soft watermark (bytes accepted; caller should throttle) or when
+  /// the append would exceed the hard watermark (bytes rejected — the caller
+  /// can distinguish the two by comparing PendingBytes() across the call),
+  /// kClosed if closed.
   virtual Status Send(BytesView data) = 0;
 
   /// Initiates close. The close handler fires (once) when fully closed.
+  /// Bytes still buffered are discarded.
   virtual void Close() = 0;
+
+  /// Graceful variant: lets already-buffered bytes flush to the peer first
+  /// (implementations bound the wait). Default = immediate Close().
+  virtual void CloseAfterFlush() { Close(); }
 
   [[nodiscard]] virtual bool IsOpen() const = 0;
 
@@ -43,12 +73,28 @@ class Connection {
 
   [[nodiscard]] virtual std::string PeerName() const = 0;
 
+  /// Test/fault-injection hook: a paused connection stops consuming inbound
+  /// bytes (models a stalled reader / zero receive window), so the *peer's*
+  /// send buffer backs up. Default no-op for transports without the concept.
+  virtual void SetReadPaused(bool /*paused*/) {}
+
   void SetDataHandler(DataHandler h) { dataHandler_ = std::move(h); }
   void SetCloseHandler(CloseHandler h) { closeHandler_ = std::move(h); }
+
+  /// Loop-thread only, like Send().
+  void SetWatermarks(const Watermarks& wm) { wm_ = wm; }
+  [[nodiscard]] const Watermarks& watermarks() const noexcept { return wm_; }
+
+  /// Fires on the loop thread when the buffer recovers from above-soft to
+  /// <= low (see Watermarks). At most once per soft-mark excursion.
+  void SetDrainedHandler(DrainedHandler h) { drainedHandler_ = std::move(h); }
 
  protected:
   DataHandler dataHandler_;
   CloseHandler closeHandler_;
+  DrainedHandler drainedHandler_;
+  Watermarks wm_;
+  bool overSoft_ = false;  // excursion state for the drained notification
 };
 
 using ConnectionPtr = std::shared_ptr<Connection>;

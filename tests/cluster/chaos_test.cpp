@@ -68,6 +68,39 @@ TEST(FaultPlanTest, ParseRejectsMalformedInput) {
   EXPECT_EQ(ok->events[1].at, 900 * kMillisecond);
 }
 
+TEST(FaultPlanTest, SlowSubscriberEventsGenerateAndRoundTrip) {
+  // "slow" victims index *subscribers*, not servers — their bound is the
+  // subscriber count, even on a single-server plan.
+  const auto ok = FaultPlan::Parse("slow:2@1000+4000", /*servers=*/1,
+                                   /*subscribers=*/3);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->events[0].kind, FaultEvent::Kind::kSlowSubscriber);
+  EXPECT_EQ(ok->events[0].victim, 2u);
+  EXPECT_EQ(ok->ToString(), "slow:2@1000+4000");
+  EXPECT_FALSE(
+      FaultPlan::Parse("slow:3@1000+4000", 3, /*subscribers=*/3).has_value());
+
+  // The generator mixes slow-subscriber windows into the schedule (and never
+  // emits them when there are no subscribers to stall).
+  std::size_t slowEvents = 0;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    for (const auto& ev :
+         FaultPlan::Generate(seed, 3, 5, /*subscribers=*/3).events) {
+      if (ev.kind == FaultEvent::Kind::kSlowSubscriber) {
+        ++slowEvents;
+        EXPECT_LT(ev.victim, 3u);
+        // Long enough to overrun soft watermark + eviction grace.
+        EXPECT_GE(ev.duration, 4 * kSecond);
+      }
+    }
+    for (const auto& ev :
+         FaultPlan::Generate(seed, 3, 5, /*subscribers=*/0).events) {
+      EXPECT_NE(ev.kind, FaultEvent::Kind::kSlowSubscriber);
+    }
+  }
+  EXPECT_GE(slowEvents, 5u);
+}
+
 // --- InvariantChecker -------------------------------------------------------
 
 Message Msg(const std::string& topic, std::uint32_t epoch, std::uint64_t seq,
@@ -212,6 +245,18 @@ TEST(InvariantCheckerTest, DetectsFailoverSpanBeyondBoundAndNegativeGauge) {
   for (const auto& s : v) EXPECT_NE(s.find("[metrics]"), std::string::npos) << s;
 }
 
+TEST(InvariantCheckerTest, DetectsHardWatermarkOverrun) {
+  InvariantChecker c;
+  c.OnPendingSample(0, 400, 500);  // under the mark
+  c.OnPendingSample(1, 500, 500);  // pinned exactly at the mark: allowed
+  EXPECT_TRUE(c.Check().empty());
+  EXPECT_EQ(c.maxPendingObserved(), 500u);
+  c.OnPendingSample(2, 501, 500);  // one byte over: violation
+  const auto v = c.Check();
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].find("[backpressure] server 2"), std::string::npos) << v[0];
+}
+
 TEST(InvariantCheckerTest, DetectsCacheHole) {
   InvariantChecker c;
   c.OnAck("t", {0xABCD, 1});
@@ -289,6 +334,41 @@ TEST(ChaosDriverTest, ExplicitPlanOverridesGeneratedSchedule) {
   }
   EXPECT_TRUE(sawCrash);
   EXPECT_TRUE(sawPartition);
+}
+
+// A subscriber whose reads stall for 6 simulated seconds must be *evicted*
+// by the overflow policy (the send queue stays bounded by the hard
+// watermark — the [backpressure] sampler checks that throughout), and after
+// resuming it must reconnect and converge to the complete stream: the
+// standard [loss]/[order]/[dup] invariants cover exactly-once recovery.
+TEST(ChaosDriverTest, SlowSubscriberIsEvictedAndReconvergesAfterResume) {
+  ChaosOptions opts;
+  opts.seed = 11;
+  opts.plan = FaultPlan::Parse("slow:0@2000+6000", opts.servers,
+                               opts.subscribers);
+  ASSERT_TRUE(opts.plan.has_value());
+  const ChaosReport report = ChaosDriver(opts).Run();
+
+  std::string joined;
+  for (const auto& v : report.violations) joined += "\n  " + v;
+  EXPECT_TRUE(report.Passed()) << joined;
+
+  bool sawStall = false;
+  bool sawResume = false;
+  for (const auto& line : report.trace) {
+    if (line.rfind("fault slow sub-0", 0) == 0) sawStall = true;
+    if (line.rfind("recover slow-end sub-0", 0) == 0) sawResume = true;
+  }
+  EXPECT_TRUE(sawStall);
+  EXPECT_TRUE(sawResume);
+
+  // The policy did real work: the stalled session crossed the soft mark and
+  // was disconnected at least once (chaos watermarks are sized so a 6 s
+  // stall cannot ride out the grace period).
+  EXPECT_GE(report.metrics.Total("md_slow_consumer_soft_overflows_total"), 1.0);
+  EXPECT_GE(report.metrics.Total("md_slow_consumer_disconnects_total"), 1.0);
+  // Excursions are transient state: nothing may stay over-soft post-quiesce.
+  EXPECT_EQ(report.metrics.Total("md_slow_consumer_sessions_over_soft"), 0.0);
 }
 
 }  // namespace
