@@ -51,10 +51,12 @@ struct ModeResult {
   double nsPerDelivery = 0;
   double postsPerPublish = 0;   // md_transport_tasks_posted_total delta / publishes
   double wakeupsPerPublish = 0; // md_transport_epoll_wakeups_total delta / publishes
+  double monitorEvents = 0;     // md_monitor_events_total (verify mode only)
+  double monitorViolations = 0; // md_invariant_violations_total, all kinds
   LatencySummary latency;       // client-observed publish timestamp -> receipt
 };
 
-bool RunMode(bool batched, long clients, long topics, long bursts,
+bool RunMode(bool batched, bool verify, long clients, long topics, long bursts,
              ModeResult& out) {
   obs::MetricsRegistry registry;
   core::ServerConfig serverCfg;
@@ -62,6 +64,7 @@ bool RunMode(bool batched, long clients, long topics, long bursts,
   serverCfg.workers = 2;
   serverCfg.serverId = "fanout";
   serverCfg.fanoutBatching = batched;
+  serverCfg.runtimeVerify = verify;
   serverCfg.metrics = &registry;
   core::Server server(serverCfg);
   if (!server.Start().ok()) {
@@ -174,6 +177,8 @@ bool RunMode(bool batched, long clients, long topics, long bursts,
   out.wakeupsPerPublish =
       (after.Total("md_transport_epoll_wakeups_total") - wakeupsBefore) /
       static_cast<double>(publishes);
+  out.monitorEvents = after.Value("md_monitor_events_total", "server=\"fanout\"");
+  out.monitorViolations = after.Total("md_invariant_violations_total");
   {
     std::lock_guard lock(histMutex);
     out.latency = SummarizeNanos(latency);
@@ -250,10 +255,25 @@ int main() {
 
   ModeResult batchedRes;
   ModeResult legacyRes;
-  if (!RunMode(/*batched=*/true, clients, topics, bursts, batchedRes)) return 1;
+  ModeResult verifiedRes;
+  if (!RunMode(/*batched=*/true, /*verify=*/false, clients, topics, bursts,
+               batchedRes)) {
+    return 1;
+  }
   PrintMode("batched", batchedRes);
-  if (!RunMode(/*batched=*/false, clients, topics, bursts, legacyRes)) return 1;
+  if (!RunMode(/*batched=*/false, /*verify=*/false, clients, topics, bursts,
+               legacyRes)) {
+    return 1;
+  }
   PrintMode("per-subscriber", legacyRes);
+  // Third leg: the default data path with the runtime verification monitor
+  // riding every fan-out emission — the overhead budget is <= 5% on the
+  // publish-path post count (DESIGN.md §11).
+  if (!RunMode(/*batched=*/true, /*verify=*/true, clients, topics, bursts,
+               verifiedRes)) {
+    return 1;
+  }
+  PrintMode("batched+verify", verifiedRes);
 
   const double postReduction =
       batchedRes.postsPerPublish > 0
@@ -292,7 +312,37 @@ int main() {
                     // Only meaningful when the population can show it: with
                     // few subscribers per topic both paths post O(ioThreads).
                     postReduction >= 5.0 || subsPerTopic < 16});
+  // Monitor overhead leg: observation must be complete, silent on clean
+  // traffic, and must not add cross-thread posts to the publish path.
+  const double postsOverheadPct =
+      batchedRes.postsPerPublish > 0
+          ? (verifiedRes.postsPerPublish - batchedRes.postsPerPublish) /
+                batchedRes.postsPerPublish * 100.0
+          : 0;
+  const double throughputDeltaPct =
+      batchedRes.msgsPerSec > 0
+          ? (batchedRes.msgsPerSec - verifiedRes.msgsPerSec) /
+                batchedRes.msgsPerSec * 100.0
+          : 0;
+  checks.push_back({"verify leg: every notification delivered",
+                    static_cast<double>(verifiedRes.expected),
+                    static_cast<double>(verifiedRes.delivered),
+                    verifiedRes.delivered == verifiedRes.expected});
+  checks.push_back({"monitor observed every delivery",
+                    static_cast<double>(verifiedRes.delivered),
+                    verifiedRes.monitorEvents,
+                    verifiedRes.monitorEvents >=
+                        static_cast<double>(verifiedRes.delivered)});
+  checks.push_back({"monitor flagged zero violations on clean traffic", 0,
+                    verifiedRes.monitorViolations,
+                    verifiedRes.monitorViolations == 0});
+  checks.push_back({"monitor posts/publish overhead <= 5%", 5.0,
+                    postsOverheadPct, postsOverheadPct <= 5.0});
   PrintShapeChecks(checks);
+  std::printf("\nmonitor overhead: posts/publish %+.2f%%, throughput %+.2f%% "
+              "(%.0f -> %.0f msgs/s), %.0f observations\n",
+              postsOverheadPct, throughputDeltaPct, batchedRes.msgsPerSec,
+              verifiedRes.msgsPerSec, verifiedRes.monitorEvents);
 
   std::FILE* f = std::fopen(outPath, "w");
   if (f == nullptr) {
@@ -311,7 +361,34 @@ int main() {
   std::fclose(f);
   std::printf("\nwrote %s\n", outPath);
 
+  const char* overheadPath = std::getenv("MD_BENCH_MONITOR_OUT");
+  if (overheadPath == nullptr) overheadPath = "BENCH_monitor_overhead.json";
+  std::FILE* of = std::fopen(overheadPath, "w");
+  if (of == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", overheadPath);
+    return 1;
+  }
+  std::fprintf(of,
+               "{\n"
+               "  \"bench\": \"monitor_overhead\",\n"
+               "  \"config\": {\"clients\": %ld, \"topics\": %ld, "
+               "\"bursts\": %ld, \"io_threads\": %d},\n",
+               clients, topics, bursts, kIoThreads);
+  WriteJsonMode(of, "baseline_batched", batchedRes, /*trailingComma=*/true);
+  WriteJsonMode(of, "runtime_verify", verifiedRes, /*trailingComma=*/true);
+  std::fprintf(of,
+               "  \"monitor_events\": %.0f,\n"
+               "  \"monitor_violations\": %.0f,\n"
+               "  \"posts_per_publish_overhead_pct\": %.2f,\n"
+               "  \"throughput_delta_pct\": %.2f\n}\n",
+               verifiedRes.monitorEvents, verifiedRes.monitorViolations,
+               postsOverheadPct, throughputDeltaPct);
+  std::fclose(of);
+  std::printf("wrote %s\n", overheadPath);
+
   const bool lossFree = batchedRes.delivered == batchedRes.expected &&
-                        legacyRes.delivered == legacyRes.expected;
+                        legacyRes.delivered == legacyRes.expected &&
+                        verifiedRes.delivered == verifiedRes.expected &&
+                        verifiedRes.monitorViolations == 0;
   return lossFree ? 0 : 1;
 }

@@ -41,7 +41,30 @@ cmake -B build-tsan -G Ninja -DMD_SANITIZE=thread \
 ./build-tsan/tests/core_test \
   --gtest_filter='RegistryConcurrencyTest.*:*ServerFanoutTest*' || exit 1
 MD_BENCH_FANOUT_CLIENTS=64 MD_BENCH_FANOUT_TOPICS=4 MD_BENCH_FANOUT_BURSTS=10 \
-  MD_BENCH_FANOUT_OUT=/dev/null ./build/bench/bench_fanout || exit 1
+  MD_BENCH_FANOUT_OUT=/dev/null MD_BENCH_MONITOR_OUT=/dev/null \
+  ./build/bench/bench_fanout || exit 1
+
+# Runtime-verification leg: the monitor's own suite under TSan (the sharded
+# LRU tables, report buffer and one-shot injection mask are its
+# concurrency-bearing surfaces; the chaos-driver-based cases run in the plain
+# ctest pass above), a 20-seed monitored chaos sweep (the monitor rides every
+# client stream through crashes/partitions/flaps and must stay silent), and a
+# live md_server <-> md_monitor smoke: the sidecar must catch the gap it
+# injects into itself, report nothing else, and see the server's own
+# violation counter move for the duplicate driven through /inject.
+cmake --build build-tsan --target verify_test || exit 1
+./build-tsan/tests/verify_test \
+  --gtest_filter='-*MonitoredChaosSeeds*:*ChaosInjection*' || exit 1
+./build/tools/md_chaos --seeds 20 --monitor --quiet || exit 1
+./build/tools/md_server --port 18931 --verify --verify-inject &
+MD_SERVER_PID=$!
+sleep 1
+./build/tools/md_monitor --port 18931 --duration-ms 4000 \
+  --inject gap --expect gap --server-inject duplicate
+MONITOR_RC=$?
+kill "$MD_SERVER_PID" 2>/dev/null
+wait "$MD_SERVER_PID" 2>/dev/null
+[ "$MONITOR_RC" -eq 0 ] || exit 1
 : > bench_output.txt
 for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue

@@ -42,6 +42,8 @@
 
 #include "client/client.hpp"
 #include "cluster/sim_cluster.hpp"
+#include "verify/invariants.hpp"
+#include "verify/monitor.hpp"
 
 namespace md::cluster {
 
@@ -254,11 +256,9 @@ class InvariantChecker {
   void OnPendingSample(std::size_t server, std::size_t pendingBytes,
                        std::size_t hardWatermark) {
     maxPendingObserved_ = std::max(maxPendingObserved_, pendingBytes);
-    if (pendingBytes > hardWatermark) {
-      violations_.push_back(
-          "[backpressure] server " + std::to_string(server) + " buffered " +
-          std::to_string(pendingBytes) + " bytes toward one client, over the " +
-          std::to_string(hardWatermark) + "-byte hard watermark");
+    if (verify::ExceedsHardWatermark(pendingBytes, hardWatermark)) {
+      violations_.push_back(verify::FormatBackpressureViolation(
+          "server " + std::to_string(server), pendingBytes, hardWatermark));
     }
   }
 
@@ -319,15 +319,16 @@ class InvariantChecker {
     for (const auto& [key, stream] : streams_) {
       auto& ids = streamIds[key];
       for (std::size_t i = 0; i < stream.size(); ++i) {
-        if (i > 0 && !(stream[i - 1].pos < stream[i].pos)) {
-          out.push_back("[order] " + key.first + "/" + key.second + ": pos " +
-                        PosStr(stream[i].pos) + " delivered after " +
-                        PosStr(stream[i - 1].pos));
+        // The rules themselves live in verify/invariants.hpp — the production
+        // Monitor applies the same ones online, so a verdict here is a
+        // verdict there (tests/verify/equivalence_test.cpp holds them to it).
+        if (i > 0 && verify::ViolatesOrder(stream[i - 1].pos, stream[i].pos)) {
+          out.push_back(verify::FormatOrderViolation(
+              key.first + "/" + key.second, stream[i - 1].pos, stream[i].pos));
         }
         if (!ids.insert(stream[i].id).second) {
-          out.push_back("[dup] " + key.first + "/" + key.second +
-                        ": publication " + IdStr(stream[i].id) +
-                        " delivered twice");
+          out.push_back(verify::FormatDuplicateViolation(
+              key.first + "/" + key.second, stream[i].id));
         }
       }
     }
@@ -459,12 +460,9 @@ class InvariantChecker {
     std::size_t localClients = 0;
   };
 
-  static std::string PosStr(StreamPos pos) {
-    return std::to_string(pos.epoch) + ":" + std::to_string(pos.seq);
-  }
+  static std::string PosStr(StreamPos pos) { return verify::FormatPos(pos); }
   static std::string IdStr(const PublicationId& id) {
-    return std::to_string(id.clientHash % 99991) + "#" +
-           std::to_string(id.counter);
+    return verify::FormatPubId(id);
   }
 
   std::map<std::pair<std::string, std::string>, std::vector<Delivery>> streams_;
@@ -516,6 +514,17 @@ struct ChaosOptions {
   /// Metrics destination for the simulated cluster; nullptr keeps each run
   /// on a private registry (seed sweeps must not share counters).
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional runtime monitor riding along with the simulation: it is fed
+  /// every subscriber's pre-filter delivery stream (keyed by connection
+  /// generation), every backpressure sample and periodic registry snapshots —
+  /// the same observation contract the production servers use. A clean seed
+  /// must leave it at zero violations.
+  verify::Monitor* monitor = nullptr;
+  /// Deliberate one-shot fault to arm on `monitor` mid-run (self-test of the
+  /// monitor's detection path; the simulated traffic itself stays clean).
+  std::optional<verify::ViolationKind> inject;
+  /// When to arm `inject`; 0 = auto (half the fault horizon, at least 2s).
+  Duration injectAt = 0;
 };
 
 struct ChaosReport {
@@ -586,12 +595,29 @@ class ChaosDriver {
       return c;
     };
 
+    verify::Monitor* monitor = opts_.monitor;
     std::vector<std::unique_ptr<client::Client>> subs;
     for (std::size_t i = 0; i < opts_.subscribers; ++i) {
       const std::string id = "sub-" + std::to_string(i);
       auto sub = makeClient(id);
-      sub->SetDeliveryObserver([&checker, &trace, id](const Message& m,
-                                                      bool duplicate) {
+      // The monitor observes the PRE-filter wire stream, keyed by connection
+      // generation: each reconnect starts a fresh logical stream, so a
+      // resume backfill re-sending positions the previous connection already
+      // emitted is (correctly) not a violation. The post-filter stream the
+      // checker records is a different vantage; both must end up clean.
+      auto gen = std::make_shared<std::uint64_t>(0);
+      if (monitor) {
+        sub->SetConnectionListener([gen](bool up) {
+          if (up) ++*gen;
+        });
+      }
+      sub->SetDeliveryObserver([&checker, &trace, id, monitor,
+                                gen](const Message& m, bool duplicate) {
+        if (monitor) {
+          monitor->OnDelivery(MixU64(Fnv1a64(id) ^
+                                     (*gen * 0x9E3779B97F4A7C15ULL)),
+                              m.topic, PosOf(m), m.pubId);
+        }
         checker.OnDelivery(id, m, duplicate);
         trace((duplicate ? "drop " : "recv ") + id + " " + m.topic + " " +
               std::to_string(m.epoch) + ":" + std::to_string(m.seq) + " pub#" +
@@ -714,17 +740,38 @@ class ChaosDriver {
     auto sampler = std::make_shared<std::function<void()>>();
     // Weak self-reference: the local shared_ptr owns the function for the
     // whole run; a by-value capture would be a shared_ptr cycle (leak).
-    *sampler = [&checker, &cluster, &sched, hardMark,
+    *sampler = [&checker, &cluster, &sched, hardMark, monitor,
                 weak = std::weak_ptr<std::function<void()>>(sampler)] {
       for (std::size_t i = 0; i < cluster.size(); ++i) {
-        checker.OnPendingSample(i, cluster.MaxClientPending(i), hardMark);
+        const std::size_t pending = cluster.MaxClientPending(i);
+        checker.OnPendingSample(i, pending, hardMark);
+        if (monitor) monitor->OnBackpressure(i, pending, hardMark);
       }
       if (auto self = weak.lock()) sched.Schedule(100 * kMillisecond, *self);
     };
     sched.Schedule(100 * kMillisecond, *sampler);
 
-    // --- publish traffic ---------------------------------------------------
+    // --- monitor feed: snapshots + deliberate injection --------------------
     const Duration horizon = plan.Horizon();
+    if (monitor) {
+      // Early baseline snapshot so the counter-monotonicity rule has a
+      // previous sample per series; the final snapshot after quiesce closes
+      // the pair.
+      sched.Schedule(1500 * kMillisecond, [&cluster, monitor] {
+        monitor->OnMetricsSnapshot(cluster.metrics().Snapshot());
+      });
+      if (opts_.inject) {
+        const Duration when =
+            opts_.injectAt > 0 ? opts_.injectAt
+                               : std::max<Duration>(horizon / 2, 2 * kSecond);
+        sched.Schedule(when, [monitor, &trace, kind = *opts_.inject] {
+          trace(std::string("inject ") + verify::ViolationKindName(kind));
+          monitor->InjectFault(kind);
+        });
+      }
+    }
+
+    // --- publish traffic ---------------------------------------------------
     Duration interval = opts_.publishInterval;
     if (interval <= 0) {
       interval = std::max<Duration>(
@@ -782,6 +829,7 @@ class ChaosDriver {
 
     // Couple the registry to the checker's ground truth ([metrics] checks).
     report.metrics = cluster.metrics().Snapshot();
+    if (monitor) monitor->OnMetricsSnapshot(report.metrics);
     InvariantChecker::MetricsTotals totals;
     totals.published = static_cast<std::uint64_t>(
         report.metrics.Total("md_cluster_published_total"));

@@ -24,6 +24,7 @@ class TcpClusterHost::NodeEnv final : public ClusterEnv {
   void SendToClient(ClientHandle client, const Frame& frame) override {
     const auto it = host_.clients_.find(client);
     if (it == host_.clients_.end()) return;
+    Observe(client, frame);
     Bytes wire;
     EncodeFramed(frame, wire);
     (void)host_.SendClientWire(client, it->second, BytesView(wire));
@@ -39,6 +40,7 @@ class TcpClusterHost::NodeEnv final : public ClusterEnv {
     for (const ClientHandle client : clients) {
       const auto it = host_.clients_.find(client);
       if (it == host_.clients_.end()) continue;
+      Observe(client, frame);
       if (!encoded) {
         EncodeFramed(frame, wire);
         encoded = true;
@@ -60,6 +62,17 @@ class TcpClusterHost::NodeEnv final : public ClusterEnv {
   std::uint64_t Random() override { return rng_.Next(); }
 
  private:
+  // Runtime verification tap: every DELIVER the node emits toward a client
+  // passes through here, on the loop thread, in emission order.
+  void Observe(ClientHandle client, const Frame& frame) {
+    verify::Monitor* monitor = host_.monitor_.get();
+    if (monitor == nullptr) return;
+    if (const auto* deliver = std::get_if<DeliverFrame>(&frame)) {
+      monitor->OnDelivery(client, deliver->msg.topic, PosOf(deliver->msg),
+                          deliver->msg.pubId);
+    }
+  }
+
   TcpClusterHost& host_;
   Rng rng_;
 };
@@ -92,6 +105,13 @@ TcpClusterHost::TcpClusterHost(TcpHostConfig cfg)
       scm_(cfg_.cluster.metrics != nullptr ? *cfg_.cluster.metrics
                                            : obs::MetricsRegistry::Default(),
            obs::ServerLabel(cfg_.serverId)) {
+  if (cfg_.runtimeVerify) {
+    if (cfg_.verifyConfig.scope.empty()) cfg_.verifyConfig.scope = cfg_.serverId;
+    monitor_ = std::make_unique<verify::Monitor>(
+        cfg_.cluster.metrics != nullptr ? *cfg_.cluster.metrics
+                                        : obs::MetricsRegistry::Default(),
+        cfg_.verifyConfig);
+  }
   loop_ = std::make_unique<EpollLoop>();
   nodeEnv_ = std::make_unique<NodeEnv>(*this, cfg_.seed);
   coordEnv_ = std::make_unique<CoordEnv>(*this, cfg_.seed + 1);
@@ -426,6 +446,10 @@ bool TcpClusterHost::SendClientWire(ClientHandle handle,
     scm_.sessionsOverSoft.Add(1);
     scm_.queueDepthBytes.Record(
         static_cast<std::int64_t>(client->conn->PendingBytes()));
+  }
+  if (monitor_) {
+    monitor_->OnBackpressure(handle, client->conn->PendingBytes(),
+                             cfg_.clientBackpressure.hardWatermark);
   }
   if (!accepted) {
     // The stream now has a gap; eviction forces the reconnect + resume path,

@@ -26,6 +26,7 @@
 #include "core/backpressure.hpp"
 #include "proto/codec.hpp"
 #include "transport/epoll_loop.hpp"
+#include "verify/monitor.hpp"
 
 namespace md::cluster {
 
@@ -53,6 +54,10 @@ struct TcpHostConfig {
   /// to a peer would violate the cluster's delivery guarantees — peers are
   /// governed by the backlog cap + cache sync instead.
   core::BackpressureConfig clientBackpressure;
+  /// Embed a verify::Monitor observing the loop-thread client sends and
+  /// send-queue depths (DESIGN.md §11); exports through the cluster registry.
+  bool runtimeVerify = false;
+  verify::MonitorConfig verifyConfig;
 };
 
 class TcpClusterHost {
@@ -77,6 +82,9 @@ class TcpClusterHost {
   /// Runs `fn(node)` on the loop thread and waits for it (introspection).
   void WithNode(const std::function<void(ClusterNode&)>& fn);
   void WithCoord(const std::function<void(coord::CoordNode&)>& fn);
+
+  /// The embedded runtime monitor; nullptr unless cfg.runtimeVerify.
+  [[nodiscard]] verify::Monitor* monitor() noexcept { return monitor_.get(); }
 
  private:
   struct ClientConn {
@@ -125,6 +133,7 @@ class TcpClusterHost {
 
   TcpHostConfig cfg_;
   obs::SlowConsumerMetrics scm_;
+  std::unique_ptr<verify::Monitor> monitor_;
   std::unique_ptr<EpollLoop> loop_;
   std::thread thread_;
   std::atomic<bool> running_{false};

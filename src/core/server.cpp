@@ -91,6 +91,17 @@ Server::Server(ServerConfig cfg)
   obs::RegisterStandardFamilies(metrics_);
   if (cfg_.ioThreads < 1) cfg_.ioThreads = 1;
   if (cfg_.workers < 1) cfg_.workers = 1;
+  if (cfg_.runtimeVerify) {
+    // The monitor's families register here, not in RegisterStandardFamilies:
+    // a server without runtimeVerify keeps its exposition schema (and the
+    // checked-in goldens) byte-stable.
+    if (cfg_.verifyConfig.scope.empty()) cfg_.verifyConfig.scope = cfg_.serverId;
+    monitor_ = std::make_unique<verify::Monitor>(metrics_, cfg_.verifyConfig);
+    tracer_.SetStageSink([m = monitor_.get()](const obs::TraceKey& key,
+                                              obs::Stage stage) {
+      m->OnStage(key, stage);
+    });
+  }
 }
 
 Server::~Server() { Stop(); }
@@ -273,11 +284,19 @@ void Server::ParseFrames(const SessionPtr& session) {
       const auto pathStart = line.find(' ');
       const auto pathEnd = line.find(' ', pathStart + 1);
       if (pathStart != std::string_view::npos &&
-          pathEnd != std::string_view::npos &&
-          line.substr(pathStart + 1, pathEnd - pathStart - 1) == "/metrics") {
-        if (text.find("\r\n\r\n") == std::string_view::npos) return;
-        ServeMetrics(session);
-        return;
+          pathEnd != std::string_view::npos) {
+        const auto path = line.substr(pathStart + 1, pathEnd - pathStart - 1);
+        if (path == "/metrics") {
+          if (text.find("\r\n\r\n") == std::string_view::npos) return;
+          ServeMetrics(session);
+          return;
+        }
+        if (cfg_.verifyInjectEndpoint && monitor_ != nullptr &&
+            path.rfind("/inject", 0) == 0) {
+          if (text.find("\r\n\r\n") == std::string_view::npos) return;
+          ServeInject(session, path);
+          return;
+        }
       }
     } else if (text.size() > 8 * 1024) {
       FailSession(session, Err(ErrorCode::kProtocol, "request line too long"));
@@ -377,8 +396,12 @@ void Server::ParseFrames(const SessionPtr& session) {
 }
 
 void Server::ServeMetrics(const SessionPtr& session) {
+  obs::MetricsSnapshot snapshot = metrics_.Snapshot();
+  // Every scrape doubles as a consistency check: the monitor flags any
+  // counter that went backwards since the previous scrape.
+  if (monitor_) monitor_->OnMetricsSnapshot(snapshot);
   const std::string body =
-      obs::RenderPrometheus(metrics_.Snapshot(), RealClock::Instance().Now());
+      obs::RenderPrometheus(std::move(snapshot), RealClock::Instance().Now());
   std::string response =
       "HTTP/1.1 200 OK\r\n"
       "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
@@ -388,6 +411,40 @@ void Server::ServeMetrics(const SessionPtr& session) {
       "Connection: close\r\n"
       "\r\n";
   response += body;
+  (void)SendOnLoop(session, AsBytes(response), /*deliverClass=*/false);
+  session->conn->CloseAfterFlush();
+}
+
+void Server::ServeInject(const SessionPtr& session, std::string_view path) {
+  // "GET /inject?kind=<order|gap|duplicate|backpressure|metrics>" arms a
+  // one-shot observation fault on the embedded monitor (debug builds only —
+  // gated on ServerConfig::verifyInjectEndpoint).
+  std::string body;
+  std::string statusLine = "HTTP/1.1 200 OK";
+  std::optional<verify::ViolationKind> kind;
+  const auto q = path.find("kind=");
+  if (q != std::string_view::npos) {
+    auto value = path.substr(q + 5);
+    const auto amp = value.find('&');
+    if (amp != std::string_view::npos) value = value.substr(0, amp);
+    kind = verify::ParseViolationKind(value);
+  }
+  if (kind) {
+    monitor_->InjectFault(*kind);
+    body = std::string("armed ") + verify::ViolationKindName(*kind) + "\n";
+  } else {
+    statusLine = "HTTP/1.1 400 Bad Request";
+    body = "usage: /inject?kind=order|gap|duplicate|backpressure|metrics\n";
+  }
+  std::string response = statusLine +
+                         "\r\n"
+                         "Content-Type: text/plain\r\n"
+                         "Content-Length: " +
+                         std::to_string(body.size()) +
+                         "\r\n"
+                         "Connection: close\r\n"
+                         "\r\n" +
+                         body;
   (void)SendOnLoop(session, AsBytes(response), /*deliverClass=*/false);
   session->conn->CloseAfterFlush();
 }
@@ -448,6 +505,7 @@ void Server::HandleFrame(const SessionPtr& session, const Frame& frame) {
   }
   if (const auto* unsub = std::get_if<UnsubscribeFrame>(&frame)) {
     registry_.Unsubscribe(unsub->topic, session->handle);
+    if (monitor_) monitor_->Forget(session->handle, unsub->topic);
     return;
   }
   if (const auto* pub = std::get_if<PublishFrame>(&frame)) {
@@ -468,11 +526,18 @@ void Server::HandleFrame(const SessionPtr& session, const Frame& frame) {
 
 void Server::HandleSubscribe(const SessionPtr& session, const SubscribeFrame& sub) {
   registry_.Subscribe(sub.topic, session->handle);
+  // A (re)subscribe starts a fresh logical stream — the resume backfill may
+  // legitimately replay positions an earlier subscription already emitted.
+  if (monitor_) monitor_->Forget(session->handle, sub.topic);
   SendFrame(session, SubAckFrame{sub.topic, true});
   if (sub.hasResumePos) {
     // Recovery: replay everything cached after the client's last position.
     for (const Message& missed : cache_.GetAfter(sub.topic, sub.resumeAfter)) {
       m_.delivered.Inc();
+      if (monitor_) {
+        monitor_->OnDelivery(session->handle, missed.topic, PosOf(missed),
+                             missed.pubId);
+      }
       SendFrame(session, DeliverFrame{missed});
     }
   }
@@ -583,6 +648,10 @@ void Server::FanOutBatched(std::vector<std::vector<SessionPtr>>&& byIo,
         wire = std::move(bytes);
       }
       m_.delivered.Inc();
+      if (monitor_) {
+        const Message& msg = std::get<DeliverFrame>(deliver).msg;
+        monitor_->OnDelivery(target->handle, msg.topic, PosOf(msg), msg.pubId);
+      }
     }
 
     // The first live socket write finalizes the trace (first-subscriber
@@ -638,6 +707,10 @@ void Server::FanOutPerSubscriber(const std::vector<std::vector<SessionPtr>>& byI
         wire = std::move(bytes);
       }
       m_.delivered.Inc();
+      if (monitor_) {
+        const Message& msg = std::get<DeliverFrame>(deliver).msg;
+        monitor_->OnDelivery(target->handle, msg.topic, PosOf(msg), msg.pubId);
+      }
       SendEncoded(target, wire,
                   traced ? std::nullopt : std::optional<obs::TraceKey>(traceKey),
                   /*deliverClass=*/true, sharedMsg);
@@ -738,6 +811,10 @@ bool Server::SendOnLoop(const SessionPtr& session, BytesView wire,
   // what the hard watermark bounds.
   scm_.queueDepthBytes.Record(
       static_cast<std::int64_t>(session->conn->PendingBytes()));
+  if (monitor_) {
+    monitor_->OnBackpressure(session->handle, session->conn->PendingBytes(),
+                             cfg_.backpressure.hardWatermark);
+  }
   if (cfg_.backpressure.policy == OverflowPolicy::kDisconnect) {
     if (!accepted) {
       // Hard reject under kDisconnect: the frame is lost and the stream has a

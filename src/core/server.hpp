@@ -42,6 +42,7 @@
 #include "proto/codec.hpp"
 #include "proto/websocket.hpp"
 #include "transport/epoll_loop.hpp"
+#include "verify/monitor.hpp"
 
 namespace md::core {
 
@@ -69,6 +70,15 @@ struct ServerConfig {
   /// Metrics destination; nullptr uses the process-wide default registry.
   /// The registry must outlive the server.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Always-on runtime verification (DESIGN.md §11): embed a verify::Monitor
+  /// fed from the fan-out, backpressure and tracer paths, exporting
+  /// md_invariant_violations_total{kind=...} through this server's registry.
+  bool runtimeVerify = false;
+  verify::MonitorConfig verifyConfig;
+  /// Debug-only: accept plain-HTTP `GET /inject?kind=...` to arm a one-shot
+  /// observation fault on the embedded monitor (proves detection end to end;
+  /// never enable on a production port).
+  bool verifyInjectEndpoint = false;
 };
 
 struct ServerStats {
@@ -98,6 +108,8 @@ class Server {
   [[nodiscard]] const Cache& cache() const noexcept { return cache_; }
   [[nodiscard]] const ServerConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  /// The embedded runtime monitor; nullptr unless cfg.runtimeVerify.
+  [[nodiscard]] verify::Monitor* monitor() noexcept { return monitor_.get(); }
 
  private:
   struct Session;
@@ -128,6 +140,9 @@ class Server {
   /// Answers a plain-HTTP `GET /metrics` scrape with the Prometheus text
   /// exposition, then closes (scrapes are one-shot, not upgraded sessions).
   void ServeMetrics(const SessionPtr& session);
+  /// Debug endpoint (`GET /inject?kind=...`, gated on verifyInjectEndpoint):
+  /// arms a one-shot observation fault on the embedded monitor.
+  void ServeInject(const SessionPtr& session, std::string_view path);
 
   // Called on the session's Worker thread.
   void WorkerMain(std::size_t index);
@@ -179,6 +194,7 @@ class Server {
   obs::TransportMetrics tm_;
   obs::SlowConsumerMetrics scm_;
   obs::Tracer tracer_;
+  std::unique_ptr<verify::Monitor> monitor_;
   std::atomic<bool> running_{false};
   std::uint16_t boundPort_ = 0;
 

@@ -37,7 +37,12 @@ Tracer::Tracer(MetricsRegistry& registry, std::function<TimePoint()> now,
   }
 }
 
+void Tracer::SetStageSink(std::function<void(const TraceKey&, Stage)> sink) {
+  stageSink_ = std::move(sink);
+}
+
 void Tracer::Begin(const TraceKey& key) {
+  if (stageSink_) stageSink_(key, Stage::kPublishReceived);
   const TimePoint t = now_();
   std::lock_guard lock(mu_);
   Inflight& trace = inflight_[key];
@@ -53,6 +58,7 @@ void Tracer::Begin(const TraceKey& key) {
 }
 
 void Tracer::Stamp(const TraceKey& key, Stage stage) {
+  if (stageSink_) stageSink_(key, stage);
   const TimePoint t = now_();
   std::lock_guard lock(mu_);
   const auto it = inflight_.find(key);

@@ -81,6 +81,12 @@ class Tracer {
   /// no subscribers).
   void Discard(const TraceKey& key);
 
+  /// Taps the raw stage stream: `sink` is invoked for every Begin (as
+  /// kPublishReceived) and Stamp, outside the tracer lock, on the stamping
+  /// thread. Set once before traffic starts (e.g. to feed verify::Monitor);
+  /// not synchronized against concurrent stamps.
+  void SetStageSink(std::function<void(const TraceKey&, Stage)> sink);
+
   [[nodiscard]] std::size_t InflightForTest() const;
 
  private:
@@ -100,6 +106,7 @@ class Tracer {
   LatencyHistogram* stage_[kStageCount] = {};  // [i]: delta stage i-1 -> i
   LatencyHistogram& endToEnd_;
   Counter& dropped_;
+  std::function<void(const TraceKey&, Stage)> stageSink_;
 
   mutable std::mutex mu_;
   std::unordered_map<TraceKey, Inflight, TraceKeyHash> inflight_;

@@ -1,0 +1,146 @@
+// Shared delivery-invariant rules (the single source of truth for both the
+// simulation-time chaos checker and the production runtime monitor).
+//
+// The chaos harness (src/cluster/chaos.hpp) and the always-on verify::Monitor
+// observe very different vantages — post-hoc recorded client streams versus a
+// sampled, bounded-memory live stream — but the *decisions* they make about a
+// stream must be identical, or a seed that passes in simulation could page an
+// operator in production (and vice versa). Every rule below is a pure
+// function over observed positions/ids so both checkers delegate here and a
+// rule change is one edit, covered by tests/verify/equivalence_test.cpp.
+//
+// Rule vocabulary (ViolationKind) and the report formatting used by the sim
+// checker live here too, so `[order] ...` messages stay byte-identical across
+// the refactor (tests/cluster/chaos_test.cpp pins them).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "proto/message.hpp"
+
+namespace md::verify {
+
+/// The invariant classes the runtime monitor can flag. `kind` label values of
+/// md_invariant_violations_total; ordering is part of the exposition schema.
+enum class ViolationKind : std::uint8_t {
+  kOrder = 0,        // a position not strictly after its predecessor
+  kGap,              // a same-epoch sequence jump (missed messages)
+  kDuplicate,        // the same publication re-emitted at the same position
+  kBackpressure,     // pending bytes past the hard watermark
+  kMetrics,          // a monotone counter went backwards
+};
+inline constexpr std::size_t kViolationKindCount = 5;
+
+[[nodiscard]] constexpr const char* ViolationKindName(ViolationKind kind) noexcept {
+  switch (kind) {
+    case ViolationKind::kOrder: return "order";
+    case ViolationKind::kGap: return "gap";
+    case ViolationKind::kDuplicate: return "duplicate";
+    case ViolationKind::kBackpressure: return "backpressure";
+    case ViolationKind::kMetrics: return "metrics";
+  }
+  return "?";
+}
+
+/// Inverse of ViolationKindName, plus the aliases the chaos harness's
+/// bracket tags use ("reorder", "dup"). Drives the md_server /inject
+/// endpoint and md_monitor --inject flag.
+[[nodiscard]] inline std::optional<ViolationKind> ParseViolationKind(
+    std::string_view name) {
+  if (name == "order" || name == "reorder") return ViolationKind::kOrder;
+  if (name == "gap") return ViolationKind::kGap;
+  if (name == "duplicate" || name == "dup") return ViolationKind::kDuplicate;
+  if (name == "backpressure") return ViolationKind::kBackpressure;
+  if (name == "metrics") return ViolationKind::kMetrics;
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Decision rules
+// ---------------------------------------------------------------------------
+
+/// [order]: within one delivery stream, (epoch, seq) must be strictly
+/// increasing. Equality is a violation too — the same position emitted twice
+/// is caught by the duplicate rule first when the publication matches.
+[[nodiscard]] constexpr bool ViolatesOrder(StreamPos prev, StreamPos next) noexcept {
+  return !(prev < next);
+}
+
+/// [gap]: a same-epoch jump of more than one skipped messages the stream
+/// owner never emitted. Epoch transitions are exempt: a new epoch restarts
+/// sequencing and the cross-epoch cut is covered by [order]/[loss] instead
+/// (sound, not complete — see DESIGN.md §11).
+[[nodiscard]] constexpr bool IsSequenceGap(StreamPos prev, StreamPos next) noexcept {
+  return next.epoch == prev.epoch && next.seq > prev.seq + 1;
+}
+
+/// [backpressure]: the hard watermark is an all-or-nothing bound — a stalled
+/// consumer may pin its queue *at* the mark, never past it.
+[[nodiscard]] constexpr bool ExceedsHardWatermark(std::size_t pendingBytes,
+                                                  std::size_t hardWatermark) noexcept {
+  return pendingBytes > hardWatermark;
+}
+
+/// [metrics]: counters are monotone; any regression between two samples of
+/// the same series means a lost shard, a reset, or double accounting.
+[[nodiscard]] constexpr bool RegressedCounter(double previous, double current) noexcept {
+  return current < previous;
+}
+
+// ---------------------------------------------------------------------------
+// Report formatting (shared so sim messages survive the extraction unchanged)
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] inline std::string FormatPos(StreamPos pos) {
+  return std::to_string(pos.epoch) + ":" + std::to_string(pos.seq);
+}
+
+[[nodiscard]] inline std::string FormatPubId(const PublicationId& id) {
+  return std::to_string(id.clientHash % 99991) + "#" + std::to_string(id.counter);
+}
+
+/// "[order] <stream>: pos <next> delivered after <prev>"
+[[nodiscard]] inline std::string FormatOrderViolation(const std::string& stream,
+                                                      StreamPos prev,
+                                                      StreamPos next) {
+  return "[order] " + stream + ": pos " + FormatPos(next) +
+         " delivered after " + FormatPos(prev);
+}
+
+/// "[dup] <stream>: publication <id> delivered twice"
+[[nodiscard]] inline std::string FormatDuplicateViolation(
+    const std::string& stream, const PublicationId& id) {
+  return "[dup] " + stream + ": publication " + FormatPubId(id) +
+         " delivered twice";
+}
+
+/// "[backpressure] <subject> buffered <n> bytes toward one client, over the
+///  <hard>-byte hard watermark"
+[[nodiscard]] inline std::string FormatBackpressureViolation(
+    const std::string& subject, std::size_t pendingBytes,
+    std::size_t hardWatermark) {
+  return "[backpressure] " + subject + " buffered " +
+         std::to_string(pendingBytes) + " bytes toward one client, over the " +
+         std::to_string(hardWatermark) + "-byte hard watermark";
+}
+
+/// "[gap] <stream>: seq jumped <prev> -> <next> (<missed> missed)"
+[[nodiscard]] inline std::string FormatGapViolation(const std::string& stream,
+                                                    StreamPos prev,
+                                                    StreamPos next) {
+  return "[gap] " + stream + ": seq jumped " + FormatPos(prev) + " -> " +
+         FormatPos(next) + " (" + std::to_string(next.seq - prev.seq - 1) +
+         " missed)";
+}
+
+/// "[metrics] counter <series> regressed <prev> -> <cur>"
+[[nodiscard]] inline std::string FormatCounterRegression(
+    const std::string& series, double previous, double current) {
+  return "[metrics] counter " + series + " regressed " +
+         std::to_string(previous) + " -> " + std::to_string(current);
+}
+
+}  // namespace md::verify

@@ -31,8 +31,10 @@
 
 #include "client/client.hpp"
 #include "cluster/chaos.hpp"
+#include "common/hash.hpp"
 #include "core/server.hpp"
 #include "transport/epoll_loop.hpp"
+#include "verify/monitor.hpp"
 
 namespace md::obs {
 namespace {
@@ -95,6 +97,53 @@ TEST(ExpositionGoldenTest, HandDrivenRegistryRendersByteExactly) {
   EXPECT_NE(masked.find("demo_events_total{shard=\"a\",zone=\"eu\"} V"),
             std::string::npos);
   EXPECT_EQ(masked.find(" 41"), std::string::npos);
+}
+
+// --- 1b. runtime-monitor families golden ------------------------------------
+
+// The verify::Monitor registers its families in its constructor (not in
+// RegisterStandardFamilies), so servers without runtimeVerify keep the
+// goldens above byte-stable. This golden pins the monitor's own schema:
+// md_invariant_violations_total{kind=...} plus every md_monitor_* family,
+// with deterministic values (fixed cost constants, deterministic sampling).
+TEST(ExpositionGoldenTest, MonitorFamiliesRenderByteExactly) {
+  MetricsRegistry registry;
+  verify::MonitorConfig cfg;
+  cfg.scope = "mon-1";
+  cfg.sampleEvery = 2;
+  cfg.recentIds = 4;
+  verify::Monitor monitor(registry, cfg);
+
+  // MixU64 decides which session keys the 1-in-2 sampling keeps; resolve one
+  // of each in code so the feed below is platform-independent.
+  std::uint64_t in = 0;
+  while (MixU64(in) % 2 != 0) ++in;
+  std::uint64_t out = 0;
+  while (MixU64(out) % 2 == 0) ++out;
+
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    monitor.OnDelivery(in, "g/t", {1, i}, {7, i});
+  }
+  monitor.OnDelivery(out, "g/t", {1, 1}, {7, 1});     // sampled out
+  monitor.OnDelivery(in, "g/t", {1, 2}, {9, 4});      // real [order]
+  monitor.OnDelivery(in, "g/t", {1, 9}, {7, 5});      // real [gap]
+  monitor.InjectFault(verify::ViolationKind::kDuplicate);
+  monitor.OnDelivery(in, "g/t", {1, 10}, {7, 6});     // injected [duplicate]
+  monitor.OnBackpressure(5, 700, 600);                // real [backpressure]
+  monitor.OnCounterSample("demo_total{}", 5);
+  monitor.OnCounterSample("demo_total{}", 3);         // real [metrics]
+  monitor.OnStage({1, 2}, Stage::kPublishReceived);
+  monitor.OnStage({1, 3}, Stage::kPublishReceived);
+  monitor.OnStage({1, 2}, Stage::kFannedOut);
+  monitor.Forget(in, "g/t");
+  monitor.OnDelivery(in, "g/other", {1, 1}, {7, 7});  // one live stream left
+
+  EXPECT_EQ(monitor.ViolationCount(), 5u);
+  EXPECT_EQ(monitor.TrackedStreams(), 1u);
+  EXPECT_EQ(monitor.TrackedBytes(), monitor.EntryCost("g/other"));
+
+  const std::string text = RenderPrometheus(registry.Snapshot(), 12345);
+  CompareGolden("exposition_monitor.golden", text);
 }
 
 // --- 2. fixed-seed simulated cluster golden ---------------------------------
@@ -202,6 +251,10 @@ TEST(MetricsEndpointTest, LiveServerServesFullSchemaOverHttp) {
         << "family missing from exposition: " << family;
   }
   EXPECT_NE(body.find("# scraped_at "), std::string::npos);
+  // Without runtimeVerify the monitor families are absent — the exposition
+  // schema (and the goldens above) must not drift when the flag is off.
+  EXPECT_EQ(body.find("md_monitor_"), std::string::npos);
+  EXPECT_EQ(body.find("md_invariant_violations_total"), std::string::npos);
 
   // Traffic moves the counters the next scrape reports.
   EpollLoop loop;
@@ -252,6 +305,46 @@ TEST(MetricsEndpointTest, LiveServerServesFullSchemaOverHttp) {
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   loop.Stop();
   loopThread.join();
+  server.Stop();
+}
+
+// A server started with runtimeVerify exposes the monitor families next to
+// the standard schema, and each scrape feeds the snapshot back through the
+// monitor's counter-monotonicity rule (so events move scrape over scrape).
+TEST(MetricsEndpointTest, VerifyingServerExposesMonitorFamilies) {
+  MetricsRegistry registry;
+  core::ServerConfig cfg;
+  cfg.ioThreads = 1;
+  cfg.workers = 1;
+  cfg.serverId = "metrics-verify";
+  cfg.metrics = &registry;
+  cfg.runtimeVerify = true;
+  core::Server server(cfg);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string first = HttpGet(server.Port(), "/metrics");
+  for (const char* family : {
+           "# TYPE md_invariant_violations_total",
+           "# TYPE md_monitor_events_total",
+           "# TYPE md_monitor_tracked_bytes",
+           "# TYPE md_monitor_stage_events_total",
+       }) {
+    EXPECT_NE(first.find(family), std::string::npos)
+        << "monitor family missing: " << family;
+  }
+  EXPECT_NE(first.find("md_invariant_violations_total{kind=\"order\","
+                       "server=\"metrics-verify\"} 0"),
+            std::string::npos);
+
+  // The first scrape fed every counter series into the monitor; the second
+  // scrape samples them again, so the monitor's event counter advanced.
+  const std::string second = HttpGet(server.Port(), "/metrics");
+  const std::string prefix =
+      "md_monitor_events_total{server=\"metrics-verify\"} ";
+  const auto at = second.find(prefix);
+  ASSERT_NE(at, std::string::npos);
+  const double events = std::atof(second.c_str() + at + prefix.size());
+  EXPECT_GT(events, 0.0) << "scrape did not feed the monitor";
   server.Stop();
 }
 

@@ -1,0 +1,158 @@
+// Bounded-memory guarantees of the runtime monitor: churning far more
+// (session, topic) streams than the byte budget holds must never grow
+// tracked state past the budget, and LRU eviction must stay *sound* — a
+// stream evicted and later re-observed re-baselines silently instead of
+// flagging its missing middle as a gap (soundness over completeness).
+#include "verify/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/hash.hpp"
+#include "obs/metrics.hpp"
+
+namespace md::verify {
+namespace {
+
+PublicationId Pub(std::uint64_t counter) { return {7, counter}; }
+
+TEST(MonitorBudgetTest, EntryCostIsTheFixedDeterministicModel) {
+  obs::MetricsRegistry registry;
+  Monitor m(registry, {});  // default recentIds = 8
+  // 192 (entry + list node) + 64 (index slot) + topic + 8 * 32 (ring).
+  EXPECT_EQ(m.EntryCost("abc"), 192u + 64u + 3u + 8u * 32u);
+  EXPECT_EQ(m.EntryCost(""), 192u + 64u + 8u * 32u);
+}
+
+TEST(MonitorBudgetTest, ChurnStaysUnderTheByteBudget) {
+  obs::MetricsRegistry registry;
+  MonitorConfig cfg;
+  cfg.byteBudget = 64 * 1024;  // room for ~120 streams; we churn 100k
+  Monitor m(registry, cfg);
+
+  // A canary stream observed before the churn: its state must be evicted
+  // (not corrupted) by the pressure, so its post-churn resume re-baselines.
+  m.OnDelivery(1, "resume/x", {1, 1}, Pub(1));
+  m.OnDelivery(1, "resume/x", {1, 2}, Pub(2));
+  m.OnDelivery(1, "resume/x", {1, 3}, Pub(3));
+
+  // 100k distinct streams spanning 100k topics x 10k sessions (s*10+j walks
+  // 0..99999 exactly once), in clean single-observation strides.
+  std::uint64_t observations = 0;
+  for (std::uint64_t s = 0; s < 10000; ++s) {
+    for (std::uint64_t j = 0; j < 10; ++j) {
+      const std::uint64_t t = s * 10 + j;
+      m.OnDelivery(s, "churn/" + std::to_string(t), {1, s + 1}, Pub(t));
+      if (++observations % 4096 == 0) {
+        ASSERT_LE(m.TrackedBytes(), cfg.byteBudget)
+            << "budget breached after " << observations << " observations";
+      }
+    }
+  }
+  EXPECT_LE(m.TrackedBytes(), cfg.byteBudget);
+  EXPECT_GT(m.Evictions(), 90000u) << "churn did not actually evict";
+  EXPECT_LT(m.TrackedStreams(), 200u);
+
+  // Every churn stride was clean and eviction must not have invented
+  // anything: zero violations so far.
+  EXPECT_EQ(m.ViolationCount(), 0u);
+
+  // The canary resumes far ahead of its evicted state. With state retained
+  // this would be a 46-message gap; after eviction it re-baselines silently.
+  m.OnDelivery(1, "resume/x", {1, 50}, Pub(50));
+  EXPECT_EQ(m.ViolationCount(), 0u)
+      << "eviction must never turn into a false positive: "
+      << (m.Reports().empty() ? "" : m.Reports()[0].detail);
+  // ...and gap detection still works on the re-baselined stream.
+  m.OnDelivery(1, "resume/x", {1, 60}, Pub(60));
+  EXPECT_EQ(m.ViolationCount(ViolationKind::kGap), 1u);
+
+  // The self-metrics gauges agree with the accessors byte-for-byte.
+  const auto snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.Value("md_monitor_tracked_bytes"),
+            static_cast<double>(m.TrackedBytes()));
+  EXPECT_EQ(snapshot.Value("md_monitor_tracked_streams"),
+            static_cast<double>(m.TrackedStreams()));
+  EXPECT_EQ(snapshot.Value("md_monitor_evictions_total"),
+            static_cast<double>(m.Evictions()));
+}
+
+TEST(MonitorBudgetTest, ForgetReBaselinesAndReleasesState) {
+  obs::MetricsRegistry registry;
+  Monitor m(registry, {});
+  m.OnDelivery(3, "t", {1, 5}, Pub(5));
+  EXPECT_EQ(m.TrackedStreams(), 1u);
+  const std::size_t bytes = m.TrackedBytes();
+  EXPECT_GT(bytes, 0u);
+  m.Forget(3, "t");
+  EXPECT_EQ(m.TrackedStreams(), 0u);
+  EXPECT_EQ(m.TrackedBytes(), 0u);
+  // Without the Forget this would violate [order]; a resubscribed stream
+  // starts a fresh baseline instead.
+  m.OnDelivery(3, "t", {1, 1}, Pub(1));
+  EXPECT_EQ(m.ViolationCount(), 0u);
+  EXPECT_EQ(m.TrackedBytes(), bytes);
+}
+
+TEST(MonitorBudgetTest, SamplingSkipsStreamsDeterministically) {
+  obs::MetricsRegistry registry;
+  MonitorConfig cfg;
+  cfg.sampleEvery = 4;
+  Monitor m(registry, cfg);
+  std::size_t tracked = 0;
+  for (std::uint64_t s = 0; s < 100; ++s) {
+    m.OnDelivery(s, "t", {1, 1}, Pub(1));
+    if (MixU64(s) % 4 == 0) ++tracked;
+  }
+  EXPECT_GT(tracked, 0u);
+  EXPECT_LT(tracked, 100u);
+  EXPECT_EQ(m.TrackedStreams(), tracked);
+  const auto snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.Value("md_monitor_events_total"), 100.0);
+  EXPECT_EQ(snapshot.Value("md_monitor_sampled_out_total"),
+            static_cast<double>(100 - tracked));
+
+  // A sampled-out stream is invisible: even a violating delivery stays
+  // unflagged (the documented coverage-for-cost trade).
+  std::uint64_t skipped = 0;
+  while (MixU64(skipped) % 4 == 0) ++skipped;
+  m.OnDelivery(skipped, "v", {1, 5}, Pub(5));
+  m.OnDelivery(skipped, "v", {1, 1}, Pub(1));
+  EXPECT_EQ(m.ViolationCount(), 0u);
+
+  // A sampled-in stream still gets full checking.
+  std::uint64_t kept = 0;
+  while (MixU64(kept) % 4 != 0) ++kept;
+  m.OnDelivery(kept, "v", {1, 5}, Pub(5));
+  m.OnDelivery(kept, "v", {1, 1}, Pub(1));
+  EXPECT_EQ(m.ViolationCount(ViolationKind::kOrder), 1u);
+}
+
+TEST(MonitorBudgetTest, ReportBufferIsCappedButCountersKeepCounting) {
+  obs::MetricsRegistry registry;
+  MonitorConfig cfg;
+  cfg.maxReports = 4;
+  Monitor m(registry, cfg);
+  m.OnDelivery(1, "t", {1, 10}, Pub(10));
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    m.OnDelivery(1, "t", {1, 9 - i}, Pub(9 - i));  // each behind the last
+  }
+  EXPECT_EQ(m.ViolationCount(ViolationKind::kOrder), 6u);
+  EXPECT_EQ(m.Reports().size(), 4u);
+  EXPECT_EQ(registry.Snapshot().Value("md_monitor_reports_dropped_total"), 2.0);
+}
+
+TEST(MonitorBudgetTest, CounterSeriesTableIsBounded) {
+  obs::MetricsRegistry registry;
+  Monitor m(registry, {});
+  for (int i = 0; i < 10000; ++i) {
+    m.OnCounterSample("series_" + std::to_string(i) + "{}", 1);
+  }
+  // The 8192-series cap swallowed the tail; known series still regress.
+  m.OnCounterSample("series_0{}", 0);
+  EXPECT_EQ(m.ViolationCount(ViolationKind::kMetrics), 1u);
+}
+
+}  // namespace
+}  // namespace md::verify

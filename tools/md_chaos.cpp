@@ -14,9 +14,17 @@
 //
 // Flags: --servers N (3), --min-events N (5), --publications N (24),
 //        --subscribers N (3), --publishers N (2), --topics N (2),
-//        --no-minimize, --quiet
+//        --no-minimize, --quiet,
+//        --monitor (ride a verify::Monitor along each run; its violations
+//        fail the seed exactly like checker violations),
+//        --inject KIND (with --monitor: arm one deliberate fault mid-run and
+//        require the monitor to flag exactly that kind — detection self-test)
 #include <cstdio>
+#include <memory>
 #include <string>
+
+#include "obs/metrics.hpp"
+#include "verify/monitor.hpp"
 
 #include "cluster/chaos.hpp"
 #include "tools/flags.hpp"
@@ -79,6 +87,18 @@ int main(int argc, char** argv) {
   const bool dumpTrace = flags.GetBool("trace");
   const bool minimize = !flags.GetBool("no-minimize");
 
+  const bool withMonitor = flags.GetBool("monitor");
+  std::optional<md::verify::ViolationKind> inject;
+  if (flags.Has("inject")) {
+    inject = md::verify::ParseViolationKind(flags.Get("inject"));
+    if (!inject || !withMonitor) {
+      std::fprintf(stderr,
+                   "md_chaos: --inject needs --monitor and a kind out of "
+                   "order|gap|duplicate|backpressure|metrics\n");
+      return 2;
+    }
+  }
+
   std::uint64_t first = static_cast<std::uint64_t>(flags.GetInt("first", 1));
   std::uint64_t count = static_cast<std::uint64_t>(flags.GetInt("seeds", 0));
   if (flags.Has("seed")) {
@@ -107,7 +127,46 @@ int main(int argc, char** argv) {
     ChaosOptions opts = base;
     opts.seed = seed;
     opts.plan = explicitPlan;
-    const ChaosReport report = RunOnce(opts);
+    // One registry + monitor per seed: sweeps must not share counters.
+    std::unique_ptr<md::obs::MetricsRegistry> registry;
+    std::unique_ptr<md::verify::Monitor> monitor;
+    if (withMonitor) {
+      registry = std::make_unique<md::obs::MetricsRegistry>();
+      md::verify::MonitorConfig mcfg;
+      mcfg.scope = "sim";
+      monitor = std::make_unique<md::verify::Monitor>(*registry, mcfg);
+      opts.monitor = monitor.get();
+      opts.inject = inject;
+    }
+    ChaosReport report = RunOnce(opts);
+
+    if (monitor) {
+      if (inject) {
+        // Self-test mode: the one armed fault must fire — as exactly one
+        // violation of exactly the injected kind.
+        const auto kind = *inject;
+        if (monitor->ViolationCount(kind) != 1 ||
+            monitor->ViolationCount() != 1) {
+          report.violations.push_back(
+              std::string("[monitor] injected ") +
+              md::verify::ViolationKindName(kind) + " fault produced " +
+              std::to_string(monitor->ViolationCount(kind)) + " " +
+              md::verify::ViolationKindName(kind) + " violation(s), " +
+              std::to_string(monitor->ViolationCount()) + " total (want 1/1)");
+        } else if (!quiet) {
+          std::printf("seed %llu: monitor caught injected %s: %s\n",
+                      static_cast<unsigned long long>(seed),
+                      md::verify::ViolationKindName(kind),
+                      monitor->Reports().front().detail.c_str());
+        }
+      } else {
+        // Clean run: the monitor must agree with the checker that nothing
+        // went wrong.
+        for (const auto& v : monitor->Reports()) {
+          report.violations.push_back("[monitor] " + v.detail);
+        }
+      }
+    }
 
     if (dumpTrace) {
       for (const auto& line : report.trace) std::printf("%s\n", line.c_str());

@@ -41,16 +41,23 @@ int RunSingleNode(const md::tools::Flags& flags) {
   cfg.conflate.interval = flags.GetInt("conflate-ms", 100) * md::kMillisecond;
   cfg.cache.maxMessagesPerTopic =
       static_cast<std::size_t>(flags.GetInt("cache-messages", 1000));
+  cfg.runtimeVerify = flags.GetBool("verify");
+  cfg.verifyInjectEndpoint = flags.GetBool("verify-inject");
+  cfg.verifyConfig.sampleEvery =
+      static_cast<std::uint64_t>(flags.GetInt("verify-sample", 1));
+  cfg.verifyConfig.byteBudget = static_cast<std::size_t>(
+      flags.GetInt("verify-budget", 4 * 1024 * 1024));
 
   md::core::Server server(cfg);
   if (md::Status s = server.Start(); !s.ok()) {
     std::fprintf(stderr, "start failed: %s\n", s.ToString().c_str());
     return 1;
   }
-  std::printf("%s: single-node server on port %u (%d io threads, %d workers%s%s)\n",
+  std::printf("%s: single-node server on port %u (%d io threads, %d workers%s%s%s)\n",
               cfg.serverId.c_str(), server.Port(), cfg.ioThreads, cfg.workers,
               cfg.enableBatching ? ", batching" : "",
-              cfg.enableConflation ? ", conflation" : "");
+              cfg.enableConflation ? ", conflation" : "",
+              cfg.runtimeVerify ? ", verify" : "");
 
   md::core::ServerStats last{};
   while (!g_stop.load()) {
@@ -78,6 +85,7 @@ int RunClusterMember(const md::tools::Flags& flags) {
   cfg.cluster.ackCopies =
       static_cast<std::size_t>(flags.GetInt("ack-copies", 2));
   cfg.seed = static_cast<std::uint64_t>(flags.GetInt("seed", cfg.nodeId));
+  cfg.runtimeVerify = flags.GetBool("verify");
 
   for (const std::string& peerSpec : flags.GetAll("peer")) {
     const auto parts = md::SplitView(peerSpec, ',');
