@@ -113,6 +113,65 @@ PolicyResult RunPolicy(const std::string& name,
   return result;
 }
 
+// Elastic scale-in (DESIGN.md §12): a graceful leave hands every subscriber
+// partition to the surviving members. Clients are not *detecting* a failure
+// — the leaving owner redirects each frozen session (HANDOFF, flushed before
+// the close), so there is no monitoring-interval wait and the first attempt
+// is directed and immediate; the redirect jitter is only the per-partition
+// release spread. Admission-refused retries fall back to the reconnect
+// policy exactly like a crash.
+PolicyResult RunHandoff(const std::string& name,
+                        const client::ClientConfig& cfg, std::uint64_t seed) {
+  Rng rng(seed);
+  Histogram recovery;
+  std::map<std::int64_t, std::uint64_t> offeredPer100ms;
+  std::map<std::int64_t, std::uint64_t> admittedPer100ms;
+
+  struct Attempt {
+    Duration when;
+    int attempt;
+    Rng rng;
+  };
+  const auto later = [](const Attempt& a, const Attempt& b) {
+    return a.when > b.when;
+  };
+  std::vector<Attempt> heap;
+  heap.reserve(kAffectedClients);
+  constexpr Duration kReleaseSpread = 50 * kMillisecond;  // Begin->Ack->flush
+  for (int c = 0; c < kAffectedClients; ++c) {
+    const Duration redirect = static_cast<Duration>(
+        rng.NextBelow(static_cast<std::uint64_t>(kReleaseSpread)));
+    heap.push_back({redirect, 1, Rng(rng.Next())});
+  }
+  std::make_heap(heap.begin(), heap.end(), later);
+
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), later);
+    Attempt attempt = std::move(heap.back());
+    heap.pop_back();
+
+    const std::int64_t bucket = attempt.when / (100 * kMillisecond);
+    offeredPer100ms[bucket]++;
+    if (admittedPer100ms[bucket] < kAdmitPer100ms) {
+      admittedPer100ms[bucket]++;
+      recovery.Record(attempt.when + kConnectRoundTrip);
+      continue;
+    }
+    attempt.when += client::Client::ComputeReconnectDelay(
+        cfg, ++attempt.attempt, attempt.rng);
+    heap.push_back(std::move(attempt));
+    std::push_heap(heap.begin(), heap.end(), later);
+  }
+
+  PolicyResult result;
+  result.name = name;
+  result.recovery = SummarizeNanos(recovery);
+  for (const auto& [bucket, count] : offeredPer100ms) {
+    result.peakPer100ms = std::max(result.peakPer100ms, count);
+  }
+  return result;
+}
+
 }  // namespace
 
 int main() {
@@ -134,10 +193,11 @@ int main() {
   const auto naive = RunPolicy("immediate (naive)", randomWait, true, 1);
   const auto random = RunPolicy("random-wait 2s", randomWait, false, 2);
   const auto expo = RunPolicy("trunc-exp-backoff", backoff, false, 3);
+  const auto handoff = RunHandoff("handoff (elastic)", backoff, 4);
 
   std::printf("%-20s %10s %10s %10s %10s %16s\n", "Policy", "median",
               "mean", "p95", "p99", "peak-conn/100ms");
-  for (const auto& r : {naive, random, expo}) {
+  for (const auto& r : {naive, random, expo, handoff}) {
     std::printf("%-20s %9.0fms %9.0fms %9.0fms %9.0fms %16s\n", r.name.c_str(),
                 r.recovery.medianMs, r.recovery.meanMs, r.recovery.p95Ms,
                 r.recovery.p99Ms, WithThousands(r.peakPer100ms).c_str());
@@ -163,6 +223,25 @@ int main() {
                     random.recovery.medianMs,
                     random.recovery.medianMs < 2500 &&
                         expo.recovery.medianMs < 2500});
+  // Elastic scale-in: the directed redirect removes the detection wait and
+  // the first-attempt policy delay. With 100k sessions against a 3k/100ms
+  // admission limit the drain itself (~3.3s) bounds every policy's median,
+  // so the redirect cannot beat it — the claim is that a *planned* leave is
+  // never slower than the best crash recovery, with the offered burst
+  // bounded by the session count (one directed attempt each) rather than a
+  // naive retry storm.
+  checks.push_back({"hand-off re-attach <= best crash policy (median, ms)",
+                    expo.recovery.medianMs, handoff.recovery.medianMs,
+                    handoff.recovery.medianMs <= expo.recovery.medianMs * 1.05 &&
+                        handoff.recovery.p99Ms <= expo.recovery.p99Ms * 1.05});
+  checks.push_back(
+      {"hand-off offered burst <= 20% of naive peak",
+       static_cast<double>(naive.peakPer100ms),
+       static_cast<double>(handoff.peakPer100ms),
+       handoff.peakPer100ms * 5 < naive.peakPer100ms});
+  checks.push_back({"hand-off drain completes within 'a few seconds' (p99, ms)",
+                    6000, handoff.recovery.p99Ms,
+                    handoff.recovery.p99Ms < 6000});
   PrintShapeChecks(checks);
   return 0;
 }

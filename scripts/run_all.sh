@@ -65,6 +65,23 @@ MONITOR_RC=$?
 kill "$MD_SERVER_PID" 2>/dev/null
 wait "$MD_SERVER_PID" 2>/dev/null
 [ "$MONITOR_RC" -eq 0 ] || exit 1
+# Rebalance leg: the elastic-membership suites (quorum gate, epoch fencing,
+# hand-off choreography) under TSan — the monitor rides the elastic sweep's
+# delivery streams from the sim threads while its report buffer is read out,
+# the same concurrency surface the production embedding has — then a 20-seed
+# monitored elastic sweep (join / graceful-leave / minority-partition churn;
+# the monitor's [rebalance] continuity rule must stay silent) and the canned
+# single-event plans as targeted repro smoke checks.
+cmake --build build-tsan --target quorum_test fencing_test rebalance_chaos_test \
+  || exit 1
+./build-tsan/tests/quorum_test || exit 1
+./build-tsan/tests/fencing_test || exit 1
+./build-tsan/tests/rebalance_chaos_test || exit 1
+./build/tools/md_chaos --seeds 20 --elastic --servers 4 --monitor --quiet || exit 1
+./build/tools/md_chaos --seed 3 --plan join --quiet || exit 1
+./build/tools/md_chaos --seed 4 --plan leave --quiet || exit 1
+./build/tools/md_chaos --seed 6 --plan minority --quiet || exit 1
+
 : > bench_output.txt
 for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue

@@ -41,6 +41,19 @@ void Client::Stop() {
 // ---------------------------------------------------------------------------
 
 std::optional<std::size_t> Client::PickServer() {
+  // A HANDOFF redirect names the new partition owner explicitly; honor it
+  // once (even if blacklisted — the redirect is authoritative and fresher
+  // than any blacklist entry), then fall back to weighted random.
+  if (!handoffTargetId_.empty()) {
+    const std::string target = std::move(handoffTargetId_);
+    handoffTargetId_.clear();
+    for (std::size_t i = 0; i < cfg_.servers.size(); ++i) {
+      if (cfg_.servers[i].id == target) {
+        blacklist_.erase(i);
+        return i;
+      }
+    }
+  }
   const TimePoint now = loop_.Now();
   // Expire blacklist entries ("previously-failed servers are periodically
   // removed from the client blacklist", §5.2.3).
@@ -310,8 +323,17 @@ void Client::HandleFrame(const Frame& frame) {
     auto node = pendingPublishes_.extract(pubAck->pubId.counter);
     if (node.empty()) return;  // late/duplicate ack
     loop_.CancelTimer(node.mapped().retryTimer);
-    if (pubAck->ok) {
+    if (pubAck->ok()) {
       if (node.mapped().onAck) node.mapped().onAck(OkStatus());
+    } else if (pubAck->code == PubAckCode::kNoQuorum) {
+      // Retryable rejection: the contact server sits in a partitioned
+      // minority and refuses to sequence. Re-arm the ack timer without
+      // resending — the retry lands after backoff, by which time the
+      // partition has healed or reconnection moved us to the majority side.
+      ++stats_.quorumRejects;
+      PendingPublish pending = std::move(node.mapped());
+      ArmAckTimer(pending);
+      pendingPublishes_.emplace(pending.pubId.counter, std::move(pending));
     } else {
       // Publication failed (e.g. coordinator race, §5.2.2 footnote 3):
       // republish — guaranteed to eventually succeed via updated routing.
@@ -321,6 +343,22 @@ void Client::HandleFrame(const Frame& frame) {
       ArmAckTimer(pending);
       pendingPublishes_.emplace(pending.pubId.counter, std::move(pending));
     }
+    return;
+  }
+  if (const auto* handoff = std::get_if<HandoffFrame>(&frame)) {
+    // Our subscriber partition moved. Adopt the transferred delivered-through
+    // cursors for topics we hold no position on (our own lastPos is
+    // authoritative when present — the server cursor can run ahead of bytes
+    // dropped with the old connection, and skipping those would lose
+    // messages), then reconnect straight to the new owner.
+    ++stats_.handoffs;
+    for (const auto& [topic, pos] : handoff->cursors) {
+      const auto it = topics_.find(topic);
+      if (it != topics_.end() && !it->second.lastPos) it->second.lastPos = pos;
+    }
+    handoffTargetId_ = handoff->targetServerId;
+    if (handoffListener_) handoffListener_(*handoff);
+    OnConnectionLost();
     return;
   }
   if (const auto* pong = std::get_if<PongFrame>(&frame)) {
@@ -423,6 +461,11 @@ void Client::HandleDeliver(const Message& msg) {
 
   if (IsDuplicate(msg, ts)) {
     ++stats_.duplicatesFiltered;
+    // A filtered duplicate is still a stream-position observation: a
+    // re-sequenced duplicate occupies its own position, and the connection
+    // delivers in order, so the cursor must advance past it — otherwise a
+    // later resume (reconnect or hand-off) would fetch it yet again.
+    if (!ts.lastPos || PosOf(msg) > *ts.lastPos) ts.lastPos = PosOf(msg);
     if (deliveryObserver_) deliveryObserver_(msg, /*duplicate=*/true);
     return;
   }

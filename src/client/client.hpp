@@ -40,6 +40,10 @@ struct ServerAddress {
   std::string host;
   std::uint16_t port = 0;
   double weight = 1.0;  // heterogeneous deployments bias selection (paper §5.1)
+  /// Cluster server id at this address (optional). When set, a HANDOFF
+  /// redirect can be honored directly: the client reconnects to the named
+  /// new owner instead of a random pick.
+  std::string id;
 };
 
 /// Wire transport used toward the service (paper §3: "over WebSockets (or
@@ -81,6 +85,8 @@ struct ClientStats {
   std::uint64_t reconnects = 0;
   std::uint64_t republishes = 0;
   std::uint64_t recoveredMessages = 0;  // deliveries that filled a gap on resume
+  std::uint64_t handoffs = 0;           // HANDOFF redirects followed
+  std::uint64_t quorumRejects = 0;      // retryable no-quorum publish acks
 };
 
 class Client {
@@ -128,6 +134,14 @@ class Client {
   using DeliveryObserver = std::function<void(const Message&, bool duplicate)>;
   void SetDeliveryObserver(DeliveryObserver observer) {
     deliveryObserver_ = std::move(observer);
+  }
+
+  /// Fires when the server hands this session off to a new partition owner
+  /// (before the directed reconnect). Verification harnesses use it to mark
+  /// the ownership boundary on each subscribed stream.
+  using HandoffListener = std::function<void(const HandoffFrame&)>;
+  void SetHandoffListener(HandoffListener listener) {
+    handoffListener_ = std::move(listener);
   }
 
   /// Fault injection for chaos/backpressure tests: while paused the client's
@@ -213,6 +227,8 @@ class Client {
   std::uint64_t pingNonce_ = 0;
   bool awaitingPong_ = false;
   std::map<std::size_t, TimePoint> blacklist_;  // server index -> expiry
+  // One-shot directed reconnect target set by a HANDOFF redirect.
+  std::string handoffTargetId_;
 
   std::map<std::string, TopicState> topics_;
   std::uint64_t pubCounter_ = 0;
@@ -226,6 +242,7 @@ class Client {
   ClientStats stats_;
   ConnectionListener connectionListener_;
   DeliveryObserver deliveryObserver_;
+  HandoffListener handoffListener_;
 };
 
 }  // namespace md::client

@@ -22,6 +22,15 @@
 //               watermark (sampled every 100ms of virtual time) — a stalled
 //               subscriber is conflated/dropped/evicted, never buffered
 //               without bound,
+//   [quorum]    a minority-partitioned server does not claim write quorum at
+//               the end of its window (elastic mode: its publishes bounce
+//               with the retryable kNoQuorum status, DESIGN.md §12),
+//
+// Elastic mode (ChaosOptions::elastic) adds membership churn to the fault
+// vocabulary — join:node@t (scale-out under load), leave:node@t (graceful
+// scale-in with a hand-off wave) and part:minority@t+dur (quorum gating) —
+// and, when a Monitor rides along, feeds every HANDOFF redirect into its
+// [rebalance] continuity rule via OnHandoffResume.
 //
 // The fault windows are serialized (at most one server-level fault active at
 // a time) to stay inside the paper's single-fault model; concurrent faults
@@ -53,14 +62,18 @@ namespace md::cluster {
 
 struct FaultEvent {
   enum class Kind : std::uint8_t { kCrash, kPartition, kLinkFlap,
-                                   kSlowSubscriber };
+                                   kSlowSubscriber,
+                                   // Elastic-membership events (DESIGN.md §12)
+                                   kJoin, kLeave, kMinorityPartition };
   Kind kind = Kind::kCrash;
   /// Server index — except kSlowSubscriber, where it indexes the subscriber
-  /// whose reads stall for the window.
+  /// whose reads stall for the window, and kMinorityPartition, where it is
+  /// the SIZE of the partitioned minority (servers [0, victim)).
   std::size_t victim = 0;
   std::size_t peer = 0;     // second endpoint, kLinkFlap only
   Duration at = 0;          // offset from chaos start (ms granularity)
   Duration duration = 0;    // fault window; then restart / heal / resume
+                            // (kJoin/kLeave are one-way: duration stays 0)
 
   friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
 };
@@ -71,6 +84,9 @@ inline const char* FaultKindName(FaultEvent::Kind kind) {
     case FaultEvent::Kind::kPartition: return "part";
     case FaultEvent::Kind::kLinkFlap: return "flap";
     case FaultEvent::Kind::kSlowSubscriber: return "slow";
+    case FaultEvent::Kind::kJoin: return "join";
+    case FaultEvent::Kind::kLeave: return "leave";
+    case FaultEvent::Kind::kMinorityPartition: return "part";
   }
   return "?";
 }
@@ -127,6 +143,73 @@ struct FaultPlan {
     return plan;
   }
 
+  /// Size of the strict minority cut by a kMinorityPartition event: always
+  /// below half, and at least one.
+  [[nodiscard]] static std::size_t MinoritySize(std::size_t servers) {
+    return std::max<std::size_t>(1, (servers - 1) / 2);
+  }
+
+  /// Elastic-membership schedule: the provisioned-but-idle last server joins
+  /// under load, a strict minority is partitioned long enough to observe
+  /// quorum gating and fencing, and a random member (possibly the one that
+  /// just joined) leaves gracefully at the end. Randomized flap / slow
+  /// windows ride between — but no crashes: a crash stacked on the leave
+  /// could push the live member count below the provisioned-universe quorum
+  /// for the rest of the run. Windows are serialized like Generate(), and
+  /// Generate() itself is untouched so legacy seeds replay byte-identically.
+  static FaultPlan GenerateElastic(std::uint64_t seed, std::size_t servers,
+                                   std::size_t minEvents,
+                                   std::size_t subscribers = 3) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.servers = servers;
+    Rng rng(seed ^ 0x9E3779B97F4A7C15ULL);  // distinct stream from Generate()
+    std::int64_t atMs = 1500 + static_cast<std::int64_t>(rng.NextBelow(1000));
+    const auto push = [&plan, &atMs, &rng](FaultEvent ev, std::int64_t durMs) {
+      ev.at = atMs * kMillisecond;
+      ev.duration = durMs * kMillisecond;
+      plan.events.push_back(ev);
+      atMs += durMs + 5000 + static_cast<std::int64_t>(rng.NextBelow(3000));
+    };
+
+    FaultEvent join;
+    join.kind = FaultEvent::Kind::kJoin;
+    join.victim = servers - 1;
+    push(join, 0);
+
+    std::size_t fillers = (minEvents > 3 ? minEvents - 3 : 0) + rng.NextBelow(2);
+    const std::size_t minorityAfter = rng.NextBelow(fillers + 1);
+    const auto pushMinority = [&] {
+      FaultEvent part;
+      part.kind = FaultEvent::Kind::kMinorityPartition;
+      part.victim = MinoritySize(servers);
+      // Past ChaosDriver::kFenceObservable, so the window asserts both the
+      // [fence] and [quorum] invariants on every minority member.
+      push(part, 5500 + static_cast<std::int64_t>(rng.NextBelow(2000)));
+    };
+    for (std::size_t i = 0; i < fillers; ++i) {
+      if (i == minorityAfter) pushMinority();
+      FaultEvent ev;
+      if (subscribers > 0 && rng.NextBelow(2) == 0) {
+        ev.kind = FaultEvent::Kind::kSlowSubscriber;
+        ev.victim = rng.NextBelow(subscribers);
+        push(ev, 4000 + static_cast<std::int64_t>(rng.NextBelow(3000)));
+      } else {
+        ev.kind = FaultEvent::Kind::kLinkFlap;
+        ev.victim = rng.NextBelow(servers);
+        ev.peer = (ev.victim + 1 + rng.NextBelow(servers - 1)) % servers;
+        push(ev, 1000 + static_cast<std::int64_t>(rng.NextBelow(2000)));
+      }
+    }
+    if (minorityAfter >= fillers) pushMinority();
+
+    FaultEvent leave;
+    leave.kind = FaultEvent::Kind::kLeave;
+    leave.victim = rng.NextBelow(servers);
+    push(leave, 0);
+    return plan;
+  }
+
   /// Fault window horizon: when the last recovery action fires.
   [[nodiscard]] Duration Horizon() const {
     Duration h = 0;
@@ -135,18 +218,27 @@ struct FaultPlan {
   }
 
   /// Compact repro form: "crash:1@3200+2500;flap:0-2@9900+1500;..."
-  /// (victim[-peer]@startMs+durationMs).
+  /// (victim[-peer]@startMs+durationMs). Elastic events render as
+  /// "join:3@1500" / "leave:0@44200" (one-way, no duration) and
+  /// "part:minority@9900+6000".
   [[nodiscard]] std::string ToString() const {
     std::string out;
     for (const auto& ev : events) {
       if (!out.empty()) out += ';';
       out += FaultKindName(ev.kind);
-      out += ':' + std::to_string(ev.victim);
+      if (ev.kind == FaultEvent::Kind::kMinorityPartition) {
+        out += ":minority";
+      } else {
+        out += ':' + std::to_string(ev.victim);
+      }
       if (ev.kind == FaultEvent::Kind::kLinkFlap) {
         out += '-' + std::to_string(ev.peer);
       }
       out += '@' + std::to_string(ev.at / kMillisecond);
-      out += '+' + std::to_string(ev.duration / kMillisecond);
+      if (ev.kind != FaultEvent::Kind::kJoin &&
+          ev.kind != FaultEvent::Kind::kLeave) {
+        out += '+' + std::to_string(ev.duration / kMillisecond);
+      }
     }
     return out;
   }
@@ -168,43 +260,68 @@ struct FaultPlan {
 
       const auto colon = item.find(':');
       const auto atPos = item.find('@');
-      const auto plus = item.find('+');
+      const auto plus =
+          atPos == std::string::npos ? std::string::npos : item.find('+', atPos);
       if (colon == std::string::npos || atPos == std::string::npos ||
-          plus == std::string::npos || colon > atPos || atPos > plus) {
+          colon > atPos) {
         return std::nullopt;
       }
       FaultEvent ev;
       const std::string kind = item.substr(0, colon);
       if (kind == "crash") {
         ev.kind = FaultEvent::Kind::kCrash;
-      } else if (kind == "part") {
+      } else if (kind == "part" || kind == "partition") {
         ev.kind = FaultEvent::Kind::kPartition;
       } else if (kind == "flap") {
         ev.kind = FaultEvent::Kind::kLinkFlap;
       } else if (kind == "slow") {
         ev.kind = FaultEvent::Kind::kSlowSubscriber;
+      } else if (kind == "join") {
+        ev.kind = FaultEvent::Kind::kJoin;
+      } else if (kind == "leave") {
+        ev.kind = FaultEvent::Kind::kLeave;
       } else {
         return std::nullopt;
       }
+      const bool oneWay = ev.kind == FaultEvent::Kind::kJoin ||
+                          ev.kind == FaultEvent::Kind::kLeave;
+      // Join / leave are one-way transitions: "+duration" is optional (and
+      // ignored); every windowed fault requires it.
+      if (plus == std::string::npos && !oneWay) return std::nullopt;
       try {
         std::string who = item.substr(colon + 1, atPos - colon - 1);
-        const auto dash = who.find('-');
-        if (dash != std::string::npos) {
-          ev.peer = std::stoul(who.substr(dash + 1));
-          who = who.substr(0, dash);
-        } else if (ev.kind == FaultEvent::Kind::kLinkFlap) {
-          return std::nullopt;
+        if (who == "minority" && ev.kind == FaultEvent::Kind::kPartition) {
+          ev.kind = FaultEvent::Kind::kMinorityPartition;
+          ev.victim = MinoritySize(servers);
+        } else {
+          const auto dash = who.find('-');
+          if (dash != std::string::npos) {
+            ev.peer = std::stoul(who.substr(dash + 1));
+            who = who.substr(0, dash);
+          } else if (ev.kind == FaultEvent::Kind::kLinkFlap) {
+            return std::nullopt;
+          }
+          ev.victim = std::stoul(who);
         }
-        ev.victim = std::stoul(who);
-        ev.at = std::stoll(item.substr(atPos + 1, plus - atPos - 1)) * kMillisecond;
-        ev.duration = std::stoll(item.substr(plus + 1)) * kMillisecond;
+        if (plus == std::string::npos) {
+          ev.at = std::stoll(item.substr(atPos + 1)) * kMillisecond;
+        } else {
+          ev.at =
+              std::stoll(item.substr(atPos + 1, plus - atPos - 1)) * kMillisecond;
+          ev.duration = std::stoll(item.substr(plus + 1)) * kMillisecond;
+        }
+        if (oneWay) ev.duration = 0;
       } catch (...) {
         return std::nullopt;
       }
       const std::size_t victimBound =
           ev.kind == FaultEvent::Kind::kSlowSubscriber ? subscribers : servers;
-      if (ev.victim >= victimBound || ev.peer >= servers || ev.at < 0 ||
-          ev.duration <= 0) {
+      if (ev.victim >= victimBound &&
+          ev.kind != FaultEvent::Kind::kMinorityPartition) {
+        return std::nullopt;
+      }
+      if (ev.peer >= servers || ev.at < 0 || ev.duration < 0 ||
+          (ev.duration == 0 && !oneWay)) {
         return std::nullopt;
       }
       plan.events.push_back(ev);
@@ -248,6 +365,19 @@ class InvariantChecker {
   void OnPartitionObservation(std::size_t server, bool fenced,
                               std::size_t localClients) {
     partitionObs_.push_back({server, fenced, localClients});
+  }
+
+  /// Write-quorum verdict of a minority-partitioned server, sampled at the
+  /// end of a partition window that exceeded the detection threshold: the
+  /// quorum gate must deny, so publishes bounce with the retryable kNoQuorum
+  /// status instead of split-braining (DESIGN.md §12).
+  void OnQuorumObservation(std::size_t server, bool hasWriteQuorum) {
+    if (hasWriteQuorum) {
+      violations_.push_back("[quorum] minority server " +
+                            std::to_string(server) +
+                            " still claims write quorum at end of partition "
+                            "window");
+    }
   }
 
   /// Periodic sample of the largest client send-queue depth on one server.
@@ -494,6 +624,12 @@ struct ChaosOptions {
   /// 0 = auto: spread the publications across the fault horizon.
   Duration publishInterval = 0;
   std::size_t minFaultEvents = 5;
+  /// Elastic-membership mode: nodes run with live rebalancing + quorum
+  /// gating, generated plans come from FaultPlan::GenerateElastic (join /
+  /// graceful-leave / minority-partition churn), servers with a join event
+  /// start deferred, and the final fence/cache sweep covers only the servers
+  /// that are still members when the run ends.
+  bool elastic = false;
   /// Message-level duplication on inter-server links (client dedup must
   /// absorb the resulting re-deliveries / re-sequencings).
   double peerDuplicateProb = 0.02;
@@ -553,9 +689,13 @@ class ChaosDriver {
   ChaosReport Run() {
     ChaosReport report;
     report.plan = opts_.plan ? *opts_.plan
-                             : FaultPlan::Generate(opts_.seed, opts_.servers,
+                  : opts_.elastic
+                      ? FaultPlan::GenerateElastic(opts_.seed, opts_.servers,
                                                    opts_.minFaultEvents,
-                                                   opts_.subscribers);
+                                                   opts_.subscribers)
+                      : FaultPlan::Generate(opts_.seed, opts_.servers,
+                                            opts_.minFaultEvents,
+                                            opts_.subscribers);
     const FaultPlan& plan = report.plan;
     InvariantChecker checker;
 
@@ -566,6 +706,20 @@ class ChaosDriver {
     copts.serverLinks.duplicateProb = opts_.peerDuplicateProb;
     copts.metrics = opts_.metrics;
     copts.clientBackpressure = opts_.clientBackpressure;
+    // Membership over the run: joins start deferred and flip active; a
+    // graceful leave flips inactive. The final fence/cache sweep covers only
+    // members still in the cluster at the end.
+    std::vector<bool> active(opts_.servers, true);
+    if (opts_.elastic) {
+      copts.nodeConfig.elastic = true;
+      copts.nodeConfig.quorumGate = true;
+      for (const auto& ev : plan.events) {
+        if (ev.kind == FaultEvent::Kind::kJoin && ev.victim < opts_.servers) {
+          copts.deferredStart.insert(ev.victim);
+          active[ev.victim] = false;
+        }
+      }
+    }
     SimCluster cluster(sched, copts);
     cluster.StartAll();
     sched.RunFor(2 * kSecond);
@@ -583,7 +737,10 @@ class ChaosDriver {
     auto makeClient = [&](const std::string& id) {
       client::ClientConfig cfg;
       for (std::size_t i = 0; i < cluster.size(); ++i) {
-        cfg.servers.push_back({"server", cluster.ClientPort(i), 1.0});
+        // The address list carries the cluster ids so a HANDOFF redirect can
+        // be honored as a directed reconnect to the named new owner.
+        cfg.servers.push_back({"server", cluster.ClientPort(i), 1.0,
+                               "server-" + std::to_string(i + 1)});
       }
       cfg.clientId = id;
       cfg.seed = Fnv1a64(id) ^ opts_.seed;
@@ -606,11 +763,24 @@ class ChaosDriver {
       // emitted is (correctly) not a violation. The post-filter stream the
       // checker records is a different vantage; both must end up clean.
       auto gen = std::make_shared<std::uint64_t>(0);
-      if (monitor) {
-        sub->SetConnectionListener([gen](bool up) {
-          if (up) ++*gen;
-        });
-      }
+      sub->SetConnectionListener([gen](bool up) {
+        if (up) ++*gen;
+      });
+      // A HANDOFF redirect closes this connection and re-attaches the session
+      // to the new partition owner: seed the monitor's NEXT-generation stream
+      // at the transferred cursor, so the first post-hand-off delivery is
+      // checked with the strict [rebalance] continuity rule.
+      sub->SetHandoffListener([&trace, id, monitor,
+                               gen](const HandoffFrame& handoff) {
+        trace("handoff " + id + " -> " + handoff.targetServerId + " (" +
+              std::to_string(handoff.cursors.size()) + " cursors)");
+        if (!monitor) return;
+        const std::uint64_t next =
+            MixU64(Fnv1a64(id) ^ ((*gen + 1) * 0x9E3779B97F4A7C15ULL));
+        for (const auto& [topic, pos] : handoff.cursors) {
+          monitor->OnHandoffResume(next, topic, pos);
+        }
+      });
       sub->SetDeliveryObserver([&checker, &trace, id, monitor,
                                 gen](const Message& m, bool duplicate) {
         if (monitor) {
@@ -687,6 +857,23 @@ class ChaosDriver {
             trace("fault slow sub-" + std::to_string(ev.victim));
             if (ev.victim < subs.size()) subs[ev.victim]->PauseReads(true);
             break;
+          case FaultEvent::Kind::kJoin:
+            trace("fault join server-" + std::to_string(ev.victim));
+            active[ev.victim] = true;
+            cluster.JoinServer(ev.victim);
+            break;
+          case FaultEvent::Kind::kLeave:
+            trace("fault leave server-" + std::to_string(ev.victim));
+            active[ev.victim] = false;
+            cluster.LeaveServer(ev.victim, [&trace, v = ev.victim] {
+              trace("leave-done server-" + std::to_string(v));
+            });
+            break;
+          case FaultEvent::Kind::kMinorityPartition:
+            trace("fault partition minority(" + std::to_string(ev.victim) +
+                  ")");
+            cluster.PartitionMinority(ev.victim);
+            break;
         }
       });
       sched.Schedule(ev.at + ev.duration, [&, ev] {
@@ -729,6 +916,32 @@ class ChaosDriver {
             trace("recover slow-end sub-" + std::to_string(ev.victim));
             if (ev.victim < subs.size()) subs[ev.victim]->PauseReads(false);
             break;
+          case FaultEvent::Kind::kJoin:
+          case FaultEvent::Kind::kLeave:
+            break;  // one-way transitions: nothing to recover
+          case FaultEvent::Kind::kMinorityPartition: {
+            // Long windows assert the elastic contract on every minority
+            // member: quorum gate denied (publishes bounced with kNoQuorum)
+            // and self-fenced with its clients shed.
+            if (ev.duration >= kFenceObservable) {
+              for (std::size_t i = 0; i < ev.victim && i < cluster.size();
+                   ++i) {
+                if (!active[i]) continue;
+                const bool quorum = cluster.node(i).HasWriteQuorum();
+                const bool fenced = cluster.node(i).IsFenced();
+                const std::size_t local = cluster.node(i).LocalClientCount();
+                checker.OnQuorumObservation(i, quorum);
+                checker.OnPartitionObservation(i, fenced, local);
+                trace("observe minority server-" + std::to_string(i) +
+                      " quorum=" + std::to_string(quorum ? 1 : 0) +
+                      " fenced=" + std::to_string(fenced ? 1 : 0) +
+                      " clients=" + std::to_string(local));
+              }
+            }
+            trace("recover heal minority(" + std::to_string(ev.victim) + ")");
+            cluster.HealMinority(ev.victim);
+            break;
+          }
         }
       });
     }
@@ -814,7 +1027,11 @@ class ChaosDriver {
     sched.RunFor(std::max(horizon, trafficEnd) + opts_.quiesce);
 
     // --- final observations ------------------------------------------------
+    // Only servers that are members at the end of the run: a gracefully left
+    // server is inert (its cache owes nobody anything), a deferred server
+    // that never joined holds no state.
     for (std::size_t i = 0; i < cluster.size(); ++i) {
+      if (!active[i]) continue;
       checker.OnFinalFenceState(i, cluster.node(i).IsFenced());
       if (opts_.checkCaches) {
         for (const auto& topic : topics) {
@@ -851,7 +1068,7 @@ class ChaosDriver {
     // Fault window plus quorum-loss detection and recovery slack.
     totals.failoverBound = maxFault + 15 * kSecond;
     for (std::size_t i = 0; i < cluster.size(); ++i) {
-      if (cluster.node(i).IsFenced()) ++totals.stillFenced;
+      if (active[i] && cluster.node(i).IsFenced()) ++totals.stillFenced;
     }
     if (const auto* fam = report.metrics.Family("md_cluster_failover_ns")) {
       for (const auto& sample : fam->samples) {

@@ -1,5 +1,8 @@
 #include "cluster/node.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/logging.hpp"
 
 namespace md::cluster {
@@ -16,7 +19,15 @@ ClusterNode::ClusterNode(ClusterConfig cfg, ClusterEnv& env,
       cache_(cfg_.cache),
       cm_(cfg_.metrics != nullptr ? *cfg_.metrics
                                   : obs::MetricsRegistry::Default(),
-          obs::ServerLabel(cfg_.serverId)) {}
+          obs::ServerLabel(cfg_.serverId)) {
+  if (cfg_.elastic) {
+    quorum_ = Quorum(cfg_.minQuorumVotes);
+    memberUniverse_ = peers_;
+    memberUniverse_.push_back(cfg_.serverId);
+    std::sort(memberUniverse_.begin(), memberUniverse_.end());
+    for (const std::string& id : memberUniverse_) quorum_.AddNode(id);
+  }
+}
 
 ClusterNodeStats ClusterNode::stats() const {
   ClusterNodeStats s;
@@ -27,6 +38,11 @@ ClusterNodeStats ClusterNode::stats() const {
   s.takeovers = cm_.takeovers.Value();
   s.fences = cm_.fences.Value();
   s.recoveredMessages = cm_.backfilled.Value();
+  s.handoffs = cm_.handoffs.Value();
+  s.handoffAborts = cm_.handoffAborts.Value();
+  s.quorumRejects = cm_.quorumRejects.Value();
+  s.fenceRefusals = cm_.fenceRefusals.Value();
+  s.rebalances = cm_.rebalances.Value();
   return s;
 }
 
@@ -40,6 +56,7 @@ void ClusterNode::Start() {
   fenced_ = false;
   SetupWatches();
   fenceTimer_ = env_.Schedule(cfg_.fenceCheckInterval, [this] { CheckFence(); });
+  if (cfg_.elastic) JoinMembership();
 }
 
 void ClusterNode::Crash() {
@@ -63,6 +80,22 @@ void ClusterNode::Crash() {
   gapStalled_.clear();
   deliveryCursor_.clear();
   fenceStart_ = -1;  // a crash supersedes any open fence span
+  // Elastic state is volatile too: the next incarnation rejoins with a fresh
+  // fence epoch and rebuilds its membership view from the coordination store.
+  env_.Cancel(rebalanceTimer_);
+  rebalanceTimer_ = 0;
+  env_.Cancel(joinTimer_);
+  joinTimer_ = 0;
+  for (auto& [id, handoff] : outHandoffs_) env_.Cancel(handoff.timeoutTimer);
+  outHandoffs_.clear();
+  pendingAttach_.clear();
+  clientIds_.clear();
+  memberEpoch_.clear();
+  peerEpochFloor_.clear();
+  assignment_ = {};
+  leaving_ = false;
+  leaveDone_ = nullptr;
+  for (const std::string& id : memberUniverse_) quorum_.SetOnline(id, false);
 }
 
 void ClusterNode::Restart() {
@@ -101,32 +134,53 @@ void ClusterNode::SetupWatches() {
       }
     });
   }
+  if (!cfg_.elastic) return;
+  // Membership watches: an ephemeral members/<id> appearing or vanishing is
+  // the join/leave signal that drives the quorum view, the per-peer fence
+  // floors, and the (debounced) rebalance.
+  for (const std::string& id : memberUniverse_) {
+    coord_.Watch(coord::MemberKey(id),
+                 [this, id](const coord::WatchEvent& event) {
+                   if (crashed_ || !started_) return;
+                   OnMemberEvent(id, event);
+                 });
+  }
 }
 
 // ---------------------------------------------------------------------------
 // Client events
 // ---------------------------------------------------------------------------
 
-void ClusterNode::OnClientConnect(ClientHandle client, const std::string&) {
-  if (crashed_ || fenced_) {
+void ClusterNode::OnClientConnect(ClientHandle client, const std::string& clientId) {
+  // A node that has not joined yet (or is draining out) refuses new
+  // sessions; the client library blacklists the address and picks another.
+  if (crashed_ || fenced_ || !started_ || leaving_) {
     env_.CloseClient(client);
     return;
   }
   clients_.insert(client);
+  if (!clientId.empty()) clientIds_[client] = clientId;
   env_.SendToClient(client, ConnAckFrame{cfg_.serverId});
 }
 
 void ClusterNode::OnClientDisconnect(ClientHandle client) {
   clients_.erase(client);
+  clientIds_.erase(client);
   registry_.DropClient(client);
 }
 
 void ClusterNode::OnClientFrame(ClientHandle client, const Frame& frame) {
   if (crashed_) return;
   if (const auto* connect = std::get_if<ConnectFrame>(&frame)) {
+    // Routed even when not (yet / any longer) serving: OnClientConnect
+    // refuses by closing the connection, which is what tells the client to
+    // black-list this address and fail over. Silently dropping the frame
+    // would leave the client waiting on a CONNACK from a node that will
+    // never answer — a deferred-start member must bounce, not absorb.
     OnClientConnect(client, connect->clientId);
     return;
   }
+  if (!started_) return;
   if (const auto* sub = std::get_if<SubscribeFrame>(&frame)) {
     HandleSubscribe(client, *sub);
     return;
@@ -153,8 +207,30 @@ void ClusterNode::OnClientFrame(ClientHandle client, const Frame& frame) {
 void ClusterNode::HandleSubscribe(ClientHandle client, const SubscribeFrame& sub) {
   registry_.Subscribe(sub.topic, client);
   env_.SendToClient(client, SubAckFrame{sub.topic, true});
-  if (sub.hasResumePos) {
-    for (const Message& missed : cache_.GetAfter(sub.topic, sub.resumeAfter)) {
+  bool hasResume = sub.hasResumePos;
+  StreamPos resumeAfter = sub.resumeAfter;
+  if (!hasResume) {
+    // A redirected hand-off session subscribing fresh adopts the transferred
+    // cursor as its resume floor, so the backfill starts exactly at the
+    // ownership boundary (consumed once per topic).
+    const auto idIt = clientIds_.find(client);
+    if (idIt != clientIds_.end()) {
+      const auto attachIt = pendingAttach_.find(idIt->second);
+      if (attachIt != pendingAttach_.end()) {
+        auto& cursors = attachIt->second;
+        for (auto it = cursors.begin(); it != cursors.end(); ++it) {
+          if (it->first != sub.topic) continue;
+          hasResume = true;
+          resumeAfter = it->second;
+          cursors.erase(it);
+          break;
+        }
+        if (cursors.empty()) pendingAttach_.erase(attachIt);
+      }
+    }
+  }
+  if (hasResume) {
+    for (const Message& missed : cache_.GetAfter(sub.topic, resumeAfter)) {
       cm_.delivered.Inc();
       env_.SendToClient(client, DeliverFrame{missed});
     }
@@ -180,7 +256,26 @@ void ClusterNode::RoutePublication(ParkedPublication pub) {
     if (!pub.originServerId.empty()) {
       env_.SendToPeer(pub.originServerId, ForwardRejectFrame{pub.pubId, pub.topic});
     } else if (pub.publisher != 0) {
-      env_.SendToClient(pub.publisher, PubAckFrame{pub.pubId, false});
+      env_.SendToClient(pub.publisher,
+                        PubAckFrame{pub.pubId, PubAckCode::kFailed});
+    }
+    return;
+  }
+  if (!HasWriteQuorum()) {
+    // Quorum gate (DESIGN.md §12): a partitioned minority must not sequence.
+    // Local publishers get the retryable kNoQuorum status; forwarded
+    // publications bounce to their contact server, which answers its own
+    // publisher.
+    cm_.quorumRejects.Inc();
+    if (!pub.originServerId.empty()) {
+      env_.SendToPeer(pub.originServerId, ForwardRejectFrame{pub.pubId, pub.topic});
+    } else if (pub.publisher != 0) {
+      if (pendingContact_.contains(pub.pubId)) {
+        AckContactPending(pub.pubId, false);
+      } else {
+        env_.SendToClient(pub.publisher,
+                          PubAckFrame{pub.pubId, PubAckCode::kNoQuorum});
+      }
     }
     return;
   }
@@ -292,13 +387,17 @@ void ClusterNode::SequenceAndBroadcast(const ParkedPublication& pub) {
   bcast.msg = msg;
   bcast.group = group;
   bcast.coordinatorId = cfg_.serverId;
+  bcast.fenceEpoch = fenceEpoch_;
   for (const std::string& peer : peers_) env_.SendToPeer(peer, bcast);
 
   DeliverInOrder(msg.topic);
 }
 
 void ClusterNode::AttemptTakeover(std::uint32_t group) {
-  if (crashed_ || fenced_ || myGroups_.contains(group) || electing_.contains(group)) {
+  // A leaving member must not acquire new coordinator roles — it is about to
+  // delete the very group entries a takeover would create.
+  if (crashed_ || fenced_ || leaving_ || myGroups_.contains(group) ||
+      electing_.contains(group)) {
     return;
   }
   electing_.insert(group);
@@ -368,7 +467,8 @@ void ClusterNode::RejectParked(std::uint32_t group) {
       if (pendingContact_.contains(pub.pubId)) {
         AckContactPending(pub.pubId, false);
       } else {
-        env_.SendToClient(pub.publisher, PubAckFrame{pub.pubId, false});
+        env_.SendToClient(pub.publisher,
+                          PubAckFrame{pub.pubId, PubAckCode::kFailed});
       }
     }
   }
@@ -379,7 +479,7 @@ void ClusterNode::RejectParked(std::uint32_t group) {
 // ---------------------------------------------------------------------------
 
 void ClusterNode::OnPeerFrame(const std::string& from, const Frame& frame) {
-  if (crashed_) return;
+  if (crashed_ || !started_) return;
   if (const auto* bcast = std::get_if<BroadcastFrame>(&frame)) {
     OnBroadcast(from, *bcast);
     return;
@@ -412,9 +512,23 @@ void ClusterNode::OnPeerFrame(const std::string& from, const Frame& frame) {
     OnCacheSyncResp(*resp);
     return;
   }
+  if (const auto* begin = std::get_if<HandoffBeginFrame>(&frame)) {
+    OnHandoffBegin(from, *begin);
+    return;
+  }
+  if (const auto* ack = std::get_if<HandoffAckFrame>(&frame)) {
+    OnHandoffAck(*ack);
+    return;
+  }
 }
 
 void ClusterNode::OnBroadcast(const std::string& from, const BroadcastFrame& bcast) {
+  // Epoch fencing (DESIGN.md §12): a broadcast stamped with an incarnation
+  // below the sender's announced fence floor comes from an evicted node
+  // replaying buffered writes — refuse it (and send no ack, so the stale
+  // sender cannot complete replication either). Epoch 0 marks a sender not
+  // running elastic membership and is always accepted.
+  if (RefuseStaleEpoch(from, bcast.fenceEpoch)) return;
   // Refresh gossip from live traffic: broadcasts carry the coordinator.
   auto& entry = gossip_[bcast.group];
   if (bcast.msg.epoch >= entry.epoch) {
@@ -471,7 +585,8 @@ void ClusterNode::OnBroadcastAck(const std::string&, const BroadcastAckFrame& ac
   if (pending.acksReceived + 1 < cfg_.ackCopies) return;  // self counts as one
 
   if (pending.publisher != 0) {
-    env_.SendToClient(pending.publisher, PubAckFrame{pending.pubId, true});
+    env_.SendToClient(pending.publisher,
+                      PubAckFrame{pending.pubId, PubAckCode::kOk});
   } else if (!pending.originServerId.empty()) {
     env_.SendToPeer(pending.originServerId,
                     ReplicatedNoticeFrame{pending.pubId, ack.topic});
@@ -588,7 +703,9 @@ void ClusterNode::AckContactPending(const PublicationId& pubId, bool ok) {
   auto node = pendingContact_.extract(pubId);
   if (node.empty()) return;
   env_.Cancel(node.mapped().timeoutTimer);
-  env_.SendToClient(node.mapped().publisher, PubAckFrame{pubId, ok});
+  env_.SendToClient(
+      node.mapped().publisher,
+      PubAckFrame{pubId, ok ? PubAckCode::kOk : PubAckCode::kFailed});
 }
 
 // ---------------------------------------------------------------------------
@@ -656,6 +773,17 @@ void ClusterNode::Fence() {
     registry_.DropClient(client);
   }
   clients_.clear();
+  clientIds_.clear();
+  // In-flight hand-offs cannot complete without the peers; their sessions are
+  // among the connections just closed.
+  for (auto& [id, handoff] : outHandoffs_) env_.Cancel(handoff.timeoutTimer);
+  outHandoffs_.clear();
+  env_.Cancel(rebalanceTimer_);
+  rebalanceTimer_ = 0;
+  env_.Cancel(joinTimer_);
+  joinTimer_ = 0;
+  leaving_ = false;
+  leaveDone_ = nullptr;
   // Coordination roles are forfeited: the ephemerals will expire server-side.
   for (const std::uint32_t g : myGroups_) sequencer_.EndEpoch(g);
   myGroups_.clear();
@@ -686,6 +814,10 @@ void ClusterNode::Unfence() {
   // "When the partition is restored, the server can recover following the
   // same procedure as for a crash failure."
   StartCacheReconstruction();
+  // Rejoin the elastic membership under a fresh fence epoch: the eviction may
+  // have expired our ephemeral and bumped every peer's floor against the old
+  // incarnation, so any writes we buffered while partitioned stay refused.
+  if (cfg_.elastic) JoinMembership();
 }
 
 void ClusterNode::StartCacheReconstruction() {
@@ -697,6 +829,331 @@ void ClusterNode::StartCacheReconstruction() {
     req.have = cache_.GroupPositions(g);
     for (const std::string& peer : peers_) env_.SendToPeer(peer, req);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Elastic membership, rebalancing, hand-off (DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+void ClusterNode::JoinMembership() {
+  if (!cfg_.elastic || crashed_ || !started_) return;
+  // Clear any stale incarnation's znode first (rejoin where the coordination
+  // session survived), then bump the fence key — the linearized version the
+  // Put commits at *is* this incarnation's epoch — and announce it in the
+  // ephemeral member entry.
+  coord_.Delete(coord::MemberKey(cfg_.serverId), [this](Status, std::uint64_t) {
+    if (crashed_ || !started_) return;
+    coord_.Put(
+        coord::FenceKey(cfg_.serverId), cfg_.serverId,
+        [this](Status s, std::uint64_t version) {
+          if (crashed_ || !started_) return;
+          if (!s.ok()) {
+            RetryJoin();
+            return;
+          }
+          fenceEpoch_ = static_cast<std::uint32_t>(version);
+          coord_.CreateEphemeral(
+              coord::MemberKey(cfg_.serverId), std::to_string(fenceEpoch_),
+              [this](Status cs, std::uint64_t) {
+                if (crashed_ || !started_) return;
+                if (!cs.ok()) {
+                  RetryJoin();
+                  return;
+                }
+                MD_DEBUG("%s: joined membership at fence epoch %u",
+                         cfg_.serverId.c_str(), fenceEpoch_);
+                quorum_.SetOnline(cfg_.serverId, true);
+                RefreshMembershipFromStore();
+                ScheduleRebalance();
+              });
+        });
+  });
+}
+
+void ClusterNode::RetryJoin() {
+  env_.Cancel(joinTimer_);
+  joinTimer_ = env_.Schedule(cfg_.fenceCheckInterval, [this] {
+    joinTimer_ = 0;
+    JoinMembership();
+  });
+}
+
+void ClusterNode::RefreshMembershipFromStore() {
+  // Rebuild the live view from the local replica: watches only narrate
+  // changes from now on, and a rejoining node missed the ones before it.
+  for (const std::string& id : memberUniverse_) {
+    const auto kv = coord_.Read(coord::MemberKey(id));
+    if (kv) {
+      if (const auto epoch = coord::ParseMemberEpoch(kv->value)) {
+        memberEpoch_[id] = *epoch;
+        auto& floor = peerEpochFloor_[id];
+        if (*epoch > floor) floor = *epoch;
+      }
+      quorum_.SetOnline(id, true);
+    } else if (id != cfg_.serverId) {
+      quorum_.SetOnline(id, false);
+    }
+  }
+}
+
+void ClusterNode::OnMemberEvent(const std::string& memberId,
+                                const coord::WatchEvent& event) {
+  switch (event.type) {
+    case coord::WatchEventType::kCreated:
+    case coord::WatchEventType::kChanged: {
+      if (const auto epoch = coord::ParseMemberEpoch(event.value)) {
+        memberEpoch_[memberId] = *epoch;
+        // Floor rises to the announced incarnation: anything the previous
+        // incarnation still has buffered is refused from here on.
+        auto& floor = peerEpochFloor_[memberId];
+        if (*epoch > floor) floor = *epoch;
+      }
+      quorum_.SetOnline(memberId, true);
+      break;
+    }
+    case coord::WatchEventType::kDeleted:
+      quorum_.SetOnline(memberId, false);
+      // The departed incarnation must never write again (fencing): even its
+      // exact last epoch is now stale.
+      if (const auto it = memberEpoch_.find(memberId); it != memberEpoch_.end()) {
+        auto& floor = peerEpochFloor_[memberId];
+        floor = std::max(floor, it->second + 1);
+      }
+      break;
+  }
+  ScheduleRebalance();
+}
+
+bool ClusterNode::RefuseStaleEpoch(const std::string& senderId,
+                                   std::uint32_t epoch) {
+  if (epoch == 0) return false;  // legacy / non-elastic sender
+  const auto it = peerEpochFloor_.find(senderId);
+  if (it == peerEpochFloor_.end() || epoch >= it->second) return false;
+  cm_.fenceRefusals.Inc();
+  MD_DEBUG("%s: refused write from %s at stale epoch %u (floor %u)",
+           cfg_.serverId.c_str(), senderId.c_str(), epoch, it->second);
+  return true;
+}
+
+void ClusterNode::ScheduleRebalance() {
+  if (!cfg_.elastic || leaving_) return;
+  env_.Cancel(rebalanceTimer_);
+  rebalanceTimer_ = env_.Schedule(cfg_.rebalanceDebounce, [this] {
+    rebalanceTimer_ = 0;
+    if (crashed_ || !started_ || fenced_ || leaving_) return;
+    Rebalance();
+  });
+}
+
+void ClusterNode::Rebalance() {
+  std::vector<std::string> members;
+  for (const std::string& id : memberUniverse_) {
+    if (quorum_.IsOnline(id)) members.push_back(id);
+  }
+  cm_.activeMembers.Set(static_cast<std::int64_t>(members.size()));
+  if (members.empty()) return;
+  const Assignment next =
+      Rebalancer::Compute(cfg_.subscriberPartitions, members);
+  if (next == assignment_) return;
+  assignment_ = next;
+  cm_.rebalances.Inc();
+
+  // Every subscriber partition hosted here whose sessions now belong to a
+  // different owner starts a hand-off (at most one in flight per partition).
+  std::set<std::uint32_t> hosted;
+  for (const ClientHandle client : clients_) {
+    const auto it = clientIds_.find(client);
+    if (it != clientIds_.end()) hosted.insert(PartitionOfClient(it->second));
+  }
+  std::set<std::uint32_t> inFlight;
+  for (const auto& [id, handoff] : outHandoffs_) inFlight.insert(handoff.partition);
+  for (const std::uint32_t partition : hosted) {
+    const std::string& owner = next.OwnerOf(partition);
+    if (owner.empty() || owner == cfg_.serverId) continue;
+    if (!inFlight.contains(partition)) StartHandoff(partition, owner);
+  }
+}
+
+void ClusterNode::StartHandoff(std::uint32_t partition, const std::string& target) {
+  // Freeze the slice: the registry excludes frozen sessions from fan-out
+  // snapshots, so the per-topic delivery cursors captured right here are the
+  // exact delivered-through boundary of every migrating session.
+  HandoffBeginFrame begin;
+  begin.partition = partition;
+  begin.fenceEpoch = fenceEpoch_;
+  begin.fromServerId = cfg_.serverId;
+  PendingHandoff handoff;
+  handoff.partition = partition;
+  handoff.target = target;
+  for (const ClientHandle client : clients_) {
+    const auto it = clientIds_.find(client);
+    if (it == clientIds_.end() || PartitionOfClient(it->second) != partition) {
+      continue;
+    }
+    HandoffSession session;
+    session.clientId = it->second;
+    for (const std::string& topic : registry_.SetFrozen(client, true)) {
+      const auto cur = deliveryCursor_.find(topic);
+      const StreamPos pos = cur != deliveryCursor_.end()
+                                ? cur->second
+                                : cache_.LastPos(topic).value_or(StreamPos{});
+      session.cursors.emplace_back(topic, pos);
+    }
+    begin.sessions.push_back(session);
+    handoff.sessions.emplace_back(client, std::move(session));
+  }
+  if (handoff.sessions.empty()) return;
+
+  const std::uint64_t id = nextHandoffId_++;
+  begin.handoffId = id;
+  cm_.handoffs.Inc();
+  cm_.handoffSessions.Inc(handoff.sessions.size());
+  MD_DEBUG("%s: hand-off %llu of partition %u (%zu sessions) -> %s",
+           cfg_.serverId.c_str(), static_cast<unsigned long long>(id),
+           partition, handoff.sessions.size(), target.c_str());
+  handoff.timeoutTimer =
+      env_.Schedule(cfg_.handoffAckTimeout, [this, id] { AbortHandoff(id); });
+  outHandoffs_[id] = std::move(handoff);
+  env_.SendToPeer(target, begin);
+}
+
+void ClusterNode::OnHandoffBegin(const std::string& from,
+                                 const HandoffBeginFrame& begin) {
+  HandoffAckFrame ack;
+  ack.handoffId = begin.handoffId;
+  ack.partition = begin.partition;
+  ack.fenceEpoch = fenceEpoch_;
+  // A fenced-out incarnation pushing a buffered Begin is refused exactly like
+  // a stale broadcast; likewise a node that cannot itself see quorum must not
+  // adopt sessions.
+  if (RefuseStaleEpoch(begin.fromServerId, begin.fenceEpoch) || fenced_ ||
+      !HasWriteQuorum()) {
+    ack.ok = false;
+    env_.SendToPeer(from, ack);
+    return;
+  }
+  // Idempotent adopt: a re-sent Begin overwrites the held cursors and is
+  // re-acked, so a lost ack only costs a retry, never a divergent state.
+  for (const HandoffSession& session : begin.sessions) {
+    pendingAttach_[session.clientId] = session.cursors;
+  }
+  // Record the ownership move durably; routing layers and tests watch it.
+  coord_.Put(coord::AssignKey(begin.partition),
+             coord::EncodeAssignment({cfg_.serverId, fenceEpoch_}), {});
+  ack.ok = true;
+  env_.SendToPeer(from, ack);
+}
+
+void ClusterNode::OnHandoffAck(const HandoffAckFrame& ack) {
+  auto node = outHandoffs_.extract(ack.handoffId);
+  if (node.empty()) return;  // duplicate ack, or already aborted: ignore
+  PendingHandoff& handoff = node.mapped();
+  env_.Cancel(handoff.timeoutTimer);
+  if (!ack.ok) {
+    outHandoffs_.insert(std::move(node));
+    AbortHandoff(ack.handoffId);
+    return;
+  }
+  // Release phase: redirect each frozen session to the new owner with its
+  // freeze-point cursors, then close. The transport flushes in-flight bytes
+  // before the close, so the client sees backlog, redirect, EOF — in order.
+  for (const auto& [client, session] : handoff.sessions) {
+    if (!clients_.contains(client)) continue;
+    HandoffFrame redirect;
+    redirect.targetServerId = handoff.target;
+    redirect.partition = handoff.partition;
+    redirect.rebalanceEpoch = fenceEpoch_;
+    redirect.cursors = session.cursors;
+    env_.SendToClient(client, redirect);
+    env_.CloseClient(client);
+    OnClientDisconnect(client);
+  }
+  MaybeFinishLeave();
+}
+
+void ClusterNode::AbortHandoff(std::uint64_t handoffId) {
+  auto node = outHandoffs_.extract(handoffId);
+  if (node.empty()) return;
+  PendingHandoff& handoff = node.mapped();
+  env_.Cancel(handoff.timeoutTimer);
+  cm_.handoffAborts.Inc();
+  // Unfreeze-and-catch-up: replay from the cache exactly the window each
+  // session missed while frozen (freeze cursor -> current delivery cursor),
+  // then thaw it back into fan-out. No gap, no duplicate.
+  for (const auto& [client, session] : handoff.sessions) {
+    if (!clients_.contains(client)) continue;
+    for (const auto& [topic, frozenAt] : session.cursors) {
+      const auto cur = deliveryCursor_.find(topic);
+      if (cur == deliveryCursor_.end()) continue;
+      for (const Message& missed : cache_.GetAfter(topic, frozenAt)) {
+        if (cur->second < PosOf(missed)) break;
+        cm_.delivered.Inc();
+        env_.SendToClient(client, DeliverFrame{missed});
+      }
+    }
+    registry_.SetFrozen(client, false);
+  }
+  MaybeFinishLeave();
+}
+
+void ClusterNode::Leave(std::function<void()> done) {
+  if (!cfg_.elastic || crashed_ || !started_) {
+    if (done) done();
+    return;
+  }
+  leaving_ = true;
+  env_.Cancel(rebalanceTimer_);
+  rebalanceTimer_ = 0;
+  leaveDone_ = std::move(done);
+  quorum_.SetOnline(cfg_.serverId, false);
+
+  std::vector<std::string> rest;
+  for (const std::string& id : memberUniverse_) {
+    if (id != cfg_.serverId && quorum_.IsOnline(id)) rest.push_back(id);
+  }
+  if (!rest.empty()) {
+    assignment_ = Rebalancer::Compute(cfg_.subscriberPartitions, rest);
+    std::set<std::uint32_t> hosted;
+    for (const ClientHandle client : clients_) {
+      const auto it = clientIds_.find(client);
+      if (it != clientIds_.end()) hosted.insert(PartitionOfClient(it->second));
+    }
+    std::set<std::uint32_t> inFlight;
+    for (const auto& [id, handoff] : outHandoffs_) {
+      inFlight.insert(handoff.partition);
+    }
+    for (const std::uint32_t partition : hosted) {
+      const std::string& owner = assignment_.OwnerOf(partition);
+      if (owner.empty() || owner == cfg_.serverId) continue;
+      if (!inFlight.contains(partition)) StartHandoff(partition, owner);
+    }
+  }
+  MaybeFinishLeave();
+}
+
+void ClusterNode::MaybeFinishLeave() {
+  if (!leaving_ || !outHandoffs_.empty()) return;
+  leaving_ = false;
+  // Shed coordinator roles before deregistering: the group deletions fire
+  // peers' watches and whoever holds replicated state races to take over
+  // (§5.2.1). Without this, publications for our groups would keep routing
+  // to a member that no longer exists.
+  for (const std::uint32_t g : myGroups_) {
+    sequencer_.EndEpoch(g);
+    gossip_.erase(g);
+    coord_.Delete(GroupKey(g), {});
+  }
+  myGroups_.clear();
+  // The ephemeral delete is the leave event peers observe; their floors rise
+  // past this incarnation so nothing it still has buffered can land.
+  coord_.Delete(coord::MemberKey(cfg_.serverId), {});
+  // A departed member is inert until Restart(): it must not accept clients,
+  // serve frames, or retake the groups its own deletions just freed.
+  started_ = false;
+  env_.Cancel(fenceTimer_);
+  MD_DEBUG("%s: left membership (epoch %u retired)", cfg_.serverId.c_str(),
+           fenceEpoch_);
+  if (auto done = std::exchange(leaveDone_, nullptr)) done();
 }
 
 void ClusterNode::SyncFromPeer(const std::string& peerId) {

@@ -36,6 +36,9 @@
 
 #include "common/status.hpp"
 #include "obs/families.hpp"
+#include "cluster/quorum.hpp"
+#include "cluster/rebalance.hpp"
+#include "coord/assign.hpp"
 #include "coord/node.hpp"
 #include "core/cache.hpp"
 #include "core/registry.hpp"
@@ -69,6 +72,29 @@ struct ClusterConfig {
   /// Metrics destination; nullptr uses the process-wide default registry.
   /// The registry must outlive the node.
   obs::MetricsRegistry* metrics = nullptr;
+
+  // --- elastic membership (DESIGN.md §12) -----------------------------------
+  /// Opt-in: register an ephemeral members/ znode, watch the membership, and
+  /// rebalance subscriber partitions across live members on join/leave with a
+  /// coordinated hand-off per moved partition. Off = fixed membership,
+  /// byte-identical behavior to the pre-elastic cluster.
+  bool elastic = false;
+  /// Opt-in (requires elastic): refuse to sequence publications while a
+  /// majority of the messaging membership is unreachable from this node's
+  /// vantage. Local publishers get a retryable kNoQuorum ack; forwarded
+  /// publications bounce back to their contact server. Prevents a partitioned
+  /// minority from split-braining a stream.
+  bool quorumGate = false;
+  /// Subscriber partitions for the rendezvous session assignment.
+  std::uint32_t subscriberPartitions = 16;
+  /// Membership events are debounced this long before recomputing the
+  /// assignment, so a rolling join/leave wave coalesces into one hand-off set.
+  Duration rebalanceDebounce = 100 * kMillisecond;
+  /// Old owner aborts a hand-off (unfreezes the slice and catches it up from
+  /// the cache) if the new owner's ack does not arrive within this window.
+  Duration handoffAckTimeout = kSecond;
+  /// Explicit quorum-vote threshold; 0 derives majority from the vote total.
+  std::uint32_t minQuorumVotes = 0;
 };
 
 /// Legacy plain-struct view of the node's counters, built from the metrics
@@ -81,6 +107,11 @@ struct ClusterNodeStats {
   std::uint64_t takeovers = 0;        // successful coordinator acquisitions
   std::uint64_t fences = 0;           // partition self-fencing events
   std::uint64_t recoveredMessages = 0;  // messages pulled during cache sync
+  std::uint64_t handoffs = 0;         // partition hand-offs initiated
+  std::uint64_t handoffAborts = 0;    // hand-offs aborted (timeout / nack)
+  std::uint64_t quorumRejects = 0;    // publications refused for lost quorum
+  std::uint64_t fenceRefusals = 0;    // stale-epoch peer writes refused
+  std::uint64_t rebalances = 0;       // assignment recomputations applied
 };
 
 /// Host environment: client/peer I/O, timers, randomness.
@@ -114,8 +145,13 @@ class ClusterNode {
   void Start();
   void Crash();    // fail-stop: drops all volatile state (incl. cache)
   void Restart();  // rejoin and reconstruct the cache from peers
+  /// Graceful scale-in (elastic only): hand every locally hosted subscriber
+  /// partition to its post-leave owner, deregister from the membership, then
+  /// invoke `done`. Non-elastic nodes complete immediately.
+  void Leave(std::function<void()> done = {});
   [[nodiscard]] bool IsCrashed() const noexcept { return crashed_; }
   [[nodiscard]] bool IsFenced() const noexcept { return fenced_; }
+  [[nodiscard]] bool IsLeaving() const noexcept { return leaving_; }
 
   // --- client-side events (invoked by the host) ------------------------------
   void OnClientConnect(ClientHandle client, const std::string& clientId);
@@ -144,6 +180,17 @@ class ClusterNode {
     if (it == gossip_.end()) return std::nullopt;
     return std::make_pair(it->second.serverId, it->second.epoch);
   }
+  /// This incarnation's membership fence epoch (0 until joined).
+  [[nodiscard]] std::uint32_t FenceEpoch() const noexcept { return fenceEpoch_; }
+  /// Current subscriber-partition assignment (empty until first rebalance).
+  [[nodiscard]] const Assignment& assignment() const noexcept { return assignment_; }
+  /// The data-plane quorum verdict this node gates publishes on. Always true
+  /// when the quorum gate is off.
+  [[nodiscard]] bool HasWriteQuorum() const {
+    if (!cfg_.quorumGate) return true;
+    return quorum_.Quorumed() && coord_.HasQuorumContact();
+  }
+  [[nodiscard]] const Quorum& quorum() const noexcept { return quorum_; }
 
   /// Instrumentation tap: invoked once per message as it becomes available
   /// for local fan-out on this server (used by the failover benchmark to
@@ -176,6 +223,16 @@ class ClusterNode {
   };
   using CoordAckKey = std::tuple<std::string, std::uint32_t, std::uint64_t>;
 
+  /// Outgoing partition hand-off awaiting the new owner's ack. Cursors are
+  /// captured at freeze time — the exact delivered-through boundary — and are
+  /// what both the Begin frame and the client redirect carry.
+  struct PendingHandoff {
+    std::uint32_t partition = 0;
+    std::string target;
+    std::vector<std::pair<ClientHandle, HandoffSession>> sessions;
+    std::uint64_t timeoutTimer = 0;
+  };
+
   /// Publication parked while a coordinator election for its group runs.
   struct ParkedPublication {
     std::string topic;
@@ -207,6 +264,24 @@ class ClusterNode {
   void OnGossipAnnounce(const GossipAnnounceFrame& announce);
   void OnCacheSyncReq(const std::string& from, const CacheSyncReqFrame& req);
   void OnCacheSyncResp(const CacheSyncRespFrame& resp);
+
+  // Elastic membership, rebalancing, hand-off (DESIGN.md §12).
+  void JoinMembership();
+  void RetryJoin();
+  void RefreshMembershipFromStore();
+  void OnMemberEvent(const std::string& memberId, const coord::WatchEvent& event);
+  void ScheduleRebalance();
+  void Rebalance();
+  void StartHandoff(std::uint32_t partition, const std::string& target);
+  void OnHandoffBegin(const std::string& from, const HandoffBeginFrame& begin);
+  void OnHandoffAck(const HandoffAckFrame& ack);
+  void AbortHandoff(std::uint64_t handoffId);
+  void MaybeFinishLeave();
+  [[nodiscard]] bool RefuseStaleEpoch(const std::string& senderId,
+                                      std::uint32_t epoch);
+  [[nodiscard]] std::uint32_t PartitionOfClient(const std::string& clientId) const {
+    return Rebalancer::PartitionOf(clientId, cfg_.subscriberPartitions);
+  }
 
   // Reliability machinery.
   void SetupWatches();
@@ -258,6 +333,26 @@ class ClusterNode {
   std::map<std::string, StreamPos> deliveryCursor_;
   std::map<std::string, std::uint64_t> gapStalled_;  // topic -> timeout timer
   std::function<void(const Message&)> deliveryHook_;
+
+  // --- elastic membership state (all volatile; rebuilt on rejoin) -----------
+  Quorum quorum_;
+  std::vector<std::string> memberUniverse_;  // peers_ + self, the voting set
+  std::uint32_t fenceEpoch_ = 0;             // my incarnation's epoch
+  std::map<std::string, std::uint32_t> memberEpoch_;     // last announced epoch
+  std::map<std::string, std::uint32_t> peerEpochFloor_;  // min accepted epoch
+  std::map<ClientHandle, std::string> clientIds_;        // connection -> app id
+  Assignment assignment_;
+  std::uint64_t rebalanceTimer_ = 0;
+  std::uint64_t joinTimer_ = 0;
+  std::uint64_t nextHandoffId_ = 1;
+  std::map<std::uint64_t, PendingHandoff> outHandoffs_;
+  /// New-owner side: transferred resume cursors awaiting the redirected
+  /// client's reconnect, keyed by application client id. Consumed per topic
+  /// by the first subscribe without its own resume position.
+  std::map<std::string, std::vector<std::pair<std::string, StreamPos>>>
+      pendingAttach_;
+  bool leaving_ = false;
+  std::function<void()> leaveDone_;
 
   obs::ClusterMetrics cm_;
   TimePoint fenceStart_ = -1;  // Now() at the last Fence(); -1 = not fenced

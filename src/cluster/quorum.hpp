@@ -1,0 +1,98 @@
+// Vote-counting quorum gate for elastic cluster membership (modeled on the
+// Red Hat cluster suite's Cluster/Node shape: named nodes with vote weights,
+// an explicit or majority-derived minQuorum, and a quorumed() verdict —
+// see SNIPPETS.md and /root/related/Moaaz-Ali__resour, cman/daemon).
+//
+// The data-plane quorum is deliberately separate from MiniZK's Raft quorum:
+// coordination liveness (HasQuorumContact) says "my coord replica can commit",
+// while this gate says "a majority of *messaging* members is reachable from
+// my vantage". ClusterNode ANDs the two before sequencing a publication, so a
+// partitioned minority rejects publishes with a retryable status instead of
+// split-braining (DESIGN.md §12).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace md::cluster {
+
+/// Tracks the voting membership of the cluster and answers "do the members I
+/// can currently see hold a quorum of votes?". Not thread-safe; owned and
+/// driven by the single-threaded ClusterNode state machine.
+class Quorum {
+ public:
+  Quorum() = default;
+  /// `minQuorum` = 0 derives the classic majority floor(total/2) + 1 from the
+  /// registered vote total; nonzero pins an explicit threshold (two-node
+  /// clusters with a tie-breaker, qdisk-style setups).
+  explicit Quorum(std::uint32_t minQuorum) : explicitMinQuorum_(minQuorum) {}
+
+  /// Registers (or re-weights) a voting member. Members start offline; votes
+  /// always count toward the total, reachable or not — quorum is measured
+  /// against the provisioned universe, never against whoever answered last.
+  void AddNode(const std::string& name, std::uint32_t votes = 1) {
+    nodes_[name].votes = votes;
+  }
+
+  /// Removes a member from the universe entirely (administrative removal,
+  /// not a failure — failures just go offline and keep denying their votes).
+  void RemoveNode(const std::string& name) { nodes_.erase(name); }
+
+  /// Marks a member reachable/unreachable from this node's vantage.
+  void SetOnline(const std::string& name, bool online) {
+    const auto it = nodes_.find(name);
+    if (it != nodes_.end()) it->second.online = online;
+  }
+
+  [[nodiscard]] bool Contains(const std::string& name) const {
+    return nodes_.contains(name);
+  }
+  [[nodiscard]] bool IsOnline(const std::string& name) const {
+    const auto it = nodes_.find(name);
+    return it != nodes_.end() && it->second.online;
+  }
+
+  [[nodiscard]] std::size_t NodeCount() const noexcept { return nodes_.size(); }
+
+  [[nodiscard]] std::uint32_t TotalVotes() const noexcept {
+    std::uint32_t total = 0;
+    for (const auto& [name, node] : nodes_) total += node.votes;
+    return total;
+  }
+
+  [[nodiscard]] std::uint32_t OnlineVotes() const noexcept {
+    std::uint32_t online = 0;
+    for (const auto& [name, node] : nodes_) {
+      if (node.online) online += node.votes;
+    }
+    return online;
+  }
+
+  /// The vote threshold for quorum: the explicit override when configured,
+  /// otherwise majority = floor(total/2) + 1. An even split is *not* quorate
+  /// (2 of 4 votes < 3): exactly the cman rule that makes a symmetric
+  /// partition fence both halves rather than neither.
+  [[nodiscard]] std::uint32_t MinQuorum() const noexcept {
+    if (explicitMinQuorum_ > 0) return explicitMinQuorum_;
+    return TotalVotes() / 2 + 1;
+  }
+
+  /// True when the reachable members hold at least MinQuorum() votes. An
+  /// empty universe is not quorate — a node that has not learned membership
+  /// yet must not sequence.
+  [[nodiscard]] bool Quorumed() const noexcept {
+    if (nodes_.empty()) return false;
+    return OnlineVotes() >= MinQuorum();
+  }
+
+ private:
+  struct Node {
+    std::uint32_t votes = 1;
+    bool online = false;
+  };
+  std::map<std::string, Node> nodes_;
+  std::uint32_t explicitMinQuorum_ = 0;
+};
+
+}  // namespace md::cluster

@@ -17,7 +17,9 @@
 #pragma once
 
 #include <algorithm>
+#include <functional>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "cluster/node.hpp"
@@ -56,6 +58,11 @@ class SimCluster {
         /*softWatermark=*/256 * 1024, /*hardWatermark=*/1024 * 1024,
         /*lowWatermark=*/64 * 1024, core::OverflowPolicy::kDisconnect,
         /*evictGrace=*/250 * kMillisecond};
+    /// Servers whose ClusterNode does NOT start with StartAll() — elastic
+    /// scale-out tests boot them later with JoinServer(). Their coordination
+    /// replica runs from t=0: the coordination ensemble is provisioned
+    /// statically, only the messaging membership is elastic.
+    std::set<std::size_t> deferredStart;
   };
 
   explicit SimCluster(sim::Scheduler& sched, Options options)
@@ -102,7 +109,9 @@ class SimCluster {
 
   void StartAll() {
     coordCluster_->StartAll();
-    for (auto& server : servers_) server->node->Start();
+    for (auto& server : servers_) {
+      if (!opts_.deferredStart.contains(server->index)) server->node->Start();
+    }
   }
 
   /// Client port of server i (connect the real client library here).
@@ -161,6 +170,52 @@ class SimCluster {
   }
 
   void HealServer(std::size_t i) { net_.HealAll(servers_[i]->host); }
+
+  // --- elastic membership ----------------------------------------------------
+
+  /// Scale-out: boot server i's node mid-run. Restart (not Start) so the
+  /// fresh member warms its cache from peers before it can own resumed
+  /// sessions — the paper's §5.2.2 reconstruction, reused for joins.
+  void JoinServer(std::size_t i) {
+    ServerHost& server = *servers_.at(i);
+    if (!server.listener) OpenListener(server);
+    server.node->Restart();
+  }
+
+  /// Scale-in: graceful leave. The node drains its hand-off wave, sheds its
+  /// coordinator roles and deregisters; then the harness severs whatever is
+  /// left (clients with no hand-off target reconnect elsewhere) and runs
+  /// `done`.
+  void LeaveServer(std::size_t i, std::function<void()> done = {}) {
+    servers_.at(i)->node->Leave([this, i, done = std::move(done)] {
+      ServerHost& server = *servers_.at(i);
+      server.listener.reset();
+      auto conns = std::move(server.connections);
+      server.connections.clear();
+      server.inbox.clear();
+      server.bp.clear();
+      for (auto& [handle, conn] : conns) conn->Close();
+      if (done) done();
+    });
+  }
+
+  /// Cut servers [0, count) from servers [count, N) in both directions; the
+  /// minority stays internally connected. This is the quorum-gate fault: the
+  /// majority keeps sequencing while the minority must reject publishes with
+  /// the retryable kNoQuorum status until healed.
+  void PartitionMinority(std::size_t count) {
+    for (std::size_t i = 0; i < count && i < servers_.size(); ++i) {
+      for (std::size_t j = count; j < servers_.size(); ++j) {
+        net_.Partition(servers_[i]->host, servers_[j]->host);
+      }
+    }
+  }
+
+  void HealMinority(std::size_t count) {
+    for (std::size_t i = 0; i < count && i < servers_.size(); ++i) {
+      net_.HealAll(servers_[i]->host);
+    }
+  }
 
   /// Link-recovery cache sync between two servers — what the real TCP host
   /// does when an inter-server connection re-establishes after a link fault

@@ -26,7 +26,10 @@ bool SubscriptionRegistry::Unsubscribe(const std::string& topic, ClientHandle cl
     const auto it = shard.byTopic.find(topic);
     if (it != shard.byTopic.end()) {
       erased = it->second.members.erase(client) > 0;
-      if (erased) it->second.snapshot.reset();
+      if (erased) {
+        it->second.frozen.erase(client);
+        it->second.snapshot.reset();
+      }
       if (it->second.members.empty()) shard.byTopic.erase(it);
     }
   }
@@ -55,18 +58,55 @@ std::vector<std::string> SubscriptionRegistry::DropClient(ClientHandle client) {
     std::lock_guard lock(shard.mutex);
     const auto it = shard.byTopic.find(topic);
     if (it != shard.byTopic.end()) {
-      if (it->second.members.erase(client) > 0) it->second.snapshot.reset();
+      if (it->second.members.erase(client) > 0) {
+        it->second.frozen.erase(client);
+        it->second.snapshot.reset();
+      }
       if (it->second.members.empty()) shard.byTopic.erase(it);
     }
   }
   return topics;
 }
 
+std::vector<std::string> SubscriptionRegistry::SetFrozen(ClientHandle client,
+                                                         bool frozen) {
+  const std::vector<std::string> topics = TopicsOf(client);
+  for (const auto& topic : topics) {
+    Shard& shard = ShardFor(topic);
+    std::lock_guard lock(shard.mutex);
+    const auto it = shard.byTopic.find(topic);
+    if (it == shard.byTopic.end() || !it->second.members.contains(client)) {
+      continue;
+    }
+    const bool changed = frozen ? it->second.frozen.insert(client).second
+                                : it->second.frozen.erase(client) > 0;
+    if (changed) it->second.snapshot.reset();
+  }
+  return topics;
+}
+
+bool SubscriptionRegistry::IsFrozen(const std::string& topic,
+                                    ClientHandle client) const {
+  const Shard& shard = ShardFor(topic);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.byTopic.find(topic);
+  return it != shard.byTopic.end() && it->second.frozen.contains(client);
+}
+
 const SubscriberSnapshot& SubscriptionRegistry::SnapshotLocked(
     const TopicEntry& entry) {
   if (!entry.snapshot) {
-    entry.snapshot = std::make_shared<const std::vector<ClientHandle>>(
-        entry.members.begin(), entry.members.end());
+    if (entry.frozen.empty()) {
+      entry.snapshot = std::make_shared<const std::vector<ClientHandle>>(
+          entry.members.begin(), entry.members.end());
+    } else {
+      auto visible = std::make_shared<std::vector<ClientHandle>>();
+      visible->reserve(entry.members.size());
+      for (const ClientHandle member : entry.members) {
+        if (!entry.frozen.contains(member)) visible->push_back(member);
+      }
+      entry.snapshot = std::move(visible);
+    }
   }
   return entry.snapshot;
 }

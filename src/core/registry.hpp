@@ -48,6 +48,16 @@ class SubscriptionRegistry {
   /// Removes every subscription of `client`; returns the topics it held.
   std::vector<std::string> DropClient(ClientHandle client);
 
+  /// Freezes or thaws every subscription of `client`. A frozen client keeps
+  /// its memberships and resume state but is excluded from fan-out snapshots
+  /// — the session-drain primitive of a partition hand-off (DESIGN.md §12):
+  /// freeze, let in-flight bytes drain, transfer the cursor, redirect.
+  /// Returns the topics affected (empty if the client holds none).
+  std::vector<std::string> SetFrozen(ClientHandle client, bool frozen);
+
+  /// True if `client` is currently frozen on `topic`.
+  [[nodiscard]] bool IsFrozen(const std::string& topic, ClientHandle client) const;
+
   /// The hot fan-out read: the topic's current subscriber snapshot, or
   /// nullptr when the topic has no subscribers. The lock is held only for
   /// the shared_ptr copy (plus a one-off rebuild after churn).
@@ -70,6 +80,9 @@ class SubscriptionRegistry {
  private:
   struct TopicEntry {
     std::set<ClientHandle> members;  // mutation-side source of truth
+    /// Members excluded from snapshots while a hand-off drains them
+    /// (always a subset of `members`).
+    std::set<ClientHandle> frozen;
     /// Cached immutable view; nullptr after a mutation until the next read
     /// rebuilds it (lazily, so a churn burst invalidates instead of
     /// rebuilding N times).

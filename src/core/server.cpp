@@ -551,7 +551,9 @@ void Server::HandlePublish(const SessionPtr& session, const PublishFrame& pub) {
   const auto pos = sequencer_.Assign(group, pub.topic);
   if (!pos) {
     tracer_.Discard(traceKey);
-    if (pub.wantAck) SendFrame(session, PubAckFrame{pub.pubId, false});
+    if (pub.wantAck) {
+      SendFrame(session, PubAckFrame{pub.pubId, PubAckCode::kFailed});
+    }
     return;
   }
   tracer_.Stamp(traceKey, obs::Stage::kSequenced);
@@ -570,7 +572,7 @@ void Server::HandlePublish(const SessionPtr& session, const PublishFrame& pub) {
   // Acknowledge after the message is durably cached (single-node guarantee;
   // the cluster version acks after replication to 2 servers — see
   // src/cluster).
-  if (pub.wantAck) SendFrame(session, PubAckFrame{pub.pubId, true});
+  if (pub.wantAck) SendFrame(session, PubAckFrame{pub.pubId, PubAckCode::kOk});
 
   // Fan-out: grab the topic's CoW subscriber snapshot (lock-brief shared_ptr
   // copy), resolve handles through the sharded session table, and group the

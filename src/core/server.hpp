@@ -111,6 +111,19 @@ class Server {
   /// The embedded runtime monitor; nullptr unless cfg.runtimeVerify.
   [[nodiscard]] verify::Monitor* monitor() noexcept { return monitor_.get(); }
 
+  /// Session freeze/drain hooks for partition hand-off (DESIGN.md §12): a
+  /// frozen session keeps its subscriptions and resume cursors but is
+  /// excluded from fan-out snapshots, so once its connection's in-flight
+  /// bytes drain the stream is quiescent and the cursor can be transferred.
+  /// UnfreezeSession re-admits it (hand-off abort). Returns the topics
+  /// affected. Thread-safe.
+  std::vector<std::string> FreezeSession(ClientHandle client) {
+    return registry_.SetFrozen(client, true);
+  }
+  std::vector<std::string> UnfreezeSession(ClientHandle client) {
+    return registry_.SetFrozen(client, false);
+  }
+
  private:
   struct Session;
   using SessionPtr = std::shared_ptr<Session>;

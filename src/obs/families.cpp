@@ -84,6 +84,28 @@ constexpr std::string_view kClusUnfencesHelp =
 constexpr std::string_view kClusBackfilled = "md_cluster_backfilled_total";
 constexpr std::string_view kClusBackfilledHelp =
     "Messages recovered from peers on takeover";
+constexpr std::string_view kClusHandoffs = "md_cluster_handoffs_total";
+constexpr std::string_view kClusHandoffsHelp =
+    "Subscriber-partition hand-offs initiated";
+constexpr std::string_view kClusHandoffSessions =
+    "md_cluster_handoff_sessions_total";
+constexpr std::string_view kClusHandoffSessionsHelp =
+    "Client sessions migrated through hand-offs";
+constexpr std::string_view kClusHandoffAborts = "md_cluster_handoff_aborts_total";
+constexpr std::string_view kClusHandoffAbortsHelp =
+    "Hand-offs aborted (ack timeout or refused by the new owner)";
+constexpr std::string_view kClusQuorumRejects = "md_cluster_quorum_rejects_total";
+constexpr std::string_view kClusQuorumRejectsHelp =
+    "Publications refused while the member quorum was lost";
+constexpr std::string_view kClusFenceRefusals = "md_cluster_fence_refusals_total";
+constexpr std::string_view kClusFenceRefusalsHelp =
+    "Peer writes refused for carrying a stale fence epoch";
+constexpr std::string_view kClusRebalances = "md_cluster_rebalances_total";
+constexpr std::string_view kClusRebalancesHelp =
+    "Subscriber-partition assignment recomputations applied";
+constexpr std::string_view kClusActiveMembers = "md_cluster_active_members";
+constexpr std::string_view kClusActiveMembersHelp =
+    "Live members in the elastic membership view";
 constexpr std::string_view kClusReplPending = "md_cluster_replication_pending";
 constexpr std::string_view kClusReplPendingHelp =
     "Publications awaiting replication acks";
@@ -152,6 +174,18 @@ ClusterMetrics::ClusterMetrics(MetricsRegistry& r, std::string_view labels)
       fences(r.GetCounter(kClusFences, kClusFencesHelp, labels)),
       unfences(r.GetCounter(kClusUnfences, kClusUnfencesHelp, labels)),
       backfilled(r.GetCounter(kClusBackfilled, kClusBackfilledHelp, labels)),
+      handoffs(r.GetCounter(kClusHandoffs, kClusHandoffsHelp, labels)),
+      handoffSessions(
+          r.GetCounter(kClusHandoffSessions, kClusHandoffSessionsHelp, labels)),
+      handoffAborts(
+          r.GetCounter(kClusHandoffAborts, kClusHandoffAbortsHelp, labels)),
+      quorumRejects(
+          r.GetCounter(kClusQuorumRejects, kClusQuorumRejectsHelp, labels)),
+      fenceRefusals(
+          r.GetCounter(kClusFenceRefusals, kClusFenceRefusalsHelp, labels)),
+      rebalances(r.GetCounter(kClusRebalances, kClusRebalancesHelp, labels)),
+      activeMembers(
+          r.GetGauge(kClusActiveMembers, kClusActiveMembersHelp, labels)),
       replicationPending(
           r.GetGauge(kClusReplPending, kClusReplPendingHelp, labels)),
       replicationAckNs(r.GetHistogram(kClusReplAck, kClusReplAckHelp, labels)),

@@ -71,6 +71,13 @@ struct ClusterMetrics {
   Counter& fences;
   Counter& unfences;
   Counter& backfilled;
+  Counter& handoffs;
+  Counter& handoffSessions;
+  Counter& handoffAborts;
+  Counter& quorumRejects;
+  Counter& fenceRefusals;
+  Counter& rebalances;
+  Gauge& activeMembers;
   Gauge& replicationPending;
   LatencyHistogram& replicationAckNs;
   Gauge& failoverLastNs;

@@ -55,6 +55,42 @@ Status ReadPos(ByteReader& r, StreamPos& p) {
   return r.ReadVarint(p.seq);
 }
 
+/// Strict 32-bit epoch read for the rebalancing frames: a varint past
+/// UINT32_MAX is a malformed (or adversarial) frame, not a silent wrap —
+/// fence comparisons must never see a truncated epoch.
+Status ReadEpoch32(ByteReader& r, std::uint32_t& out) {
+  std::uint64_t v = 0;
+  if (Status s = r.ReadVarint(v); !s.ok()) return s;
+  if (v > 0xFFFFFFFFULL) return Err(ErrorCode::kProtocol, "epoch overflow");
+  out = static_cast<std::uint32_t>(v);
+  return OkStatus();
+}
+
+void WriteCursors(ByteWriter& w,
+                  const std::vector<std::pair<std::string, StreamPos>>& cursors) {
+  w.WriteVarint(cursors.size());
+  for (const auto& [topic, pos] : cursors) {
+    w.WriteString(topic);
+    WritePos(w, pos);
+  }
+}
+
+Status ReadCursors(ByteReader& r,
+                   std::vector<std::pair<std::string, StreamPos>>& out) {
+  std::uint64_t count = 0;
+  if (Status s = r.ReadVarint(count); !s.ok()) return s;
+  if (count > 1'000'000) return Err(ErrorCode::kProtocol, "absurd cursor count");
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string topic;
+    if (Status s = r.ReadString(topic); !s.ok()) return s;
+    StreamPos pos;
+    if (Status s = ReadPos(r, pos); !s.ok()) return s;
+    out.emplace_back(std::move(topic), pos);
+  }
+  return OkStatus();
+}
+
 // --- per-frame encoders -----------------------------------------------------
 
 struct Encoder {
@@ -81,7 +117,7 @@ struct Encoder {
   }
   void operator()(const PubAckFrame& f) {
     WritePubId(w, f.pubId);
-    w.WriteU8(f.ok ? 1 : 0);
+    w.WriteU8(static_cast<std::uint8_t>(f.code));
   }
   void operator()(const DeliverFrame& f) { WriteMessage(w, f.msg); }
   void operator()(const PingFrame& f) { w.WriteVarint(f.nonce); }
@@ -100,6 +136,7 @@ struct Encoder {
     WriteMessage(w, f.msg);
     w.WriteVarint(f.group);
     w.WriteString(f.coordinatorId);
+    w.WriteVarint(f.fenceEpoch);
   }
   void operator()(const BroadcastAckFrame& f) {
     w.WriteVarint(f.group);
@@ -133,6 +170,29 @@ struct Encoder {
     w.WriteVarint(f.messages.size());
     for (const auto& m : f.messages) WriteMessage(w, m);
     w.WriteU8(f.done ? 1 : 0);
+  }
+  void operator()(const HandoffFrame& f) {
+    w.WriteString(f.targetServerId);
+    w.WriteVarint(f.partition);
+    w.WriteVarint(f.rebalanceEpoch);
+    WriteCursors(w, f.cursors);
+  }
+  void operator()(const HandoffBeginFrame& f) {
+    w.WriteVarint(f.partition);
+    w.WriteVarint(f.fenceEpoch);
+    w.WriteU64(f.handoffId);
+    w.WriteString(f.fromServerId);
+    w.WriteVarint(f.sessions.size());
+    for (const auto& s : f.sessions) {
+      w.WriteString(s.clientId);
+      WriteCursors(w, s.cursors);
+    }
+  }
+  void operator()(const HandoffAckFrame& f) {
+    w.WriteU64(f.handoffId);
+    w.WriteVarint(f.partition);
+    w.WriteVarint(f.fenceEpoch);
+    w.WriteU8(f.ok ? 1 : 0);
   }
 };
 
@@ -183,9 +243,10 @@ Status FillPublish(ByteReader& r, PublishFrame& f) {
 
 Status FillPubAck(ByteReader& r, PubAckFrame& f) {
   if (Status s = ReadPubId(r, f.pubId); !s.ok()) return s;
-  std::uint8_t ok = 0;
-  if (Status s = r.ReadU8(ok); !s.ok()) return s;
-  f.ok = ok != 0;
+  std::uint8_t code = 0;
+  if (Status s = r.ReadU8(code); !s.ok()) return s;
+  if (code > kMaxPubAckCode) return Err(ErrorCode::kProtocol, "bad puback code");
+  f.code = static_cast<PubAckCode>(code);
   return OkStatus();
 }
 
@@ -217,7 +278,8 @@ Status FillBroadcast(ByteReader& r, BroadcastFrame& f) {
   std::uint64_t group = 0;
   if (Status s = r.ReadVarint(group); !s.ok()) return s;
   f.group = static_cast<std::uint32_t>(group);
-  return r.ReadString(f.coordinatorId);
+  if (Status s = r.ReadString(f.coordinatorId); !s.ok()) return s;
+  return ReadEpoch32(r, f.fenceEpoch);
 }
 
 Status FillBroadcastAck(ByteReader& r, BroadcastAckFrame& f) {
@@ -286,6 +348,45 @@ Status FillCacheSyncResp(ByteReader& r, CacheSyncRespFrame& f) {
   return OkStatus();
 }
 
+Status FillHandoff(ByteReader& r, HandoffFrame& f) {
+  if (Status s = r.ReadString(f.targetServerId); !s.ok()) return s;
+  std::uint64_t partition = 0;
+  if (Status s = r.ReadVarint(partition); !s.ok()) return s;
+  f.partition = static_cast<std::uint32_t>(partition);
+  if (Status s = ReadEpoch32(r, f.rebalanceEpoch); !s.ok()) return s;
+  return ReadCursors(r, f.cursors);
+}
+
+Status FillHandoffBegin(ByteReader& r, HandoffBeginFrame& f) {
+  std::uint64_t partition = 0;
+  if (Status s = r.ReadVarint(partition); !s.ok()) return s;
+  f.partition = static_cast<std::uint32_t>(partition);
+  if (Status s = ReadEpoch32(r, f.fenceEpoch); !s.ok()) return s;
+  if (Status s = r.ReadU64(f.handoffId); !s.ok()) return s;
+  if (Status s = r.ReadString(f.fromServerId); !s.ok()) return s;
+  std::uint64_t count = 0;
+  if (Status s = r.ReadVarint(count); !s.ok()) return s;
+  if (count > 1'000'000) return Err(ErrorCode::kProtocol, "absurd session count");
+  f.sessions.resize(static_cast<std::size_t>(count));
+  for (auto& session : f.sessions) {
+    if (Status s = r.ReadString(session.clientId); !s.ok()) return s;
+    if (Status s = ReadCursors(r, session.cursors); !s.ok()) return s;
+  }
+  return OkStatus();
+}
+
+Status FillHandoffAck(ByteReader& r, HandoffAckFrame& f) {
+  if (Status s = r.ReadU64(f.handoffId); !s.ok()) return s;
+  std::uint64_t partition = 0;
+  if (Status s = r.ReadVarint(partition); !s.ok()) return s;
+  f.partition = static_cast<std::uint32_t>(partition);
+  if (Status s = ReadEpoch32(r, f.fenceEpoch); !s.ok()) return s;
+  std::uint8_t ok = 0;
+  if (Status s = r.ReadU8(ok); !s.ok()) return s;
+  f.ok = ok != 0;
+  return OkStatus();
+}
+
 }  // namespace
 
 FrameType TypeOf(const Frame& frame) noexcept {
@@ -310,6 +411,9 @@ FrameType TypeOf(const Frame& frame) noexcept {
     FrameType operator()(const GossipAnnounceFrame&) { return FrameType::kGossipAnnounce; }
     FrameType operator()(const CacheSyncReqFrame&) { return FrameType::kCacheSyncReq; }
     FrameType operator()(const CacheSyncRespFrame&) { return FrameType::kCacheSyncResp; }
+    FrameType operator()(const HandoffFrame&) { return FrameType::kHandoff; }
+    FrameType operator()(const HandoffBeginFrame&) { return FrameType::kHandoffBegin; }
+    FrameType operator()(const HandoffAckFrame&) { return FrameType::kHandoffAck; }
   };
   return std::visit(Visitor{}, frame);
 }
@@ -336,6 +440,9 @@ const char* FrameTypeName(FrameType type) noexcept {
     case FrameType::kGossipAnnounce: return "GOSSIP_ANNOUNCE";
     case FrameType::kCacheSyncReq: return "CACHE_SYNC_REQ";
     case FrameType::kCacheSyncResp: return "CACHE_SYNC_RESP";
+    case FrameType::kHandoff: return "HANDOFF";
+    case FrameType::kHandoffBegin: return "HANDOFF_BEGIN";
+    case FrameType::kHandoffAck: return "HANDOFF_ACK";
   }
   return "UNKNOWN";
 }
@@ -371,6 +478,9 @@ Result<Frame> DecodeFrame(BytesView data) {
     case FrameType::kGossipAnnounce: return DecodeInto<GossipAnnounceFrame>(r, FillGossipAnnounce);
     case FrameType::kCacheSyncReq: return DecodeInto<CacheSyncReqFrame>(r, FillCacheSyncReq);
     case FrameType::kCacheSyncResp: return DecodeInto<CacheSyncRespFrame>(r, FillCacheSyncResp);
+    case FrameType::kHandoff: return DecodeInto<HandoffFrame>(r, FillHandoff);
+    case FrameType::kHandoffBegin: return DecodeInto<HandoffBeginFrame>(r, FillHandoffBegin);
+    case FrameType::kHandoffAck: return DecodeInto<HandoffAckFrame>(r, FillHandoffAck);
   }
   return Err(ErrorCode::kProtocol, "unknown frame type");
 }

@@ -61,9 +61,21 @@ struct PublishFrame {
   friend bool operator==(const PublishFrame&, const PublishFrame&) = default;
 };
 
+/// Publication acknowledgement status. Anything other than kOk means the
+/// publication was not sequenced and the client must republish; kNoQuorum is
+/// the *retryable* rejection a quorum-gated minority returns instead of
+/// split-braining (the client backs off before republishing).
+enum class PubAckCode : std::uint8_t {
+  kOk = 0,
+  kFailed = 1,    // sequencing failed (coordinator race lost, node fenced)
+  kNoQuorum = 2,  // server cannot see a member majority; retry after backoff
+};
+inline constexpr std::uint8_t kMaxPubAckCode = 2;
+
 struct PubAckFrame {
   PublicationId pubId;
-  bool ok = true;  // false => publication failed, client must republish
+  PubAckCode code = PubAckCode::kOk;
+  [[nodiscard]] bool ok() const noexcept { return code == PubAckCode::kOk; }
   friend bool operator==(const PubAckFrame&, const PubAckFrame&) = default;
 };
 
@@ -117,6 +129,11 @@ struct BroadcastFrame {
   Message msg;
   std::uint32_t group = 0;
   std::string coordinatorId;
+  /// Sender's membership fence epoch (the linearized version of its fence
+  /// znode). Receivers refuse broadcasts below the sender's last announced
+  /// epoch, so an evicted node replaying buffered writes is ignored
+  /// cluster-wide. 0 = sender not running elastic membership (always accepted).
+  std::uint32_t fenceEpoch = 0;
   friend bool operator==(const BroadcastFrame&, const BroadcastFrame&) = default;
 };
 
@@ -176,13 +193,61 @@ struct CacheSyncRespFrame {
 };
 
 // ---------------------------------------------------------------------------
+// Elastic rebalancing frames (DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+/// One migrating session inside a HandoffBeginFrame: the client plus the
+/// old owner's delivered-through cursor per subscribed topic.
+struct HandoffSession {
+  std::string clientId;
+  std::vector<std::pair<std::string, StreamPos>> cursors;
+  friend bool operator==(const HandoffSession&, const HandoffSession&) = default;
+};
+
+/// Old owner -> new owner: start migrating one frozen subscriber-partition
+/// slice. Carries the transferred resume cursors; the receiver holds them as
+/// attach floors until the redirected clients reconnect. Idempotent — a
+/// re-sent begin overwrites and is re-acked.
+struct HandoffBeginFrame {
+  std::uint32_t partition = 0;
+  std::uint32_t fenceEpoch = 0;  // sender's epoch; stale senders are refused
+  std::uint64_t handoffId = 0;
+  std::string fromServerId;
+  std::vector<HandoffSession> sessions;
+  friend bool operator==(const HandoffBeginFrame&, const HandoffBeginFrame&) = default;
+};
+
+/// New owner -> old owner: the slice transfer is durable (ok) or refused.
+/// Duplicate acks for an already-released hand-off are ignored.
+struct HandoffAckFrame {
+  std::uint64_t handoffId = 0;
+  std::uint32_t partition = 0;
+  std::uint32_t fenceEpoch = 0;  // responder's epoch
+  bool ok = true;
+  friend bool operator==(const HandoffAckFrame&, const HandoffAckFrame&) = default;
+};
+
+/// Server -> client: your partition moved; reconnect to `targetServerId`.
+/// The cursors are the server-side delivered-through positions — a client
+/// with no local resume state adopts them so the new owner backfills from
+/// exactly the ownership boundary.
+struct HandoffFrame {
+  std::string targetServerId;
+  std::uint32_t partition = 0;
+  std::uint32_t rebalanceEpoch = 0;
+  std::vector<std::pair<std::string, StreamPos>> cursors;
+  friend bool operator==(const HandoffFrame&, const HandoffFrame&) = default;
+};
+
+// ---------------------------------------------------------------------------
 
 using Frame = std::variant<
     ConnectFrame, ConnAckFrame, SubscribeFrame, SubAckFrame, UnsubscribeFrame,
     PublishFrame, PubAckFrame, DeliverFrame, PingFrame, PongFrame,
     DisconnectFrame, HelloFrame, ForwardPubFrame, BroadcastFrame,
     BroadcastAckFrame, ForwardRejectFrame, ReplicatedNoticeFrame,
-    GossipAnnounceFrame, CacheSyncReqFrame, CacheSyncRespFrame>;
+    GossipAnnounceFrame, CacheSyncReqFrame, CacheSyncRespFrame, HandoffFrame,
+    HandoffBeginFrame, HandoffAckFrame>;
 
 /// Wire identifiers; order is part of the protocol, append-only.
 enum class FrameType : std::uint8_t {
@@ -206,6 +271,9 @@ enum class FrameType : std::uint8_t {
   kCacheSyncReq = 26,
   kCacheSyncResp = 27,
   kReplicatedNotice = 28,
+  kHandoff = 29,
+  kHandoffBegin = 30,
+  kHandoffAck = 31,
 };
 
 FrameType TypeOf(const Frame& frame) noexcept;

@@ -31,8 +31,9 @@ enum class ViolationKind : std::uint8_t {
   kDuplicate,        // the same publication re-emitted at the same position
   kBackpressure,     // pending bytes past the hard watermark
   kMetrics,          // a monotone counter went backwards
+  kRebalance,        // continuity broken across a partition ownership change
 };
-inline constexpr std::size_t kViolationKindCount = 5;
+inline constexpr std::size_t kViolationKindCount = 6;
 
 [[nodiscard]] constexpr const char* ViolationKindName(ViolationKind kind) noexcept {
   switch (kind) {
@@ -41,6 +42,7 @@ inline constexpr std::size_t kViolationKindCount = 5;
     case ViolationKind::kDuplicate: return "duplicate";
     case ViolationKind::kBackpressure: return "backpressure";
     case ViolationKind::kMetrics: return "metrics";
+    case ViolationKind::kRebalance: return "rebalance";
   }
   return "?";
 }
@@ -55,6 +57,7 @@ inline constexpr std::size_t kViolationKindCount = 5;
   if (name == "duplicate" || name == "dup") return ViolationKind::kDuplicate;
   if (name == "backpressure") return ViolationKind::kBackpressure;
   if (name == "metrics") return ViolationKind::kMetrics;
+  if (name == "rebalance" || name == "handoff") return ViolationKind::kRebalance;
   return std::nullopt;
 }
 
@@ -88,6 +91,17 @@ inline constexpr std::size_t kViolationKindCount = 5;
 /// the same series means a lost shard, a reset, or double accounting.
 [[nodiscard]] constexpr bool RegressedCounter(double previous, double current) noexcept {
   return current < previous;
+}
+
+/// [rebalance]: the first delivery after a partition ownership change must
+/// continue the stream exactly where the old owner left it — no regression,
+/// no re-emission of the boundary position, and no same-epoch skip. The gap
+/// half is stricter than steady-state [gap] on purpose: during a hand-off
+/// every sequenced message is replicated (the minority cannot sequence), so
+/// a hole at the boundary is always a lost transfer, never an expired ack.
+[[nodiscard]] constexpr bool ViolatesRebalanceContinuity(StreamPos prev,
+                                                         StreamPos next) noexcept {
+  return ViolatesOrder(prev, next) || IsSequenceGap(prev, next);
 }
 
 // ---------------------------------------------------------------------------
@@ -141,6 +155,13 @@ inline constexpr std::size_t kViolationKindCount = 5;
     const std::string& series, double previous, double current) {
   return "[metrics] counter " + series + " regressed " +
          std::to_string(previous) + " -> " + std::to_string(current);
+}
+
+/// "[rebalance] <stream>: hand-off resumed at <next> after <prev>"
+[[nodiscard]] inline std::string FormatRebalanceViolation(
+    const std::string& stream, StreamPos prev, StreamPos next) {
+  return "[rebalance] " + stream + ": hand-off resumed at " + FormatPos(next) +
+         " after " + FormatPos(prev);
 }
 
 }  // namespace md::verify

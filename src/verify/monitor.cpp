@@ -106,6 +106,7 @@ void Monitor::OnDelivery(std::uint64_t sessionKey, std::string_view topic,
   // the original below, so an injected fault fires exactly once.
   StreamPos seenPos = pos;
   PublicationId seenId = id;
+  bool syntheticBoundary = false;
   if (e.has && armedMask_.load(std::memory_order_relaxed) != 0) {
     if (TakeInjection(ViolationKind::kDuplicate)) {
       seenPos = e.last;
@@ -116,11 +117,28 @@ void Monitor::OnDelivery(std::uint64_t sessionKey, std::string_view topic,
     } else if (TakeInjection(ViolationKind::kGap)) {
       seenPos.epoch = e.last.epoch;
       seenPos.seq = e.last.seq + 5;
+    } else if (TakeInjection(ViolationKind::kRebalance)) {
+      // A hole at a (synthesized) ownership boundary: the new owner resumed
+      // past messages the old owner had already sequenced.
+      seenPos.epoch = e.last.epoch;
+      seenPos.seq = e.last.seq + 3;
+      seenId.clientHash ^= 1;
+      syntheticBoundary = true;
     }
   }
 
   if (e.has) {
-    if (InRing(e, seenPos, seenId)) {
+    const bool boundary = e.handoff || syntheticBoundary;
+    if (boundary) {
+      // The ownership-change rule subsumes order/gap/duplicate at the
+      // boundary: any discontinuity here is a hand-off bug, flagged once.
+      if (InRing(e, seenPos, seenId) ||
+          ViolatesRebalanceContinuity(e.last, seenPos)) {
+        Report(ViolationKind::kRebalance,
+               FormatRebalanceViolation(SessionStreamName(sessionKey, topic),
+                                        e.last, seenPos));
+      }
+    } else if (InRing(e, seenPos, seenId)) {
       Report(ViolationKind::kDuplicate,
              "[duplicate] " + SessionStreamName(sessionKey, topic) +
                  ": publication " + FormatPubId(seenId) + " re-emitted at " +
@@ -137,9 +155,29 @@ void Monitor::OnDelivery(std::uint64_t sessionKey, std::string_view topic,
   }
 
   e.has = true;
+  e.handoff = false;
   e.last = pos;
   e.lastId = id;
   PushRing(e, pos, id);
+}
+
+void Monitor::OnHandoffResume(std::uint64_t sessionKey, std::string_view topic,
+                              StreamPos from) {
+  events_.Inc();
+  if (cfg_.sampleEvery > 1 && MixU64(sessionKey) % cfg_.sampleEvery != 0) {
+    sampledOut_.Inc();
+    return;
+  }
+  const std::uint64_t key = StreamKey(sessionKey, topic);
+  Shard& shard = shards_[key % kShards];
+  std::lock_guard lock(shard.mu);
+  Entry& e = TouchLocked(shard, key, sessionKey, topic);
+  // The transferred cursor is the authoritative boundary position — even for
+  // a stream the monitor already tracked (old state belonged to the previous
+  // owner's emission order).
+  e.has = true;
+  e.handoff = true;
+  e.last = from;
 }
 
 void Monitor::OnBackpressure(std::uint64_t sessionKey, std::size_t pendingBytes,

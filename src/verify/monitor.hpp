@@ -83,6 +83,14 @@ class Monitor {
   void OnDelivery(std::uint64_t sessionKey, std::string_view topic,
                   StreamPos pos, const PublicationId& id);
 
+  /// A partition hand-off re-attached `sessionKey`'s stream of `topic` to a
+  /// new owner with `from` as the transferred resume cursor. Seeds (or
+  /// re-baselines) the stream at `from` and marks the next delivery as the
+  /// ownership boundary: it is checked with the stricter [rebalance]
+  /// continuity rule instead of the steady-state [order]/[gap] pair.
+  void OnHandoffResume(std::uint64_t sessionKey, std::string_view topic,
+                       StreamPos from);
+
   /// A send-queue depth sample for one connection against its hard watermark.
   void OnBackpressure(std::uint64_t sessionKey, std::size_t pendingBytes,
                       std::size_t hardWatermark);
@@ -133,6 +141,7 @@ class Monitor {
     std::string topic;
     std::size_t cost = 0;
     bool has = false;              // false until the baseline observation
+    bool handoff = false;          // next delivery crosses an ownership change
     StreamPos last{};
     PublicationId lastId{};
     std::vector<RingSlot> ring;    // recent (pos, id) pairs, rotating

@@ -45,7 +45,7 @@ class FakeServer {
     } else if (const auto* sub = std::get_if<SubscribeFrame>(&frame)) {
       Send(SubAckFrame{sub->topic, true});
     } else if (const auto* pub = std::get_if<PublishFrame>(&frame)) {
-      if (pub->wantAck && ackPublishes_) Send(PubAckFrame{pub->pubId, true});
+      if (pub->wantAck && ackPublishes_) Send(PubAckFrame{pub->pubId, PubAckCode::kOk});
     } else if (const auto* ping = std::get_if<PingFrame>(&frame)) {
       if (answerPings_) Send(PongFrame{ping->nonce});
     }
@@ -280,7 +280,7 @@ TEST_F(ClientTest, FailedAckTriggersImmediateRepublish) {
   sched.RunFor(100 * kMillisecond);
   const auto first = server.FramesOf<PublishFrame>();
   ASSERT_EQ(first.size(), 1u);
-  server.Send(PubAckFrame{first[0].pubId, false});  // coordinator race lost
+  server.Send(PubAckFrame{first[0].pubId, PubAckCode::kFailed});  // coordinator race lost
   sched.RunFor(500 * kMillisecond);
   EXPECT_GE(server.FramesOf<PublishFrame>().size(), 2u);
   EXPECT_GE(client.stats().republishes, 1u);

@@ -136,7 +136,7 @@ TEST_F(ClusterNodeUnitTest, LocalPublishSelfElectionBroadcastAndAck) {
   const auto acks = env.ClientsOf<PubAckFrame>();
   ASSERT_EQ(acks.size(), 1u);
   EXPECT_EQ(acks[0].first, 10u);
-  EXPECT_TRUE(acks[0].second.ok);
+  EXPECT_TRUE(acks[0].second.ok());
   // A duplicate ack from the other peer does not double-ack.
   node.OnPeerFrame("peer-b", Frame(BroadcastAckFrame{broadcasts[0].second.group,
                                                      msg.epoch, msg.seq, "t"}));
@@ -182,7 +182,7 @@ TEST_F(ClusterNodeUnitTest, BroadcastArrivalAcksForwardedPublication) {
   EXPECT_EQ(env.PeersOf<BroadcastAckFrame>().size(), 1u);
   const auto acks = env.ClientsOf<PubAckFrame>();
   ASSERT_EQ(acks.size(), 1u);
-  EXPECT_TRUE(acks[0].second.ok);
+  EXPECT_TRUE(acks[0].second.ok());
 }
 
 TEST_F(ClusterNodeUnitTest, ForwardTimeoutFailsThePublication) {
@@ -197,7 +197,7 @@ TEST_F(ClusterNodeUnitTest, ForwardTimeoutFailsThePublication) {
   sched.RunFor(3 * kSecond);
   const auto acks = env.ClientsOf<PubAckFrame>();
   ASSERT_EQ(acks.size(), 1u);
-  EXPECT_FALSE(acks[0].second.ok);
+  EXPECT_FALSE(acks[0].second.ok());
 }
 
 TEST_F(ClusterNodeUnitTest, ForwardRejectFailsThePublicationImmediately) {
@@ -210,7 +210,7 @@ TEST_F(ClusterNodeUnitTest, ForwardRejectFailsThePublicationImmediately) {
   node.OnPeerFrame("peer-a", Frame(ForwardRejectFrame{{7, 5}, "t"}));
   const auto acks = env.ClientsOf<PubAckFrame>();
   ASSERT_EQ(acks.size(), 1u);
-  EXPECT_FALSE(acks[0].second.ok);
+  EXPECT_FALSE(acks[0].second.ok());
   EXPECT_EQ(node.stats().rejects, 1u);
 }
 

@@ -1,0 +1,272 @@
+// Elastic-membership chaos: seed-swept join / graceful-leave /
+// minority-partition schedules against the full simulated cluster with live
+// subscriber-partition rebalancing, quorum gating and epoch fencing enabled,
+// the runtime verification Monitor riding along on every delivery stream.
+// Plus unit coverage for the elastic FaultPlan generator/parser and explicit
+// single-fault repro plans for each elastic event kind.
+#include <gtest/gtest.h>
+
+#include "cluster/chaos.hpp"
+#include "obs/metrics.hpp"
+#include "verify/monitor.hpp"
+
+namespace md::cluster {
+namespace {
+
+// --- Elastic FaultPlan ------------------------------------------------------
+
+TEST(ElasticFaultPlanTest, GenerateIsDeterministicAndShaped) {
+  const FaultPlan a = FaultPlan::GenerateElastic(7, 4, 5);
+  const FaultPlan b = FaultPlan::GenerateElastic(7, 4, 5);
+  EXPECT_EQ(a.events, b.events);
+  const FaultPlan c = FaultPlan::GenerateElastic(8, 4, 5);
+  EXPECT_NE(a.events, c.events);
+  // Elastic plans draw from a distinct rng stream: legacy seeds stay intact.
+  EXPECT_NE(a.events, FaultPlan::Generate(7, 4, 5).events);
+}
+
+TEST(ElasticFaultPlanTest, ScheduleShapeHoldsAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const FaultPlan plan = FaultPlan::GenerateElastic(seed, 4, 5);
+    ASSERT_GE(plan.events.size(), 3u);
+
+    // The provisioned-but-idle last server joins first, under load.
+    EXPECT_EQ(plan.events.front().kind, FaultEvent::Kind::kJoin);
+    EXPECT_EQ(plan.events.front().victim, 3u);
+    // A graceful leave ends the schedule.
+    EXPECT_EQ(plan.events.back().kind, FaultEvent::Kind::kLeave);
+    EXPECT_LT(plan.events.back().victim, 4u);
+
+    std::size_t minorityWindows = 0;
+    for (std::size_t i = 0; i < plan.events.size(); ++i) {
+      const auto& ev = plan.events[i];
+      // No crashes: a crash stacked on the graceful leave could drop the
+      // live member count below the provisioned-universe quorum for good.
+      EXPECT_NE(ev.kind, FaultEvent::Kind::kCrash);
+      if (ev.kind == FaultEvent::Kind::kMinorityPartition) {
+        ++minorityWindows;
+        EXPECT_EQ(ev.victim, FaultPlan::MinoritySize(4));
+        // Long enough that quorum gating AND fencing are both observable.
+        EXPECT_GE(ev.duration, ChaosDriver::kFenceObservable);
+      }
+      if (i > 0) {
+        const auto& prev = plan.events[i - 1];
+        EXPECT_GE(ev.at, prev.at + prev.duration + 5 * kSecond);
+      }
+    }
+    EXPECT_EQ(minorityWindows, 1u);
+  }
+}
+
+TEST(ElasticFaultPlanTest, MinoritySizeIsAStrictMinority) {
+  EXPECT_EQ(FaultPlan::MinoritySize(2), 1u);  // degenerate floor
+  EXPECT_EQ(FaultPlan::MinoritySize(3), 1u);
+  EXPECT_EQ(FaultPlan::MinoritySize(4), 1u);
+  EXPECT_EQ(FaultPlan::MinoritySize(5), 2u);
+  EXPECT_EQ(FaultPlan::MinoritySize(7), 3u);
+  for (std::size_t servers = 2; servers <= 9; ++servers) {
+    EXPECT_LT(FaultPlan::MinoritySize(servers), (servers / 2) + 1)
+        << servers << " servers";
+  }
+}
+
+TEST(ElasticFaultPlanTest, ToStringParseRoundTrips) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const FaultPlan plan = FaultPlan::GenerateElastic(seed, 4, 5);
+    const auto parsed = FaultPlan::Parse(plan.ToString(), 4);
+    ASSERT_TRUE(parsed.has_value()) << plan.ToString();
+    EXPECT_EQ(parsed->events, plan.events) << plan.ToString();
+  }
+}
+
+TEST(ElasticFaultPlanTest, ParseAcceptsElasticForms) {
+  // Join / leave are one-way: no duration suffix.
+  auto plan = FaultPlan::Parse("join:2@1500", 3);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->events[0].kind, FaultEvent::Kind::kJoin);
+  EXPECT_EQ(plan->events[0].victim, 2u);
+  EXPECT_EQ(plan->events[0].at, 1500 * kMillisecond);
+  EXPECT_EQ(plan->events[0].duration, 0);
+
+  plan = FaultPlan::Parse("leave:0@2000", 3);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->events[0].kind, FaultEvent::Kind::kLeave);
+
+  // A stray "+duration" on a one-way transition parses but is ignored.
+  plan = FaultPlan::Parse("join:1@100+500", 3);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->events[0].duration, 0);
+
+  // "minority" resolves the victim count from the server universe.
+  plan = FaultPlan::Parse("part:minority@3000+6000", 5);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->events[0].kind, FaultEvent::Kind::kMinorityPartition);
+  EXPECT_EQ(plan->events[0].victim, 2u);
+  EXPECT_EQ(FaultPlan::Parse("partition:minority@3000+6000", 5)->events,
+            plan->events);
+
+  EXPECT_FALSE(FaultPlan::Parse("join:5@100", 3).has_value());  // victim bound
+  EXPECT_FALSE(FaultPlan::Parse("part:minority@3000", 3).has_value());  // dur
+}
+
+// --- Seed-swept elastic chaos runs ------------------------------------------
+
+// Every seed drives a distinct elastic schedule — the fourth server joins
+// under live publish traffic, a strict minority is partitioned past the
+// fencing horizon, a random member leaves gracefully — against a 4-server
+// cluster, with the runtime Monitor armed on every subscriber stream. The
+// acceptance bar is zero violations from BOTH checkers: the harness's
+// post-hoc InvariantChecker ([loss]/[order]/[dup]/[quorum]/[fence]/...) and
+// the always-on Monitor (incl. [rebalance] hand-off continuity).
+class ElasticChaosSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ElasticChaosSeeds, RebalancingUnderChurnKeepsEveryInvariant) {
+  obs::MetricsRegistry registry;
+  verify::Monitor monitor(registry, {});
+  ChaosOptions opts;
+  opts.seed = GetParam();
+  opts.servers = 4;
+  opts.elastic = true;
+  opts.monitor = &monitor;
+  const ChaosReport report = ChaosDriver(opts).Run();
+
+  EXPECT_EQ(report.plan.events.front().kind, FaultEvent::Kind::kJoin);
+  EXPECT_EQ(report.plan.events.back().kind, FaultEvent::Kind::kLeave);
+  EXPECT_GT(report.acked, 0u);
+  EXPECT_GT(report.deliveries, 0u);
+
+  std::string joined;
+  for (const auto& v : report.violations) joined += "\n  " + v;
+  EXPECT_TRUE(report.Passed())
+      << "seed " << GetParam() << " violations:" << joined
+      << "\nrepro: md_chaos --seed " << GetParam()
+      << " --elastic --servers 4 --events \"" << report.plan.ToString() << "\"";
+
+  std::string monitorJoined;
+  for (const auto& v : monitor.Reports()) monitorJoined += "\n  " + v.detail;
+  EXPECT_EQ(monitor.ViolationCount(), 0u)
+      << "seed " << GetParam() << " monitor reports:" << monitorJoined
+      << "\nrepro: md_chaos --seed " << GetParam()
+      << " --elastic --servers 4 --events \"" << report.plan.ToString() << "\"";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ElasticChaosSeeds,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(ElasticChaosDriverTest, TraceIsReproducible) {
+  ChaosOptions opts;
+  opts.seed = 5;
+  opts.servers = 4;
+  opts.elastic = true;
+  const ChaosReport a = ChaosDriver(opts).Run();
+  const ChaosReport b = ChaosDriver(opts).Run();
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    ASSERT_EQ(a.trace[i], b.trace[i]) << "trace diverged at line " << i;
+  }
+}
+
+// --- Explicit single-fault elastic plans (repro building blocks) ------------
+
+TEST(ElasticChaosDriverTest, JoinUnderLoadTriggersHandoffsAndStaysClean) {
+  ChaosOptions opts;
+  opts.seed = 3;
+  opts.elastic = true;
+  opts.plan = FaultPlan::Parse("join:2@2000", opts.servers);
+  ASSERT_TRUE(opts.plan.has_value());
+  const ChaosReport report = ChaosDriver(opts).Run();
+
+  std::string joined;
+  for (const auto& v : report.violations) joined += "\n  " + v;
+  EXPECT_TRUE(report.Passed()) << joined;
+
+  bool sawJoin = false;
+  for (const auto& line : report.trace) {
+    if (line.rfind("fault join server-2", 0) == 0) sawJoin = true;
+  }
+  EXPECT_TRUE(sawJoin);
+  // The join actually moved subscriber partitions: at least one coordinated
+  // hand-off ran (begin -> ack -> redirect), and none had to abort.
+  EXPECT_GE(report.metrics.Total("md_cluster_handoffs_total"), 1.0);
+  EXPECT_EQ(report.metrics.Total("md_cluster_handoff_aborts_total"), 0.0);
+}
+
+TEST(ElasticChaosDriverTest, GracefulLeaveShedsAndStaysClean) {
+  ChaosOptions opts;
+  opts.seed = 4;
+  opts.elastic = true;
+  opts.plan = FaultPlan::Parse("leave:1@2500", opts.servers);
+  ASSERT_TRUE(opts.plan.has_value());
+  const ChaosReport report = ChaosDriver(opts).Run();
+
+  std::string joined;
+  for (const auto& v : report.violations) joined += "\n  " + v;
+  EXPECT_TRUE(report.Passed()) << joined;
+
+  bool sawLeave = false;
+  bool sawLeaveDone = false;
+  for (const auto& line : report.trace) {
+    if (line.rfind("fault leave server-1", 0) == 0) sawLeave = true;
+    if (line.rfind("leave-done server-1", 0) == 0) sawLeaveDone = true;
+  }
+  EXPECT_TRUE(sawLeave);
+  EXPECT_TRUE(sawLeaveDone);
+}
+
+TEST(ElasticChaosDriverTest, MinorityPartitionFencesThenReadmits) {
+  ChaosOptions opts;
+  opts.seed = 6;
+  opts.elastic = true;
+  opts.plan = FaultPlan::Parse("part:minority@2000+6000", opts.servers);
+  ASSERT_TRUE(opts.plan.has_value());
+  const ChaosReport report = ChaosDriver(opts).Run();
+
+  std::string joined;
+  for (const auto& v : report.violations) joined += "\n  " + v;
+  EXPECT_TRUE(report.Passed()) << joined;
+
+  // The window was long enough for the harness to sample the minority member
+  // mid-partition: it must have lost quorum (the [quorum] invariant then
+  // asserts its publish counters stayed flat) before healing re-admits it.
+  bool sawFault = false;
+  bool sawMinorityObservation = false;
+  bool sawHeal = false;
+  for (const auto& line : report.trace) {
+    if (line.rfind("fault partition minority(1)", 0) == 0) sawFault = true;
+    if (line.rfind("observe minority server-0 quorum=0", 0) == 0) {
+      sawMinorityObservation = true;
+    }
+    if (line.rfind("recover heal minority(1)", 0) == 0) sawHeal = true;
+  }
+  EXPECT_TRUE(sawFault);
+  EXPECT_TRUE(sawMinorityObservation);
+  EXPECT_TRUE(sawHeal);
+  EXPECT_GE(report.metrics.Total("md_cluster_quorum_rejects_total"), 0.0);
+}
+
+// The monitor self-test: a deliberately injected rebalance-continuity fault
+// must be caught by the armed Monitor even though the simulated traffic
+// itself stays clean — green sweeps are only meaningful if the detection
+// path demonstrably fires.
+TEST(ElasticChaosDriverTest, InjectedRebalanceViolationIsCaught) {
+  obs::MetricsRegistry registry;
+  verify::Monitor monitor(registry, {});
+  ChaosOptions opts;
+  opts.seed = 2;
+  opts.servers = 4;
+  opts.elastic = true;
+  opts.monitor = &monitor;
+  opts.inject = verify::ViolationKind::kRebalance;
+  const ChaosReport report = ChaosDriver(opts).Run();
+
+  // The harness's own invariants stay green (the fault is synthetic)...
+  std::string joined;
+  for (const auto& v : report.violations) joined += "\n  " + v;
+  EXPECT_TRUE(report.Passed()) << joined;
+  // ...but the monitor flags exactly the injected kind.
+  EXPECT_EQ(monitor.ViolationCount(verify::ViolationKind::kRebalance), 1u);
+  EXPECT_EQ(monitor.ViolationCount(), 1u);
+}
+
+}  // namespace
+}  // namespace md::cluster

@@ -62,8 +62,8 @@ TEST(CodecTest, PublishEmptyPayload) {
 }
 
 TEST(CodecTest, PubAckRoundTrip) {
-  ExpectRoundTrip(PubAckFrame{{5, 6}, true});
-  ExpectRoundTrip(PubAckFrame{{5, 7}, false});
+  ExpectRoundTrip(PubAckFrame{{5, 6}, PubAckCode::kOk});
+  ExpectRoundTrip(PubAckFrame{{5, 7}, PubAckCode::kNoQuorum});
 }
 
 TEST(CodecTest, DeliverRoundTrip) { ExpectRoundTrip(DeliverFrame{MakeMessage()}); }

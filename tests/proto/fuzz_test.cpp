@@ -136,6 +136,177 @@ TEST_P(DecoderFuzz, EncodeDecodeIdentityUnderRandomFrames) {
   }
 }
 
+// --- hand-off / assignment frames (DESIGN.md §12) ---------------------------
+
+HandoffBeginFrame RandomHandoffBegin(Rng& rng) {
+  HandoffBeginFrame begin;
+  begin.partition = static_cast<std::uint32_t>(rng.Next());
+  begin.fenceEpoch = static_cast<std::uint32_t>(rng.Next());
+  begin.handoffId = rng.Next();
+  begin.fromServerId.resize(rng.NextBelow(20));
+  for (auto& c : begin.fromServerId) c = static_cast<char>('a' + rng.NextBelow(26));
+  const std::size_t sessions = rng.NextBelow(4);
+  for (std::size_t s = 0; s < sessions; ++s) {
+    HandoffSession session;
+    session.clientId = "client-" + std::to_string(rng.NextBelow(100));
+    const std::size_t cursors = rng.NextBelow(3);
+    for (std::size_t t = 0; t < cursors; ++t) {
+      session.cursors.emplace_back(
+          "topic-" + std::to_string(t),
+          StreamPos{static_cast<std::uint32_t>(rng.NextBelow(1000)), rng.Next()});
+    }
+    begin.sessions.push_back(std::move(session));
+  }
+  return begin;
+}
+
+TEST_P(DecoderFuzz, HandoffFramesRoundTrip) {
+  Rng rng(GetParam() + 7000);
+  for (int i = 0; i < 300; ++i) {
+    const HandoffBeginFrame begin = RandomHandoffBegin(rng);
+    Bytes wire;
+    EncodeFrame(Frame(begin), wire);
+    auto decodedBegin = DecodeFrame(BytesView(wire));
+    ASSERT_TRUE(decodedBegin.ok());
+    EXPECT_EQ(std::get<HandoffBeginFrame>(*decodedBegin), begin);
+
+    HandoffAckFrame ack;
+    ack.handoffId = rng.Next();
+    ack.partition = static_cast<std::uint32_t>(rng.Next());
+    ack.fenceEpoch = static_cast<std::uint32_t>(rng.Next());
+    ack.ok = rng.NextBool(0.5);
+    wire.clear();
+    EncodeFrame(Frame(ack), wire);
+    auto decodedAck = DecodeFrame(BytesView(wire));
+    ASSERT_TRUE(decodedAck.ok());
+    EXPECT_EQ(std::get<HandoffAckFrame>(*decodedAck), ack);
+
+    HandoffFrame redirect;
+    redirect.targetServerId = "server-" + std::to_string(rng.NextBelow(10));
+    redirect.partition = static_cast<std::uint32_t>(rng.Next());
+    redirect.rebalanceEpoch = static_cast<std::uint32_t>(rng.Next());
+    const std::size_t cursors = rng.NextBelow(4);
+    for (std::size_t t = 0; t < cursors; ++t) {
+      redirect.cursors.emplace_back(
+          "topic-" + std::to_string(t),
+          StreamPos{static_cast<std::uint32_t>(rng.NextBelow(1000)), rng.Next()});
+    }
+    wire.clear();
+    EncodeFrame(Frame(redirect), wire);
+    auto decodedRedirect = DecodeFrame(BytesView(wire));
+    ASSERT_TRUE(decodedRedirect.ok());
+    EXPECT_EQ(std::get<HandoffFrame>(*decodedRedirect), redirect);
+  }
+}
+
+TEST_P(DecoderFuzz, TruncatedHandoffFramesErrorNotCrash) {
+  // Every field of every hand-off frame is read unconditionally, so any
+  // strict prefix of a valid encoding must come back as a protocol error —
+  // never a crash, never a silently shortened frame.
+  Rng rng(GetParam() + 8000);
+  HandoffBeginFrame begin = RandomHandoffBegin(rng);
+  if (begin.sessions.empty()) {
+    HandoffSession session;
+    session.clientId = "client-0";
+    session.cursors.emplace_back("topic-0", StreamPos{1, 7});
+    begin.sessions.push_back(std::move(session));
+  }
+  Bytes wire;
+  EncodeFrame(Frame(begin), wire);
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    const auto result = DecodeFrame(BytesView(wire).subspan(0, cut));
+    EXPECT_FALSE(result.ok()) << "prefix of " << cut << " bytes decoded";
+    EXPECT_EQ(result.code(), ErrorCode::kProtocol);
+  }
+
+  HandoffFrame redirect;
+  redirect.targetServerId = "server-2";
+  redirect.partition = 5;
+  redirect.rebalanceEpoch = 9;
+  redirect.cursors.emplace_back("topic-0", StreamPos{2, 41});
+  wire.clear();
+  EncodeFrame(Frame(redirect), wire);
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    const auto result = DecodeFrame(BytesView(wire).subspan(0, cut));
+    EXPECT_FALSE(result.ok()) << "prefix of " << cut << " bytes decoded";
+    EXPECT_EQ(result.code(), ErrorCode::kProtocol);
+  }
+}
+
+TEST_P(DecoderFuzz, SingleByteMutationsOfHandoffBeginDecodeOrError) {
+  Rng rng(GetParam() + 9000);
+  HandoffBeginFrame begin = RandomHandoffBegin(rng);
+  begin.fromServerId = "server-1";
+  Bytes valid;
+  EncodeFrame(Frame(begin), valid);
+  for (int i = 0; i < 2000; ++i) {
+    Bytes mutated = valid;
+    const std::size_t pos = rng.NextBelow(mutated.size());
+    mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.NextBelow(255));
+    const auto result = DecodeFrame(BytesView(mutated));
+    if (!result.ok()) {
+      EXPECT_EQ(result.code(), ErrorCode::kProtocol);
+    }
+  }
+}
+
+TEST(HandoffEpochTest, EpochVarintPastU32IsOverflowNotWrap) {
+  // Fence comparisons must never see a truncated epoch: a varint above
+  // UINT32_MAX in any of the three epoch-carrying hand-off fields is a
+  // malformed frame (codec ReadEpoch32), not a silent modular wrap that
+  // could smuggle a stale write past RefuseStaleEpoch.
+  const std::uint64_t overflow = 0x1'0000'0000ULL;  // UINT32_MAX + 1
+
+  {  // HANDOFF_ACK: u64 handoffId, varint partition, varint fenceEpoch, u8 ok
+    Bytes wire;
+    ByteWriter w(wire);
+    w.WriteU8(static_cast<std::uint8_t>(FrameType::kHandoffAck));
+    w.WriteU64(42);
+    w.WriteVarint(3);
+    w.WriteVarint(overflow);
+    w.WriteU8(1);
+    const auto result = DecodeFrame(BytesView(wire));
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.code(), ErrorCode::kProtocol);
+    EXPECT_EQ(result.status().message(), "epoch overflow");
+  }
+  {  // HANDOFF_BEGIN: varint partition, varint fenceEpoch, ...
+    Bytes wire;
+    ByteWriter w(wire);
+    w.WriteU8(static_cast<std::uint8_t>(FrameType::kHandoffBegin));
+    w.WriteVarint(3);
+    w.WriteVarint(overflow);
+    const auto result = DecodeFrame(BytesView(wire));
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().message(), "epoch overflow");
+  }
+  {  // HANDOFF: string target, varint partition, varint rebalanceEpoch, ...
+    Bytes wire;
+    ByteWriter w(wire);
+    w.WriteU8(static_cast<std::uint8_t>(FrameType::kHandoff));
+    w.WriteString("server-2");
+    w.WriteVarint(3);
+    w.WriteVarint(overflow);
+    const auto result = DecodeFrame(BytesView(wire));
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().message(), "epoch overflow");
+  }
+  // The exact boundary value still decodes: UINT32_MAX is a legal epoch.
+  {
+    Bytes wire;
+    ByteWriter w(wire);
+    w.WriteU8(static_cast<std::uint8_t>(FrameType::kHandoffAck));
+    w.WriteU64(42);
+    w.WriteVarint(3);
+    w.WriteVarint(0xFFFFFFFFULL);
+    w.WriteU8(0);
+    const auto result = DecodeFrame(BytesView(wire));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(std::get<HandoffAckFrame>(*result).fenceEpoch, 0xFFFFFFFFu);
+    EXPECT_FALSE(std::get<HandoffAckFrame>(*result).ok);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, DecoderFuzz, ::testing::Values(1, 2, 3, 4));
 
 }  // namespace

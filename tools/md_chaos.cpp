@@ -12,9 +12,17 @@
 //   md_chaos --seed 17 --events "crash:1@2000+2500;part:0@12000+6000"
 //   md_chaos --seed 17 --trace                # dump the full event trace
 //
+//   md_chaos --elastic --seeds 20             # join/leave/minority schedules
+//   md_chaos --plan join                      # canned single-event plans:
+//                                             # join | leave | minority
+//
 // Flags: --servers N (3), --min-events N (5), --publications N (24),
 //        --subscribers N (3), --publishers N (2), --topics N (2),
 //        --no-minimize, --quiet,
+//        --elastic (live rebalancing + quorum gating; generated schedules
+//        come from FaultPlan::GenerateElastic),
+//        --plan join|leave|minority (shorthand for a canned single-event
+//        elastic --events schedule; implies --elastic),
 //        --monitor (ride a verify::Monitor along each run; its violations
 //        fail the seed exactly like checker violations),
 //        --inject KIND (with --monitor: arm one deliberate fault mid-run and
@@ -65,9 +73,24 @@ FaultPlan Minimize(const ChaosOptions& base, const FaultPlan& failing) {
 }
 
 void PrintRepro(const ChaosOptions& opts, const FaultPlan& plan) {
-  std::printf("repro: md_chaos --seed %llu --servers %zu --events \"%s\"\n",
+  std::printf("repro: md_chaos --seed %llu --servers %zu%s --events \"%s\"\n",
               static_cast<unsigned long long>(opts.seed), opts.servers,
-              plan.ToString().c_str());
+              opts.elastic ? " --elastic" : "", plan.ToString().c_str());
+}
+
+/// Canned single-event elastic schedules, the building blocks of rebalance
+/// repros: "join" brings up the provisioned-but-idle last server mid-run,
+/// "leave" retires a member gracefully, "minority" partitions a strict
+/// minority past the fencing horizon and heals it.
+std::string PlanShorthand(const std::string& name, std::size_t servers) {
+  if (name == "join") {
+    return "join:" + std::to_string(servers - 1) + "@2000";
+  }
+  if (name == "leave") {
+    return "leave:" + std::to_string(servers - 1) + "@2500";
+  }
+  if (name == "minority") return "part:minority@2000+6000";
+  return {};
 }
 
 }  // namespace
@@ -83,6 +106,7 @@ int main(int argc, char** argv) {
   base.publicationsPerPublisher =
       static_cast<std::size_t>(flags.GetInt("publications", 24));
   base.minFaultEvents = static_cast<std::size_t>(flags.GetInt("min-events", 5));
+  base.elastic = flags.GetBool("elastic") || flags.Has("plan");
   const bool quiet = flags.GetBool("quiet");
   const bool dumpTrace = flags.GetBool("trace");
   const bool minimize = !flags.GetBool("no-minimize");
@@ -108,12 +132,23 @@ int main(int argc, char** argv) {
     count = 1;
   }
 
+  std::string events;
+  if (flags.Has("plan")) {
+    events = PlanShorthand(flags.Get("plan"), base.servers);
+    if (events.empty()) {
+      std::fprintf(stderr,
+                   "md_chaos: --plan must be one of join|leave|minority\n");
+      return 2;
+    }
+  }
+  if (flags.Has("events")) events = flags.Get("events");
+
   std::optional<FaultPlan> explicitPlan;
-  if (flags.Has("events")) {
-    explicitPlan = FaultPlan::Parse(flags.Get("events"), base.servers);
+  if (!events.empty()) {
+    explicitPlan = FaultPlan::Parse(events, base.servers);
     if (!explicitPlan) {
       std::fprintf(stderr, "md_chaos: cannot parse --events \"%s\"\n",
-                   flags.Get("events").c_str());
+                   events.c_str());
       return 2;
     }
     if (count != 1) {
