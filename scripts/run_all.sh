@@ -82,6 +82,32 @@ cmake --build build-tsan --target quorum_test fencing_test rebalance_chaos_test 
 ./build/tools/md_chaos --seed 4 --plan leave --quiet || exit 1
 ./build/tools/md_chaos --seed 6 --plan minority --quiet || exit 1
 
+# Durability leg: the WAL suite under both sanitizers (framing/recovery code
+# does byte-level parsing of deliberately damaged input — exactly where an
+# out-of-bounds read would hide; the Log is also called from cache shard
+# locks on many threads), a 20-seed monitored durability sweep (kill -9 and
+# disk-fault plans; the monitor's [durability] exactly-once rule must stay
+# silent), the canned crash / disk plans as targeted repros, a monitored
+# self-test that must catch exactly the violation it injects, and the
+# durability bench as a shape smoke check: it exits nonzero unless the
+# local-WAL delta backfill beats full peer reconstruction.
+cmake --build build-asan --target wal_test || exit 1
+./build-asan/tests/wal_test || exit 1
+cmake --build build-tsan --target wal_test || exit 1
+./build-tsan/tests/wal_test || exit 1
+./build/tools/md_chaos --seeds 20 --durability --monitor --quiet || exit 1
+./build/tools/md_chaos --seed 5 --plan crash --quiet || exit 1
+./build/tools/md_chaos --seed 9 --plan disk --quiet || exit 1
+./build/tools/md_chaos --seed 3 --durability --monitor --inject durability \
+  || exit 1
+MD_BENCH_DUR_APPENDS=1000 MD_BENCH_DUR_MSGS=200 MD_BENCH_DUR_OUT=/dev/null \
+  ./build/bench/bench_durability || exit 1
+
+# Flake gate: the client/server integration suite must survive repetition on
+# a loaded machine — one pass can hide a racy wait, fifteen rarely do.
+./build/tests/core_test --gtest_filter='AllTransports/ServerClientTest.*' \
+  --gtest_repeat=15 --gtest_brief=1 || exit 1
+
 : > bench_output.txt
 for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue

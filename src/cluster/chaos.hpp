@@ -32,6 +32,15 @@
 // and, when a Monitor rides along, feeds every HANDOFF redirect into its
 // [rebalance] continuity rule via OnHandoffResume.
 //
+// Durability mode (ChaosOptions::durability) puts a fault-injectable WAL
+// (fsync=always) under every server's cache and extends the vocabulary with
+// crash:all@t+dur (cluster-wide kill -9; at restart the union of the
+// WAL-recovered caches must cover every publication acked before the outage
+// — the [durability] invariant), flip:v@t / torn:v@t (latent bit flip /
+// torn-tail damage a later crash must recover past) and full:v@t+dur
+// (ENOSPC windows; the in-memory cache keeps serving and peers re-replicate
+// after the next crash). See DESIGN.md §13.
+//
 // The fault windows are serialized (at most one server-level fault active at
 // a time) to stay inside the paper's single-fault model; concurrent faults
 // can legitimately lose messages. Everything — fault schedule, client
@@ -64,16 +73,22 @@ struct FaultEvent {
   enum class Kind : std::uint8_t { kCrash, kPartition, kLinkFlap,
                                    kSlowSubscriber,
                                    // Elastic-membership events (DESIGN.md §12)
-                                   kJoin, kLeave, kMinorityPartition };
+                                   kJoin, kLeave, kMinorityPartition,
+                                   // Durability events (DESIGN.md §13):
+                                   // cluster-wide outage + WAL disk faults
+                                   kCrashAll, kWalBitFlip, kWalTornTail,
+                                   kDiskFull };
   Kind kind = Kind::kCrash;
   /// Server index — except kSlowSubscriber, where it indexes the subscriber
-  /// whose reads stall for the window, and kMinorityPartition, where it is
-  /// the SIZE of the partitioned minority (servers [0, victim)).
+  /// whose reads stall for the window, kMinorityPartition, where it is
+  /// the SIZE of the partitioned minority (servers [0, victim)), and
+  /// kCrashAll, where it is unused (every member crashes).
   std::size_t victim = 0;
   std::size_t peer = 0;     // second endpoint, kLinkFlap only
   Duration at = 0;          // offset from chaos start (ms granularity)
   Duration duration = 0;    // fault window; then restart / heal / resume
-                            // (kJoin/kLeave are one-way: duration stays 0)
+                            // (kJoin/kLeave/kWalBitFlip/kWalTornTail are
+                            // one-way: duration stays 0)
 
   friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
 };
@@ -87,6 +102,10 @@ inline const char* FaultKindName(FaultEvent::Kind kind) {
     case FaultEvent::Kind::kJoin: return "join";
     case FaultEvent::Kind::kLeave: return "leave";
     case FaultEvent::Kind::kMinorityPartition: return "part";
+    case FaultEvent::Kind::kCrashAll: return "crash";
+    case FaultEvent::Kind::kWalBitFlip: return "flip";
+    case FaultEvent::Kind::kWalTornTail: return "torn";
+    case FaultEvent::Kind::kDiskFull: return "full";
   }
   return "?";
 }
@@ -210,6 +229,98 @@ struct FaultPlan {
     return plan;
   }
 
+  /// Durability schedule (requires ChaosOptions::durability, so every server
+  /// runs a fault-injectable WAL under its cache). Two per-seed modes:
+  ///
+  ///   mode A (~40%): one cluster-wide kill -9 (crash:all) somewhere in a
+  ///   run of single crashes and flaps — NO disk faults, so the driver can
+  ///   assert the strict union invariant: with fsync=always, the union of
+  ///   the WAL-recovered caches right after restart covers every publication
+  ///   acked before the outage (no peer had time to backfill anything).
+  ///
+  ///   mode B (~60%): latent disk damage exposed by a crash — a bit flip or
+  ///   a torn tail lands on a victim's WAL, then that same victim is killed
+  ///   and must recover past the damage (skip/truncate, never crash, then
+  ///   refill the holes from peers); ENOSPC windows and flaps ride along.
+  ///   No crash:all here: damaged disks can legitimately lose the only
+  ///   on-disk copy of an acked record, so only the end-of-run [cache]
+  ///   invariant (after peer backfill) is sound, not the union-at-restart.
+  ///
+  /// Windows are serialized like Generate(); no membership churn.
+  static FaultPlan GenerateDurability(std::uint64_t seed, std::size_t servers,
+                                      std::size_t minEvents,
+                                      std::size_t subscribers = 3) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.servers = servers;
+    Rng rng(seed ^ 0xD0BEFA17AB1E5ULL);  // distinct stream from Generate()
+    std::int64_t atMs = 1000 + static_cast<std::int64_t>(rng.NextBelow(1000));
+    const auto push = [&plan, &atMs, &rng](FaultEvent ev, std::int64_t durMs) {
+      ev.at = atMs * kMillisecond;
+      ev.duration = durMs * kMillisecond;
+      plan.events.push_back(ev);
+      atMs += durMs + 5000 + static_cast<std::int64_t>(rng.NextBelow(3000));
+    };
+    const auto pushFlap = [&] {
+      FaultEvent ev;
+      ev.kind = FaultEvent::Kind::kLinkFlap;
+      ev.victim = rng.NextBelow(servers);
+      ev.peer = (ev.victim + 1 + rng.NextBelow(servers - 1)) % servers;
+      push(ev, 1000 + static_cast<std::int64_t>(rng.NextBelow(2000)));
+    };
+    const std::size_t count = minEvents + rng.NextBelow(3);
+    if (rng.NextBelow(10) < 4 || servers < 2) {  // --- mode A ---
+      const std::size_t outageAfter = rng.NextBelow(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        if (i == outageAfter) {
+          FaultEvent outage;
+          outage.kind = FaultEvent::Kind::kCrashAll;
+          push(outage, 2500 + static_cast<std::int64_t>(rng.NextBelow(2000)));
+        }
+        const std::uint64_t roll = rng.NextBelow(10);
+        if (roll < 5 || servers < 2) {
+          FaultEvent ev;
+          ev.kind = FaultEvent::Kind::kCrash;
+          ev.victim = rng.NextBelow(servers);
+          push(ev, 2000 + static_cast<std::int64_t>(rng.NextBelow(2500)));
+        } else if (roll < 8 || subscribers == 0) {
+          pushFlap();
+        } else {
+          FaultEvent ev;
+          ev.kind = FaultEvent::Kind::kSlowSubscriber;
+          ev.victim = rng.NextBelow(subscribers);
+          push(ev, 4000 + static_cast<std::int64_t>(rng.NextBelow(4000)));
+        }
+      }
+    } else {  // --- mode B ---
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::uint64_t roll = rng.NextBelow(10);
+        if (roll < 6) {
+          // Latent damage, then kill the same victim so recovery must walk
+          // past it. The damage event is one-way; the crash that exposes it
+          // lands in the next serialized window.
+          FaultEvent hurt;
+          hurt.kind = roll < 3 ? FaultEvent::Kind::kWalBitFlip
+                               : FaultEvent::Kind::kWalTornTail;
+          hurt.victim = rng.NextBelow(servers);
+          push(hurt, 0);
+          FaultEvent ev;
+          ev.kind = FaultEvent::Kind::kCrash;
+          ev.victim = hurt.victim;
+          push(ev, 2000 + static_cast<std::int64_t>(rng.NextBelow(2500)));
+        } else if (roll < 8) {
+          FaultEvent ev;
+          ev.kind = FaultEvent::Kind::kDiskFull;
+          ev.victim = rng.NextBelow(servers);
+          push(ev, 3000 + static_cast<std::int64_t>(rng.NextBelow(2000)));
+        } else {
+          pushFlap();
+        }
+      }
+    }
+    return plan;
+  }
+
   /// Fault window horizon: when the last recovery action fires.
   [[nodiscard]] Duration Horizon() const {
     Duration h = 0;
@@ -217,10 +328,21 @@ struct FaultPlan {
     return h;
   }
 
+  /// True for events that are instantaneous transitions (no recovery half,
+  /// duration pinned to 0).
+  [[nodiscard]] static bool IsOneWay(FaultEvent::Kind kind) {
+    return kind == FaultEvent::Kind::kJoin ||
+           kind == FaultEvent::Kind::kLeave ||
+           kind == FaultEvent::Kind::kWalBitFlip ||
+           kind == FaultEvent::Kind::kWalTornTail;
+  }
+
   /// Compact repro form: "crash:1@3200+2500;flap:0-2@9900+1500;..."
   /// (victim[-peer]@startMs+durationMs). Elastic events render as
   /// "join:3@1500" / "leave:0@44200" (one-way, no duration) and
-  /// "part:minority@9900+6000".
+  /// "part:minority@9900+6000"; durability events as "crash:all@5000+3000",
+  /// "flip:1@2000" / "torn:0@2000" (one-way latent damage) and
+  /// "full:2@8000+3000".
   [[nodiscard]] std::string ToString() const {
     std::string out;
     for (const auto& ev : events) {
@@ -228,6 +350,8 @@ struct FaultPlan {
       out += FaultKindName(ev.kind);
       if (ev.kind == FaultEvent::Kind::kMinorityPartition) {
         out += ":minority";
+      } else if (ev.kind == FaultEvent::Kind::kCrashAll) {
+        out += ":all";
       } else {
         out += ':' + std::to_string(ev.victim);
       }
@@ -235,8 +359,7 @@ struct FaultPlan {
         out += '-' + std::to_string(ev.peer);
       }
       out += '@' + std::to_string(ev.at / kMillisecond);
-      if (ev.kind != FaultEvent::Kind::kJoin &&
-          ev.kind != FaultEvent::Kind::kLeave) {
+      if (!IsOneWay(ev.kind)) {
         out += '+' + std::to_string(ev.duration / kMillisecond);
       }
     }
@@ -280,19 +403,27 @@ struct FaultPlan {
         ev.kind = FaultEvent::Kind::kJoin;
       } else if (kind == "leave") {
         ev.kind = FaultEvent::Kind::kLeave;
+      } else if (kind == "flip") {
+        ev.kind = FaultEvent::Kind::kWalBitFlip;
+      } else if (kind == "torn") {
+        ev.kind = FaultEvent::Kind::kWalTornTail;
+      } else if (kind == "full") {
+        ev.kind = FaultEvent::Kind::kDiskFull;
       } else {
         return std::nullopt;
       }
-      const bool oneWay = ev.kind == FaultEvent::Kind::kJoin ||
-                          ev.kind == FaultEvent::Kind::kLeave;
-      // Join / leave are one-way transitions: "+duration" is optional (and
-      // ignored); every windowed fault requires it.
+      const bool oneWay = IsOneWay(ev.kind);
+      // One-way transitions (join/leave/flip/torn): "+duration" is optional
+      // (and ignored); every windowed fault requires it.
       if (plus == std::string::npos && !oneWay) return std::nullopt;
       try {
         std::string who = item.substr(colon + 1, atPos - colon - 1);
         if (who == "minority" && ev.kind == FaultEvent::Kind::kPartition) {
           ev.kind = FaultEvent::Kind::kMinorityPartition;
           ev.victim = MinoritySize(servers);
+        } else if (who == "all" && ev.kind == FaultEvent::Kind::kCrash) {
+          ev.kind = FaultEvent::Kind::kCrashAll;
+          ev.victim = 0;
         } else {
           const auto dash = who.find('-');
           if (dash != std::string::npos) {
@@ -317,7 +448,8 @@ struct FaultPlan {
       const std::size_t victimBound =
           ev.kind == FaultEvent::Kind::kSlowSubscriber ? subscribers : servers;
       if (ev.victim >= victimBound &&
-          ev.kind != FaultEvent::Kind::kMinorityPartition) {
+          ev.kind != FaultEvent::Kind::kMinorityPartition &&
+          ev.kind != FaultEvent::Kind::kCrashAll) {
         return std::nullopt;
       }
       if (ev.peer >= servers || ev.at < 0 || ev.duration < 0 ||
@@ -358,6 +490,34 @@ class InvariantChecker {
   void OnAck(const std::string& topic, const PublicationId& id) {
     ++acked_;
     ackedByTopic_[topic].push_back(id);
+  }
+
+  /// The acked set as of "now" — the driver captures it at the instant a
+  /// cluster-wide crash fires, so the durability audit covers exactly the
+  /// publications whose acks predate the outage.
+  [[nodiscard]] std::map<std::string, std::vector<PublicationId>> AckedSnapshot()
+      const {
+    return ackedByTopic_;
+  }
+
+  /// Post-recovery durability audit: every publication of `topic` acked at
+  /// crash time must be present in `recovered` (the union of the WAL-rebuilt
+  /// caches, before any peer backfill). Returns the missing count so the
+  /// driver can also feed the runtime monitor's [durability] rule.
+  std::size_t OnDurabilityObservation(
+      const std::string& context, const std::string& topic,
+      const std::vector<PublicationId>& ackedAtCrash,
+      const std::set<PublicationId>& recovered) {
+    std::size_t missing = 0;
+    for (const auto& id : ackedAtCrash) {
+      if (!recovered.contains(id)) {
+        ++missing;
+        violations_.push_back("[durability] " + context +
+                              ": acked publication " + IdStr(id) + " on " +
+                              topic + " missing after recovery");
+      }
+    }
+    return missing;
   }
 
   /// Fencing state of a partitioned server, sampled at the end of a
@@ -630,6 +790,12 @@ struct ChaosOptions {
   /// start deferred, and the final fence/cache sweep covers only the servers
   /// that are still members when the run ends.
   bool elastic = false;
+  /// Durability mode: every server runs a fault-injectable WAL (fsync=always)
+  /// under its cache, generated plans come from FaultPlan::GenerateDurability
+  /// (cluster-wide kill -9 / WAL bit flips / torn tails / ENOSPC windows),
+  /// and a cluster-wide crash asserts the [durability] union invariant at
+  /// the restart instant. Mutually exclusive with `elastic`.
+  bool durability = false;
   /// Message-level duplication on inter-server links (client dedup must
   /// absorb the resulting re-deliveries / re-sequencings).
   double peerDuplicateProb = 0.02;
@@ -689,6 +855,10 @@ class ChaosDriver {
   ChaosReport Run() {
     ChaosReport report;
     report.plan = opts_.plan ? *opts_.plan
+                  : opts_.durability
+                      ? FaultPlan::GenerateDurability(opts_.seed, opts_.servers,
+                                                      opts_.minFaultEvents,
+                                                      opts_.subscribers)
                   : opts_.elastic
                       ? FaultPlan::GenerateElastic(opts_.seed, opts_.servers,
                                                    opts_.minFaultEvents,
@@ -698,6 +868,18 @@ class ChaosDriver {
                                             opts_.subscribers);
     const FaultPlan& plan = report.plan;
     InvariantChecker checker;
+    // Disk damage (flip/torn/full) can destroy the only on-disk copy of an
+    // acked record, so the strict union-at-restart audit after a crash:all
+    // is only sound on damage-free plans; the end-of-run [cache] check
+    // (after peer backfill) covers the rest.
+    bool planHasDiskFaults = false;
+    for (const auto& ev : plan.events) {
+      if (ev.kind == FaultEvent::Kind::kWalBitFlip ||
+          ev.kind == FaultEvent::Kind::kWalTornTail ||
+          ev.kind == FaultEvent::Kind::kDiskFull) {
+        planHasDiskFaults = true;
+      }
+    }
 
     sim::Scheduler sched;
     SimCluster::Options copts;
@@ -706,6 +888,15 @@ class ChaosDriver {
     copts.serverLinks.duplicateProb = opts_.peerDuplicateProb;
     copts.metrics = opts_.metrics;
     copts.clientBackpressure = opts_.clientBackpressure;
+    if (opts_.durability) {
+      // Fault-injectable MemEnv WAL on every server. fsync=always makes the
+      // ack→durable implication exact; small segments exercise rotation and
+      // a generous retention keeps pruning away from still-acked history.
+      copts.durableCache = true;
+      copts.nodeConfig.wal.fsync = wal::FsyncPolicy::kAlways;
+      copts.nodeConfig.wal.segmentBytes = 64 * 1024;
+      copts.nodeConfig.wal.retainSegments = 64;
+    }
     // Membership over the run: joins start deferred and flip active; a
     // graceful leave flips inactive. The final fence/cache sweep covers only
     // members still in the cluster at the end.
@@ -836,6 +1027,9 @@ class ChaosDriver {
     primer->Stop();
 
     // --- fault schedule (offsets are relative to now) ----------------------
+    // The acked set frozen at the instant a crash:all fires; the union audit
+    // at restart compares the recovered caches against exactly this.
+    std::map<std::string, std::vector<PublicationId>> ackedAtOutage;
     for (const auto& ev : plan.events) {
       sched.Schedule(ev.at, [&, ev] {
         switch (ev.kind) {
@@ -873,6 +1067,25 @@ class ChaosDriver {
             trace("fault partition minority(" + std::to_string(ev.victim) +
                   ")");
             cluster.PartitionMinority(ev.victim);
+            break;
+          case FaultEvent::Kind::kCrashAll:
+            trace("fault crash all");
+            ackedAtOutage = checker.AckedSnapshot();
+            for (std::size_t i = 0; i < cluster.size(); ++i) {
+              if (active[i]) cluster.CrashServer(i);
+            }
+            break;
+          case FaultEvent::Kind::kWalBitFlip:
+            trace("fault wal-flip server-" + std::to_string(ev.victim));
+            cluster.FlipWalBit(ev.victim, static_cast<std::uint64_t>(ev.at));
+            break;
+          case FaultEvent::Kind::kWalTornTail:
+            trace("fault wal-torn server-" + std::to_string(ev.victim));
+            cluster.TearWalTail(ev.victim, static_cast<std::uint64_t>(ev.at));
+            break;
+          case FaultEvent::Kind::kDiskFull:
+            trace("fault wal-full server-" + std::to_string(ev.victim));
+            cluster.SetWalFull(ev.victim, true);
             break;
         }
       });
@@ -942,6 +1155,44 @@ class ChaosDriver {
             cluster.HealMinority(ev.victim);
             break;
           }
+          case FaultEvent::Kind::kCrashAll: {
+            trace("recover restart all");
+            for (std::size_t i = 0; i < cluster.size(); ++i) {
+              if (active[i]) cluster.RestartServer(i);
+            }
+            // Union audit at the restart instant: recovery is synchronous in
+            // Restart(), and no peer backfill or client republish has had a
+            // tick yet, so everything in the caches came off local WALs.
+            // With fsync=always on undamaged disks the union must cover the
+            // acked set frozen when the outage hit.
+            if (cluster.HasDurableCache() && !planHasDiskFaults) {
+              for (const auto& [topic, ids] : ackedAtOutage) {
+                std::set<PublicationId> recovered;
+                for (std::size_t i = 0; i < cluster.size(); ++i) {
+                  if (!active[i]) continue;
+                  for (const auto& m :
+                       cluster.node(i).cache().GetAfter(topic, {0, 0})) {
+                    recovered.insert(m.pubId);
+                  }
+                }
+                const std::size_t missing = checker.OnDurabilityObservation(
+                    "cluster", topic, ids, recovered);
+                if (monitor) monitor->OnRecoveryAudit("cluster/" + topic,
+                                                      missing);
+                trace("observe durability " + topic +
+                      " acked=" + std::to_string(ids.size()) +
+                      " missing=" + std::to_string(missing));
+              }
+            }
+            break;
+          }
+          case FaultEvent::Kind::kWalBitFlip:
+          case FaultEvent::Kind::kWalTornTail:
+            break;  // latent damage: exposed by the next crash, nothing heals
+          case FaultEvent::Kind::kDiskFull:
+            trace("recover wal-full-end server-" + std::to_string(ev.victim));
+            cluster.SetWalFull(ev.victim, false);
+            break;
         }
       });
     }
@@ -1030,16 +1281,34 @@ class ChaosDriver {
     // Only servers that are members at the end of the run: a gracefully left
     // server is inert (its cache owes nobody anything), a deferred server
     // that never joined holds no state.
+    const auto ackedFinal = checker.AckedSnapshot();
     for (std::size_t i = 0; i < cluster.size(); ++i) {
       if (!active[i]) continue;
       checker.OnFinalFenceState(i, cluster.node(i).IsFenced());
       if (opts_.checkCaches) {
+        // The monitor gets the same audit as the checker's [cache] rule: how
+        // many acked publications this server's post-quiesce cache is
+        // missing. Clean runs report zero — which is exactly the eligible
+        // observation a one-shot `--inject durability` needs to fire on.
+        std::size_t monitorMissing = 0;
         for (const auto& topic : topics) {
           std::set<PublicationId> ids;
           for (const auto& m : cluster.node(i).cache().GetAfter(topic, {0, 0})) {
             ids.insert(m.pubId);
           }
+          if (monitor) {
+            const auto ackIt = ackedFinal.find(topic);
+            if (ackIt != ackedFinal.end()) {
+              for (const auto& id : ackIt->second) {
+                if (!ids.contains(id)) ++monitorMissing;
+              }
+            }
+          }
           checker.OnFinalCache(i, topic, std::move(ids));
+        }
+        if (monitor) {
+          monitor->OnRecoveryAudit("server-" + std::to_string(i),
+                                   monitorMissing);
         }
       }
     }

@@ -19,7 +19,17 @@ ClusterNode::ClusterNode(ClusterConfig cfg, ClusterEnv& env,
       cache_(cfg_.cache),
       cm_(cfg_.metrics != nullptr ? *cfg_.metrics
                                   : obs::MetricsRegistry::Default(),
+          obs::ServerLabel(cfg_.serverId)),
+      wm_(cfg_.metrics != nullptr ? *cfg_.metrics
+                                  : obs::MetricsRegistry::Default(),
           obs::ServerLabel(cfg_.serverId)) {
+  if (!cfg_.wal.dir.empty()) {
+    wal::Env& env = cfg_.walEnv != nullptr
+                        ? *cfg_.walEnv
+                        : static_cast<wal::Env&>(wal::PosixEnv::Instance());
+    wal_ = std::make_unique<wal::Log>(env, cfg_.wal, &wm_);
+    cache_.AttachWal(wal_.get());
+  }
   if (cfg_.elastic) {
     quorum_ = Quorum(cfg_.minQuorumVotes);
     memberUniverse_ = peers_;
@@ -56,6 +66,10 @@ void ClusterNode::Start() {
   fenced_ = false;
   SetupWatches();
   fenceTimer_ = env_.Schedule(cfg_.fenceCheckInterval, [this] { CheckFence(); });
+  if (wal_ && wal_->config().fsync == wal::FsyncPolicy::kGroupCommit) {
+    walFlushTimer_ =
+        env_.Schedule(wal_->config().flushInterval, [this] { WalFlushTick(); });
+  }
   if (cfg_.elastic) JoinMembership();
 }
 
@@ -63,6 +77,12 @@ void ClusterNode::Crash() {
   crashed_ = true;
   started_ = false;
   env_.Cancel(fenceTimer_);
+  env_.Cancel(walFlushTimer_);
+  walFlushTimer_ = 0;
+  // kill -9 semantics for the WAL: drop open segment handles WITHOUT a final
+  // sync. Whatever the fsync policy left unsynced is at the storage layer's
+  // mercy (the sim's MemEnv then tears it realistically).
+  if (wal_) wal_->Abandon();
   // Fail-stop: every piece of volatile state disappears.
   for (const ClientHandle client : clients_) registry_.DropClient(client);
   clients_.clear();
@@ -99,11 +119,41 @@ void ClusterNode::Crash() {
 }
 
 void ClusterNode::Restart() {
+  // Local WAL first: everything that survived on this node's own disk is
+  // back in the cache before any peer is asked, so the CacheSyncReq cursors
+  // describe the recovered state and peers only ship the delta.
+  RecoverFromWal();
   Start();
   // Paper §5.2.2: "If a cluster member experiences a crash failure and
   // restarts, it reconstructs its cache by asking all members of the cluster
   // in parallel."
   StartCacheReconstruction();
+}
+
+void ClusterNode::RecoverFromWal() {
+  if (!wal_) return;
+  const TimePoint now = env_.Now();
+  lastRecovery_ = wal_->Recover([this, now](Message&& msg) {
+    // InsertRecovered: sorted + deduped, and does NOT re-append to the WAL.
+    cache_.InsertRecovered(msg, now);
+  });
+  if (lastRecovery_.records > 0 || lastRecovery_.tornTails > 0 ||
+      lastRecovery_.corruptSkipped > 0) {
+    MD_INFO("%s: WAL replay: %llu records, %llu corrupt skipped, %llu torn "
+            "tails, %llu bad segments",
+            cfg_.serverId.c_str(),
+            static_cast<unsigned long long>(lastRecovery_.records),
+            static_cast<unsigned long long>(lastRecovery_.corruptSkipped),
+            static_cast<unsigned long long>(lastRecovery_.tornTails),
+            static_cast<unsigned long long>(lastRecovery_.badSegments));
+  }
+}
+
+void ClusterNode::WalFlushTick() {
+  if (crashed_ || !started_ || !wal_) return;
+  wal_->Flush(env_.Now());
+  walFlushTimer_ =
+      env_.Schedule(wal_->config().flushInterval, [this] { WalFlushTick(); });
 }
 
 void ClusterNode::SetupWatches() {
@@ -230,9 +280,35 @@ void ClusterNode::HandleSubscribe(ClientHandle client, const SubscribeFrame& sub
     }
   }
   if (hasResume) {
+    // While this topic's group has a cache sync outstanding (or the topic is
+    // gap-stalled) the cache may hold interior holes, and the client-side
+    // duplicate filter is position-based — once it accepts a message past a
+    // hole, the late hole-fill would be dropped as a duplicate. Serve only
+    // the provably contiguous prefix of the backfill and let the post-sync
+    // DeliverInOrder flush hand over the rest (already-caught-up subscribers
+    // filter the overlap).
+    const bool suspect = syncing_.contains(GroupOf(sub.topic)) ||
+                         gapStalled_.contains(sub.topic);
+    StreamPos last = resumeAfter;
+    bool truncated = false;
     for (const Message& missed : cache_.GetAfter(sub.topic, resumeAfter)) {
+      if (suspect) {
+        const StreamPos pos = PosOf(missed);
+        if (pos.epoch != last.epoch || pos.seq != last.seq + 1) {
+          truncated = true;
+          break;
+        }
+        last = pos;
+      }
       cm_.delivered.Inc();
       env_.SendToClient(client, DeliverFrame{missed});
+    }
+    if (truncated) {
+      // Rewind the shared fan-out cursor to the boundary so the post-sync
+      // flush re-delivers from there; clients already past it dedup.
+      auto [it, inserted] = deliveryCursor_.try_emplace(sub.topic, last);
+      if (!inserted && last < it->second) it->second = last;
+      StallDelivery(sub.topic);
     }
   }
 }
@@ -653,13 +729,19 @@ void ClusterNode::OnGossipAnnounce(const GossipAnnounceFrame& announce) {
 }
 
 void ClusterNode::OnCacheSyncReq(const std::string& from, const CacheSyncReqFrame& req) {
-  // Serve everything we hold for the group beyond the requester's positions.
+  // Serve everything we hold for the group outside the requester's covered
+  // span [head, have]: newer than its cursor, or older than its earliest
+  // surviving record (head-hole backfill).
   std::map<std::string, StreamPos> have(req.have.begin(), req.have.end());
+  std::map<std::string, StreamPos> head(req.head.begin(), req.head.end());
   CacheSyncRespFrame resp;
   resp.group = req.group;
   for (const Message& msg : cache_.GroupSnapshot(req.group)) {
     const auto it = have.find(msg.topic);
-    if (it != have.end() && PosOf(msg) <= it->second) continue;
+    if (it != have.end() && PosOf(msg) <= it->second) {
+      const auto h = head.find(msg.topic);
+      if (h == head.end() || PosOf(msg) >= h->second) continue;
+    }
     resp.messages.push_back(msg);
     if (resp.messages.size() >= cfg_.cacheSyncChunk) {
       resp.done = false;
@@ -826,7 +908,17 @@ void ClusterNode::StartCacheReconstruction() {
     syncing_.insert(g);
     CacheSyncReqFrame req;
     req.group = g;
-    req.have = cache_.GroupPositions(g);
+    // Contiguous-prefix cursors, not newest positions: a WAL-recovered
+    // history can have interior holes (corrupt records skipped, ENOSPC
+    // windows) and a cursor past a hole would hide it from peers forever.
+    // Peers resend the suspicious span; Insert dedups the overlap.
+    req.have = cache_.GroupContiguousPositions(g);
+    // The cursor can only prove "nothing missing AFTER it". A hole BEFORE
+    // the first surviving record — a bit flip or ENOSPC window that took a
+    // topic's head — looks identical to a history that simply started
+    // later, so also tell peers where our history begins and let them
+    // resend anything older they still hold.
+    req.head = cache_.GroupEarliestPositions(g);
     for (const std::string& peer : peers_) env_.SendToPeer(peer, req);
   }
 }
@@ -1164,7 +1256,7 @@ void ClusterNode::SyncFromPeer(const std::string& peerId) {
   for (std::uint32_t g = 0; g < cfg_.topicGroups; ++g) {
     CacheSyncReqFrame req;
     req.group = g;
-    req.have = cache_.GroupPositions(g);
+    req.have = cache_.GroupContiguousPositions(g);
     env_.SendToPeer(peerId, req);
   }
 }

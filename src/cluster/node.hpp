@@ -28,6 +28,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -44,6 +45,8 @@
 #include "core/registry.hpp"
 #include "core/sequencer.hpp"
 #include "proto/frames.hpp"
+#include "wal/env.hpp"
+#include "wal/log.hpp"
 
 namespace md::cluster {
 
@@ -95,6 +98,16 @@ struct ClusterConfig {
   Duration handoffAckTimeout = kSecond;
   /// Explicit quorum-vote threshold; 0 derives majority from the vote total.
   std::uint32_t minQuorumVotes = 0;
+
+  // --- durable topic cache (DESIGN.md §13) ----------------------------------
+  /// Segmented WAL underneath the cache. wal.dir empty = no WAL (volatile
+  /// cache, pre-durability behavior). A crash-restarted node then replays
+  /// its local WAL first and asks peers only for the delta.
+  wal::WalConfig wal;
+  /// Storage backing the WAL. nullptr = PosixEnv (real files); the sim
+  /// cluster passes a MemEnv with crash/disk-fault injection. Must outlive
+  /// the node.
+  wal::Env* walEnv = nullptr;
 };
 
 /// Legacy plain-struct view of the node's counters, built from the metrics
@@ -144,7 +157,9 @@ class ClusterNode {
   // --- lifecycle -------------------------------------------------------------
   void Start();
   void Crash();    // fail-stop: drops all volatile state (incl. cache)
-  void Restart();  // rejoin and reconstruct the cache from peers
+  /// Rejoin: replay the local WAL (if configured) into the cache, then ask
+  /// peers only for the delta past the recovered per-topic cursors.
+  void Restart();
   /// Graceful scale-in (elastic only): hand every locally hosted subscriber
   /// partition to its post-leave owner, deregister from the membership, then
   /// invoke `done`. Non-elastic nodes complete immediately.
@@ -191,6 +206,11 @@ class ClusterNode {
     return quorum_.Quorumed() && coord_.HasQuorumContact();
   }
   [[nodiscard]] const Quorum& quorum() const noexcept { return quorum_; }
+  /// What the most recent WAL replay found (zeros when no WAL or no restart
+  /// yet). Chaos/bench harnesses read this right after Restart().
+  [[nodiscard]] const wal::RecoveryStats& lastWalRecovery() const noexcept {
+    return lastRecovery_;
+  }
 
   /// Instrumentation tap: invoked once per message as it becomes available
   /// for local fan-out on this server (used by the failover benchmark to
@@ -289,6 +309,8 @@ class ClusterNode {
   void Fence();
   void Unfence();
   void StartCacheReconstruction();
+  void RecoverFromWal();
+  void WalFlushTick();
   void DeliverToLocalSubscribers(const Message& msg);
   void DeliverInOrder(const std::string& topic);
   void StallDelivery(const std::string& topic);
@@ -355,7 +377,13 @@ class ClusterNode {
   std::function<void()> leaveDone_;
 
   obs::ClusterMetrics cm_;
+  obs::WalMetrics wm_;
   TimePoint fenceStart_ = -1;  // Now() at the last Fence(); -1 = not fenced
+
+  // --- durable cache state (survives Crash() by design) ---------------------
+  std::unique_ptr<wal::Log> wal_;  // nullptr when cfg_.wal.dir is empty
+  std::uint64_t walFlushTimer_ = 0;
+  wal::RecoveryStats lastRecovery_;
 };
 
 }  // namespace md::cluster

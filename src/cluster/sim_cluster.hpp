@@ -28,6 +28,7 @@
 #include "proto/codec.hpp"
 #include "simnet/network.hpp"
 #include "transport/inproc.hpp"
+#include "wal/mem_env.hpp"
 
 namespace md::cluster {
 
@@ -63,6 +64,12 @@ class SimCluster {
     /// replica runs from t=0: the coordination ensemble is provisioned
     /// statically, only the messaging membership is elastic.
     std::set<std::size_t> deferredStart;
+    /// Give every server a MemEnv-backed WAL under its cache. CrashServer
+    /// then tears the unsynced tail realistically and RestartServer replays
+    /// the survivors before asking peers for the delta. nodeConfig.wal is
+    /// used as the template (its dir is overridden per server; an empty dir
+    /// gets a default).
+    bool durableCache = false;
   };
 
   explicit SimCluster(sim::Scheduler& sched, Options options)
@@ -100,6 +107,13 @@ class SimCluster {
       ClusterConfig cfg = opts_.nodeConfig;
       cfg.serverId = ids[i];
       cfg.metrics = opts_.metrics;
+      if (opts_.durableCache) {
+        server->walEnv = std::make_unique<wal::MemEnv>();
+        cfg.walEnv = server->walEnv.get();
+        if (cfg.wal.dir.empty()) cfg.wal.dir = "wal/" + ids[i];
+      } else {
+        cfg.wal.dir.clear();  // no WAL without a fault-injectable env
+      }
       server->node = std::make_unique<ClusterNode>(cfg, *server->env,
                                                    coordCluster_->node(i), peers);
       servers_.push_back(std::move(server));
@@ -147,7 +161,13 @@ class SimCluster {
   void CrashServer(std::size_t i) {
     ServerHost& server = *servers_.at(i);
     coordCluster_->CrashNode(i);  // host goes down too
-    server.node->Crash();
+    server.node->Crash();  // abandons WAL handles (no final sync) first...
+    if (server.walEnv) {
+      // ...then the storage loses everything unsynced, keeping a random
+      // prefix of each file's unsynced tail — the kill -9 torn-write shapes.
+      server.walEnv->Crash(opts_.seed ^ (0x9E3779B97F4A7C15ULL * (i + 1)) ^
+                           ++server.walCrashes);
+    }
     // TCP connections to a dead host break.
     server.listener.reset();
     auto conns = std::move(server.connections);
@@ -170,6 +190,40 @@ class SimCluster {
   }
 
   void HealServer(std::size_t i) { net_.HealAll(servers_[i]->host); }
+
+  // --- disk faults (durableCache only; no-ops otherwise) ---------------------
+
+  [[nodiscard]] bool HasDurableCache() const noexcept {
+    return opts_.durableCache;
+  }
+
+  /// Flips one random bit somewhere in server i's WAL; false if it has no
+  /// WAL bytes yet.
+  bool FlipWalBit(std::size_t i, std::uint64_t salt) {
+    ServerHost& server = *servers_.at(i);
+    if (!server.walEnv) return false;
+    return server.walEnv->FlipRandomBit(opts_.seed ^ salt ^ (i * 0x5851F42DULL));
+  }
+
+  /// Truncates a random tail off one of server i's WAL files (latent torn
+  /// write); returns bytes removed.
+  std::size_t TearWalTail(std::size_t i, std::uint64_t salt) {
+    ServerHost& server = *servers_.at(i);
+    if (!server.walEnv) return 0;
+    return server.walEnv->TruncateRandomTail(opts_.seed ^ salt ^
+                                             (i * 0x2545F491ULL));
+  }
+
+  /// ENOSPC switch for server i's WAL device. While full, WAL appends fail
+  /// (counted); the in-memory cache keeps serving.
+  void SetWalFull(std::size_t i, bool full) {
+    ServerHost& server = *servers_.at(i);
+    if (server.walEnv) server.walEnv->SetFull(full);
+  }
+
+  [[nodiscard]] wal::MemEnv* WalEnv(std::size_t i) {
+    return servers_.at(i)->walEnv.get();
+  }
 
   // --- elastic membership ----------------------------------------------------
 
@@ -240,6 +294,8 @@ class SimCluster {
     std::string id;
     sim::HostId host = 0;
     std::unique_ptr<ClusterEnv> env;
+    std::unique_ptr<wal::MemEnv> walEnv;  // set when Options::durableCache
+    std::uint64_t walCrashes = 0;         // crash-seed diversifier
     std::unique_ptr<ClusterNode> node;
     ListenerPtr listener;
     ClientHandle nextHandle = 1;

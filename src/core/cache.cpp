@@ -19,12 +19,27 @@ bool Cache::Append(const Message& msg, TimePoint now) {
   while (history.entries.size() > cfg_.maxMessagesPerTopic) {
     history.entries.pop_front();
   }
+  // Under the shard lock so the WAL records a group's appends in cache
+  // order; failures (ENOSPC) are counted by the Log, the in-memory cache
+  // stays authoritative for serving either way.
+  if (wal_ != nullptr) (void)wal_->Append(GroupOf(msg.topic), msg, now);
   return true;
 }
 
 bool Cache::Insert(const Message& msg, TimePoint now) {
   Shard& shard = ShardFor(msg.topic);
   std::lock_guard lock(shard.mutex);
+  return InsertLocked(shard, msg, now, /*writeWal=*/true);
+}
+
+bool Cache::InsertRecovered(const Message& msg, TimePoint now) {
+  Shard& shard = ShardFor(msg.topic);
+  std::lock_guard lock(shard.mutex);
+  return InsertLocked(shard, msg, now, /*writeWal=*/false);
+}
+
+bool Cache::InsertLocked(Shard& shard, const Message& msg, TimePoint now,
+                         bool writeWal) {
   TopicHistory& history = shard.topics[msg.topic];
   auto& entries = history.entries;
 
@@ -34,6 +49,9 @@ bool Cache::Insert(const Message& msg, TimePoint now) {
   if (it != entries.end() && PosOf(it->msg) == PosOf(msg)) return false;
   entries.insert(it, {msg, now});
   while (entries.size() > cfg_.maxMessagesPerTopic) entries.pop_front();
+  if (writeWal && wal_ != nullptr) {
+    (void)wal_->Append(GroupOf(msg.topic), msg, now);
+  }
   return true;
 }
 
@@ -85,6 +103,41 @@ std::vector<std::pair<std::string, StreamPos>> Cache::GroupPositions(
     if (!history.entries.empty()) {
       out.emplace_back(topic, PosOf(history.entries.back().msg));
     }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, StreamPos>> Cache::GroupEarliestPositions(
+    std::uint32_t group) const {
+  std::vector<std::pair<std::string, StreamPos>> out;
+  if (group >= shards_.size()) return out;
+  const Shard& shard = shards_[group];
+  std::lock_guard lock(shard.mutex);
+  for (const auto& [topic, history] : shard.topics) {
+    if (history.entries.empty()) continue;
+    out.emplace_back(topic, PosOf(history.entries.front().msg));
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, StreamPos>> Cache::GroupContiguousPositions(
+    std::uint32_t group) const {
+  std::vector<std::pair<std::string, StreamPos>> out;
+  if (group >= shards_.size()) return out;
+  const Shard& shard = shards_[group];
+  std::lock_guard lock(shard.mutex);
+  for (const auto& [topic, history] : shard.topics) {
+    const auto& entries = history.entries;
+    if (entries.empty()) continue;
+    StreamPos last = PosOf(entries.front().msg);
+    for (std::size_t i = 1; i < entries.size(); ++i) {
+      const StreamPos next = PosOf(entries[i].msg);
+      // Same contiguity rule as the live gap check: only a same-epoch +1
+      // step is provably hole-free (epoch changes restart sequences).
+      if (next.epoch != last.epoch || next.seq != last.seq + 1) break;
+      last = next;
+    }
+    out.emplace_back(topic, last);
   }
   return out;
 }

@@ -23,6 +23,7 @@
 #include "common/hash.hpp"
 #include "common/time.hpp"
 #include "proto/message.hpp"
+#include "wal/log.hpp"
 
 namespace md::core {
 
@@ -39,6 +40,12 @@ class Cache {
   Cache(const Cache&) = delete;
   Cache& operator=(const Cache&) = delete;
 
+  /// Routes every subsequent successful Append/Insert through `wal` (while
+  /// the shard lock is held, so the WAL sees the cache's per-group order).
+  /// Call before serving traffic; pass nullptr to detach. The Log must
+  /// outlive the Cache.
+  void AttachWal(wal::Log* wal) { wal_ = wal; }
+
   /// Appends a sequenced message to its topic's history. Out-of-date
   /// duplicates (pos <= last cached pos) are ignored; returns true if stored.
   bool Append(const Message& msg, TimePoint now = 0);
@@ -47,6 +54,10 @@ class Cache {
   /// older than the newest cached position and backfills them in order
   /// (duplicates still ignored). O(n) in the topic history — recovery only.
   bool Insert(const Message& msg, TimePoint now = 0);
+
+  /// Insert WITHOUT writing the WAL — the apply path of WAL recovery (the
+  /// record is already durable; re-appending it would double it on disk).
+  bool InsertRecovered(const Message& msg, TimePoint now = 0);
 
   /// Messages of `topic` strictly after `pos`, in (epoch, seq) order.
   [[nodiscard]] std::vector<Message> GetAfter(const std::string& topic,
@@ -64,6 +75,23 @@ class Cache {
   /// CacheSyncReq).
   [[nodiscard]] std::vector<std::pair<std::string, StreamPos>> GroupPositions(
       std::uint32_t group) const;
+
+  /// Last position of the longest contiguous PREFIX per topic in `group`
+  /// (consecutive entries with the same epoch and seq+1 steps). A WAL-
+  /// recovered history can have interior holes — corrupt records skipped,
+  /// ENOSPC windows — and a sync "have" cursor past a hole would stop peers
+  /// from ever refilling it; this cursor makes them resend the suspicious
+  /// span instead (Insert dedups the overlap).
+  [[nodiscard]] std::vector<std::pair<std::string, StreamPos>>
+  GroupContiguousPositions(std::uint32_t group) const;
+
+  /// Per topic in `group`: the OLDEST position still cached. Cache-sync
+  /// requests send these as the `head` list so peers resend anything older
+  /// they still hold — a hole that falls before the surviving history (bit
+  /// flip or ENOSPC that took a topic's first records) is invisible to any
+  /// forward cursor and can only be healed from this side.
+  [[nodiscard]] std::vector<std::pair<std::string, StreamPos>>
+  GroupEarliestPositions(std::uint32_t group) const;
 
   /// Drop entries older than `now - maxAge` (no-op when maxAge == 0).
   void EvictExpired(TimePoint now);
@@ -100,8 +128,12 @@ class Cache {
     return shards_[GroupOf(topic)];
   }
 
+  bool InsertLocked(Shard& shard, const Message& msg, TimePoint now,
+                    bool writeWal);
+
   CacheConfig cfg_;
   std::vector<Shard> shards_;  // one per topic group
+  wal::Log* wal_ = nullptr;    // optional durability hook
 };
 
 }  // namespace md::core

@@ -1,5 +1,7 @@
 #include "core/server.hpp"
 
+#include <chrono>
+
 #include "common/logging.hpp"
 #include "proto/http_stream.hpp"
 #include "common/strutil.hpp"
@@ -84,6 +86,7 @@ Server::Server(ServerConfig cfg)
       m_(metrics_, obs::ServerLabel(cfg_.serverId)),
       tm_(metrics_),
       scm_(metrics_, obs::ServerLabel(cfg_.serverId)),
+      wm_(metrics_, obs::ServerLabel(cfg_.serverId)),
       tracer_(metrics_, [] { return RealClock::Instance().Now(); }, "wall"),
       cache_(cfg_.cache) {
   // Pre-register the full schema so GET /metrics exposes every family from
@@ -91,6 +94,10 @@ Server::Server(ServerConfig cfg)
   obs::RegisterStandardFamilies(metrics_);
   if (cfg_.ioThreads < 1) cfg_.ioThreads = 1;
   if (cfg_.workers < 1) cfg_.workers = 1;
+  if (!cfg_.wal.dir.empty()) {
+    wal_ = std::make_unique<wal::Log>(wal::PosixEnv::Instance(), cfg_.wal, &wm_);
+    cache_.AttachWal(wal_.get());
+  }
   if (cfg_.runtimeVerify) {
     // The monitor's families register here, not in RegisterStandardFamilies:
     // a server without runtimeVerify keeps its exposition schema (and the
@@ -109,9 +116,46 @@ Server::~Server() { Stop(); }
 Status Server::Start() {
   if (running_.exchange(true)) return Err(ErrorCode::kAlreadyExists, "running");
 
+  // Replay the WAL before anything can publish: the cache regains its
+  // history and the sequencer resumes AFTER the newest recovered position
+  // per topic (re-issuing a durable position would fork the stream).
+  if (wal_) {
+    const TimePoint now = RealClock::Instance().Now();
+    walRecovery_ = wal_->Recover(
+        [this, now](Message&& msg) { cache_.InsertRecovered(msg, now); });
+    if (walRecovery_.records != 0 || walRecovery_.tornTails != 0 ||
+        walRecovery_.corruptSkipped != 0 || walRecovery_.badSegments != 0) {
+      MD_INFO(
+          "server %s WAL recovery: %llu records from %llu segments "
+          "(%llu torn tails, %llu corrupt skipped, %llu bad segments)",
+          cfg_.serverId.c_str(),
+          static_cast<unsigned long long>(walRecovery_.records),
+          static_cast<unsigned long long>(walRecovery_.segments),
+          static_cast<unsigned long long>(walRecovery_.tornTails),
+          static_cast<unsigned long long>(walRecovery_.corruptSkipped),
+          static_cast<unsigned long long>(walRecovery_.badSegments));
+    }
+  }
+
   // The single-node server sequences every group itself at epoch 1.
   for (std::uint32_t g = 0; g < cfg_.cache.topicGroups; ++g) {
     sequencer_.BeginEpoch(g, 1);
+    if (wal_) {
+      for (const auto& [topic, pos] : cache_.GroupPositions(g)) {
+        sequencer_.PrimeTopic(g, topic, pos);
+      }
+    }
+  }
+
+  if (wal_ && cfg_.wal.fsync == wal::FsyncPolicy::kGroupCommit) {
+    walFlusherStop_.store(false);
+    walFlusher_ = std::thread([this] {
+      while (!walFlusherStop_.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(
+            std::chrono::nanoseconds(cfg_.wal.flushInterval));
+        wal_->Flush(RealClock::Instance().Now());
+      }
+    });
   }
 
   for (int i = 0; i < cfg_.ioThreads; ++i) {
@@ -149,6 +193,10 @@ Status Server::Start() {
 
 void Server::Stop() {
   if (!running_.exchange(false)) return;
+  if (walFlusher_.joinable()) {
+    walFlusherStop_.store(true);
+    walFlusher_.join();
+  }
   for (auto& worker : workers_) worker->queue.Close();
   for (auto& worker : workers_) {
     if (worker->thread.joinable()) worker->thread.join();
@@ -163,6 +211,7 @@ void Server::Stop() {
   }
   workers_.clear();
   ioThreads_.clear();
+  if (wal_) wal_->Close();  // clean shutdown: everything synced on disk
 }
 
 ServerStats Server::Stats() const {

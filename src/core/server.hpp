@@ -43,6 +43,7 @@
 #include "proto/websocket.hpp"
 #include "transport/epoll_loop.hpp"
 #include "verify/monitor.hpp"
+#include "wal/log.hpp"
 
 namespace md::core {
 
@@ -52,6 +53,11 @@ struct ServerConfig {
   int workers = 2;
   std::string serverId = "server-1";
   CacheConfig cache;
+  /// Durable topic cache (DESIGN.md §13): a non-empty `wal.dir` logs every
+  /// cache append to a segmented WAL there, and Start() replays the intact
+  /// records — rebuilding the cache and re-priming the sequencer — before
+  /// any listener binds.
+  wal::WalConfig wal;
   bool enableBatching = false;
   BatchConfig batch;
   /// Conflation (paper §4): within each window a subscriber receives only
@@ -110,6 +116,10 @@ class Server {
   [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
   /// The embedded runtime monitor; nullptr unless cfg.runtimeVerify.
   [[nodiscard]] verify::Monitor* monitor() noexcept { return monitor_.get(); }
+  /// What the last Start() replayed from the WAL (zeros when WAL disabled).
+  [[nodiscard]] const wal::RecoveryStats& walRecovery() const noexcept {
+    return walRecovery_;
+  }
 
   /// Session freeze/drain hooks for partition hand-off (DESIGN.md §12): a
   /// frozen session keeps its subscriptions and resume cursors but is
@@ -206,8 +216,13 @@ class Server {
   obs::CoreMetrics m_;
   obs::TransportMetrics tm_;
   obs::SlowConsumerMetrics scm_;
+  obs::WalMetrics wm_;
   obs::Tracer tracer_;
   std::unique_ptr<verify::Monitor> monitor_;
+  std::unique_ptr<wal::Log> wal_;
+  wal::RecoveryStats walRecovery_;
+  std::thread walFlusher_;             // group-commit policy only
+  std::atomic<bool> walFlusherStop_{false};
   std::atomic<bool> running_{false};
   std::uint16_t boundPort_ = 0;
 

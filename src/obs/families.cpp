@@ -119,6 +119,35 @@ constexpr std::string_view kClusFailover = "md_cluster_failover_ns";
 constexpr std::string_view kClusFailoverHelp =
     "Fence-to-unfence (failover) durations";
 
+constexpr std::string_view kWalAppends = "md_wal_appends_total";
+constexpr std::string_view kWalAppendsHelp = "Records appended to the WAL";
+constexpr std::string_view kWalAppendBytes = "md_wal_append_bytes_total";
+constexpr std::string_view kWalAppendBytesHelp =
+    "Framed record bytes appended to the WAL";
+constexpr std::string_view kWalFsyncs = "md_wal_fsyncs_total";
+constexpr std::string_view kWalFsyncsHelp = "Segment fsync calls issued";
+constexpr std::string_view kWalRotations = "md_wal_rotations_total";
+constexpr std::string_view kWalRotationsHelp =
+    "Segments sealed by size or age rotation";
+constexpr std::string_view kWalCorrupt = "md_wal_corrupt_records_skipped_total";
+constexpr std::string_view kWalCorruptHelp =
+    "Recovery records dropped for CRC mismatch or undecodable payload";
+constexpr std::string_view kWalTorn = "md_wal_torn_tails_truncated_total";
+constexpr std::string_view kWalTornHelp =
+    "Segments truncated at a torn or zero-filled tail during recovery";
+constexpr std::string_view kWalRecovered = "md_wal_recovered_records_total";
+constexpr std::string_view kWalRecoveredHelp =
+    "Intact records replayed into the cache at startup";
+constexpr std::string_view kWalEnospc = "md_wal_enospc_errors_total";
+constexpr std::string_view kWalEnospcHelp =
+    "WAL appends failed for lack of disk space (cache stays authoritative)";
+constexpr std::string_view kWalSegments = "md_wal_segments";
+constexpr std::string_view kWalSegmentsHelp =
+    "Segment files currently on disk (active + sealed)";
+constexpr std::string_view kWalRecoveryMs = "md_wal_recovery_last_ms";
+constexpr std::string_view kWalRecoveryMsHelp =
+    "Wall-clock duration of the most recent WAL recovery scan";
+
 constexpr std::string_view kCoordExpirations =
     "md_coord_session_expirations_total";
 constexpr std::string_view kCoordExpirationsHelp =
@@ -193,6 +222,18 @@ ClusterMetrics::ClusterMetrics(MetricsRegistry& r, std::string_view labels)
           r.GetGauge(kClusFailoverLast, kClusFailoverLastHelp, labels)),
       failoverNs(r.GetHistogram(kClusFailover, kClusFailoverHelp, labels)) {}
 
+WalMetrics::WalMetrics(MetricsRegistry& r, std::string_view labels)
+    : appends(r.GetCounter(kWalAppends, kWalAppendsHelp, labels)),
+      appendBytes(r.GetCounter(kWalAppendBytes, kWalAppendBytesHelp, labels)),
+      fsyncs(r.GetCounter(kWalFsyncs, kWalFsyncsHelp, labels)),
+      rotations(r.GetCounter(kWalRotations, kWalRotationsHelp, labels)),
+      corruptSkipped(r.GetCounter(kWalCorrupt, kWalCorruptHelp, labels)),
+      tornTruncated(r.GetCounter(kWalTorn, kWalTornHelp, labels)),
+      recoveredRecords(r.GetCounter(kWalRecovered, kWalRecoveredHelp, labels)),
+      enospcErrors(r.GetCounter(kWalEnospc, kWalEnospcHelp, labels)),
+      segments(r.GetGauge(kWalSegments, kWalSegmentsHelp, labels)),
+      recoveryLastMs(r.GetGauge(kWalRecoveryMs, kWalRecoveryMsHelp, labels)) {}
+
 CoordMetrics::CoordMetrics(MetricsRegistry& r, std::string_view labels)
     : sessionExpirations(
           r.GetCounter(kCoordExpirations, kCoordExpirationsHelp, labels)),
@@ -205,6 +246,7 @@ void RegisterStandardFamilies(MetricsRegistry& registry) {
   TransportMetrics transport(registry);
   SlowConsumerMetrics slowConsumer(registry);
   ClusterMetrics cluster(registry);
+  WalMetrics wal(registry);
   CoordMetrics coord(registry);
   registry.GetHistogram("md_trace_stage_ns",
                         "Latency between consecutive pipeline stages");

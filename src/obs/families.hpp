@@ -84,6 +84,24 @@ struct ClusterMetrics {
   LatencyHistogram& failoverNs;
 };
 
+/// wal::Log counters (one bundle per server, labeled server="<name>").
+/// Appends/fsyncs describe the publish-path write load per fsync policy;
+/// the recovery families describe what the last startup replay found.
+struct WalMetrics {
+  explicit WalMetrics(MetricsRegistry& registry, std::string_view labels = "");
+
+  Counter& appends;
+  Counter& appendBytes;
+  Counter& fsyncs;
+  Counter& rotations;
+  Counter& corruptSkipped;
+  Counter& tornTruncated;
+  Counter& recoveredRecords;
+  Counter& enospcErrors;
+  Gauge& segments;
+  Gauge& recoveryLastMs;
+};
+
 /// coord (MiniZK) counters (one bundle per coord node, labeled node="<id>").
 struct CoordMetrics {
   explicit CoordMetrics(MetricsRegistry& registry, std::string_view labels = "");

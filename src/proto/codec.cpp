@@ -164,6 +164,11 @@ struct Encoder {
       w.WriteString(topic);
       WritePos(w, pos);
     }
+    w.WriteVarint(f.head.size());
+    for (const auto& [topic, pos] : f.head) {
+      w.WriteString(topic);
+      WritePos(w, pos);
+    }
   }
   void operator()(const CacheSyncRespFrame& f) {
     w.WriteVarint(f.group);
@@ -327,6 +332,17 @@ Status FillCacheSyncReq(ByteReader& r, CacheSyncReqFrame& f) {
     StreamPos pos;
     if (Status s = ReadPos(r, pos); !s.ok()) return s;
     f.have.emplace_back(std::move(topic), pos);
+  }
+  std::uint64_t heads = 0;
+  if (Status s = r.ReadVarint(heads); !s.ok()) return s;
+  if (heads > 1'000'000) return Err(ErrorCode::kProtocol, "absurd head-list size");
+  f.head.reserve(static_cast<std::size_t>(heads));
+  for (std::uint64_t i = 0; i < heads; ++i) {
+    std::string topic;
+    if (Status s = r.ReadString(topic); !s.ok()) return s;
+    StreamPos pos;
+    if (Status s = ReadPos(r, pos); !s.ok()) return s;
+    f.head.emplace_back(std::move(topic), pos);
   }
   return OkStatus();
 }

@@ -182,6 +182,12 @@ struct CacheSyncReqFrame {
   // Positions already held per topic; peer sends anything newer. Empty means
   // "send everything you have for the group".
   std::vector<std::pair<std::string, StreamPos>> have;
+  // Earliest position still held per topic: the peer also resends anything
+  // OLDER it holds. A WAL-recovered history can be missing its first records
+  // (bit flip or ENOSPC at a topic's head) and no forward cursor can express
+  // a hole that lies before the surviving history; topics absent here get no
+  // older-than backfill.
+  std::vector<std::pair<std::string, StreamPos>> head;
   friend bool operator==(const CacheSyncReqFrame&, const CacheSyncReqFrame&) = default;
 };
 

@@ -32,8 +32,9 @@ enum class ViolationKind : std::uint8_t {
   kBackpressure,     // pending bytes past the hard watermark
   kMetrics,          // a monotone counter went backwards
   kRebalance,        // continuity broken across a partition ownership change
+  kDurability,       // an acked publication missing after crash recovery
 };
-inline constexpr std::size_t kViolationKindCount = 6;
+inline constexpr std::size_t kViolationKindCount = 7;
 
 [[nodiscard]] constexpr const char* ViolationKindName(ViolationKind kind) noexcept {
   switch (kind) {
@@ -43,6 +44,7 @@ inline constexpr std::size_t kViolationKindCount = 6;
     case ViolationKind::kBackpressure: return "backpressure";
     case ViolationKind::kMetrics: return "metrics";
     case ViolationKind::kRebalance: return "rebalance";
+    case ViolationKind::kDurability: return "durability";
   }
   return "?";
 }
@@ -58,6 +60,7 @@ inline constexpr std::size_t kViolationKindCount = 6;
   if (name == "backpressure") return ViolationKind::kBackpressure;
   if (name == "metrics") return ViolationKind::kMetrics;
   if (name == "rebalance" || name == "handoff") return ViolationKind::kRebalance;
+  if (name == "durability" || name == "loss") return ViolationKind::kDurability;
   return std::nullopt;
 }
 
@@ -102,6 +105,14 @@ inline constexpr std::size_t kViolationKindCount = 6;
 [[nodiscard]] constexpr bool ViolatesRebalanceContinuity(StreamPos prev,
                                                          StreamPos next) noexcept {
   return ViolatesOrder(prev, next) || IsSequenceGap(prev, next);
+}
+
+/// [durability]: after crash recovery, every acknowledged publication still
+/// within the retention window must be present in the recovered cache(s). A
+/// single missing publication is a broken promise — the ack told the
+/// publisher its message was safe.
+[[nodiscard]] constexpr bool ViolatesDurability(std::size_t missingAcked) noexcept {
+  return missingAcked > 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -162,6 +173,13 @@ inline constexpr std::size_t kViolationKindCount = 6;
     const std::string& stream, StreamPos prev, StreamPos next) {
   return "[rebalance] " + stream + ": hand-off resumed at " + FormatPos(next) +
          " after " + FormatPos(prev);
+}
+
+/// "[durability] <subject>: <n> acked publication(s) missing after recovery"
+[[nodiscard]] inline std::string FormatDurabilityViolation(
+    const std::string& subject, std::size_t missingAcked) {
+  return "[durability] " + subject + ": " + std::to_string(missingAcked) +
+         " acked publication(s) missing after recovery";
 }
 
 }  // namespace md::verify

@@ -195,6 +195,19 @@ void Monitor::OnBackpressure(std::uint64_t sessionKey, std::size_t pendingBytes,
   }
 }
 
+void Monitor::OnRecoveryAudit(const std::string& subject,
+                              std::size_t missingAcked) {
+  events_.Inc();
+  std::size_t seen = missingAcked;
+  if (armedMask_.load(std::memory_order_relaxed) != 0 &&
+      TakeInjection(ViolationKind::kDurability)) {
+    seen = missingAcked + 1;
+  }
+  if (ViolatesDurability(seen)) {
+    Report(ViolationKind::kDurability, FormatDurabilityViolation(subject, seen));
+  }
+}
+
 void Monitor::OnCounterSample(std::string_view series, double value) {
   events_.Inc();
   std::lock_guard lock(countersMu_);

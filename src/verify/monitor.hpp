@@ -95,6 +95,11 @@ class Monitor {
   void OnBackpressure(std::uint64_t sessionKey, std::size_t pendingBytes,
                       std::size_t hardWatermark);
 
+  /// A post-recovery durability audit result for `subject` (a server id or
+  /// "cluster"): how many acknowledged publications within retention are
+  /// missing from the recovered cache. Zero means the audit passed.
+  void OnRecoveryAudit(const std::string& subject, std::size_t missingAcked);
+
   /// One sample of a monotone counter series (name + label text); flags a
   /// regression against the previous sample of the same series.
   void OnCounterSample(std::string_view series, double value);

@@ -1,0 +1,122 @@
+#include "wal/env.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace md::wal {
+namespace {
+
+Status Errno(const char* op) {
+  return Err(ErrorCode::kInternal,
+             std::string(op) + ": " + std::strerror(errno));
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  explicit PosixWritableFile(int fd) : fd_(fd) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(BytesView data) override {
+    const std::uint8_t* p = data.data();
+    std::size_t left = data.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Errno("write");
+      }
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    return OkStatus();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return Errno("fsync");
+    return OkStatus();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return OkStatus();
+    const int rc = ::close(fd_);
+    fd_ = -1;
+    if (rc != 0) return Errno("close");
+    return OkStatus();
+  }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+PosixEnv& PosixEnv::Instance() {
+  static PosixEnv env;
+  return env;
+}
+
+Status PosixEnv::CreateDirs(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Err(ErrorCode::kInternal, "mkdir: " + ec.message());
+  return OkStatus();
+}
+
+Status PosixEnv::NewWritableFile(const std::string& path,
+                                 std::unique_ptr<WritableFile>* file) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return Errno("open");
+  *file = std::make_unique<PosixWritableFile>(fd);
+  return OkStatus();
+}
+
+Status PosixEnv::ReadFile(const std::string& path, Bytes* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Err(ErrorCode::kNotFound, "no such file");
+    return Errno("open");
+  }
+  out->clear();
+  std::uint8_t buf[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Errno("read");
+    }
+    if (n == 0) break;
+    out->insert(out->end(), buf, buf + n);
+  }
+  ::close(fd);
+  return OkStatus();
+}
+
+Status PosixEnv::ListDir(const std::string& dir,
+                         std::vector<std::string>* names) {
+  names->clear();
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return OkStatus();  // absent dir == empty listing
+  for (const auto& entry : it) {
+    if (entry.is_regular_file(ec)) {
+      names->push_back(entry.path().filename().string());
+    }
+  }
+  return OkStatus();
+}
+
+Status PosixEnv::RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) return Errno("unlink");
+  return OkStatus();
+}
+
+}  // namespace md::wal

@@ -1,0 +1,66 @@
+// Filesystem abstraction for the WAL.
+//
+// The Log speaks to storage only through Env, so the simulated cluster can
+// run its WAL on MemEnv — an in-memory filesystem with crash semantics
+// (unsynced bytes vanish), bit-flip / torn-tail damage and an ENOSPC switch —
+// while the real server uses PosixEnv with fd-level fsync.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace md::wal {
+
+/// Append-only file handle. Append buffers into the OS (or the in-memory
+/// image); Sync makes everything appended so far durable across a crash.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(BytesView data) = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Creates `dir` and any missing parents; ok if it already exists.
+  virtual Status CreateDirs(const std::string& dir) = 0;
+
+  /// Opens `path` for appending, creating it if absent.
+  virtual Status NewWritableFile(const std::string& path,
+                                 std::unique_ptr<WritableFile>* file) = 0;
+
+  /// Reads the whole file into `out`. kNotFound if absent.
+  virtual Status ReadFile(const std::string& path, Bytes* out) = 0;
+
+  /// Lists plain-file names (not paths) in `dir`; empty list if the
+  /// directory does not exist.
+  virtual Status ListDir(const std::string& dir,
+                         std::vector<std::string>* names) = 0;
+
+  virtual Status RemoveFile(const std::string& path) = 0;
+};
+
+/// Real filesystem Env: open(O_APPEND)/write/fsync/close.
+class PosixEnv : public Env {
+ public:
+  static PosixEnv& Instance();
+
+  Status CreateDirs(const std::string& dir) override;
+  Status NewWritableFile(const std::string& path,
+                         std::unique_ptr<WritableFile>* file) override;
+  Status ReadFile(const std::string& path, Bytes* out) override;
+  Status ListDir(const std::string& dir,
+                 std::vector<std::string>* names) override;
+  Status RemoveFile(const std::string& path) override;
+};
+
+}  // namespace md::wal

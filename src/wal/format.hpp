@@ -1,0 +1,111 @@
+// On-disk format of the durable topic-cache write-ahead log.
+//
+// Each topic group owns an independent sequence of segment files named
+// g<group>-<index>.wal. A segment starts with a fixed 16-byte header and is
+// followed by length-prefixed, CRC32-framed records:
+//
+//   segment header   [magic u32 "MDWL"][version u32][group u32][reserved u32]
+//   record           [len u32][crc32(payload) u32][payload: len bytes]
+//
+// All integers are little-endian (matching common/bytes.hpp). A record's
+// payload encodes one cached Message. The framing is designed so a
+// recovery scan can always classify damage without crashing:
+//
+//   - fewer than 8 bytes left            -> torn tail, truncate here
+//   - len == 0                           -> zero-filled tail, truncate here
+//   - len > kMaxRecordLen                -> garbage length, truncate here
+//   - fewer than len bytes left          -> torn record, truncate here
+//   - CRC mismatch with sane framing     -> bit-flipped record: skip exactly
+//                                           this record and keep scanning
+//
+// The distinction matters: torn damage only ever appears at the tail a crash
+// produced, while a bit flip can land mid-file; skipping one record instead
+// of truncating preserves the rest of the history (the cluster sync path
+// backfills the hole from peers).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "proto/message.hpp"
+
+namespace md::wal {
+
+inline constexpr std::uint32_t kSegmentMagic = 0x4D44574CU;  // "LWDM" LE
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::size_t kSegmentHeaderLen = 16;
+inline constexpr std::size_t kRecordFrameLen = 8;  // [len u32][crc u32]
+/// Upper bound on a single record payload; anything larger in a length field
+/// is treated as corruption, not an allocation request.
+inline constexpr std::uint32_t kMaxRecordLen = 16U * 1024U * 1024U;
+
+/// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) over `data`.
+[[nodiscard]] std::uint32_t Crc32(BytesView data) noexcept;
+
+/// Segment file name for (group, index): "g<group>-<index>.wal".
+[[nodiscard]] std::string SegmentFileName(std::uint32_t group,
+                                          std::uint64_t index);
+
+/// Parses a segment file name; nullopt if `name` is not one.
+struct SegmentName {
+  std::uint32_t group = 0;
+  std::uint64_t index = 0;
+};
+[[nodiscard]] std::optional<SegmentName> ParseSegmentFileName(
+    const std::string& name);
+
+/// Appends the 16-byte segment header for `group` to `out`.
+void EncodeSegmentHeader(std::uint32_t group, Bytes& out);
+
+/// Validates a segment header prefix. kProtocol on short/bad magic/version;
+/// the embedded group must match `expectGroup`.
+[[nodiscard]] Status DecodeSegmentHeader(BytesView data,
+                                         std::uint32_t expectGroup);
+
+/// Appends one framed record ([len][crc][payload]) carrying `msg` to `out`.
+void EncodeRecord(const Message& msg, Bytes& out);
+
+/// Decodes a record payload back into a Message. Bounds-checked; never
+/// throws, never reads past `payload`.
+[[nodiscard]] Status DecodeRecordPayload(BytesView payload, Message* msg);
+
+/// Forward scan over a segment's bytes with the damage rules above.
+///
+///   SegmentScanner scan(bytes, group);
+///   while (scan.Next(&msg)) { ... }
+///   // scan.torn() / scan.corruptSkipped() describe what the scan hit.
+class SegmentScanner {
+ public:
+  /// `data` is the whole segment file including header.
+  SegmentScanner(BytesView data, std::uint32_t group);
+
+  /// Advances to the next intact record; false at end-of-segment (clean,
+  /// torn or unusable header — never throws, never reads OOB).
+  bool Next(Message* msg);
+
+  /// Segment header was unreadable; no records were yielded.
+  [[nodiscard]] bool badHeader() const { return badHeader_; }
+  /// Scan stopped early at a torn / zero-filled / garbage-length tail.
+  [[nodiscard]] bool torn() const { return torn_; }
+  /// Well-framed records dropped for CRC mismatch (bit flips).
+  [[nodiscard]] std::uint64_t corruptSkipped() const { return corruptSkipped_; }
+  /// Records whose payload failed to decode despite a matching CRC (should
+  /// not happen without a version skew; counted, skipped).
+  [[nodiscard]] std::uint64_t undecodable() const { return undecodable_; }
+  /// Offset of the first byte the scan did not consume as an intact record.
+  [[nodiscard]] std::size_t offset() const { return offset_; }
+
+ private:
+  BytesView data_;
+  std::size_t offset_ = 0;
+  bool badHeader_ = false;
+  bool torn_ = false;
+  bool done_ = false;
+  std::uint64_t corruptSkipped_ = 0;
+  std::uint64_t undecodable_ = 0;
+};
+
+}  // namespace md::wal

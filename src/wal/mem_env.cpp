@@ -1,0 +1,154 @@
+#include "wal/mem_env.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace md::wal {
+namespace {
+
+class MemWritableFile : public WritableFile {
+ public:
+  MemWritableFile(std::mutex& mutex, bool& full,
+                  std::shared_ptr<void> state, Bytes* data, std::size_t* synced)
+      : mutex_(mutex), full_(full), hold_(std::move(state)), data_(data),
+        synced_(synced) {}
+
+  Status Append(BytesView data) override {
+    std::lock_guard lock(mutex_);
+    if (full_) return Err(ErrorCode::kCapacity, "disk full");
+    data_->insert(data_->end(), data.begin(), data.end());
+    return OkStatus();
+  }
+
+  Status Sync() override {
+    std::lock_guard lock(mutex_);
+    *synced_ = data_->size();
+    return OkStatus();
+  }
+
+  Status Close() override { return OkStatus(); }
+
+ private:
+  std::mutex& mutex_;
+  bool& full_;
+  std::shared_ptr<void> hold_;  // keeps the FileState alive
+  Bytes* data_;
+  std::size_t* synced_;
+};
+
+}  // namespace
+
+Status MemEnv::CreateDirs(const std::string&) { return OkStatus(); }
+
+Status MemEnv::NewWritableFile(const std::string& path,
+                               std::unique_ptr<WritableFile>* file) {
+  std::lock_guard lock(mutex_);
+  if (full_) return Err(ErrorCode::kCapacity, "disk full");
+  auto& state = files_[path];
+  if (!state) state = std::make_shared<FileState>();
+  *file = std::make_unique<MemWritableFile>(mutex_, full_, state,
+                                            &state->data, &state->synced);
+  return OkStatus();
+}
+
+Status MemEnv::ReadFile(const std::string& path, Bytes* out) {
+  std::lock_guard lock(mutex_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) return Err(ErrorCode::kNotFound, "no such file");
+  *out = it->second->data;
+  return OkStatus();
+}
+
+Status MemEnv::ListDir(const std::string& dir,
+                       std::vector<std::string>* names) {
+  names->clear();
+  const std::string prefix = dir.empty() || dir.back() == '/' ? dir : dir + "/";
+  std::lock_guard lock(mutex_);
+  for (const auto& [path, state] : files_) {
+    if (!path.starts_with(prefix)) continue;
+    const std::string rest = path.substr(prefix.size());
+    if (rest.empty() || rest.find('/') != std::string::npos) continue;
+    names->push_back(rest);
+  }
+  return OkStatus();
+}
+
+Status MemEnv::RemoveFile(const std::string& path) {
+  std::lock_guard lock(mutex_);
+  files_.erase(path);
+  return OkStatus();
+}
+
+void MemEnv::Crash(std::uint64_t seed) {
+  std::lock_guard lock(mutex_);
+  Rng rng(seed ^ 0xC4A5ED0DDULL);
+  for (auto& [path, state] : files_) {
+    const std::size_t unsynced = state->data.size() - state->synced;
+    if (unsynced == 0) continue;
+    // Keep a random prefix of the unsynced tail: 0..unsynced bytes, biased
+    // toward the extremes (all-lost and nearly-all-kept are the common real
+    // shapes; a mid-record cut is the interesting torn case).
+    const std::size_t kept =
+        static_cast<std::size_t>(rng.NextBelow(unsynced + 1));
+    state->data.resize(state->synced + kept);
+    state->synced = state->data.size();
+  }
+}
+
+bool MemEnv::FlipRandomBit(std::uint64_t seed) {
+  std::lock_guard lock(mutex_);
+  Rng rng(seed ^ 0xB17F11BULL);
+  std::vector<FileState*> candidates;
+  for (auto& [path, state] : files_) {
+    if (!state->data.empty()) candidates.push_back(state.get());
+  }
+  if (candidates.empty()) return false;
+  FileState* victim = candidates[rng.NextBelow(candidates.size())];
+  const std::size_t byte = rng.NextBelow(victim->data.size());
+  victim->data[byte] ^= static_cast<std::uint8_t>(1U << rng.NextBelow(8));
+  return true;
+}
+
+std::size_t MemEnv::TruncateRandomTail(std::uint64_t seed) {
+  std::lock_guard lock(mutex_);
+  Rng rng(seed ^ 0x70511AE1ULL);
+  std::vector<FileState*> candidates;
+  for (auto& [path, state] : files_) {
+    if (!state->data.empty()) candidates.push_back(state.get());
+  }
+  if (candidates.empty()) return 0;
+  FileState* victim = candidates[rng.NextBelow(candidates.size())];
+  const std::size_t cut = 1 + rng.NextBelow(victim->data.size());
+  victim->data.resize(victim->data.size() - cut);
+  victim->synced = std::min(victim->synced, victim->data.size());
+  return cut;
+}
+
+void MemEnv::ZeroFillTail(const std::string& path, std::size_t n) {
+  std::lock_guard lock(mutex_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) return;
+  Bytes& data = it->second->data;
+  const std::size_t fill = std::min(n, data.size());
+  std::fill(data.end() - static_cast<std::ptrdiff_t>(fill), data.end(),
+            std::uint8_t{0});
+}
+
+void MemEnv::SetFull(bool full) {
+  std::lock_guard lock(mutex_);
+  full_ = full;
+}
+
+std::size_t MemEnv::FileCount() const {
+  std::lock_guard lock(mutex_);
+  return files_.size();
+}
+
+std::size_t MemEnv::TotalBytes() const {
+  std::lock_guard lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [path, state] : files_) total += state->data.size();
+  return total;
+}
+
+}  // namespace md::wal

@@ -1,0 +1,74 @@
+// In-memory Env with crash and disk-fault semantics for the simulated
+// cluster and the WAL's own tests.
+//
+// Every file tracks how many of its bytes have been Sync()'d. Crash(seed)
+// models a kill -9 at an arbitrary instant: synced bytes always survive,
+// and each open file additionally keeps a seed-random prefix of its
+// unsynced tail — exactly the torn-write shapes a real page-cache loss
+// produces. FlipRandomBit / TruncateRandomTail model latent media damage,
+// SetFull models ENOSPC.
+//
+// Thread-safe: the sim appends from worker threads while the harness
+// injects faults from the driver thread.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/rng.hpp"
+#include "wal/env.hpp"
+
+namespace md::wal {
+
+class MemEnv : public Env {
+ public:
+  MemEnv() = default;
+
+  Status CreateDirs(const std::string& dir) override;
+  Status NewWritableFile(const std::string& path,
+                         std::unique_ptr<WritableFile>* file) override;
+  Status ReadFile(const std::string& path, Bytes* out) override;
+  Status ListDir(const std::string& dir,
+                 std::vector<std::string>* names) override;
+  Status RemoveFile(const std::string& path) override;
+
+  /// kill -9: every file keeps its synced prefix plus a seed-random prefix
+  /// of its unsynced tail (possibly cutting a record mid-frame). Open
+  /// handles keep working afterwards but the caller is expected to have
+  /// abandoned them (Log::Abandon) — the sim crashes the node first.
+  void Crash(std::uint64_t seed);
+
+  /// Flips one random bit in one random non-empty file; false if there is
+  /// no data to damage.
+  bool FlipRandomBit(std::uint64_t seed);
+
+  /// Truncates a random non-empty file by a random non-zero tail length;
+  /// returns the number of bytes removed (0 if nothing to damage).
+  std::size_t TruncateRandomTail(std::uint64_t seed);
+
+  /// Overwrites the last `n` bytes of every file with zeros (preallocated-
+  /// but-unwritten tail shape). For tests.
+  void ZeroFillTail(const std::string& path, std::size_t n);
+
+  /// ENOSPC switch: while full, Append fails with kCapacity.
+  void SetFull(bool full);
+
+  [[nodiscard]] std::size_t FileCount() const;
+  [[nodiscard]] std::size_t TotalBytes() const;
+
+ private:
+  friend class MemWritableFile;
+
+  struct FileState {
+    Bytes data;
+    std::size_t synced = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<FileState>> files_;
+  bool full_ = false;
+};
+
+}  // namespace md::wal

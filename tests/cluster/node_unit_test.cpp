@@ -251,6 +251,20 @@ TEST_F(ClusterNodeUnitTest, CacheSyncServesChunkedResponses) {
   std::size_t deltaTotal = 0;
   for (const auto& [to, resp] : delta) deltaTotal += resp.messages.size();
   EXPECT_EQ(deltaTotal, 2u);
+
+  env.Clear();
+  // A head of (1,2) says the requester's surviving history STARTS at seq 2:
+  // seq 1 fell to a WAL head-hole and must come back too, alongside 4 and 5.
+  node.OnPeerFrame("peer-b",
+                   Frame(CacheSyncReqFrame{
+                       group, {{"sync-topic", {1, 3}}}, {{"sync-topic", {1, 2}}}}));
+  const auto healed = env.PeersOf<CacheSyncRespFrame>();
+  std::vector<std::uint64_t> seqs;
+  for (const auto& [to, resp] : healed) {
+    for (const auto& m : resp.messages) seqs.push_back(m.seq);
+  }
+  std::sort(seqs.begin(), seqs.end());
+  EXPECT_EQ(seqs, (std::vector<std::uint64_t>{1, 4, 5}));
 }
 
 TEST_F(ClusterNodeUnitTest, CacheSyncRespBackfillsViaInsert) {

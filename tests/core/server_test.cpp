@@ -35,8 +35,11 @@ class ClientLoopThread {
     WaitFor([&] { return done.load(); });
   }
 
+  // Generous ceiling: these tests run under ASan/TSan and a 15x repeat gate
+  // in CI, where scheduling stalls of seconds are normal. The wait is
+  // condition-based, so the ceiling only ever costs time on real failures.
   static void WaitFor(const std::function<bool()>& pred,
-                      std::chrono::milliseconds timeout = 10000ms) {
+                      std::chrono::milliseconds timeout = 20000ms) {
     const auto deadline = std::chrono::steady_clock::now() + timeout;
     while (!pred()) {
       ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "timed out";
@@ -56,7 +59,10 @@ client::ClientConfig MakeClientConfig(
   cfg.servers = {{"127.0.0.1", port, 1.0}};
   cfg.clientId = id;
   cfg.transport = transport;
-  cfg.ackTimeout = 500 * kMillisecond;
+  // Far above any loopback round-trip, even sanitized and contended: a
+  // too-tight ack timeout makes the client re-publish mid-test, and the
+  // retry racing the original ack was the main source of flakes here.
+  cfg.ackTimeout = 5 * kSecond;
   cfg.backoffBase = 10 * kMillisecond;
   cfg.backoffMax = 100 * kMillisecond;
   cfg.seed = Fnv1a64(id);

@@ -132,13 +132,14 @@ TEST(ExpositionGoldenTest, MonitorFamiliesRenderByteExactly) {
   monitor.OnBackpressure(5, 700, 600);                // real [backpressure]
   monitor.OnCounterSample("demo_total{}", 5);
   monitor.OnCounterSample("demo_total{}", 3);         // real [metrics]
+  monitor.OnRecoveryAudit("server-1", 1);             // real [durability]
   monitor.OnStage({1, 2}, Stage::kPublishReceived);
   monitor.OnStage({1, 3}, Stage::kPublishReceived);
   monitor.OnStage({1, 2}, Stage::kFannedOut);
   monitor.Forget(in, "g/t");
   monitor.OnDelivery(in, "g/other", {1, 1}, {7, 7});  // one live stream left
 
-  EXPECT_EQ(monitor.ViolationCount(), 5u);
+  EXPECT_EQ(monitor.ViolationCount(), 6u);
   EXPECT_EQ(monitor.TrackedStreams(), 1u);
   EXPECT_EQ(monitor.TrackedBytes(), monitor.EntryCost("g/other"));
 

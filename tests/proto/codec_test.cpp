@@ -110,6 +110,7 @@ TEST(CodecTest, CacheSyncReqRoundTrip) {
   CacheSyncReqFrame f;
   f.group = 9;
   f.have = {{"a", {1, 10}}, {"b", {2, 20}}};
+  f.head = {{"a", {1, 4}}};
   ExpectRoundTrip(f);
 }
 

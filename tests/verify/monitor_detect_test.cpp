@@ -103,6 +103,19 @@ TEST(MonitorDetectTest, FlagsRealCounterRegression) {
             "-> 3.000000");
 }
 
+TEST(MonitorDetectTest, FlagsRealRecoveryAuditMiss) {
+  obs::MetricsRegistry registry;
+  Monitor m(registry, {});
+  m.OnRecoveryAudit("server-2", 0);  // clean audit: no violation
+  EXPECT_EQ(m.ViolationCount(), 0u);
+  m.OnRecoveryAudit("server-2", 3);
+  ASSERT_EQ(m.ViolationCount(), 1u);
+  EXPECT_EQ(m.ViolationCount(ViolationKind::kDurability), 1u);
+  EXPECT_EQ(m.Reports()[0].detail,
+            "[durability] server-2: 3 acked publication(s) missing after "
+            "recovery");
+}
+
 // --- injection: each kind fires exactly once --------------------------------
 
 TEST(MonitorDetectTest, InjectedOrderFaultFiresExactlyOnce) {
@@ -171,6 +184,18 @@ TEST(MonitorDetectTest, InjectedMetricsFaultFiresExactlyOnceAndKeepsTruth) {
             "[metrics] counter md_x_total{} regressed 5.000000 -> 4.000000");
 }
 
+TEST(MonitorDetectTest, InjectedDurabilityFaultFiresExactlyOnce) {
+  obs::MetricsRegistry registry;
+  Monitor m(registry, {});
+  m.InjectFault(ViolationKind::kDurability);
+  for (int i = 0; i < 5; ++i) m.OnRecoveryAudit("server-1", 0);
+  EXPECT_EQ(m.ViolationCount(ViolationKind::kDurability), 1u);
+  EXPECT_EQ(m.ViolationCount(), 1u) << "injected fault cascaded";
+  EXPECT_EQ(m.Reports()[0].detail,
+            "[durability] server-1: 1 acked publication(s) missing after "
+            "recovery");
+}
+
 TEST(MonitorDetectTest, EveryKindLabelIsPreRegisteredAndIndependent) {
   obs::MetricsRegistry registry;
   Monitor m(registry, {});
@@ -186,6 +211,7 @@ TEST(MonitorDetectTest, EveryKindLabelIsPreRegisteredAndIndependent) {
   m.OnBackpressure(1, 0, 100);
   m.OnCounterSample("c{}", 1);
   m.OnCounterSample("c{}", 2);
+  m.OnRecoveryAudit("server-1", 0);
   for (std::size_t k = 0; k < kViolationKindCount; ++k) {
     EXPECT_EQ(KindValue(registry, static_cast<ViolationKind>(k)), 1.0)
         << ViolationKindName(static_cast<ViolationKind>(k));
@@ -261,7 +287,7 @@ INSTANTIATE_TEST_SUITE_P(
     Kinds, ChaosInjection,
     ::testing::Values(ViolationKind::kOrder, ViolationKind::kGap,
                       ViolationKind::kDuplicate, ViolationKind::kBackpressure,
-                      ViolationKind::kMetrics),
+                      ViolationKind::kMetrics, ViolationKind::kDurability),
     [](const ::testing::TestParamInfo<ViolationKind>& info) {
       return ViolationKindName(info.param);
     });

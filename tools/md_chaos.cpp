@@ -16,13 +16,22 @@
 //   md_chaos --plan join                      # canned single-event plans:
 //                                             # join | leave | minority
 //
+//   md_chaos --durability --seeds 20          # WAL crash/disk-fault schedules
+//   md_chaos --crash                          # cluster-wide kill -9 + audit
+//   md_chaos --plan crash|disk                # canned durability plans
+//
 // Flags: --servers N (3), --min-events N (5), --publications N (24),
 //        --subscribers N (3), --publishers N (2), --topics N (2),
 //        --no-minimize, --quiet,
 //        --elastic (live rebalancing + quorum gating; generated schedules
 //        come from FaultPlan::GenerateElastic),
-//        --plan join|leave|minority (shorthand for a canned single-event
-//        elastic --events schedule; implies --elastic),
+//        --durability (fault-injectable WAL under every cache; generated
+//        schedules come from FaultPlan::GenerateDurability; auto-enabled by
+//        WAL-ish --events/--plan schedules),
+//        --plan join|leave|minority|crash|disk (shorthand for a canned
+//        single-window --events schedule; join/leave/minority imply
+//        --elastic, crash/disk imply --durability),
+//        --crash (shorthand for --plan crash),
 //        --monitor (ride a verify::Monitor along each run; its violations
 //        fail the seed exactly like checker violations),
 //        --inject KIND (with --monitor: arm one deliberate fault mid-run and
@@ -73,15 +82,18 @@ FaultPlan Minimize(const ChaosOptions& base, const FaultPlan& failing) {
 }
 
 void PrintRepro(const ChaosOptions& opts, const FaultPlan& plan) {
-  std::printf("repro: md_chaos --seed %llu --servers %zu%s --events \"%s\"\n",
+  std::printf("repro: md_chaos --seed %llu --servers %zu%s%s --events \"%s\"\n",
               static_cast<unsigned long long>(opts.seed), opts.servers,
-              opts.elastic ? " --elastic" : "", plan.ToString().c_str());
+              opts.elastic ? " --elastic" : "",
+              opts.durability ? " --durability" : "", plan.ToString().c_str());
 }
 
 /// Canned single-event elastic schedules, the building blocks of rebalance
 /// repros: "join" brings up the provisioned-but-idle last server mid-run,
 /// "leave" retires a member gracefully, "minority" partitions a strict
-/// minority past the fencing horizon and heals it.
+/// minority past the fencing horizon and heals it. The durability pair:
+/// "crash" kill -9s the whole cluster and audits the WAL-recovered union,
+/// "disk" flips a bit in server 1's WAL and then crashes it over the damage.
 std::string PlanShorthand(const std::string& name, std::size_t servers) {
   if (name == "join") {
     return "join:" + std::to_string(servers - 1) + "@2000";
@@ -90,7 +102,29 @@ std::string PlanShorthand(const std::string& name, std::size_t servers) {
     return "leave:" + std::to_string(servers - 1) + "@2500";
   }
   if (name == "minority") return "part:minority@2000+6000";
+  if (name == "crash") return "crash:all@5000+3000";
+  if (name == "disk") {
+    return "flip:" + std::to_string(servers > 1 ? 1 : 0) + "@3000;crash:" +
+           std::to_string(servers > 1 ? 1 : 0) + "@6000+2500";
+  }
   return {};
+}
+
+bool IsElasticPlanName(const std::string& name) {
+  return name == "join" || name == "leave" || name == "minority";
+}
+
+/// WAL-ish schedules need the fault-injectable WAL under every cache.
+bool PlanNeedsDurability(const FaultPlan& plan) {
+  for (const auto& ev : plan.events) {
+    if (ev.kind == md::cluster::FaultEvent::Kind::kCrashAll ||
+        ev.kind == md::cluster::FaultEvent::Kind::kWalBitFlip ||
+        ev.kind == md::cluster::FaultEvent::Kind::kWalTornTail ||
+        ev.kind == md::cluster::FaultEvent::Kind::kDiskFull) {
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace
@@ -106,7 +140,9 @@ int main(int argc, char** argv) {
   base.publicationsPerPublisher =
       static_cast<std::size_t>(flags.GetInt("publications", 24));
   base.minFaultEvents = static_cast<std::size_t>(flags.GetInt("min-events", 5));
-  base.elastic = flags.GetBool("elastic") || flags.Has("plan");
+  base.elastic = flags.GetBool("elastic") ||
+                 (flags.Has("plan") && IsElasticPlanName(flags.Get("plan")));
+  base.durability = flags.GetBool("durability");
   const bool quiet = flags.GetBool("quiet");
   const bool dumpTrace = flags.GetBool("trace");
   const bool minimize = !flags.GetBool("no-minimize");
@@ -118,7 +154,8 @@ int main(int argc, char** argv) {
     if (!inject || !withMonitor) {
       std::fprintf(stderr,
                    "md_chaos: --inject needs --monitor and a kind out of "
-                   "order|gap|duplicate|backpressure|metrics\n");
+                   "order|gap|duplicate|backpressure|metrics|rebalance|"
+                   "durability\n");
       return 2;
     }
   }
@@ -137,10 +174,12 @@ int main(int argc, char** argv) {
     events = PlanShorthand(flags.Get("plan"), base.servers);
     if (events.empty()) {
       std::fprintf(stderr,
-                   "md_chaos: --plan must be one of join|leave|minority\n");
+                   "md_chaos: --plan must be one of "
+                   "join|leave|minority|crash|disk\n");
       return 2;
     }
   }
+  if (flags.GetBool("crash")) events = PlanShorthand("crash", base.servers);
   if (flags.Has("events")) events = flags.Get("events");
 
   std::optional<FaultPlan> explicitPlan;
@@ -155,6 +194,13 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "md_chaos: --events requires a single --seed\n");
       return 2;
     }
+    if (PlanNeedsDurability(*explicitPlan)) base.durability = true;
+  }
+  if (base.durability && base.elastic) {
+    std::fprintf(stderr,
+                 "md_chaos: --durability and --elastic are mutually "
+                 "exclusive\n");
+    return 2;
   }
 
   int failures = 0;

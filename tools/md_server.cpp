@@ -3,6 +3,8 @@
 // Single-node mode (the §4 engine):
 //   md_server --port 8800 --io-threads 4 --workers 4 [--batching]
 //             [--batch-delay-ms 10] [--conflation] [--conflate-ms 100]
+//             [--wal-dir /var/lib/md/wal] [--wal-fsync always|group|os]
+//             [--wal-flush-ms 5] [--wal-segment-mb 4] [--wal-retain 8]
 //
 // Cluster mode (the §5 protocol; one process per member):
 //   md_server --id server-1 --node 1
@@ -47,17 +49,40 @@ int RunSingleNode(const md::tools::Flags& flags) {
       static_cast<std::uint64_t>(flags.GetInt("verify-sample", 1));
   cfg.verifyConfig.byteBudget = static_cast<std::size_t>(
       flags.GetInt("verify-budget", 4 * 1024 * 1024));
+  cfg.wal.dir = flags.Get("wal-dir", "");
+  if (flags.Has("wal-fsync")) {
+    const auto policy = md::wal::ParseFsyncPolicy(flags.Get("wal-fsync", ""));
+    if (!policy) {
+      std::fprintf(stderr, "bad --wal-fsync '%s' (want always|group|os)\n",
+                   flags.Get("wal-fsync", "").c_str());
+      return 2;
+    }
+    cfg.wal.fsync = *policy;
+  }
+  cfg.wal.flushInterval = flags.GetInt("wal-flush-ms", 5) * md::kMillisecond;
+  cfg.wal.segmentBytes =
+      static_cast<std::uint64_t>(flags.GetInt("wal-segment-mb", 4)) * 1024 * 1024;
+  cfg.wal.retainSegments =
+      static_cast<std::uint32_t>(flags.GetInt("wal-retain", 8));
 
   md::core::Server server(cfg);
   if (md::Status s = server.Start(); !s.ok()) {
     std::fprintf(stderr, "start failed: %s\n", s.ToString().c_str());
     return 1;
   }
-  std::printf("%s: single-node server on port %u (%d io threads, %d workers%s%s%s)\n",
+  std::printf("%s: single-node server on port %u (%d io threads, %d workers%s%s%s%s)\n",
               cfg.serverId.c_str(), server.Port(), cfg.ioThreads, cfg.workers,
               cfg.enableBatching ? ", batching" : "",
               cfg.enableConflation ? ", conflation" : "",
-              cfg.runtimeVerify ? ", verify" : "");
+              cfg.runtimeVerify ? ", verify" : "",
+              cfg.wal.dir.empty() ? "" : ", wal");
+  if (!cfg.wal.dir.empty() && server.walRecovery().records > 0) {
+    std::printf("wal: recovered %llu records (%llu torn, %llu corrupt)\n",
+                static_cast<unsigned long long>(server.walRecovery().records),
+                static_cast<unsigned long long>(server.walRecovery().tornTails),
+                static_cast<unsigned long long>(
+                    server.walRecovery().corruptSkipped));
+  }
 
   md::core::ServerStats last{};
   while (!g_stop.load()) {
