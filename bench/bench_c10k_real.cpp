@@ -22,6 +22,7 @@
 
 #include "bench_support/table.hpp"
 #include "client/client.hpp"
+#include "transport/epoll_loop.hpp"
 #include "common/histogram.hpp"
 #include "core/server.hpp"
 #include "obs/metrics.hpp"

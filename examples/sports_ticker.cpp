@@ -15,6 +15,7 @@
 #include <thread>
 
 #include "client/client.hpp"
+#include "transport/epoll_loop.hpp"
 #include "core/server.hpp"
 
 using namespace md;

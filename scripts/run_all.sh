@@ -44,6 +44,21 @@ MD_BENCH_FANOUT_CLIENTS=64 MD_BENCH_FANOUT_TOPICS=4 MD_BENCH_FANOUT_BURSTS=10 \
   MD_BENCH_FANOUT_OUT=/dev/null MD_BENCH_MONITOR_OUT=/dev/null \
   ./build/bench/bench_fanout || exit 1
 
+# Egress leg: the zero-copy wire-buffer path (SendQueue refcounting, writev
+# scatter-gather, adaptive flush) across both event-loop backends. The
+# parity suite in transport_test parameterizes every case over epoll and
+# io_uring — on kernels without the required io_uring features the io_uring
+# half skips with an explicit capability message rather than failing. The
+# same binary then runs under ASan (buffer lifetime: iovec pins must keep
+# shared buffers readable across close-mid-flush and Clear) and TSan
+# (cross-thread Send against the loop's flush pass). bench_fanout above
+# already smoke-checks loss-free delivery on both backends.
+./build/tests/transport_test || exit 1
+cmake --build build-asan --target transport_test || exit 1
+./build-asan/tests/transport_test || exit 1
+cmake --build build-tsan --target transport_test || exit 1
+./build-tsan/tests/transport_test || exit 1
+
 # Runtime-verification leg: the monitor's own suite under TSan (the sharded
 # LRU tables, report buffer and one-shot injection mask are its
 # concurrency-bearing surfaces; the chaos-driver-based cases run in the plain

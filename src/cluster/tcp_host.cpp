@@ -32,20 +32,22 @@ class TcpClusterHost::NodeEnv final : public ClusterEnv {
 
   void SendToClients(const std::vector<ClientHandle>& clients,
                      const Frame& frame) override {
-    // Fan-out fast path: encode once, share the bytes across every target.
-    // Each write still goes through the watermark-checked path, so one
-    // stalled subscriber in the batch cannot buffer the host to death.
-    Bytes wire;
-    bool encoded = false;
+    // Fan-out fast path: encode once into a pooled refcounted buffer and
+    // share it across every target's send queue — N subscribers cost one
+    // encode and zero per-subscriber copies. Each write still goes through
+    // the watermark-checked path, so one stalled subscriber in the batch
+    // cannot buffer the host to death.
+    std::shared_ptr<Bytes> wire;
     for (const ClientHandle client : clients) {
       const auto it = host_.clients_.find(client);
       if (it == host_.clients_.end()) continue;
       Observe(client, frame);
-      if (!encoded) {
-        EncodeFramed(frame, wire);
-        encoded = true;
+      if (!wire) {
+        wire = AcquireWireBuffer();
+        EncodeFramed(frame, *wire);
       }
-      (void)host_.SendClientWire(client, it->second, BytesView(wire));
+      const std::shared_ptr<const Bytes> shared = wire;
+      (void)host_.SendClientWire(client, it->second, BytesView(*wire), &shared);
     }
   }
 
@@ -112,7 +114,7 @@ TcpClusterHost::TcpClusterHost(TcpHostConfig cfg)
                                         : obs::MetricsRegistry::Default(),
         cfg_.verifyConfig);
   }
-  loop_ = std::make_unique<EpollLoop>();
+  loop_ = CreateNetLoop(cfg_.eventLoop);
   nodeEnv_ = std::make_unique<NodeEnv>(*this, cfg_.seed);
   coordEnv_ = std::make_unique<CoordEnv>(*this, cfg_.seed + 1);
 
@@ -431,10 +433,12 @@ void TcpClusterHost::SendCoordMsg(coord::NodeId to, const coord::CoordMsg& msg) 
 
 bool TcpClusterHost::SendClientWire(ClientHandle handle,
                                     const std::shared_ptr<ClientConn>& client,
-                                    BytesView wire) {
+                                    BytesView wire,
+                                    const std::shared_ptr<const Bytes>* shared) {
   if (client->evicting || !client->conn->IsOpen()) return false;
   const std::size_t before = client->conn->PendingBytes();
-  const Status st = client->conn->Send(wire);
+  const Status st =
+      shared != nullptr ? client->conn->Send(*shared) : client->conn->Send(wire);
   if (st.ok()) return true;
   if (st.code() != ErrorCode::kCapacity) return false;
   // kCapacity: bytes were accepted iff PendingBytes moved (soft overflow);

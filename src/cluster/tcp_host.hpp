@@ -25,7 +25,8 @@
 #include "coord/node.hpp"
 #include "core/backpressure.hpp"
 #include "proto/codec.hpp"
-#include "transport/epoll_loop.hpp"
+#include "transport/transport.hpp"
+#include "transport/wire.hpp"
 #include "verify/monitor.hpp"
 
 namespace md::cluster {
@@ -58,6 +59,9 @@ struct TcpHostConfig {
   /// send-queue depths (DESIGN.md §11); exports through the cluster registry.
   bool runtimeVerify = false;
   verify::MonitorConfig verifyConfig;
+  /// Event-loop backend for the host's sockets. io_uring falls back to epoll
+  /// (with a warning) when the running kernel lacks the required features.
+  LoopKind eventLoop = LoopKind::kEpoll;
 };
 
 class TcpClusterHost {
@@ -123,9 +127,12 @@ class TcpClusterHost {
   void RetryLinks();
   /// Status-checked client write applying `clientBackpressure` (loop thread):
   /// soft-accepted kCapacity arms the eviction grace timer, hard-rejected
-  /// kCapacity (frame lost => stream gap) evicts immediately.
+  /// kCapacity (frame lost => stream gap) evicts immediately. When `shared`
+  /// is non-null the bytes go out zero-copy (one encode shared across the
+  /// fan-out); `wire` must view the same buffer either way.
   bool SendClientWire(ClientHandle handle,
-                      const std::shared_ptr<ClientConn>& client, BytesView wire);
+                      const std::shared_ptr<ClientConn>& client, BytesView wire,
+                      const std::shared_ptr<const Bytes>* shared = nullptr);
   void EvictSlowClient(ClientHandle handle,
                        const std::shared_ptr<ClientConn>& client);
   [[nodiscard]] const TcpPeerAddress* PeerById(const std::string& serverId) const;
@@ -134,7 +141,7 @@ class TcpClusterHost {
   TcpHostConfig cfg_;
   obs::SlowConsumerMetrics scm_;
   std::unique_ptr<verify::Monitor> monitor_;
-  std::unique_ptr<EpollLoop> loop_;
+  std::unique_ptr<NetLoop> loop_;
   std::thread thread_;
   std::atomic<bool> running_{false};
 

@@ -1,12 +1,30 @@
 #include "common/logging.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <ctime>
 
 namespace md::log_internal {
 
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+namespace {
+
+// MD_LOG_LEVEL=trace|debug|info|warn|error|off overrides the default so test
+// binaries can be re-run verbosely without a rebuild.
+LogLevel InitialLevel() noexcept {
+  const char* env = std::getenv("MD_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "trace") == 0) return LogLevel::kTrace;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "off") == 0) return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+}  // namespace
+
+std::atomic<LogLevel> g_level{InitialLevel()};
 
 namespace {
 

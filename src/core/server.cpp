@@ -17,7 +17,7 @@ struct Server::Session : std::enable_shared_from_this<Server::Session> {
   std::size_t ioIndex = 0;
   std::size_t workerIndex = 0;
   ConnectionPtr conn;
-  EpollLoop* loop = nullptr;
+  NetLoop* loop = nullptr;
 
   // Protocol mode, auto-detected from the first bytes. Written only on the
   // session's IoThread (during the handshake, before any frame reaches a
@@ -160,7 +160,7 @@ Status Server::Start() {
 
   for (int i = 0; i < cfg_.ioThreads; ++i) {
     auto io = std::make_unique<IoThread>();
-    io->loop = std::make_unique<EpollLoop>();
+    io->loop = CreateNetLoop(cfg_.eventLoop);
     io->loop->SetMetrics(&tm_);
     auto listener = io->loop->Listen(boundPort_ != 0 ? boundPort_ : cfg_.port);
     if (!listener.ok()) {
@@ -678,7 +678,7 @@ void Server::FanOutBatched(std::vector<std::vector<SessionPtr>>&& byIo,
   for (std::size_t io = 0; io < byIo.size(); ++io) {
     std::vector<SessionPtr>& targets = byIo[io];
     if (targets.empty()) continue;
-    EpollLoop* loop = ioThreads_[io]->loop.get();
+    NetLoop* loop = ioThreads_[io]->loop.get();
 
     if (sharedMsg && cfg_.enableConflation) {
       // Conflated delivery: one task per loop offering the message to each
@@ -694,7 +694,9 @@ void Server::FanOutBatched(std::vector<std::vector<SessionPtr>>&& byIo,
       const auto modeKey = static_cast<std::size_t>(target->CurrentMode());
       std::shared_ptr<const Bytes>& wire = wires[modeKey];
       if (!wire) {
-        auto bytes = std::make_shared<Bytes>();
+        // Encode once into a pooled wire buffer; every subscriber on every
+        // IoThread queues a reference to these same bytes.
+        auto bytes = AcquireWireBuffer();
         EncodeForMode(deliver, static_cast<std::uint8_t>(modeKey), *bytes);
         wire = std::move(bytes);
       }
@@ -723,7 +725,7 @@ void Server::FanOutBatched(std::vector<std::vector<SessionPtr>>&& byIo,
         }
         const auto& wire = wires[static_cast<std::size_t>(s->CurrentMode())];
         if (!wire) continue;
-        WriteOut(s, BytesView(*wire), /*deliverClass=*/true);
+        WriteOutShared(s, wire, /*deliverClass=*/true);
         if (trace && !stamped) {
           tracer_.Stamp(*trace, obs::Stage::kSocketWritten);
           stamped = true;
@@ -753,7 +755,7 @@ void Server::FanOutPerSubscriber(const std::vector<std::vector<SessionPtr>>& byI
       const auto modeKey = static_cast<std::size_t>(target->CurrentMode());
       std::shared_ptr<const Bytes>& wire = wires[modeKey];
       if (!wire) {
-        auto bytes = std::make_shared<Bytes>();
+        auto bytes = AcquireWireBuffer();
         EncodeForMode(deliver, static_cast<std::uint8_t>(modeKey), *bytes);
         wire = std::move(bytes);
       }
@@ -783,9 +785,9 @@ void Server::DropSession(const SessionPtr& session) {
 // ---------------------------------------------------------------------------
 
 void Server::SendFrame(const SessionPtr& session, const Frame& frame) {
-  auto wire = std::make_shared<Bytes>();
+  auto wire = AcquireWireBuffer();
   EncodeForMode(frame, static_cast<std::uint8_t>(session->CurrentMode()), *wire);
-  SendEncoded(session, wire);
+  SendEncoded(session, std::move(wire));
 }
 
 void Server::SendEncoded(const SessionPtr& session,
@@ -806,7 +808,7 @@ void Server::SendEncoded(const SessionPtr& session,
       if (trace) tracer_.Discard(*trace);
       return;
     }
-    WriteOut(session, BytesView(*wire), deliverClass);
+    WriteOutShared(session, wire, deliverClass);
     if (trace) tracer_.Stamp(*trace, obs::Stage::kSocketWritten);
   });
 }
@@ -832,8 +834,32 @@ void Server::WriteOut(const SessionPtr& session, BytesView wire,
   }
 }
 
+void Server::WriteOutShared(const SessionPtr& session,
+                            const std::shared_ptr<const Bytes>& wire,
+                            bool deliverClass) {
+  // The batcher coalesces frames into its own buffer (copying is the whole
+  // point there), and the ablation's legacy row forces the copying path.
+  if (session->batcher || !cfg_.zeroCopyEgress) {
+    WriteOut(session, BytesView(*wire), deliverClass);
+    return;
+  }
+  (void)SendOnLoopShared(session, wire, deliverClass);
+}
+
 bool Server::SendOnLoop(const SessionPtr& session, BytesView wire,
                         bool deliverClass) {
+  return SendBytesOnLoop(session, wire, nullptr, deliverClass);
+}
+
+bool Server::SendOnLoopShared(const SessionPtr& session,
+                              const std::shared_ptr<const Bytes>& wire,
+                              bool deliverClass) {
+  return SendBytesOnLoop(session, BytesView(*wire), &wire, deliverClass);
+}
+
+bool Server::SendBytesOnLoop(const SessionPtr& session, BytesView view,
+                             const std::shared_ptr<const Bytes>* shared,
+                             bool deliverClass) {
   if (session->evicting || !session->conn->IsOpen()) return false;
   if (deliverClass && session->overSoft &&
       cfg_.backpressure.policy == OverflowPolicy::kDropNewest) {
@@ -841,9 +867,10 @@ bool Server::SendOnLoop(const SessionPtr& session, BytesView wire,
     return false;
   }
   const std::size_t before = session->conn->PendingBytes();
-  const Status st = session->conn->Send(wire);
+  const Status st = shared != nullptr ? session->conn->Send(*shared)
+                                      : session->conn->Send(view);
   if (st.ok()) {
-    m_.bytesOut.Inc(wire.size());
+    m_.bytesOut.Inc(view.size());
     return true;
   }
   if (st.code() != ErrorCode::kCapacity) return false;  // closed under us
@@ -851,7 +878,7 @@ bool Server::SendOnLoop(const SessionPtr& session, BytesView wire,
   // hard Sends reject the whole frame. PendingBytes moved iff accepted
   // (deterministic — we are on the connection's IoThread).
   const bool accepted = session->conn->PendingBytes() > before;
-  if (accepted) m_.bytesOut.Inc(wire.size());
+  if (accepted) m_.bytesOut.Inc(view.size());
   if (!session->overSoft) {
     session->overSoft = true;
     scm_.softOverflows.Inc();

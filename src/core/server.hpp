@@ -41,7 +41,8 @@
 #include "core/sequencer.hpp"
 #include "proto/codec.hpp"
 #include "proto/websocket.hpp"
-#include "transport/epoll_loop.hpp"
+#include "transport/transport.hpp"
+#include "transport/wire.hpp"
 #include "verify/monitor.hpp"
 #include "wal/log.hpp"
 
@@ -69,6 +70,14 @@ struct ServerConfig {
   /// one closure + wakeup per subscriber. Off = legacy per-subscriber posts
   /// (kept for the bench_fanout ablation).
   bool fanoutBatching = true;
+  /// Zero-copy egress: deliveries queue a reference to the shared wire
+  /// buffer on each subscriber connection (SendQueue + scatter-gather
+  /// flush) instead of memcpy'ing into a per-session buffer. Off = legacy
+  /// copying sends (the bench_fanout ablation's middle row).
+  bool zeroCopyEgress = true;
+  /// Which real-network event loop backend the IoThreads run. io_uring
+  /// falls back to epoll (with a warning) when the kernel can't run it.
+  LoopKind eventLoop = LoopKind::kEpoll;
   /// Slow-consumer handling: send-queue watermarks every client connection is
   /// held to, and what to do with a session that stays over the soft mark.
   BackpressureConfig backpressure;
@@ -144,7 +153,7 @@ class Server {
   };
 
   struct IoThread {
-    std::unique_ptr<EpollLoop> loop;
+    std::unique_ptr<NetLoop> loop;
     ListenerPtr listener;
     std::thread thread;
   };
@@ -201,12 +210,26 @@ class Server {
   void FlushConflator(const SessionPtr& session);
   void WriteOut(const SessionPtr& session, BytesView wire,
                 bool deliverClass = false);
+  /// Zero-copy flavour: queues a reference to the shared wire buffer (unless
+  /// the session batches, which coalesces copies by design, or
+  /// cfg_.zeroCopyEgress is off for the ablation).
+  void WriteOutShared(const SessionPtr& session,
+                      const std::shared_ptr<const Bytes>& wire,
+                      bool deliverClass);
   /// The one place connection->Send() is called (IoThread only). Applies the
   /// overflow policy on a kCapacity result: distinguishes soft-accepted from
   /// hard-rejected via PendingBytes(), counts metrics, and arms the eviction
   /// grace timer / drops the frame per ServerConfig::backpressure. Returns
   /// whether the bytes were accepted into the connection.
   bool SendOnLoop(const SessionPtr& session, BytesView wire, bool deliverClass);
+  bool SendOnLoopShared(const SessionPtr& session,
+                        const std::shared_ptr<const Bytes>& wire,
+                        bool deliverClass);
+  /// Common policy core of the two SendOnLoop flavours: `shared` non-null
+  /// selects the refcounted connection Send.
+  bool SendBytesOnLoop(const SessionPtr& session, BytesView view,
+                       const std::shared_ptr<const Bytes>* shared,
+                       bool deliverClass);
   /// Sends a policy close notice (WS Close 1013 or DisconnectFrame), then
   /// CloseAfterFlush() so the notice reaches clients that are still reading.
   void EvictSlowConsumer(const SessionPtr& session);

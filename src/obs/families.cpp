@@ -39,6 +39,12 @@ constexpr std::string_view kTransTimersHelp = "Loop timers fired";
 constexpr std::string_view kTransTasksPosted = "md_transport_tasks_posted_total";
 constexpr std::string_view kTransTasksPostedHelp =
     "Cross-thread tasks enqueued onto event loops";
+constexpr std::string_view kTransSyscalls = "md_transport_syscalls_total";
+constexpr std::string_view kTransSyscallsHelp =
+    "Socket data syscalls issued, by operation";
+constexpr std::string_view kTransCopyBytes = "md_transport_copy_bytes_total";
+constexpr std::string_view kTransCopyBytesHelp =
+    "Payload bytes copied into egress send queues (zero-copy sends excluded)";
 
 constexpr std::string_view kSlowSoftOverflows =
     "md_slow_consumer_soft_overflows_total";
@@ -181,7 +187,15 @@ TransportMetrics::TransportMetrics(MetricsRegistry& r, std::string_view labels)
           r.GetGauge(kTransQueueBytes, kTransQueueBytesHelp, labels)),
       timersFired(r.GetCounter(kTransTimers, kTransTimersHelp, labels)),
       tasksPosted(
-          r.GetCounter(kTransTasksPosted, kTransTasksPostedHelp, labels)) {}
+          r.GetCounter(kTransTasksPosted, kTransTasksPostedHelp, labels)),
+      // The op label distinguishes the three data-path syscalls; the bundle
+      // is process-wide (unlabeled otherwise), so the fixed label text is
+      // the child key.
+      syscallsSend(r.GetCounter(kTransSyscalls, kTransSyscallsHelp, "op=\"send\"")),
+      syscallsSendmsg(
+          r.GetCounter(kTransSyscalls, kTransSyscallsHelp, "op=\"sendmsg\"")),
+      syscallsRecv(r.GetCounter(kTransSyscalls, kTransSyscallsHelp, "op=\"recv\"")),
+      copyBytes(r.GetCounter(kTransCopyBytes, kTransCopyBytesHelp, labels)) {}
 
 SlowConsumerMetrics::SlowConsumerMetrics(MetricsRegistry& r,
                                          std::string_view labels)

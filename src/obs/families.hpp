@@ -30,7 +30,8 @@ struct CoreMetrics {
   Counter& protoErrors;
 };
 
-/// transport::EpollLoop counters (process-wide; all loops share one bundle).
+/// Transport loop counters (process-wide; all loops — epoll or io_uring —
+/// share one bundle).
 struct TransportMetrics {
   explicit TransportMetrics(MetricsRegistry& registry,
                             std::string_view labels = "");
@@ -41,6 +42,16 @@ struct TransportMetrics {
   Gauge& sendQueueBytes;
   Counter& timersFired;
   Counter& tasksPosted;
+  // Egress/ingress syscall accounting (md_transport_syscalls_total{op=...}):
+  // direct single-buffer sends, scatter-gather flushes, and reads. Divided by
+  // deliveries these give the syscalls-per-delivery stat the fan-out bench
+  // reports.
+  Counter& syscallsSend;
+  Counter& syscallsSendmsg;
+  Counter& syscallsRecv;
+  // Payload bytes memcpy'd into egress buffers (the zero-copy path never
+  // touches this; the legacy copying path counts every queued byte).
+  Counter& copyBytes;
 };
 
 /// Slow-consumer backpressure counters (per server, labeled server="<name>"

@@ -1,12 +1,9 @@
 #include "transport/epoll_loop.hpp"
 
-#include <arpa/inet.h>
-#include <fcntl.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -15,35 +12,26 @@
 #include "common/logging.hpp"
 #include "common/strutil.hpp"
 #include "obs/families.hpp"
+#include "transport/net_util.hpp"
 
 namespace md {
 
 namespace {
 
-Status Errno(const char* what) {
-  return Err(ErrorCode::kInternal, Format("%s: %s", what, std::strerror(errno)));
-}
+using net::Errno;
+using net::PeerString;
+using net::SetNonBlocking;
+using net::SetTcpOptions;
 
-void SetNonBlocking(int fd) {
-  const int flags = fcntl(fd, F_GETFL, 0);
-  fcntl(fd, F_SETFL, flags | O_NONBLOCK);
-}
+// Scatter-gather width per sendmsg. Comfortably under IOV_MAX (1024) — past
+// a few dozen frames per syscall the marginal saving is noise and the iovec
+// array stays stack-friendly.
+constexpr std::size_t kMaxIov = 64;
 
-void SetTcpOptions(int fd) {
-  int one = 1;
-  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-}
-
-std::string PeerString(int fd) {
-  sockaddr_in addr{};
-  socklen_t len = sizeof(addr);
-  if (getpeername(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
-    char buf[INET_ADDRSTRLEN];
-    inet_ntop(AF_INET, &addr.sin_addr, buf, sizeof(buf));
-    return Format("%s:%u", buf, static_cast<unsigned>(ntohs(addr.sin_port)));
-  }
-  return "unknown";
-}
+// A connection accumulating this much in one task batch is flushed inline
+// rather than waiting for the batch boundary: bounds the deferred-flush
+// memory and overlaps the kernel's work with the rest of the batch.
+constexpr std::size_t kInlineFlushBytes = 256 * 1024;
 
 }  // namespace
 
@@ -78,7 +66,15 @@ Status TcpConnection::Send(BytesView data) {
   // was refused would corrupt the stream. (out_.size() <= wm_.hard holds by
   // induction, so the subtraction cannot underflow.)
   if (data.size() > wm_.hard - out_.size()) {
-    return Err(ErrorCode::kCapacity, "send rejected: over hard watermark");
+    // Same flush-before-reject as the zero-copy flavor: a deferred queue is
+    // not kernel backpressure until a drain attempt fails.
+    if (!wantWrite_) {
+      Flush();
+      if (fd_ < 0) return Err(ErrorCode::kClosed, "write failed");
+    }
+    if (data.size() > wm_.hard - out_.size()) {
+      return Err(ErrorCode::kCapacity, "send rejected: over hard watermark");
+    }
   }
 
   // Fast path: nothing buffered — try a direct write first.
@@ -87,6 +83,7 @@ Status TcpConnection::Send(BytesView data) {
     // MSG_NOSIGNAL: writing into a connection the peer already closed must
     // surface as an error, not kill the process with SIGPIPE.
     const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    if (auto* m = loop_.metrics()) m->syscallsSend.Inc();
     if (n > 0) {
       written = static_cast<std::size_t>(n);
       if (auto* m = loop_.metrics()) m->bytesWritten.Inc(written);
@@ -94,22 +91,78 @@ Status TcpConnection::Send(BytesView data) {
       CloseNow();
       return Err(ErrorCode::kClosed, "write failed");
     }
+    if (written < data.size()) {
+      // The kernel pushed back mid-frame: queue the remainder and let
+      // EPOLLOUT drive the drain, exactly like the historical path.
+      if (!wantWrite_) {
+        wantWrite_ = true;
+        UpdateEpollInterest();
+      }
+    }
   }
-  if (written < data.size()) {
-    out_.Append(data.subspan(written));
-    if (auto* m = loop_.metrics()) {
-      m->sendQueueBytes.Add(static_cast<std::int64_t>(data.size() - written));
-    }
+  if (written == data.size()) return OkStatus();
+
+  out_.AppendCopy(data.subspan(written));
+  if (auto* m = loop_.metrics()) {
+    m->copyBytes.Inc(data.size() - written);
+  }
+  return FinishAppend(data.size() - written);
+}
+
+Status TcpConnection::Send(std::shared_ptr<const Bytes> data) {
+  if (fd_ < 0) return Err(ErrorCode::kClosed, "connection closed");
+  if (data == nullptr || data->empty()) return OkStatus();
+  if (data->size() > wm_.hard - out_.size()) {
+    // The queue may be large only because the deferred flush hasn't run yet
+    // this batch — watermarks must measure kernel backpressure, not flush
+    // latency. Drain first; reject only if the kernel really won't take it.
     if (!wantWrite_) {
-      wantWrite_ = true;
-      UpdateEpollInterest();
+      Flush();
+      if (fd_ < 0) return Err(ErrorCode::kClosed, "write failed");
     }
-    if (out_.size() > wm_.soft) {
-      overSoft_ = true;
-      return Err(ErrorCode::kCapacity, "write buffer over soft watermark");
+    if (data->size() > wm_.hard - out_.size()) {
+      return Err(ErrorCode::kCapacity, "send rejected: over hard watermark");
     }
+  }
+  // Zero-copy: queue a reference and defer the syscall to the loop's flush
+  // pass (adaptive flush). When the loop is idle the pass runs immediately
+  // after the current task batch; under load every frame queued in the same
+  // batch coalesces into one sendmsg.
+  const std::size_t appended = data->size();
+  out_.AppendShared(std::move(data));
+  return FinishAppend(appended);
+}
+
+Status TcpConnection::FinishAppend(std::size_t appended) {
+  if (auto* m = loop_.metrics()) {
+    m->sendQueueBytes.Add(static_cast<std::int64_t>(appended));
+  }
+  if (!wantWrite_ && !flushQueued_) {
+    if (out_.size() >= kInlineFlushBytes) {
+      Flush();  // bound deferred memory; may close the connection
+      if (fd_ < 0) return Err(ErrorCode::kClosed, "write failed");
+    } else {
+      RequestFlush();
+    }
+  }
+  // Crossing the soft mark on lazily-deferred bytes would flag a healthy
+  // session as a slow consumer; flush first so the advisory only fires when
+  // the kernel is genuinely not keeping up.
+  if (out_.size() > wm_.soft && !wantWrite_) {
+    Flush();
+    if (fd_ < 0) return Err(ErrorCode::kClosed, "write failed");
+  }
+  if (out_.size() > wm_.soft) {
+    overSoft_ = true;
+    return Err(ErrorCode::kCapacity, "write buffer over soft watermark");
   }
   return OkStatus();
+}
+
+void TcpConnection::RequestFlush() {
+  if (flushQueued_) return;
+  flushQueued_ = true;
+  loop_.QueueFlush(shared_from_this());
 }
 
 void TcpConnection::Close() {
@@ -169,13 +222,22 @@ void TcpConnection::CloseNow() {
 
 void TcpConnection::HandleReadable() {
   // Read until EAGAIN (level-triggered, but draining avoids extra wakeups).
-  std::uint8_t buf[65536];
+  // The buffer is per-loop, not per-call: HandleReadable only runs on the
+  // loop thread and data handlers never re-enter the read path, so one
+  // 64 KiB buffer serves every connection without a stack splash each call.
+  std::uint8_t* buf = loop_.readBuffer();
+  const std::size_t cap = loop_.readBufferSize();
   while (fd_ >= 0) {
-    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    iovec iov{buf, cap};
+    msghdr msg{};
+    msg.msg_iov = &iov;
+    msg.msg_iovlen = 1;
+    const ssize_t n = ::recvmsg(fd_, &msg, 0);
+    if (auto* m = loop_.metrics()) m->syscallsRecv.Inc();
     if (n > 0) {
       if (auto* m = loop_.metrics()) m->bytesRead.Inc(static_cast<std::size_t>(n));
       if (dataHandler_) dataHandler_(BytesView(buf, static_cast<std::size_t>(n)));
-      if (n < static_cast<ssize_t>(sizeof(buf))) break;
+      if (n < static_cast<ssize_t>(cap)) break;
     } else if (n == 0) {
       CloseNow();
       return;
@@ -188,18 +250,40 @@ void TcpConnection::HandleReadable() {
   }
 }
 
-void TcpConnection::HandleWritable() {
+void TcpConnection::HandleWritable() { Flush(); }
+
+void TcpConnection::Flush() {
   while (!out_.empty() && fd_ >= 0) {
-    const BytesView chunk = out_.Peek();
-    const ssize_t n = ::send(fd_, chunk.data(), chunk.size(), MSG_NOSIGNAL);
+    // Scatter-gather: one syscall moves up to kMaxIov queued frames.
+    iovec iov[kMaxIov];
+    const std::size_t iovCount = out_.FillIovecs(iov, kMaxIov);
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = iovCount;
+    const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (auto* m = loop_.metrics()) m->syscallsSendmsg.Inc();
     if (n > 0) {
       out_.Consume(static_cast<std::size_t>(n));
       if (auto* m = loop_.metrics()) {
         m->bytesWritten.Inc(static_cast<std::size_t>(n));
         m->sendQueueBytes.Add(-static_cast<std::int64_t>(n));
       }
+    } else if (n == 0) {
+      // Defensive: zero-length progress — re-arm and retry on EPOLLOUT.
+      if (!wantWrite_) {
+        wantWrite_ = true;
+        UpdateEpollInterest();
+      }
+      return;
     } else {
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Kernel buffer full: let EPOLLOUT drive the rest of the drain.
+        if (!wantWrite_) {
+          wantWrite_ = true;
+          UpdateEpollInterest();
+        }
+        return;
+      }
       if (errno == EINTR) continue;
       CloseNow();
       return;
@@ -314,6 +398,10 @@ void EpollLoop::Run() {
   while (running_.load(std::memory_order_acquire)) {
     DrainPostedTasks();
     FireDueTimers();
+    // Adaptive flush: everything queued by the tasks/timers above (and by
+    // the previous dispatch round) goes to the kernel before we block —
+    // idle loops flush immediately, busy loops coalesce whole batches.
+    FlushPending();
     if (!running_.load(std::memory_order_acquire)) break;
 
     const int n = epoll_wait(epollFd_, events, 256, NextTimeoutMillis());
@@ -322,7 +410,7 @@ void EpollLoop::Run() {
       MD_ERROR("epoll_wait: %s", std::strerror(errno));
       break;
     }
-    if (metrics_ != nullptr) metrics_->wakeups.Inc();
+    if (auto* m = metrics()) m->wakeups.Inc();
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
       const std::uint32_t ev = events[i].events;
@@ -360,6 +448,7 @@ void EpollLoop::Run() {
     }
   }
   DrainPostedTasks();
+  FlushPending();  // final tasks may have queued egress (e.g. goodbyes)
 }
 
 void EpollLoop::Stop() {
@@ -377,7 +466,7 @@ void EpollLoop::Post(TaskFn task) {
     needWake = posted_.empty();
     posted_.push_back(std::move(task));
   }
-  if (metrics_ != nullptr) metrics_->tasksPosted.Inc();
+  if (auto* m = metrics()) m->tasksPosted.Inc();
   if (needWake) {
     const std::uint64_t one = 1;
     [[maybe_unused]] const ssize_t n = ::write(wakeFd_, &one, sizeof(one));
@@ -398,7 +487,7 @@ void EpollLoop::PostBatch(std::vector<TaskFn> tasks) {
                      std::make_move_iterator(tasks.end()));
     }
   }
-  if (metrics_ != nullptr) metrics_->tasksPosted.Inc(count);
+  if (auto* m = metrics()) m->tasksPosted.Inc(count);
   if (needWake) {
     const std::uint64_t one = 1;
     [[maybe_unused]] const ssize_t n = ::write(wakeFd_, &one, sizeof(one));
@@ -412,6 +501,27 @@ void EpollLoop::DrainPostedTasks() {
     tasks.swap(posted_);
   }
   for (auto& task : tasks) task();
+}
+
+void EpollLoop::QueueFlush(std::shared_ptr<detail::TcpConnection> conn) {
+  flushPending_.push_back(std::move(conn));
+}
+
+void EpollLoop::FlushPending() {
+  // Flush side effects (drained handlers re-sending) may queue more; loop
+  // until quiescent. Termination: a re-queued connection either drains or
+  // hits EAGAIN, and EAGAIN hands the drain to EPOLLOUT instead of this
+  // list.
+  while (!flushPending_.empty()) {
+    auto pending = std::move(flushPending_);
+    flushPending_.clear();
+    for (auto& conn : pending) {
+      conn->flushQueued_ = false;  // before Flush: re-sends must re-queue
+      if (conn->fd_ >= 0 && !conn->out_.empty() && !conn->wantWrite_) {
+        conn->Flush();
+      }
+    }
+  }
 }
 
 std::uint64_t EpollLoop::ScheduleTimer(Duration delay, TaskFn task) {
@@ -434,7 +544,7 @@ void EpollLoop::FireDueTimers() {
     if (it == timerTasks_.end()) continue;  // cancelled
     TaskFn task = std::move(it->second);
     timerTasks_.erase(it);
-    if (metrics_ != nullptr) metrics_->timersFired.Inc();
+    if (auto* m = metrics()) m->timersFired.Inc();
     task();
   }
 }
@@ -448,34 +558,10 @@ int EpollLoop::NextTimeoutMillis() const {
 }
 
 Result<ListenerPtr> EpollLoop::Listen(std::uint16_t port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (fd < 0) return Errno("socket");
-  int one = 1;
-  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  // SO_REUSEPORT lets every IoThread bind its own listener on the same port;
-  // the kernel spreads incoming connections across them (paper §4: clients
-  // are equally partitioned among the IoThreads).
-  setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    ::close(fd);
-    return Errno("bind");
-  }
-  if (::listen(fd, 1024) < 0) {
-    ::close(fd);
-    return Errno("listen");
-  }
-
-  socklen_t len = sizeof(addr);
-  getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
-  const std::uint16_t actualPort = ntohs(addr.sin_port);
-
-  auto listener = std::make_unique<detail::TcpListener>(*this, fd, actualPort);
-  Register(fd, EPOLLIN);
+  auto sock = net::CreateListenSocket(port);
+  if (!sock.ok()) return sock.status();
+  auto listener = std::make_unique<detail::TcpListener>(*this, sock->fd, sock->port);
+  Register(sock->fd, EPOLLIN);
   return ListenerPtr(std::move(listener));
 }
 
@@ -487,17 +573,10 @@ void EpollLoop::Connect(const std::string& host, std::uint16_t port,
     return;
   }
   sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    // Only "localhost" is resolved by name — evaluation runs on loopback.
-    if (host == "localhost") {
-      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    } else {
-      ::close(fd);
-      cb(Err(ErrorCode::kInvalidArgument, "unresolvable host: " + host));
-      return;
-    }
+  if (Status s = net::ResolveHost(host, port, addr); !s.ok()) {
+    ::close(fd);
+    cb(std::move(s));
+    return;
   }
 
   const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));

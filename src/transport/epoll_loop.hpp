@@ -2,9 +2,14 @@
 //
 // One EpollLoop per IoThread. Level-triggered epoll; non-blocking sockets;
 // an eventfd wakes the loop for cross-thread Post(); timers live in a local
-// min-heap (no timerfd per timer). Write path: buffered in a ByteQueue with
-// EPOLLOUT armed only while data is pending; a high-water mark provides
-// backpressure to the engine (slow-consumer handling).
+// min-heap (no timerfd per timer). Write path: refcounted (buffer, offset)
+// nodes in a SendQueue (wire.hpp) drained with sendmsg scatter-gather;
+// EPOLLOUT is armed only after the kernel pushes back (EAGAIN). Flushes are
+// adaptive: Send() defers the syscall to a flush pass that runs after every
+// task/timer/dispatch batch and before the loop blocks — immediate when the
+// loop is idle, coalescing every frame queued in the same batch under load.
+// A high-water mark provides backpressure to the engine (slow-consumer
+// handling).
 #pragma once
 
 #include <atomic>
@@ -17,12 +22,9 @@
 #include <vector>
 
 #include "transport/transport.hpp"
+#include "transport/wire.hpp"
 
 namespace md {
-
-namespace obs {
-struct TransportMetrics;
-}  // namespace obs
 
 class EpollLoop;
 
@@ -35,6 +37,7 @@ class TcpConnection final : public Connection,
   ~TcpConnection() override;
 
   Status Send(BytesView data) override;
+  Status Send(std::shared_ptr<const Bytes> data) override;
   void Close() override;
   void CloseAfterFlush() override;
   [[nodiscard]] bool IsOpen() const override { return fd_ >= 0; }
@@ -48,6 +51,10 @@ class TcpConnection final : public Connection,
   // Loop-internal:
   void HandleReadable();
   void HandleWritable();
+  /// Drains the send queue with sendmsg scatter-gather until empty or the
+  /// kernel pushes back (then arms EPOLLOUT). Runs the drained / graceful-
+  /// close follow-ups.
+  void Flush();
   void CloseNow();
   /// Drops all handlers. Handlers commonly capture the connection (or an
   /// owner that holds it) in a shared_ptr; releasing them breaks that
@@ -63,15 +70,22 @@ class TcpConnection final : public Connection,
   static constexpr Duration kCloseFlushGrace = 5 * kSecond;
 
  private:
+  friend class ::md::EpollLoop;
+
   void UpdateEpollInterest();
+  /// Queues this connection for the loop's next flush pass (idempotent).
+  void RequestFlush();
+  /// Common post-append bookkeeping: gauge, flush scheduling, soft check.
+  Status FinishAppend(std::size_t appended);
 
   EpollLoop& loop_;
   int fd_;
   std::string peer_;
-  ByteQueue out_;
+  SendQueue out_;
   bool wantWrite_ = false;
   bool readPaused_ = false;
   bool closeAfterFlush_ = false;
+  bool flushQueued_ = false;  // in the loop's pending-flush list
 };
 
 class TcpListener final : public Listener {
@@ -93,7 +107,7 @@ class TcpListener final : public Listener {
 
 }  // namespace detail
 
-class EpollLoop final : public EventLoop {
+class EpollLoop final : public NetLoop {
  public:
   EpollLoop();
   ~EpollLoop() override;
@@ -104,24 +118,14 @@ class EpollLoop final : public EventLoop {
   void Run() override;
   void Stop() override;
   void Post(TaskFn task) override;
-  /// Enqueues several tasks with one lock acquisition and (at most) one
-  /// eventfd wakeup — the cross-thread half of fan-out batching.
-  void PostBatch(std::vector<TaskFn> tasks);
+  /// One lock acquisition and (at most) one eventfd wakeup for the batch.
+  void PostBatch(std::vector<TaskFn> tasks) override;
   std::uint64_t ScheduleTimer(Duration delay, TaskFn task) override;
   void CancelTimer(std::uint64_t id) override;
   [[nodiscard]] TimePoint Now() const override;
   Result<ListenerPtr> Listen(std::uint16_t port) override;
   void Connect(const std::string& host, std::uint16_t port,
                ConnectCallback cb) override;
-
-  /// Optional instrumentation (wakeups, bytes, queue depth, timers). The
-  /// bundle must outlive the loop; call before Run(). nullptr disables.
-  void SetMetrics(obs::TransportMetrics* metrics) noexcept {
-    metrics_ = metrics;
-  }
-  [[nodiscard]] obs::TransportMetrics* metrics() const noexcept {
-    return metrics_;
-  }
 
   // Internal plumbing for connections/listeners (dispatch is by fd).
   void Register(int fd, std::uint32_t events);
@@ -137,6 +141,15 @@ class EpollLoop final : public EventLoop {
   /// so the loop can break handler cycles even if it stops first.
   void MarkClosing(std::shared_ptr<detail::TcpConnection> conn);
   void UnmarkClosing(const detail::TcpConnection* conn);
+  /// Adaptive flush: connections with freshly-queued egress, flushed in one
+  /// pass after each task/timer/dispatch batch, before the loop blocks.
+  void QueueFlush(std::shared_ptr<detail::TcpConnection> conn);
+  /// One reusable inbound read buffer per loop (HandleReadable is
+  /// loop-thread only, so a single buffer serves every connection).
+  [[nodiscard]] std::uint8_t* readBuffer() noexcept { return readBuf_.data(); }
+  [[nodiscard]] std::size_t readBufferSize() const noexcept {
+    return readBuf_.size();
+  }
 
  private:
   struct PendingConnect {
@@ -156,14 +169,16 @@ class EpollLoop final : public EventLoop {
 
   void DrainPostedTasks();
   void FireDueTimers();
+  void FlushPending();
   [[nodiscard]] int NextTimeoutMillis() const;
   void HandleConnectReady(int fd);
 
   int epollFd_ = -1;
   int wakeFd_ = -1;
   int emergencyFd_ = -1;
-  obs::TransportMetrics* metrics_ = nullptr;
   std::atomic<bool> running_{false};
+  std::vector<std::uint8_t> readBuf_ = std::vector<std::uint8_t>(64 * 1024);
+  std::vector<std::shared_ptr<detail::TcpConnection>> flushPending_;
 
   std::mutex postMutex_;
   std::vector<TaskFn> posted_;

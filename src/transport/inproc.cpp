@@ -31,6 +31,27 @@ Status InprocConnection::Send(BytesView data) {
   return OkStatus();
 }
 
+Status InprocConnection::Send(std::shared_ptr<const Bytes> data) {
+  if (!open_) return Err(ErrorCode::kClosed, "connection closed");
+  if (data == nullptr || data->empty()) return OkStatus();
+  auto peer = peer_.lock();
+  if (!peer) return Err(ErrorCode::kClosed, "peer gone");
+  if (data->size() > wm_.hard - outPending_) {
+    return Err(ErrorCode::kCapacity, "send rejected: over hard watermark");
+  }
+  outPending_ += data->size();
+  // Zero-copy: the event carries a reference; the buffer stays alive (and
+  // immutable) until every receiver on every loop has consumed it.
+  loop_.scheduler().Schedule(
+      loop_.deliveryDelay(),
+      [peer, data = std::move(data)] { peer->DeliverShared(data); });
+  if (outPending_ > wm_.soft) {
+    overSoft_ = true;
+    return Err(ErrorCode::kCapacity, "write buffer over soft watermark");
+  }
+  return OkStatus();
+}
+
 void InprocConnection::Close() {
   if (!open_) return;
   open_ = false;
@@ -72,6 +93,22 @@ void InprocConnection::DeliverData(Bytes data) {
     return;
   }
   Consume(std::move(data));
+}
+
+void InprocConnection::DeliverShared(const std::shared_ptr<const Bytes>& data) {
+  if (!open_) {
+    if (auto peer = peer_.lock()) peer->OnPeerConsumed(data->size());
+    return;
+  }
+  if (readPaused_ || !parked_.empty()) {
+    // Parking needs owned bytes (the deque outlives this event); the paused
+    // path is the exception, so the copy lives here and nowhere else.
+    parked_.emplace_back(data->begin(), data->end());
+    return;
+  }
+  const std::size_t n = data->size();
+  if (dataHandler_) dataHandler_(BytesView(*data));
+  if (auto peer = peer_.lock()) peer->OnPeerConsumed(n);
 }
 
 void InprocConnection::Consume(Bytes data) {

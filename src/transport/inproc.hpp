@@ -29,6 +29,7 @@ class InprocConnection final
   InprocConnection(InprocLoop& loop, std::string peerName);
 
   Status Send(BytesView data) override;
+  Status Send(std::shared_ptr<const Bytes> data) override;
   void Close() override;
   [[nodiscard]] bool IsOpen() const override { return open_; }
   /// Bytes sent but not yet consumed by the peer's data handler — in-flight
@@ -46,6 +47,9 @@ class InprocConnection final
 
   // Called via scheduler events.
   void DeliverData(Bytes data);
+  /// Zero-copy delivery: the handler reads straight from the shared buffer.
+  /// Parks a copy only when the reader is paused (the rare path).
+  void DeliverShared(const std::shared_ptr<const Bytes>& data);
   void DeliverClose();
   /// Peer-side acknowledgement that `n` sent bytes were consumed.
   void OnPeerConsumed(std::size_t n);

@@ -12,16 +12,24 @@
 // arrives in order and without duplication (TCP semantics).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/status.hpp"
 #include "common/time.hpp"
 
 namespace md {
+
+namespace obs {
+struct TransportMetrics;
+}  // namespace obs
 
 /// Send-buffer watermarks (slow-consumer backpressure).
 ///
@@ -57,6 +65,15 @@ class Connection {
   /// can distinguish the two by comparing PendingBytes() across the call),
   /// kClosed if closed.
   virtual Status Send(BytesView data) = 0;
+
+  /// Zero-copy variant: queues a *reference* to the (immutable) buffer
+  /// instead of copying its bytes — the fan-out path shares one encoded
+  /// frame across every subscriber on the loop. Watermark semantics are
+  /// identical to Send(BytesView). Implementations that don't support
+  /// refcounted queues fall back to the copying path.
+  virtual Status Send(std::shared_ptr<const Bytes> data) {
+    return Send(BytesView(*data));
+  }
 
   /// Initiates close. The close handler fires (once) when fully closed.
   /// Bytes still buffered are discarded.
@@ -143,5 +160,48 @@ class EventLoop {
   virtual void Connect(const std::string& host, std::uint16_t port,
                        ConnectCallback cb) = 0;
 };
+
+/// Real-network event loop: what the server/cluster hosts program against so
+/// the epoll and io_uring backends are interchangeable. Adds the batch post
+/// used by fan-out and the metrics bundle both backends feed.
+class NetLoop : public EventLoop {
+ public:
+  /// Enqueues several tasks with one lock acquisition and (at most) one
+  /// wakeup — the cross-thread half of fan-out batching. Default loops
+  /// Post(); both real backends override with a coalesced wake.
+  virtual void PostBatch(std::vector<TaskFn> tasks) {
+    for (auto& task : tasks) Post(std::move(task));
+  }
+
+  /// Optional instrumentation (wakeups, bytes, syscalls, queue depth). The
+  /// bundle must outlive the loop; call before Run(). nullptr disables.
+  /// Atomic because Post()/PostBatch() (any thread) count into the bundle
+  /// while the owner may still be installing it.
+  void SetMetrics(obs::TransportMetrics* metrics) noexcept {
+    metrics_.store(metrics, std::memory_order_release);
+  }
+  [[nodiscard]] obs::TransportMetrics* metrics() const noexcept {
+    return metrics_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<obs::TransportMetrics*> metrics_{nullptr};
+};
+
+/// Which real-network backend to run.
+enum class LoopKind : std::uint8_t { kEpoll, kIoUring };
+
+/// "epoll" / "io_uring" (also accepts "uring"); nullopt on anything else.
+[[nodiscard]] std::optional<LoopKind> ParseLoopKind(std::string_view name);
+[[nodiscard]] const char* LoopKindName(LoopKind kind) noexcept;
+
+/// Probes the running kernel once: io_uring must exist and support the
+/// features the UringLoop needs (EXT_ARG timed waits). `whyNot` (optional)
+/// receives a human-readable reason when unavailable.
+[[nodiscard]] bool IoUringAvailable(std::string* whyNot = nullptr);
+
+/// Creates the requested backend, falling back to epoll (with a warning)
+/// when io_uring is requested but the kernel can't run it.
+[[nodiscard]] std::unique_ptr<NetLoop> CreateNetLoop(LoopKind kind);
 
 }  // namespace md

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "client/client.hpp"
+#include "transport/epoll_loop.hpp"
 
 namespace md::cluster {
 namespace {

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "client/client.hpp"
+#include "transport/epoll_loop.hpp"
 #include "core/server.hpp"
 
 namespace md::core {

@@ -170,6 +170,12 @@ TEST(RegistryConcurrencyTest, SnapshotsNeverTearUnderChurn) {
     });
   }
   for (int w = 0; w < kWriters; ++w) threads[static_cast<std::size_t>(w)].join();
+  // Don't stop the readers until they have validated at least one snapshot:
+  // on a loaded machine the writers can finish before a reader is ever
+  // scheduled, and the post-churn registry is non-empty so this terminates.
+  while (snapshotsChecked.load(std::memory_order_relaxed) == 0) {
+    std::this_thread::yield();
+  }
   stop.store(true, std::memory_order_relaxed);
   for (std::size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
   EXPECT_GT(snapshotsChecked.load(), 0u);

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "client/client.hpp"
+#include "transport/epoll_loop.hpp"
 
 namespace md::core {
 namespace {
@@ -95,16 +96,27 @@ TEST_P(ServerClientTest, SubscribePublishDeliver) {
       lt.loop(), MakeClientConfig(server->Port(), "pub-1", UseWebSocket()));
 
   std::atomic<int> received{0};
+  std::atomic<bool> subscribed{false};
   std::string lastPayload;
   lt.RunOnLoop([&] {
-    sub->Subscribe("scores", [&](const Message& m) {
-      lastPayload.assign(m.payload.begin(), m.payload.end());
-      received.fetch_add(1);
-    });
+    sub->Subscribe(
+        "scores",
+        [&](const Message& m) {
+          lastPayload.assign(m.payload.begin(), m.payload.end());
+          received.fetch_add(1);
+        },
+        [&] { subscribed.store(true); });
     sub->Start();
     pub->Start();
   });
-  ClientLoopThread::WaitFor([&] { return sub->IsConnected() && pub->IsConnected(); });
+  // The SUBSCRIBE and the PUBLISH travel on different sessions handled by
+  // different workers; only the SubAck (sent after the registry write, on the
+  // subscriber's worker) orders the subscription before the fan-out snapshot.
+  // Publishing after IsConnected() alone races the subscription, and a missed
+  // publish is acked so the client never retries it.
+  ClientLoopThread::WaitFor([&] {
+    return sub->IsConnected() && pub->IsConnected() && subscribed.load();
+  });
 
   std::atomic<bool> acked{false};
   lt.RunOnLoop([&] {
@@ -129,15 +141,21 @@ TEST_P(ServerClientTest, InOrderDeliveryOfManyMessages) {
   constexpr int kMessages = 200;
   std::atomic<int> received{0};
   std::atomic<bool> ordered{true};
+  std::atomic<bool> subscribed{false};
   lt.RunOnLoop([&] {
-    sub->Subscribe("stream", [&, next = std::uint64_t(1)](const Message& m) mutable {
-      if (m.seq != next++) ordered.store(false);
-      received.fetch_add(1);
-    });
+    sub->Subscribe(
+        "stream",
+        [&, next = std::uint64_t(1)](const Message& m) mutable {
+          if (m.seq != next++) ordered.store(false);
+          received.fetch_add(1);
+        },
+        [&] { subscribed.store(true); });
     sub->Start();
     pub->Start();
   });
-  ClientLoopThread::WaitFor([&] { return sub->IsConnected() && pub->IsConnected(); });
+  ClientLoopThread::WaitFor([&] {
+    return sub->IsConnected() && pub->IsConnected() && subscribed.load();
+  });
 
   lt.RunOnLoop([&] {
     for (int i = 0; i < kMessages; ++i) {
@@ -161,22 +179,21 @@ TEST_P(ServerClientTest, FanOutToManySubscribers) {
   constexpr int kSubs = 20;
   std::vector<std::unique_ptr<client::Client>> subs;
   std::atomic<int> received{0};
-  std::atomic<int> connected{0};
+  std::atomic<int> subscribed{0};
 
   lt.RunOnLoop([&] {
     for (int i = 0; i < kSubs; ++i) {
       auto c = std::make_unique<client::Client>(
           lt.loop(),
           MakeClientConfig(server->Port(), "sub-" + std::to_string(i), UseWebSocket()));
-      c->Subscribe("game", [&](const Message&) { received.fetch_add(1); });
-      c->SetConnectionListener([&](bool up) {
-        if (up) connected.fetch_add(1);
-      });
+      c->Subscribe(
+          "game", [&](const Message&) { received.fetch_add(1); },
+          [&] { subscribed.fetch_add(1); });
       c->Start();
       subs.push_back(std::move(c));
     }
   });
-  ClientLoopThread::WaitFor([&] { return connected.load() == kSubs; });
+  ClientLoopThread::WaitFor([&] { return subscribed.load() == kSubs; });
 
   auto pub = std::make_unique<client::Client>(
       lt.loop(), MakeClientConfig(server->Port(), "pub-fan", UseWebSocket()));
@@ -200,15 +217,21 @@ TEST_P(ServerClientTest, ReconnectRecoversMissedMessages) {
 
   std::vector<std::uint64_t> seqs;
   std::mutex seqsMutex;
+  std::atomic<int> subscribed{0};  // fires again on each resubscribe
   lt.RunOnLoop([&] {
-    sub->Subscribe("recovery", [&](const Message& m) {
-      std::lock_guard lock(seqsMutex);
-      seqs.push_back(m.seq);
-    });
+    sub->Subscribe(
+        "recovery",
+        [&](const Message& m) {
+          std::lock_guard lock(seqsMutex);
+          seqs.push_back(m.seq);
+        },
+        [&] { subscribed.fetch_add(1); });
     sub->Start();
     pub->Start();
   });
-  ClientLoopThread::WaitFor([&] { return sub->IsConnected() && pub->IsConnected(); });
+  ClientLoopThread::WaitFor([&] {
+    return pub->IsConnected() && subscribed.load() >= 1;
+  });
 
   // Receive message 1 live.
   std::atomic<bool> acked1{false};
@@ -291,12 +314,17 @@ TEST(ServerBatchingTest, BatchingReducesWritesButDeliversAll) {
 
   constexpr int kMessages = 50;
   std::atomic<int> received{0};
+  std::atomic<bool> subscribed{false};
   lt.RunOnLoop([&] {
-    sub->Subscribe("hot", [&](const Message&) { received.fetch_add(1); });
+    sub->Subscribe(
+        "hot", [&](const Message&) { received.fetch_add(1); },
+        [&] { subscribed.store(true); });
     sub->Start();
     pub->Start();
   });
-  ClientLoopThread::WaitFor([&] { return sub->IsConnected() && pub->IsConnected(); });
+  ClientLoopThread::WaitFor([&] {
+    return pub->IsConnected() && subscribed.load();
+  });
 
   lt.RunOnLoop([&] {
     for (int i = 0; i < kMessages; ++i) pub->Publish("hot", Bytes{1});
@@ -331,25 +359,24 @@ TEST_P(ServerFanoutTest, BatchedFanOutPreservesPerSubscriberOrder) {
   std::array<std::atomic<int>, kSubs> received{};
   std::array<std::atomic<bool>, kSubs> ordered{};
   for (auto& o : ordered) o.store(true);
-  std::atomic<int> connected{0};
+  std::atomic<int> subscribed{0};
 
   lt.RunOnLoop([&] {
     for (int i = 0; i < kSubs; ++i) {
       auto c = std::make_unique<client::Client>(
           lt.loop(), MakeClientConfig(server.Port(), "fo-sub-" + std::to_string(i)));
-      c->Subscribe("ladder",
-                   [&, i, next = std::uint64_t(1)](const Message& m) mutable {
-                     if (m.seq != next++) ordered[i].store(false);
-                     received[i].fetch_add(1);
-                   });
-      c->SetConnectionListener([&](bool up) {
-        if (up) connected.fetch_add(1);
-      });
+      c->Subscribe(
+          "ladder",
+          [&, i, next = std::uint64_t(1)](const Message& m) mutable {
+            if (m.seq != next++) ordered[i].store(false);
+            received[i].fetch_add(1);
+          },
+          [&] { subscribed.fetch_add(1); });
       c->Start();
       subs.push_back(std::move(c));
     }
   });
-  ClientLoopThread::WaitFor([&] { return connected.load() == kSubs; });
+  ClientLoopThread::WaitFor([&] { return subscribed.load() == kSubs; });
 
   auto pub = std::make_unique<client::Client>(
       lt.loop(), MakeClientConfig(server.Port(), "fo-pub"));

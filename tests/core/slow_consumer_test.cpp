@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "client/client.hpp"
+#include "transport/epoll_loop.hpp"
 #include "proto/websocket.hpp"
 
 namespace md::core {
