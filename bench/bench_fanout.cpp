@@ -68,7 +68,6 @@ struct ModeResult {
   double msgsPerSec = 0;
   double nsPerDelivery = 0;
   double postsPerPublish = 0;   // md_transport_tasks_posted_total delta / publishes
-  double wakeupsPerPublish = 0; // md_transport_epoll_wakeups_total delta / publishes
   double syscallsPerDelivery = 0;  // send+sendmsg+recv delta / deliveries
   double sendmsgShare = 0;         // sendmsg / (send+sendmsg) egress calls
   double copyBytesPerDelivery = 0; // md_transport_copy_bytes_total delta / deliveries
@@ -161,7 +160,6 @@ bool RunMode(const ModeSpec& mode, long clients, long topics, long bursts,
   // (fan-out closures plus one publisher ack per publish).
   const obs::MetricsSnapshot before = registry.Snapshot();
   const double postsBefore = before.Total("md_transport_tasks_posted_total");
-  const double wakeupsBefore = before.Total("md_transport_epoll_wakeups_total");
   const double syscallsBefore = before.Total("md_transport_syscalls_total");
   const double sendBefore =
       before.Value("md_transport_syscalls_total", "op=\"send\"");
@@ -203,9 +201,6 @@ bool RunMode(const ModeSpec& mode, long clients, long topics, long bursts,
       out.delivered == 0 ? 0 : elapsed * 1e9 / static_cast<double>(out.delivered);
   out.postsPerPublish =
       (after.Total("md_transport_tasks_posted_total") - postsBefore) /
-      static_cast<double>(publishes);
-  out.wakeupsPerPublish =
-      (after.Total("md_transport_epoll_wakeups_total") - wakeupsBefore) /
       static_cast<double>(publishes);
   const double deliveredD =
       out.delivered == 0 ? 1 : static_cast<double>(out.delivered);
@@ -264,7 +259,6 @@ void WriteJsonMode(std::FILE* f, const char* key, const ModeResult& r,
                "    \"msgs_per_sec\": %.1f,\n"
                "    \"ns_per_delivery\": %.1f,\n"
                "    \"posts_per_publish\": %.3f,\n"
-               "    \"wakeups_per_publish\": %.3f,\n"
                "    \"syscalls_per_delivery\": %.4f,\n"
                "    \"sendmsg_share\": %.3f,\n"
                "    \"copy_bytes_per_delivery\": %.1f,\n"
@@ -274,7 +268,7 @@ void WriteJsonMode(std::FILE* f, const char* key, const ModeResult& r,
                key, static_cast<unsigned long long>(r.expected),
                static_cast<unsigned long long>(r.delivered),
                r.serverDelivered, r.elapsedSec, r.msgsPerSec, r.nsPerDelivery,
-               r.postsPerPublish, r.wakeupsPerPublish, r.syscallsPerDelivery,
+               r.postsPerPublish, r.syscallsPerDelivery,
                r.sendmsgShare, r.copyBytesPerDelivery, r.latency.medianMs,
                r.latency.p99Ms, trailingComma ? "," : "");
 }

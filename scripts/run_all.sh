@@ -118,6 +118,25 @@ cmake --build build-tsan --target wal_test || exit 1
 MD_BENCH_DUR_APPENDS=1000 MD_BENCH_DUR_MSGS=200 MD_BENCH_DUR_OUT=/dev/null \
   ./build/bench/bench_durability || exit 1
 
+# Footprint leg (DESIGN.md §15): the slab allocator, flat maps and the
+# topic-intern table under ASan (freed-slot poisoning is load-bearing: the
+# death test proves a dangling Session pointer faults instead of reading a
+# recycled slot) plus the registry churn-residue test; the lock-free
+# TopicTable::NameOf publication and slab freelists under TSan; then the C10M
+# footprint bench at a 100k-session smoke scale — it exits nonzero unless
+# measured engine bytes/session stays within the budget, churn returns slab
+# occupancy to baseline, and the live-engine smoke loses nothing.
+cmake --build build-asan --target common_test core_test || exit 1
+./build-asan/tests/common_test \
+  --gtest_filter='Slab*:FlatMap*:SmallVector*:TopicIntern*' || exit 1
+./build-asan/tests/core_test \
+  --gtest_filter='RegistryTest.ChurnReturnsToBaseline' || exit 1
+cmake --build build-tsan --target common_test || exit 1
+./build-tsan/tests/common_test --gtest_filter='Slab*:TopicIntern*' || exit 1
+MD_BENCH_C10M_SESSIONS=100000 MD_BENCH_C10M_SMOKE=64 \
+  MD_BENCH_SECONDS=60 MD_BENCH_WARMUP=10 MD_BENCH_C10M_OUT=/dev/null \
+  ./build/bench/bench_c10m || exit 1
+
 # Flake gate: the client/server integration suite must survive repetition on
 # a loaded machine — one pass can hide a racy wait, fifteen rarely do.
 ./build/tests/core_test --gtest_filter='AllTransports/ServerClientTest.*' \

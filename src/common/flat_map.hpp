@@ -1,0 +1,254 @@
+// Open-addressing robin-hood hash map for integer keys (DESIGN.md §15).
+//
+// The node-based std::map / std::unordered_map that used to key the
+// subscription registry, cache and sequencer cost ~48–64 bytes of node and
+// allocator overhead PER ENTRY — ruinous at millions of sessions. FlatMap
+// stores keys, values and probe distances in three parallel arrays (one
+// allocation each, drawn from the slab arena), giving per-entry overhead of
+// sizeof(K)+1 bytes amortized over a 0.75 max load factor, cache-line
+// friendly probes, and backward-shift deletion so churn leaves no
+// tombstones.
+//
+// Scope: single-writer-per-instance (external locking, exactly like the maps
+// it replaces), keys are trivially copyable integers, values move freely.
+// Iteration order is the probe order — deterministic for a given insertion
+// history, NOT sorted; callers that need name order sort on the way out.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <type_traits>
+#include <utility>
+
+#include "common/hash.hpp"
+#include "common/slab.hpp"
+
+namespace md {
+
+template <typename K, typename V>
+class FlatMap {
+  static_assert(std::is_trivially_copyable_v<K>);
+
+ public:
+  FlatMap() = default;
+  ~FlatMap() { Reset(); }
+
+  FlatMap(const FlatMap&) = delete;
+  FlatMap& operator=(const FlatMap&) = delete;
+
+  FlatMap(FlatMap&& other) noexcept { MoveFrom(other); }
+  FlatMap& operator=(FlatMap&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Bytes held by the three arrays — the footprint accounting the
+  /// bytes-per-session gauge sums.
+  [[nodiscard]] std::size_t MemoryBytes() const noexcept {
+    return capacity_ * (sizeof(K) + sizeof(V) + 1);
+  }
+
+  [[nodiscard]] V* Find(K key) noexcept {
+    if (capacity_ == 0) return nullptr;
+    const std::size_t mask = capacity_ - 1;
+    std::size_t i = Hash(key) & mask;
+    std::uint8_t dist = 1;
+    while (true) {
+      if (dist_[i] == 0) return nullptr;
+      if (dist_[i] < dist) return nullptr;  // robin hood: would have evicted
+      if (keys_[i] == key) return &values_[i];
+      i = (i + 1) & mask;
+      if (dist < kMaxDist) ++dist;
+    }
+  }
+  [[nodiscard]] const V* Find(K key) const noexcept {
+    return const_cast<FlatMap*>(this)->Find(key);
+  }
+  [[nodiscard]] bool Contains(K key) const noexcept {
+    return Find(key) != nullptr;
+  }
+
+  /// Returns the value for `key`, default-constructing it on first sight.
+  V& operator[](K key) {
+    if (V* v = Find(key)) return *v;
+    if ((size_ + 1) * 4 > capacity_ * 3) Grow();
+    ++size_;
+    return *InsertFresh(key, V{});
+  }
+
+  /// Removes `key`; returns false if absent. Backward-shift deletion keeps
+  /// probe chains tombstone-free.
+  bool Erase(K key) noexcept {
+    if (capacity_ == 0) return false;
+    const std::size_t mask = capacity_ - 1;
+    std::size_t i = Hash(key) & mask;
+    std::uint8_t dist = 1;
+    while (true) {
+      if (dist_[i] == 0 || dist_[i] < dist) return false;
+      if (keys_[i] == key) break;
+      i = (i + 1) & mask;
+      if (dist < kMaxDist) ++dist;
+    }
+    // Shift successors whose probe distance is > 1 back by one slot.
+    std::size_t next = (i + 1) & mask;
+    while (dist_[next] > 1) {
+      keys_[i] = keys_[next];
+      values_[i] = std::move(values_[next]);
+      dist_[i] = static_cast<std::uint8_t>(
+          dist_[next] == kMaxDist ? kMaxDist : dist_[next] - 1);
+      i = next;
+      next = (next + 1) & mask;
+    }
+    values_[i] = V{};  // release held resources
+    dist_[i] = 0;
+    --size_;
+    return true;
+  }
+
+  void Clear() noexcept {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      if (dist_[i] != 0) {
+        values_[i].~V();
+        dist_[i] = 0;
+      }
+    }
+    for (std::size_t i = 0; i < capacity_; ++i) new (&values_[i]) V();
+    size_ = 0;
+  }
+
+  void Reserve(std::size_t entries) {
+    std::size_t want = kMinCapacity;
+    while (want * 3 < entries * 4) want <<= 1;
+    if (want > capacity_) Rehash(want);
+  }
+
+  /// Visits every (key, value&) pair; mutation of the map during the visit
+  /// is not allowed.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      if (dist_[i] != 0) fn(keys_[i], values_[i]);
+    }
+  }
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      if (dist_[i] != 0) fn(keys_[i], const_cast<const V&>(values_[i]));
+    }
+  }
+
+ private:
+  // Probe distances saturate at 255; correctness only needs "never reads an
+  // entry as closer than it is", and saturated chains stay contiguous.
+  static constexpr std::uint8_t kMaxDist = 255;
+  static constexpr std::size_t kMinCapacity = 8;
+
+  static std::size_t Hash(K key) noexcept {
+    return static_cast<std::size_t>(MixU64(static_cast<std::uint64_t>(key)));
+  }
+
+  void MoveFrom(FlatMap& other) noexcept {
+    keys_ = other.keys_;
+    values_ = other.values_;
+    dist_ = other.dist_;
+    size_ = other.size_;
+    capacity_ = other.capacity_;
+    other.keys_ = nullptr;
+    other.values_ = nullptr;
+    other.dist_ = nullptr;
+    other.size_ = other.capacity_ = 0;
+  }
+
+  void Reset() noexcept {
+    if (capacity_ == 0) return;
+    for (std::size_t i = 0; i < capacity_; ++i) values_[i].~V();
+    SlabArena::Default().Free(keys_, capacity_ * sizeof(K));
+    SlabArena::Default().Free(values_, capacity_ * sizeof(V));
+    SlabArena::Default().Free(dist_, capacity_);
+    keys_ = nullptr;
+    values_ = nullptr;
+    dist_ = nullptr;
+    size_ = capacity_ = 0;
+  }
+
+  void Grow() { Rehash(capacity_ == 0 ? kMinCapacity : capacity_ * 2); }
+
+  void Rehash(std::size_t newCapacity) {
+    K* oldKeys = keys_;
+    V* oldValues = values_;
+    std::uint8_t* oldDist = dist_;
+    const std::size_t oldCapacity = capacity_;
+
+    SlabArena& arena = SlabArena::Default();
+    keys_ = static_cast<K*>(arena.Allocate(newCapacity * sizeof(K)));
+    values_ = static_cast<V*>(arena.Allocate(newCapacity * sizeof(V)));
+    dist_ = static_cast<std::uint8_t*>(arena.Allocate(newCapacity));
+    capacity_ = newCapacity;
+    std::memset(dist_, 0, newCapacity);
+    for (std::size_t i = 0; i < newCapacity; ++i) new (&values_[i]) V();
+
+    for (std::size_t i = 0; i < oldCapacity; ++i) {
+      if (oldDist[i] != 0) {
+        InsertFresh(oldKeys[i], std::move(oldValues[i]));
+        oldValues[i].~V();
+      } else {
+        oldValues[i].~V();
+      }
+    }
+    if (oldCapacity != 0) {
+      arena.Free(oldKeys, oldCapacity * sizeof(K));
+      arena.Free(oldValues, oldCapacity * sizeof(V));
+      arena.Free(oldDist, oldCapacity);
+    }
+  }
+
+  /// Inserts a key known to be absent; returns the slot the VALUE for `key`
+  /// finally lives in (robin-hood displacement may move other entries).
+  V* InsertFresh(K key, V&& value) {
+    const std::size_t mask = capacity_ - 1;
+    std::size_t i = Hash(key) & mask;
+    std::uint8_t dist = 1;
+    K curKey = key;
+    V curVal = std::move(value);
+    V* result = nullptr;
+    while (true) {
+      if (dist_[i] == 0) {
+        keys_[i] = curKey;
+        values_[i] = std::move(curVal);
+        dist_[i] = dist;
+        return result == nullptr ? &values_[i] : result;
+      }
+      if (dist_[i] < dist) {
+        // Rob the rich: displace the closer-to-home entry and keep probing
+        // with it.
+        std::swap(curKey, keys_[i]);
+        std::swap(curVal, values_[i]);
+        std::swap(dist, dist_[i]);
+        if (result == nullptr && keys_[i] == key) result = &values_[i];
+      }
+      if (result == nullptr && dist_[i] != 0 && keys_[i] == key &&
+          curKey != key) {
+        result = &values_[i];
+      }
+      i = (i + 1) & mask;
+      if (dist < kMaxDist) ++dist;
+    }
+  }
+
+  K* keys_ = nullptr;
+  V* values_ = nullptr;
+  std::uint8_t* dist_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace md

@@ -1,0 +1,140 @@
+#include "common/slab.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define MD_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define MD_ASAN 1
+#endif
+#endif
+#if defined(MD_ASAN)
+#include <sanitizer/asan_interface.h>
+#define MD_POISON(p, n) ASAN_POISON_MEMORY_REGION((p), (n))
+#define MD_UNPOISON(p, n) ASAN_UNPOISON_MEMORY_REGION((p), (n))
+#else
+#define MD_POISON(p, n) ((void)0)
+#define MD_UNPOISON(p, n) ((void)0)
+#endif
+
+namespace md {
+
+namespace {
+
+// Slot sizes chosen for the structures that dominate at scale: Session +
+// shared_ptr control block (~320–512), deque blocks (~512–4K), FlatMap
+// arrays (powers of two), small strings and queue nodes (16–128). Fine
+// granularity below 512 B keeps per-session rounding waste low.
+constexpr std::array<std::size_t, 20> kClassSizes = {
+    16,  32,  48,   64,   80,   96,   112,  128,  160,  192,
+    256, 320, 384,  512,  768,  1024, 1536, 2048, 4096, 8192};
+
+static_assert(kClassSizes.back() == SlabArena::kMaxSlotBytes);
+
+}  // namespace
+
+SlabArena::~SlabArena() {
+  for (Pool& pool : pools_) {
+    for (void* chunk : pool.chunks) {
+      MD_UNPOISON(chunk, kChunkBytes);
+      ::operator delete(chunk);
+    }
+  }
+}
+
+SlabArena& SlabArena::Default() {
+  // Leaked on purpose (like the wire-buffer pool): sessions and cache nodes
+  // may outlive any static destruction order.
+  static SlabArena* arena = new SlabArena();
+  return *arena;
+}
+
+int SlabArena::ClassIndexFor(std::size_t bytes) noexcept {
+  if (bytes > kMaxSlotBytes) return -1;
+  const auto it = std::lower_bound(kClassSizes.begin(), kClassSizes.end(),
+                                   std::max<std::size_t>(bytes, 1));
+  return static_cast<int>(it - kClassSizes.begin());
+}
+
+std::size_t SlabArena::SlotSizeFor(std::size_t bytes) noexcept {
+  const int idx = ClassIndexFor(bytes);
+  return idx < 0 ? bytes : kClassSizes[static_cast<std::size_t>(idx)];
+}
+
+void* SlabArena::Allocate(std::size_t bytes) {
+  const int idx = ClassIndexFor(bytes);
+  if (idx < 0) {
+    void* p = ::operator new(bytes);
+    std::lock_guard lock(oversizeMutex_);
+    ++oversize_;
+    oversizeBytes_ += bytes;
+    return p;
+  }
+  Pool& pool = pools_[idx];
+  const std::size_t slot = kClassSizes[static_cast<std::size_t>(idx)];
+  std::lock_guard lock(pool.mutex);
+  pool.slotBytes = slot;
+  if (pool.freelist == nullptr) {
+    // Grow: carve a fresh chunk into slots, push them all on the freelist.
+    void* chunk = ::operator new(kChunkBytes);
+    pool.chunks.push_back(chunk);
+    auto* base = static_cast<std::uint8_t*>(chunk);
+    const std::size_t slots = kChunkBytes / slot;
+    for (std::size_t i = slots; i > 0; --i) {
+      auto* node = reinterpret_cast<FreeNode*>(base + (i - 1) * slot);
+      node->next = pool.freelist;
+      pool.freelist = node;
+    }
+  }
+  FreeNode* node = pool.freelist;
+  MD_UNPOISON(node, slot);
+  pool.freelist = node->next;
+  ++pool.slotsInUse;
+  return node;
+}
+
+void SlabArena::Free(void* p, std::size_t bytes) noexcept {
+  if (p == nullptr) return;
+  const int idx = ClassIndexFor(bytes);
+  if (idx < 0) {
+    ::operator delete(p);
+    std::lock_guard lock(oversizeMutex_);
+    --oversize_;
+    oversizeBytes_ -= bytes;
+    return;
+  }
+  Pool& pool = pools_[idx];
+  [[maybe_unused]] const std::size_t slot =
+      kClassSizes[static_cast<std::size_t>(idx)];
+  std::lock_guard lock(pool.mutex);
+  auto* node = static_cast<FreeNode*>(p);
+  node->next = pool.freelist;
+  pool.freelist = node;
+  --pool.slotsInUse;
+  // Poison everything past the embedded freelist link: a use-after-free of a
+  // recycled Session reads deep into the slot and trips ASan immediately.
+  MD_POISON(static_cast<std::uint8_t*>(p) + sizeof(FreeNode),
+            slot - sizeof(FreeNode));
+}
+
+SlabStats SlabArena::Stats() const {
+  SlabStats s;
+  for (const Pool& pool : pools_) {
+    std::lock_guard lock(pool.mutex);
+    s.slotsInUse += pool.slotsInUse;
+    s.bytesInUse += pool.slotsInUse * pool.slotBytes;
+    s.chunks += pool.chunks.size();
+    s.bytesReserved += pool.chunks.size() * kChunkBytes;
+  }
+  std::lock_guard lock(oversizeMutex_);
+  s.oversize = oversize_;
+  s.oversizeBytes = oversizeBytes_;
+  s.bytesInUse += oversizeBytes_;
+  s.bytesReserved += oversizeBytes_;
+  return s;
+}
+
+}  // namespace md

@@ -1,0 +1,129 @@
+// Slab allocation for the millions-of-sessions footprint budget (DESIGN.md
+// §15).
+//
+// At C10M scale the binding constraint is bytes per session, and general-
+// purpose malloc is the wrong tool: every Session, cache node and queue node
+// pays allocator metadata, fragments its size class, and churns the heap on
+// connect/disconnect. A SlabArena carves fixed-size slots out of large
+// chunks, keyed by size class, and recycles freed slots through a freelist —
+// steady-state session churn performs ZERO heap allocations, and the arena's
+// accounting (bytes in use / reserved, slots in use) is exact, which is what
+// the md_core_bytes_per_session gauge and the bench_c10m budget gate read.
+//
+// Freed slots are poisoned under AddressSanitizer so a dangling Session
+// pointer faults instead of silently reading a recycled slot.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <vector>
+
+namespace md {
+
+/// Exact allocation accounting, readable at any time (each field is
+/// internally consistent; the struct as a whole is a best-effort snapshot
+/// under concurrency, like every other gauge).
+struct SlabStats {
+  std::uint64_t bytesInUse = 0;    // slot bytes currently handed out
+  std::uint64_t bytesReserved = 0; // chunk bytes acquired from the OS
+  std::uint64_t slotsInUse = 0;
+  std::uint64_t chunks = 0;
+  std::uint64_t oversize = 0;      // live allocations above the largest class
+  std::uint64_t oversizeBytes = 0;
+};
+
+/// Size-class slab allocator: fixed-size chunks, per-class freelists, O(1)
+/// allocate/free, no per-object heap churn after warm-up. Thread-safe (one
+/// mutex per size class; allocation is the accept path, not the fan-out hot
+/// path). Allocations above the largest class fall through to operator new
+/// and are counted separately — the footprint bench asserts the session path
+/// never takes that branch.
+class SlabArena {
+ public:
+  SlabArena() = default;
+  ~SlabArena();
+
+  SlabArena(const SlabArena&) = delete;
+  SlabArena& operator=(const SlabArena&) = delete;
+
+  /// Process-wide arena: sessions, registry nodes and cache nodes all draw
+  /// from it so one accounting covers the whole per-session footprint.
+  static SlabArena& Default();
+
+  void* Allocate(std::size_t bytes);
+  void Free(void* p, std::size_t bytes) noexcept;
+
+  [[nodiscard]] SlabStats Stats() const;
+
+  /// The slot size `bytes` would be served from (rounded up to its size
+  /// class), or `bytes` itself when oversize. Exposed so tests can assert
+  /// budget math against the real class table.
+  [[nodiscard]] static std::size_t SlotSizeFor(std::size_t bytes) noexcept;
+
+  /// Largest slab-served allocation; above this operator new takes over.
+  static constexpr std::size_t kMaxSlotBytes = 8192;
+  /// Chunk payload size: 64 KiB of slots per chunk keeps chunk count small
+  /// at 10M sessions while bounding warm-up overshoot for rare classes.
+  static constexpr std::size_t kChunkBytes = 64 * 1024;
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  struct Pool {
+    mutable std::mutex mutex;
+    FreeNode* freelist = nullptr;
+    std::vector<void*> chunks;        // owned raw chunk allocations
+    std::size_t slotBytes = 0;
+    std::uint64_t slotsInUse = 0;
+  };
+
+  static int ClassIndexFor(std::size_t bytes) noexcept;
+
+  // Size classes: 16..128 step 16, 160..512 step 32/64, then doubling to 8K.
+  // Declared in slab.cpp; kClassCount must match its table.
+  static constexpr int kClassCount = 20;
+  Pool pools_[kClassCount];
+
+  mutable std::mutex oversizeMutex_;
+  std::uint64_t oversize_ = 0;
+  std::uint64_t oversizeBytes_ = 0;
+};
+
+/// Standard-allocator adaptor over SlabArena: drop-in for allocate_shared,
+/// std::deque, std::vector. Default-constructed instances use the process
+/// arena, so containers stay effectively stateless and interoperable.
+template <typename T>
+class SlabAllocator {
+ public:
+  using value_type = T;
+
+  SlabAllocator() noexcept : arena_(&SlabArena::Default()) {}
+  explicit SlabAllocator(SlabArena* arena) noexcept : arena_(arena) {}
+  template <typename U>
+  SlabAllocator(const SlabAllocator<U>& other) noexcept
+      : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->Allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    arena_->Free(p, n * sizeof(T));
+  }
+
+  [[nodiscard]] SlabArena* arena() const noexcept { return arena_; }
+
+  template <typename U>
+  bool operator==(const SlabAllocator<U>& other) const noexcept {
+    return arena_ == other.arena();
+  }
+
+ private:
+  SlabArena* arena_;
+};
+
+}  // namespace md

@@ -1,0 +1,164 @@
+// Inline small vector for trivially copyable elements (DESIGN.md §15).
+//
+// Most sessions subscribe to a handful of topics and most topics have a
+// handful of members. A std::set node per element costs ~64 bytes; a
+// SmallVector keeps the first N elements inline in the owning struct (zero
+// extra allocations for the common case) and spills to a single slab-backed
+// array past that. The registry keeps these sorted, so membership tests are
+// binary searches and snapshots copy out already ordered.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "common/slab.hpp"
+
+namespace md {
+
+template <typename T, std::size_t InlineN>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>);
+  static_assert(InlineN >= 1);
+
+ public:
+  SmallVector() = default;
+  ~SmallVector() { Reset(); }
+
+  SmallVector(const SmallVector& other) { CopyFrom(other); }
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      Reset();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+
+  SmallVector(SmallVector&& other) noexcept { MoveFrom(other); }
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  [[nodiscard]] T* data() noexcept {
+    return capacity_ > InlineN ? heap_ : inline_;
+  }
+  [[nodiscard]] const T* data() const noexcept {
+    return capacity_ > InlineN ? heap_ : inline_;
+  }
+
+  [[nodiscard]] T* begin() noexcept { return data(); }
+  [[nodiscard]] T* end() noexcept { return data() + size_; }
+  [[nodiscard]] const T* begin() const noexcept { return data(); }
+  [[nodiscard]] const T* end() const noexcept { return data() + size_; }
+
+  T& operator[](std::size_t i) noexcept { return data()[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data()[i]; }
+
+  [[nodiscard]] std::size_t HeapBytes() const noexcept {
+    return capacity_ > InlineN ? capacity_ * sizeof(T) : 0;
+  }
+
+  void PushBack(T value) {
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    data()[size_++] = value;
+  }
+
+  void Clear() noexcept { size_ = 0; }
+
+  /// Inserts `value` keeping ascending order; returns false (no change) if
+  /// already present. The registry's set semantics in one call.
+  bool InsertSorted(T value) {
+    T* base = data();
+    T* pos = std::lower_bound(base, base + size_, value);
+    if (pos != base + size_ && *pos == value) return false;
+    const std::size_t offset = static_cast<std::size_t>(pos - base);
+    if (size_ == capacity_) {
+      Grow(capacity_ * 2);
+      base = data();
+      pos = base + offset;
+    }
+    std::memmove(pos + 1, pos, (size_ - offset) * sizeof(T));
+    *pos = value;
+    ++size_;
+    return true;
+  }
+
+  /// Removes `value` from a sorted vector; returns false if absent.
+  bool EraseSorted(T value) noexcept {
+    T* base = data();
+    T* pos = std::lower_bound(base, base + size_, value);
+    if (pos == base + size_ || *pos != value) return false;
+    std::memmove(pos, pos + 1,
+                 (size_ - static_cast<std::size_t>(pos - base) - 1) *
+                     sizeof(T));
+    --size_;
+    return true;
+  }
+
+  [[nodiscard]] bool ContainsSorted(T value) const noexcept {
+    const T* base = data();
+    return std::binary_search(base, base + size_, value);
+  }
+
+ private:
+  void Grow(std::size_t want) {
+    const std::size_t newCapacity = std::max<std::size_t>(want, InlineN * 2);
+    T* fresh = static_cast<T*>(
+        SlabArena::Default().Allocate(newCapacity * sizeof(T)));
+    std::memcpy(fresh, data(), size_ * sizeof(T));
+    if (capacity_ > InlineN) {
+      SlabArena::Default().Free(heap_, capacity_ * sizeof(T));
+    }
+    heap_ = fresh;
+    capacity_ = newCapacity;
+  }
+
+  void Reset() noexcept {
+    if (capacity_ > InlineN) {
+      SlabArena::Default().Free(heap_, capacity_ * sizeof(T));
+    }
+    heap_ = nullptr;
+    size_ = 0;
+    capacity_ = InlineN;
+  }
+
+  void CopyFrom(const SmallVector& other) {
+    if (other.size_ > InlineN) Grow(other.size_);
+    std::memcpy(data(), other.data(), other.size_ * sizeof(T));
+    size_ = other.size_;
+  }
+
+  void MoveFrom(SmallVector& other) noexcept {
+    if (other.capacity_ > InlineN) {
+      heap_ = other.heap_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.heap_ = nullptr;
+      other.capacity_ = InlineN;
+      other.size_ = 0;
+    } else {
+      std::memcpy(inline_, other.inline_, other.size_ * sizeof(T));
+      size_ = other.size_;
+      other.size_ = 0;
+    }
+  }
+
+  union {
+    T inline_[InlineN];
+    T* heap_;
+  };
+  std::uint32_t size_ = 0;
+  std::uint32_t capacity_ = InlineN;
+};
+
+}  // namespace md

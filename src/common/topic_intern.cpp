@@ -1,0 +1,67 @@
+#include "common/topic_intern.hpp"
+
+namespace md {
+
+TopicTable::~TopicTable() {
+  for (auto& slot : chunks_) {
+    delete slot.load(std::memory_order_relaxed);
+  }
+}
+
+TopicTable& TopicTable::Default() {
+  // Leaked singleton, same rationale as SlabArena::Default(): interned names
+  // are referenced from structures with unknowable destruction order.
+  static TopicTable* table = new TopicTable();
+  return *table;
+}
+
+TopicId TopicTable::Intern(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  if (auto it = index_.find(name); it != index_.end()) return it->second;
+
+  const std::uint32_t id = count_.load(std::memory_order_relaxed);
+  const std::size_t chunkIdx = id / kChunkTopics;
+  const std::size_t slotIdx = id % kChunkTopics;
+  if (chunkIdx >= kMaxChunks) return kInvalidTopicId;  // table full (16.7M)
+
+  Chunk* chunk = chunks_[chunkIdx].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new Chunk();
+    // Release so a NameOf that observed the bumped count also sees the
+    // chunk pointer and the string contents written below.
+    chunks_[chunkIdx].store(chunk, std::memory_order_release);
+  }
+  chunk->names[slotIdx].assign(name.data(), name.size());
+  nameBytes_ += name.size();
+  index_.emplace(std::string_view(chunk->names[slotIdx]), id);
+  // Publish: NameOf readers acquire on count_, pairing with this release,
+  // which makes the string write above visible before the id is considered
+  // valid.
+  count_.store(id + 1, std::memory_order_release);
+  return id;
+}
+
+TopicId TopicTable::Find(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = index_.find(name);
+  return it == index_.end() ? kInvalidTopicId : it->second;
+}
+
+std::string_view TopicTable::NameOf(TopicId id) const {
+  if (id >= count_.load(std::memory_order_acquire)) return {};
+  const Chunk* chunk =
+      chunks_[id / kChunkTopics].load(std::memory_order_acquire);
+  if (chunk == nullptr) return {};
+  return chunk->names[id % kChunkTopics];
+}
+
+std::size_t TopicTable::MemoryBytes() const {
+  std::lock_guard lock(mutex_);
+  const std::size_t n = count_.load(std::memory_order_relaxed);
+  const std::size_t chunkCount = (n + kChunkTopics - 1) / kChunkTopics;
+  return nameBytes_ + chunkCount * sizeof(Chunk) +
+         index_.size() * (sizeof(std::string_view) + sizeof(TopicId) +
+                          2 * sizeof(void*));
+}
+
+}  // namespace md

@@ -1,0 +1,85 @@
+// Topic-name interning: string ↔ dense u32 id (DESIGN.md §15).
+//
+// Every layer that keys state by topic — registry shards, cache shards,
+// sequencer, conflator, per-client subscription sets — used to hold its own
+// std::string copies and node-based string-keyed maps. Interning assigns
+// each distinct topic name a dense uint32 TopicId once, process-wide; after
+// that, per-session and per-topic state is 4 bytes per reference and hashes/
+// compares as an integer.
+//
+// Ids are strictly local: they never appear on the wire, in the WAL, or in
+// cluster messages, and topic→group assignment stays the FNV-1a hash of the
+// NAME (TopicGroupOf), so restart/rejoin behavior is unchanged no matter
+// what order topics were first seen in.
+//
+// Concurrency: Intern/Find serialize on a mutex (subscribe path — cold).
+// NameOf is lock-free: names live in append-only chunks published through an
+// atomic count with release/acquire ordering, so fan-out threads resolve
+// id→name with zero contention and TSan-clean.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace md {
+
+using TopicId = std::uint32_t;
+
+inline constexpr TopicId kInvalidTopicId = 0xFFFFFFFFu;
+
+class TopicTable {
+ public:
+  TopicTable() = default;
+  ~TopicTable();
+
+  TopicTable(const TopicTable&) = delete;
+  TopicTable& operator=(const TopicTable&) = delete;
+
+  /// Process-wide table shared by registry, cache, sequencer and conflator —
+  /// one id space, so ids can cross component boundaries.
+  static TopicTable& Default();
+
+  /// Returns the id for `name`, assigning the next dense id on first sight.
+  TopicId Intern(std::string_view name);
+
+  /// Returns the id for `name` or kInvalidTopicId if never interned. Read
+  /// paths (publish to unknown topic, metrics scrape) use this so they never
+  /// grow the table.
+  [[nodiscard]] TopicId Find(std::string_view name) const;
+
+  /// Resolves an id back to its name. Lock-free; safe concurrently with
+  /// Intern. The returned view lives as long as the table (names are never
+  /// freed — the table is append-only by design).
+  [[nodiscard]] std::string_view NameOf(TopicId id) const;
+
+  /// Number of interned topics (ids are 0..Size()-1).
+  [[nodiscard]] std::size_t Size() const noexcept {
+    return count_.load(std::memory_order_acquire);
+  }
+
+  /// Approximate bytes held by the table (names + index), for footprint
+  /// accounting.
+  [[nodiscard]] std::size_t MemoryBytes() const;
+
+  static constexpr std::size_t kChunkTopics = 4096;
+  static constexpr std::size_t kMaxChunks = 4096;  // 16.7M distinct topics
+
+ private:
+  struct Chunk {
+    std::array<std::string, kChunkTopics> names;
+  };
+
+  mutable std::mutex mutex_;
+  // Keys are views into the chunk-stored strings, which never move or die.
+  std::unordered_map<std::string_view, TopicId> index_;
+  std::array<std::atomic<Chunk*>, kMaxChunks> chunks_{};
+  std::atomic<std::uint32_t> count_{0};
+  std::size_t nameBytes_ = 0;  // guarded by mutex_
+};
+
+}  // namespace md

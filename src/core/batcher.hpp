@@ -15,24 +15,16 @@
 #include <optional>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/flat_map.hpp"
 #include "common/hash.hpp"
 #include "common/time.hpp"
+#include "common/topic_intern.hpp"
 #include "proto/message.hpp"
 
 namespace md::core {
-
-/// Transparent string hasher: lets unordered_map keyed by std::string be
-/// probed with a string_view (no temporary std::string per lookup).
-struct TransparentStringHash {
-  using is_transparent = void;
-  [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
-    return static_cast<std::size_t>(Fnv1a64(s));
-  }
-};
 
 struct BatchConfig {
   Duration maxDelay = 10 * kMillisecond;  // flush at latest this long after 1st frame
@@ -114,14 +106,14 @@ class Conflator {
   void Offer(const Message& msg, TimePoint now) {
     if (slots_.empty()) windowStart_ = now;
     ++offered_;
-    // Transparent lookup: probe by string_view, materialize the key only on
-    // first sight of a topic.
-    const auto it = bySlot_.find(std::string_view(msg.topic));
-    if (it == bySlot_.end()) {
-      bySlot_.emplace(msg.topic, slots_.size());
-      slots_.push_back(msg);
+    // Slots are keyed by interned topic id: a 12-byte FlatMap entry per
+    // live topic instead of a string-keyed hash node (DESIGN.md §15).
+    const TopicId id = TopicTable::Default().Intern(msg.topic);
+    if (auto* slot = bySlot_.Find(id)) {
+      slots_[*slot] = msg;  // newest wins
     } else {
-      slots_[it->second] = msg;  // newest wins
+      bySlot_[id] = slots_.size();
+      slots_.push_back(msg);
     }
   }
 
@@ -149,13 +141,13 @@ class Conflator {
       std::vector<Message>().swap(slots_);
       slots_.reserve(kShrinkSlots / 4);
     }
-    bySlot_.clear();
+    bySlot_.Clear();
   }
 
   /// Pre-sizes both containers for an expected per-window topic count.
   void Reserve(std::size_t topics) {
     slots_.reserve(topics);
-    bySlot_.reserve(topics);
+    bySlot_.Reserve(topics);
   }
 
   [[nodiscard]] std::uint64_t OfferedCount() const noexcept { return offered_; }
@@ -165,7 +157,7 @@ class Conflator {
     return slots_.capacity();
   }
   [[nodiscard]] std::size_t SlotBuckets() const noexcept {
-    return bySlot_.bucket_count();
+    return bySlot_.capacity();
   }
 
   static constexpr std::size_t kShrinkSlots = 4096;
@@ -174,9 +166,7 @@ class Conflator {
   ConflateConfig cfg_;
   EmitFn emit_;
   std::vector<Message> slots_;
-  std::unordered_map<std::string, std::size_t, TransparentStringHash,
-                     std::equal_to<>>
-      bySlot_;
+  md::FlatMap<TopicId, std::size_t> bySlot_;
   TimePoint windowStart_ = 0;
   std::uint64_t offered_ = 0;
   std::uint64_t emitted_ = 0;

@@ -4,12 +4,20 @@
 
 namespace md::core {
 
+namespace {
+
+TopicTable& Topics() { return TopicTable::Default(); }
+
+}  // namespace
+
 Cache::Cache(CacheConfig cfg) : cfg_(cfg), shards_(cfg.topicGroups) {}
 
 bool Cache::Append(const Message& msg, TimePoint now) {
+  const TopicId id = Topics().Intern(msg.topic);
+  if (id == kInvalidTopicId) return false;
   Shard& shard = ShardFor(msg.topic);
   std::lock_guard lock(shard.mutex);
-  TopicHistory& history = shard.topics[msg.topic];
+  TopicHistory& history = shard.topics[id];
 
   if (!history.entries.empty()) {
     const StreamPos last = PosOf(history.entries.back().msg);
@@ -40,7 +48,9 @@ bool Cache::InsertRecovered(const Message& msg, TimePoint now) {
 
 bool Cache::InsertLocked(Shard& shard, const Message& msg, TimePoint now,
                          bool writeWal) {
-  TopicHistory& history = shard.topics[msg.topic];
+  const TopicId id = Topics().Intern(msg.topic);
+  if (id == kInvalidTopicId) return false;
+  TopicHistory& history = shard.topics[id];
   auto& entries = history.entries;
 
   const auto it = std::lower_bound(
@@ -57,14 +67,16 @@ bool Cache::InsertLocked(Shard& shard, const Message& msg, TimePoint now,
 
 std::vector<Message> Cache::GetAfter(const std::string& topic, StreamPos pos,
                                      std::size_t maxCount) const {
+  const TopicId id = Topics().Find(topic);
+  if (id == kInvalidTopicId) return {};
   const Shard& shard = ShardFor(topic);
   std::lock_guard lock(shard.mutex);
   std::vector<Message> out;
-  const auto it = shard.topics.find(topic);
-  if (it == shard.topics.end()) return out;
+  const TopicHistory* history = shard.topics.Find(id);
+  if (history == nullptr) return out;
 
   // Binary search: entries are ordered by (epoch, seq).
-  const auto& entries = it->second.entries;
+  const auto& entries = history->entries;
   auto first = std::upper_bound(
       entries.begin(), entries.end(), pos,
       [](StreamPos p, const CachedMessage& m) { return p < PosOf(m.msg); });
@@ -75,11 +87,27 @@ std::vector<Message> Cache::GetAfter(const std::string& topic, StreamPos pos,
 }
 
 std::optional<StreamPos> Cache::LastPos(const std::string& topic) const {
+  const TopicId id = Topics().Find(topic);
+  if (id == kInvalidTopicId) return std::nullopt;
   const Shard& shard = ShardFor(topic);
   std::lock_guard lock(shard.mutex);
-  const auto it = shard.topics.find(topic);
-  if (it == shard.topics.end() || it->second.entries.empty()) return std::nullopt;
-  return PosOf(it->second.entries.back().msg);
+  const TopicHistory* history = shard.topics.Find(id);
+  if (history == nullptr || history->entries.empty()) return std::nullopt;
+  return PosOf(history->entries.back().msg);
+}
+
+std::vector<std::pair<TopicId, std::string_view>> Cache::SortedTopicsLocked(
+    const Shard& shard) {
+  std::vector<std::pair<TopicId, std::string_view>> topics;
+  topics.reserve(shard.topics.size());
+  shard.topics.ForEach([&](TopicId id, const TopicHistory& history) {
+    if (!history.entries.empty()) {
+      topics.emplace_back(id, Topics().NameOf(id));
+    }
+  });
+  std::sort(topics.begin(), topics.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  return topics;
 }
 
 std::vector<Message> Cache::GroupSnapshot(std::uint32_t group) const {
@@ -87,8 +115,9 @@ std::vector<Message> Cache::GroupSnapshot(std::uint32_t group) const {
   if (group >= shards_.size()) return out;
   const Shard& shard = shards_[group];
   std::lock_guard lock(shard.mutex);
-  for (const auto& [topic, history] : shard.topics) {
-    for (const auto& cached : history.entries) out.push_back(cached.msg);
+  for (const auto& [id, name] : SortedTopicsLocked(shard)) {
+    const TopicHistory* history = shard.topics.Find(id);
+    for (const auto& cached : history->entries) out.push_back(cached.msg);
   }
   return out;
 }
@@ -99,10 +128,9 @@ std::vector<std::pair<std::string, StreamPos>> Cache::GroupPositions(
   if (group >= shards_.size()) return out;
   const Shard& shard = shards_[group];
   std::lock_guard lock(shard.mutex);
-  for (const auto& [topic, history] : shard.topics) {
-    if (!history.entries.empty()) {
-      out.emplace_back(topic, PosOf(history.entries.back().msg));
-    }
+  for (const auto& [id, name] : SortedTopicsLocked(shard)) {
+    const TopicHistory* history = shard.topics.Find(id);
+    out.emplace_back(std::string(name), PosOf(history->entries.back().msg));
   }
   return out;
 }
@@ -113,9 +141,9 @@ std::vector<std::pair<std::string, StreamPos>> Cache::GroupEarliestPositions(
   if (group >= shards_.size()) return out;
   const Shard& shard = shards_[group];
   std::lock_guard lock(shard.mutex);
-  for (const auto& [topic, history] : shard.topics) {
-    if (history.entries.empty()) continue;
-    out.emplace_back(topic, PosOf(history.entries.front().msg));
+  for (const auto& [id, name] : SortedTopicsLocked(shard)) {
+    const TopicHistory* history = shard.topics.Find(id);
+    out.emplace_back(std::string(name), PosOf(history->entries.front().msg));
   }
   return out;
 }
@@ -126,9 +154,8 @@ std::vector<std::pair<std::string, StreamPos>> Cache::GroupContiguousPositions(
   if (group >= shards_.size()) return out;
   const Shard& shard = shards_[group];
   std::lock_guard lock(shard.mutex);
-  for (const auto& [topic, history] : shard.topics) {
-    const auto& entries = history.entries;
-    if (entries.empty()) continue;
+  for (const auto& [id, name] : SortedTopicsLocked(shard)) {
+    const auto& entries = shard.topics.Find(id)->entries;
     StreamPos last = PosOf(entries.front().msg);
     for (std::size_t i = 1; i < entries.size(); ++i) {
       const StreamPos next = PosOf(entries[i].msg);
@@ -137,7 +164,7 @@ std::vector<std::pair<std::string, StreamPos>> Cache::GroupContiguousPositions(
       if (next.epoch != last.epoch || next.seq != last.seq + 1) break;
       last = next;
     }
-    out.emplace_back(topic, last);
+    out.emplace_back(std::string(name), last);
   }
   return out;
 }
@@ -147,13 +174,15 @@ void Cache::EvictExpired(TimePoint now) {
   const TimePoint cutoff = now - cfg_.maxAge;
   for (Shard& shard : shards_) {
     std::lock_guard lock(shard.mutex);
-    for (auto it = shard.topics.begin(); it != shard.topics.end();) {
-      auto& entries = it->second.entries;
+    std::vector<TopicId> emptied;
+    shard.topics.ForEach([&](TopicId id, TopicHistory& history) {
+      auto& entries = history.entries;
       while (!entries.empty() && entries.front().storedAt < cutoff) {
         entries.pop_front();
       }
-      it = entries.empty() ? shard.topics.erase(it) : std::next(it);
-    }
+      if (entries.empty()) emptied.push_back(id);
+    });
+    for (const TopicId id : emptied) shard.topics.Erase(id);
   }
 }
 
@@ -161,9 +190,9 @@ std::size_t Cache::TotalMessages() const {
   std::size_t total = 0;
   for (const Shard& shard : shards_) {
     std::lock_guard lock(shard.mutex);
-    for (const auto& [topic, history] : shard.topics) {
+    shard.topics.ForEach([&](TopicId, const TopicHistory& history) {
       total += history.entries.size();
-    }
+    });
   }
   return total;
 }
@@ -171,7 +200,7 @@ std::size_t Cache::TotalMessages() const {
 void Cache::Clear() {
   for (Shard& shard : shards_) {
     std::lock_guard lock(shard.mutex);
-    shard.topics.clear();
+    shard.topics.Clear();
   }
 }
 

@@ -8,20 +8,28 @@
 // mostly uncontended because each cluster member coordinates a distinct
 // subset of groups.
 //
+// Footprint (DESIGN.md §15): inside a shard, histories are keyed by interned
+// TopicId in a FlatMap (no per-topic string copies, no map nodes) and entry
+// deques draw their blocks from the slab arena. Group assignment stays the
+// FNV-1a hash of the topic NAME — ids are local and never affect which group
+// (and therefore which cluster coordinator / WAL stream) a topic belongs to.
+//
 // Retention is bounded per topic (count) — production deployments bound by
 // time as well; both knobs exist here.
 #pragma once
 
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/hash.hpp"
+#include "common/slab.hpp"
 #include "common/time.hpp"
+#include "common/topic_intern.hpp"
 #include "proto/message.hpp"
 #include "wal/log.hpp"
 
@@ -113,12 +121,14 @@ class Cache {
   };
 
   struct TopicHistory {
-    std::deque<CachedMessage> entries;  // ordered by (epoch, seq)
+    // Ordered by (epoch, seq); blocks come from the slab arena so history
+    // churn does not fragment the general heap.
+    std::deque<CachedMessage, SlabAllocator<CachedMessage>> entries;
   };
 
   struct Shard {
     mutable std::mutex mutex;
-    std::map<std::string, TopicHistory> topics;
+    md::FlatMap<TopicId, TopicHistory> topics;
   };
 
   [[nodiscard]] Shard& ShardFor(const std::string& topic) {
@@ -130,6 +140,12 @@ class Cache {
 
   bool InsertLocked(Shard& shard, const Message& msg, TimePoint now,
                     bool writeWal);
+
+  /// Sorted-by-name (topic id, name) list of a shard's non-empty histories.
+  /// Group outputs iterate this so their order matches the old
+  /// std::map<std::string, ...> behavior deterministically.
+  static std::vector<std::pair<TopicId, std::string_view>> SortedTopicsLocked(
+      const Shard& shard);
 
   CacheConfig cfg_;
   std::vector<Shard> shards_;  // one per topic group

@@ -1,96 +1,110 @@
 #include "core/registry.hpp"
 
+#include <algorithm>
+
 namespace md::core {
 
+namespace {
+
+TopicTable& Topics() { return TopicTable::Default(); }
+
+}  // namespace
+
 bool SubscriptionRegistry::Subscribe(const std::string& topic, ClientHandle client) {
+  const TopicId id = Topics().Intern(topic);
+  if (id == kInvalidTopicId) return false;  // intern table full
   bool inserted = false;
   {
-    Shard& shard = ShardFor(topic);
+    Shard& shard = ShardForId(id);
     std::lock_guard lock(shard.mutex);
-    TopicEntry& entry = shard.byTopic[topic];
-    inserted = entry.members.insert(client).second;
+    TopicEntry& entry = shard.byTopic[id];
+    inserted = entry.members.InsertSorted(client);
     if (inserted) entry.snapshot.reset();  // invalidate; rebuilt on next read
   }
   if (inserted) {
     std::lock_guard lock(clientsMutex_);
-    byClient_[client].insert(topic);
+    byClient_[client].InsertSorted(id);
   }
   return inserted;
 }
 
 bool SubscriptionRegistry::Unsubscribe(const std::string& topic, ClientHandle client) {
+  const TopicId id = Topics().Find(topic);
+  if (id == kInvalidTopicId) return false;  // never subscribed by anyone
   bool erased = false;
   {
-    Shard& shard = ShardFor(topic);
+    Shard& shard = ShardForId(id);
     std::lock_guard lock(shard.mutex);
-    const auto it = shard.byTopic.find(topic);
-    if (it != shard.byTopic.end()) {
-      erased = it->second.members.erase(client) > 0;
+    if (TopicEntry* entry = shard.byTopic.Find(id)) {
+      erased = entry->members.EraseSorted(client);
       if (erased) {
-        it->second.frozen.erase(client);
-        it->second.snapshot.reset();
+        entry->frozen.EraseSorted(client);
+        entry->snapshot.reset();
       }
-      if (it->second.members.empty()) shard.byTopic.erase(it);
+      if (entry->members.empty()) shard.byTopic.Erase(id);
     }
   }
   if (erased) {
     std::lock_guard lock(clientsMutex_);
-    const auto it = byClient_.find(client);
-    if (it != byClient_.end()) {
-      it->second.erase(topic);
-      if (it->second.empty()) byClient_.erase(it);
+    if (auto* topics = byClient_.Find(client)) {
+      topics->EraseSorted(id);
+      if (topics->empty()) byClient_.Erase(client);
     }
   }
   return erased;
 }
 
 std::vector<std::string> SubscriptionRegistry::DropClient(ClientHandle client) {
-  std::vector<std::string> topics;
+  md::SmallVector<TopicId, 4> ids;
   {
     std::lock_guard lock(clientsMutex_);
-    const auto it = byClient_.find(client);
-    if (it == byClient_.end()) return topics;
-    topics.assign(it->second.begin(), it->second.end());
-    byClient_.erase(it);
+    auto* topics = byClient_.Find(client);
+    if (topics == nullptr) return {};
+    ids = std::move(*topics);
+    byClient_.Erase(client);  // purge the reverse-index back-reference
   }
-  for (const auto& topic : topics) {
-    Shard& shard = ShardFor(topic);
+  for (const TopicId id : ids) {
+    Shard& shard = ShardForId(id);
     std::lock_guard lock(shard.mutex);
-    const auto it = shard.byTopic.find(topic);
-    if (it != shard.byTopic.end()) {
-      if (it->second.members.erase(client) > 0) {
-        it->second.frozen.erase(client);
-        it->second.snapshot.reset();
+    if (TopicEntry* entry = shard.byTopic.Find(id)) {
+      if (entry->members.EraseSorted(client)) {
+        entry->frozen.EraseSorted(client);
+        entry->snapshot.reset();
       }
-      if (it->second.members.empty()) shard.byTopic.erase(it);
+      // Erase emptied entries so churned topics do not accumulate.
+      if (entry->members.empty()) shard.byTopic.Erase(id);
     }
   }
-  return topics;
+  return NamesOfSorted(ids);
 }
 
 std::vector<std::string> SubscriptionRegistry::SetFrozen(ClientHandle client,
                                                          bool frozen) {
-  const std::vector<std::string> topics = TopicsOf(client);
-  for (const auto& topic : topics) {
-    Shard& shard = ShardFor(topic);
-    std::lock_guard lock(shard.mutex);
-    const auto it = shard.byTopic.find(topic);
-    if (it == shard.byTopic.end() || !it->second.members.contains(client)) {
-      continue;
-    }
-    const bool changed = frozen ? it->second.frozen.insert(client).second
-                                : it->second.frozen.erase(client) > 0;
-    if (changed) it->second.snapshot.reset();
+  md::SmallVector<TopicId, 4> ids;
+  {
+    std::lock_guard lock(clientsMutex_);
+    if (const auto* topics = byClient_.Find(client)) ids = *topics;
   }
-  return topics;
+  for (const TopicId id : ids) {
+    Shard& shard = ShardForId(id);
+    std::lock_guard lock(shard.mutex);
+    TopicEntry* entry = shard.byTopic.Find(id);
+    if (entry == nullptr || !entry->members.ContainsSorted(client)) continue;
+    const bool changed = frozen ? entry->frozen.InsertSorted(client)
+                                : entry->frozen.EraseSorted(client);
+    if (changed) entry->snapshot.reset();
+  }
+  return NamesOfSorted(ids);
 }
 
 bool SubscriptionRegistry::IsFrozen(const std::string& topic,
                                     ClientHandle client) const {
-  const Shard& shard = ShardFor(topic);
+  const TopicId id = Topics().Find(topic);
+  if (id == kInvalidTopicId) return false;
+  const Shard& shard = ShardForId(id);
   std::lock_guard lock(shard.mutex);
-  const auto it = shard.byTopic.find(topic);
-  return it != shard.byTopic.end() && it->second.frozen.contains(client);
+  const TopicEntry* entry = shard.byTopic.Find(id);
+  return entry != nullptr && entry->frozen.ContainsSorted(client);
 }
 
 const SubscriberSnapshot& SubscriptionRegistry::SnapshotLocked(
@@ -103,7 +117,7 @@ const SubscriberSnapshot& SubscriptionRegistry::SnapshotLocked(
       auto visible = std::make_shared<std::vector<ClientHandle>>();
       visible->reserve(entry.members.size());
       for (const ClientHandle member : entry.members) {
-        if (!entry.frozen.contains(member)) visible->push_back(member);
+        if (!entry.frozen.ContainsSorted(member)) visible->push_back(member);
       }
       entry.snapshot = std::move(visible);
     }
@@ -112,11 +126,13 @@ const SubscriberSnapshot& SubscriptionRegistry::SnapshotLocked(
 }
 
 SubscriberSnapshot SubscriptionRegistry::Snapshot(const std::string& topic) const {
-  const Shard& shard = ShardFor(topic);
+  const TopicId id = Topics().Find(topic);
+  if (id == kInvalidTopicId) return nullptr;
+  const Shard& shard = ShardForId(id);
   std::lock_guard lock(shard.mutex);
-  const auto it = shard.byTopic.find(topic);
-  if (it == shard.byTopic.end()) return nullptr;
-  return SnapshotLocked(it->second);
+  const TopicEntry* entry = shard.byTopic.Find(id);
+  if (entry == nullptr) return nullptr;
+  return SnapshotLocked(*entry);
 }
 
 std::vector<ClientHandle> SubscriptionRegistry::SubscribersOf(
@@ -134,24 +150,64 @@ void SubscriptionRegistry::ForEachSubscriber(
 }
 
 std::size_t SubscriptionRegistry::SubscriberCount(const std::string& topic) const {
-  const Shard& shard = ShardFor(topic);
+  const TopicId id = Topics().Find(topic);
+  if (id == kInvalidTopicId) return 0;
+  const Shard& shard = ShardForId(id);
   std::lock_guard lock(shard.mutex);
-  const auto it = shard.byTopic.find(topic);
-  return it == shard.byTopic.end() ? 0 : it->second.members.size();
+  const TopicEntry* entry = shard.byTopic.Find(id);
+  return entry == nullptr ? 0 : entry->members.size();
 }
 
 std::vector<std::string> SubscriptionRegistry::TopicsOf(ClientHandle client) const {
   std::lock_guard lock(clientsMutex_);
-  const auto it = byClient_.find(client);
-  if (it == byClient_.end()) return {};
-  return {it->second.begin(), it->second.end()};
+  const auto* topics = byClient_.Find(client);
+  if (topics == nullptr) return {};
+  return NamesOfSorted(*topics);
 }
 
 std::size_t SubscriptionRegistry::TotalSubscriptions() const {
   std::lock_guard lock(clientsMutex_);
   std::size_t total = 0;
-  for (const auto& [client, topics] : byClient_) total += topics.size();
+  byClient_.ForEach([&](ClientHandle, const md::SmallVector<TopicId, 4>& t) {
+    total += t.size();
+  });
   return total;
+}
+
+RegistryFootprint SubscriptionRegistry::Footprint() const {
+  RegistryFootprint fp;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    fp.topicEntries += shard.byTopic.size();
+    fp.bytes += shard.byTopic.MemoryBytes();
+    shard.byTopic.ForEach([&](TopicId, const TopicEntry& entry) {
+      fp.bytes += entry.members.HeapBytes() + entry.frozen.HeapBytes();
+      if (entry.snapshot) {
+        fp.bytes += entry.snapshot->capacity() * sizeof(ClientHandle) +
+                    sizeof(std::vector<ClientHandle>);
+      }
+    });
+  }
+  {
+    std::lock_guard lock(clientsMutex_);
+    fp.clientEntries = byClient_.size();
+    fp.bytes += byClient_.MemoryBytes();
+    byClient_.ForEach([&](ClientHandle, const md::SmallVector<TopicId, 4>& t) {
+      fp.bytes += t.HeapBytes();
+    });
+  }
+  return fp;
+}
+
+std::vector<std::string> SubscriptionRegistry::NamesOfSorted(
+    const md::SmallVector<TopicId, 4>& ids) {
+  std::vector<std::string> names;
+  names.reserve(ids.size());
+  for (const TopicId id : ids) {
+    names.emplace_back(Topics().NameOf(id));
+  }
+  std::sort(names.begin(), names.end());
+  return names;
 }
 
 }  // namespace md::core

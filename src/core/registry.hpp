@@ -1,6 +1,6 @@
 // Subscription registry: topic -> subscribers and client -> topics.
 //
-// Sharded by topic hash so concurrent Workers touch disjoint locks, and
+// Sharded by topic so concurrent Workers touch disjoint locks, and
 // copy-on-write on the read path: every topic keeps an immutable, shared
 // snapshot of its subscriber set that the fan-out path grabs with a brief
 // lock + shared_ptr copy. Mutations (subscribe/unsubscribe/drop) invalidate
@@ -9,20 +9,29 @@
 // churn burst costs one O(N) rebuild for the whole burst instead of one
 // O(N) set copy per publish.
 //
+// Footprint (DESIGN.md §15): topics are interned to dense u32 ids at the
+// subscribe boundary, so all internal state is id-keyed — FlatMap shards
+// instead of std::map<std::string,...>, sorted SmallVectors instead of
+// std::set nodes, and the per-client reverse index stores 4-byte ids. The
+// public API stays string-based (callers and the wire never see ids), and
+// read-only paths use TopicTable::Find so publishes to unknown topics never
+// grow the intern table.
+//
 // Client ids are opaque 64-bit handles assigned by the server (connection
 // identities), not the application-level client-id strings.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <mutex>
-#include <set>
 #include <string>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/hash.hpp"
+#include "common/small_vector.hpp"
+#include "common/topic_intern.hpp"
 
 namespace md::core {
 
@@ -32,6 +41,14 @@ using ClientHandle = std::uint64_t;
 /// order). Holders may read it lock-free for as long as they keep the
 /// shared_ptr; it is never mutated after publication.
 using SubscriberSnapshot = std::shared_ptr<const std::vector<ClientHandle>>;
+
+/// Exact byte accounting of the registry's id-keyed state, summed for the
+/// md_core_bytes_per_session gauge and the bench_c10m budget gate.
+struct RegistryFootprint {
+  std::size_t topicEntries = 0;
+  std::size_t clientEntries = 0;
+  std::size_t bytes = 0;
+};
 
 class SubscriptionRegistry {
  public:
@@ -46,6 +63,8 @@ class SubscriptionRegistry {
   bool Unsubscribe(const std::string& topic, ClientHandle client);
 
   /// Removes every subscription of `client`; returns the topics it held.
+  /// Purges the reverse-index entry and any emptied TopicEntry so churn
+  /// leaves no residue (asserted by the registry churn test).
   std::vector<std::string> DropClient(ClientHandle client);
 
   /// Freezes or thaws every subscription of `client`. A frozen client keeps
@@ -77,12 +96,19 @@ class SubscriptionRegistry {
   [[nodiscard]] std::vector<std::string> TopicsOf(ClientHandle client) const;
   [[nodiscard]] std::size_t TotalSubscriptions() const;
 
+  /// Walks every shard and the reverse index, summing bytes actually held
+  /// (FlatMap arrays + SmallVector spill). O(topics + clients); intended
+  /// for metrics scrapes and the footprint bench, not hot paths.
+  [[nodiscard]] RegistryFootprint Footprint() const;
+
  private:
   struct TopicEntry {
-    std::set<ClientHandle> members;  // mutation-side source of truth
+    /// Mutation-side source of truth, ascending handle order. Inline
+    /// capacity 2: the C10M workload is one subscriber per topic.
+    md::SmallVector<ClientHandle, 2> members;
     /// Members excluded from snapshots while a hand-off drains them
     /// (always a subset of `members`).
-    std::set<ClientHandle> frozen;
+    md::SmallVector<ClientHandle, 1> frozen;
     /// Cached immutable view; nullptr after a mutation until the next read
     /// rebuilds it (lazily, so a churn burst invalidates instead of
     /// rebuilding N times).
@@ -91,25 +117,31 @@ class SubscriptionRegistry {
 
   struct Shard {
     mutable std::mutex mutex;
-    std::map<std::string, TopicEntry> byTopic;
+    md::FlatMap<TopicId, TopicEntry> byTopic;
   };
 
-  [[nodiscard]] Shard& ShardFor(const std::string& topic) {
-    return shards_[Fnv1a64(topic) % shards_.size()];
+  [[nodiscard]] Shard& ShardForId(TopicId id) {
+    return shards_[MixU64(id) % shards_.size()];
   }
-  [[nodiscard]] const Shard& ShardFor(const std::string& topic) const {
-    return shards_[Fnv1a64(topic) % shards_.size()];
+  [[nodiscard]] const Shard& ShardForId(TopicId id) const {
+    return shards_[MixU64(id) % shards_.size()];
   }
 
   /// Returns the entry's snapshot, rebuilding it if a mutation invalidated
   /// it. Caller must hold the shard mutex.
   static const SubscriberSnapshot& SnapshotLocked(const TopicEntry& entry);
 
+  /// Resolves interned ids to names and sorts lexically — preserves the
+  /// ordering the old std::set<std::string> API produced.
+  static std::vector<std::string> NamesOfSorted(
+      const md::SmallVector<TopicId, 4>& ids);
+
   std::vector<Shard> shards_;
 
   // Reverse index, separately locked (subscribe/drop only, not fan-out).
+  // Values are sorted interned-id vectors: 4 bytes per subscription.
   mutable std::mutex clientsMutex_;
-  std::map<ClientHandle, std::set<std::string>> byClient_;
+  md::FlatMap<ClientHandle, md::SmallVector<TopicId, 4>> byClient_;
 };
 
 }  // namespace md::core

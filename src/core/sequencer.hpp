@@ -4,6 +4,11 @@
 // strictly increasing sequence number within the group's current epoch.
 // Epochs rise when coordination moves to a new server, so (epoch, seq)
 // totally orders a topic's stream across coordinator changes.
+//
+// Counters are keyed by interned TopicId (DESIGN.md §15): 12 bytes of
+// FlatMap slot per actively-sequenced topic instead of a string-keyed map
+// node. The epoch/seq values themselves are untouched — interning never
+// leaks into the (epoch, seq) stream positions.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +17,8 @@
 #include <optional>
 #include <string>
 
+#include "common/flat_map.hpp"
+#include "common/topic_intern.hpp"
 #include "proto/message.hpp"
 
 namespace md::core {
@@ -25,7 +32,7 @@ class Sequencer {
     std::lock_guard lock(mutex_);
     auto& g = groups_[group];
     g.epoch = epoch;
-    g.nextSeq.clear();
+    g.nextSeq.Clear();
   }
 
   /// Seeds a topic's counter from the newest cached position (cache
@@ -34,7 +41,7 @@ class Sequencer {
     std::lock_guard lock(mutex_);
     auto& g = groups_[group];
     if (last.epoch == g.epoch) {
-      auto& next = g.nextSeq[topic];
+      auto& next = g.nextSeq[TopicTable::Default().Intern(topic)];
       if (last.seq + 1 > next) next = last.seq + 1;
     }
   }
@@ -45,7 +52,7 @@ class Sequencer {
     std::lock_guard lock(mutex_);
     const auto it = groups_.find(group);
     if (it == groups_.end()) return std::nullopt;
-    auto& next = it->second.nextSeq[topic];
+    auto& next = it->second.nextSeq[TopicTable::Default().Intern(topic)];
     if (next == 0) next = 1;
     return StreamPos{it->second.epoch, next++};
   }
@@ -71,10 +78,12 @@ class Sequencer {
  private:
   struct GroupState {
     std::uint32_t epoch = 0;
-    std::map<std::string, std::uint64_t> nextSeq;
+    md::FlatMap<TopicId, std::uint64_t> nextSeq;
   };
 
   mutable std::mutex mutex_;
+  // Few groups per node (≤ topicGroups, paper default 100): a std::map is
+  // fine here; the per-TOPIC fan-out below it is what had to shrink.
   std::map<std::uint32_t, GroupState> groups_;
 };
 

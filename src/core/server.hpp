@@ -39,6 +39,7 @@
 #include "core/cache.hpp"
 #include "core/registry.hpp"
 #include "core/sequencer.hpp"
+#include "core/session.hpp"
 #include "proto/codec.hpp"
 #include "proto/websocket.hpp"
 #include "transport/transport.hpp"
@@ -120,6 +121,9 @@ class Server {
 
   [[nodiscard]] std::uint16_t Port() const noexcept { return boundPort_; }
   [[nodiscard]] ServerStats Stats() const;
+  /// Recomputes md_core_bytes_per_session from slab + table accounting.
+  /// Called by Stats() and /metrics scrapes; cheap (O(shards)).
+  void RefreshBytesPerSession() const;
   [[nodiscard]] const Cache& cache() const noexcept { return cache_; }
   [[nodiscard]] const ServerConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
@@ -144,9 +148,8 @@ class Server {
   }
 
  private:
-  struct Session;
-  using SessionPtr = std::shared_ptr<Session>;
-
+  // Session itself lives in core/session.hpp (slab-allocated, shared with
+  // the footprint bench); the Server owns the table and the lifecycle.
   struct Job {
     SessionPtr session;
     std::optional<Frame> frame;  // nullopt => client disconnected
@@ -258,25 +261,10 @@ class Server {
 
   std::atomic<std::uint64_t> nextHandle_{1};
 
-  // Live sessions (fan-out lookup by handle), sharded by a mixed handle hash
-  // so concurrent Workers resolving fan-out targets never serialize on one
-  // global mutex. Power-of-two count: shard selection is a mask.
-  static constexpr std::size_t kSessionShards = 16;
-  static_assert((kSessionShards & (kSessionShards - 1)) == 0);
-  struct SessionShard {
-    mutable std::mutex mutex;
-    std::unordered_map<ClientHandle, SessionPtr> map;
-  };
-  [[nodiscard]] SessionShard& ShardOf(ClientHandle handle) {
-    return sessionShards_[MixU64(handle) & (kSessionShards - 1)];
-  }
   [[nodiscard]] SessionPtr FindSession(ClientHandle handle) {
-    SessionShard& shard = ShardOf(handle);
-    std::lock_guard lock(shard.mutex);
-    const auto it = shard.map.find(handle);
-    return it == shard.map.end() ? nullptr : it->second;
+    return sessions_.Find(handle);
   }
-  std::array<SessionShard, kSessionShards> sessionShards_;
+  SessionTable sessions_;
 };
 
 }  // namespace md::core

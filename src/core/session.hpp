@@ -1,0 +1,158 @@
+// Per-connection session state + the sharded live-session table.
+//
+// Extracted from Server's internals (DESIGN.md §15) so that (a) the
+// footprint bench can allocate REAL sessions — same struct, same allocator,
+// same table — instead of a model, and (b) the byte budget is auditable in
+// one place: sizeof(Session) plus its slab slot are what the
+// md_core_bytes_per_session gauge and bench_c10m's budget gate measure.
+//
+// Sessions are allocated with std::allocate_shared + SlabAllocator, which
+// places the control block and the Session in ONE slab slot: connect/
+// disconnect churn recycles freelist slots and performs zero heap
+// allocations in steady state.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/hash.hpp"
+#include "common/slab.hpp"
+#include "core/batcher.hpp"
+#include "core/registry.hpp"
+#include "transport/transport.hpp"
+
+namespace md::core {
+
+struct Session : std::enable_shared_from_this<Session> {
+  ClientHandle handle = 0;
+  std::size_t ioIndex = 0;
+  std::size_t workerIndex = 0;
+  ConnectionPtr conn;
+  NetLoop* loop = nullptr;
+
+  // Protocol mode, auto-detected from the first bytes. Written only on the
+  // session's IoThread (during the handshake, before any frame reaches a
+  // Worker); read by Workers on the fan-out encode path, hence atomic.
+  enum class Mode : std::uint8_t {
+    kDetect,
+    kWsHandshake,
+    kWs,
+    kHttpHandshake,
+    kHttp,
+    kRaw,
+  };
+  static constexpr std::size_t kModeCount = 6;
+  std::atomic<Mode> mode{Mode::kDetect};
+  [[nodiscard]] Mode CurrentMode() const noexcept {
+    return mode.load(std::memory_order_relaxed);
+  }
+  ByteQueue in;
+
+  // Worker-thread state.
+  std::string clientId;
+
+  // IoThread-side outgoing batcher/conflator (nullptr when disabled).
+  std::unique_ptr<Batcher> batcher;
+  bool flushTimerArmed = false;
+  std::unique_ptr<Conflator> conflator;
+  bool conflateTimerArmed = false;
+
+  // Backpressure state, owned by the session's IoThread (set on a kCapacity
+  // Send result, cleared by the connection's drained callback).
+  bool overSoft = false;
+  bool evictTimerArmed = false;
+  bool evicting = false;
+
+  std::atomic<bool> open{true};
+};
+
+using SessionPtr = std::shared_ptr<Session>;
+
+/// Allocates a Session through the slab arena: allocate_shared fuses the
+/// shared_ptr control block with the object, so one slab slot holds both and
+/// SlabArena::Stats() accounts the whole thing.
+[[nodiscard]] inline SessionPtr MakeSession() {
+  return std::allocate_shared<Session>(SlabAllocator<Session>{});
+}
+
+/// Live sessions (fan-out lookup by handle), sharded by a mixed handle hash
+/// so concurrent Workers resolving fan-out targets never serialize on one
+/// global mutex. Power-of-two count: shard selection is a mask.
+class SessionTable {
+ public:
+  static constexpr std::size_t kShards = 16;
+  static_assert((kShards & (kShards - 1)) == 0);
+
+  void Insert(const SessionPtr& session) {
+    Shard& shard = ShardOf(session->handle);
+    std::lock_guard lock(shard.mutex);
+    shard.map[session->handle] = session;
+  }
+
+  [[nodiscard]] SessionPtr Find(ClientHandle handle) const {
+    const Shard& shard = ShardOf(handle);
+    std::lock_guard lock(shard.mutex);
+    const auto it = shard.map.find(handle);
+    return it == shard.map.end() ? nullptr : it->second;
+  }
+
+  void Erase(ClientHandle handle) {
+    Shard& shard = ShardOf(handle);
+    std::lock_guard lock(shard.mutex);
+    shard.map.erase(handle);
+  }
+
+  void Clear() {
+    for (Shard& shard : shards_) {
+      std::lock_guard lock(shard.mutex);
+      shard.map.clear();
+    }
+  }
+
+  [[nodiscard]] std::size_t Size() const {
+    std::size_t total = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard lock(shard.mutex);
+      total += shard.map.size();
+    }
+    return total;
+  }
+
+  /// Approximate bytes of the table itself (buckets + nodes), for the
+  /// footprint accounting. The Sessions pointed to are slab-accounted.
+  [[nodiscard]] std::size_t MemoryBytes() const {
+    std::size_t total = sizeof(*this);
+    for (const Shard& shard : shards_) {
+      std::lock_guard lock(shard.mutex);
+      // libstdc++ node: key+value + hash-node header (~2 ptrs); buckets are
+      // one pointer each.
+      total += shard.map.bucket_count() * sizeof(void*) +
+               shard.map.size() *
+                   (sizeof(ClientHandle) + sizeof(SessionPtr) + 2 * sizeof(void*));
+    }
+    return total;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<ClientHandle, SessionPtr> map;
+  };
+
+  [[nodiscard]] Shard& ShardOf(ClientHandle handle) {
+    return shards_[MixU64(handle) & (kShards - 1)];
+  }
+  [[nodiscard]] const Shard& ShardOf(ClientHandle handle) const {
+    return shards_[MixU64(handle) & (kShards - 1)];
+  }
+
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace md::core

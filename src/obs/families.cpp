@@ -23,9 +23,17 @@ constexpr std::string_view kCoreBytesOutHelp = "Payload bytes written to clients
 constexpr std::string_view kCoreProtoErrors = "md_core_protocol_errors_total";
 constexpr std::string_view kCoreProtoErrorsHelp =
     "Sessions dropped for protocol violations";
+constexpr std::string_view kCoreBytesPerSession = "md_core_bytes_per_session";
+constexpr std::string_view kCoreBytesPerSessionHelp =
+    "Slab-accounted engine bytes in use divided by active sessions";
 
-constexpr std::string_view kTransWakeups = "md_transport_epoll_wakeups_total";
-constexpr std::string_view kTransWakeupsHelp = "epoll_wait returns";
+// Renamed from md_transport_epoll_wakeups_total: both loop backends (epoll
+// AND io_uring) increment it, once per loop iteration — timer ticks and
+// posted-task wakeups included — so the old name overstated what it counted.
+constexpr std::string_view kTransLoopIterations =
+    "md_transport_loop_iterations_total";
+constexpr std::string_view kTransLoopIterationsHelp =
+    "Event-loop iterations completed (any backend; includes timer ticks)";
 constexpr std::string_view kTransBytesRead = "md_transport_bytes_read_total";
 constexpr std::string_view kTransBytesReadHelp = "Bytes read from sockets";
 constexpr std::string_view kTransBytesWritten =
@@ -176,10 +184,13 @@ CoreMetrics::CoreMetrics(MetricsRegistry& r, std::string_view labels)
       delivered(r.GetCounter(kCoreDelivered, kCoreDeliveredHelp, labels)),
       bytesOut(r.GetCounter(kCoreBytesOut, kCoreBytesOutHelp, labels)),
       protoErrors(
-          r.GetCounter(kCoreProtoErrors, kCoreProtoErrorsHelp, labels)) {}
+          r.GetCounter(kCoreProtoErrors, kCoreProtoErrorsHelp, labels)),
+      bytesPerSession(
+          r.GetGauge(kCoreBytesPerSession, kCoreBytesPerSessionHelp, labels)) {}
 
 TransportMetrics::TransportMetrics(MetricsRegistry& r, std::string_view labels)
-    : wakeups(r.GetCounter(kTransWakeups, kTransWakeupsHelp, labels)),
+    : loopIterations(
+          r.GetCounter(kTransLoopIterations, kTransLoopIterationsHelp, labels)),
       bytesRead(r.GetCounter(kTransBytesRead, kTransBytesReadHelp, labels)),
       bytesWritten(
           r.GetCounter(kTransBytesWritten, kTransBytesWrittenHelp, labels)),

@@ -28,6 +28,9 @@ struct CoreMetrics {
   Counter& delivered;
   Counter& bytesOut;
   Counter& protoErrors;
+  /// Slab-accounted engine bytes / active sessions, refreshed on Stats()
+  /// and /metrics scrapes (DESIGN.md §15 byte budget).
+  Gauge& bytesPerSession;
 };
 
 /// Transport loop counters (process-wide; all loops — epoll or io_uring —
@@ -36,7 +39,9 @@ struct TransportMetrics {
   explicit TransportMetrics(MetricsRegistry& registry,
                             std::string_view labels = "");
 
-  Counter& wakeups;
+  /// Loop iterations completed — NOT poll wakeups: both the epoll and
+  /// io_uring backends tick this once per iteration, timer ticks included.
+  Counter& loopIterations;
   Counter& bytesRead;
   Counter& bytesWritten;
   Gauge& sendQueueBytes;

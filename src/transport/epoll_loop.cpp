@@ -410,7 +410,7 @@ void EpollLoop::Run() {
       MD_ERROR("epoll_wait: %s", std::strerror(errno));
       break;
     }
-    if (auto* m = metrics()) m->wakeups.Inc();
+    if (auto* m = metrics()) m->loopIterations.Inc();
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
       const std::uint32_t ev = events[i].events;

@@ -798,7 +798,7 @@ void UringLoop::Run() {
     if (!running_.load(std::memory_order_acquire)) break;
 
     if (EnterAndWait(NextTimeoutMillis()) < 0) break;
-    if (auto* m = metrics()) m->wakeups.Inc();
+    if (auto* m = metrics()) m->loopIterations.Inc();
     ProcessCompletions();
   }
   DrainPostedTasks();

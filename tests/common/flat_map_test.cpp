@@ -1,0 +1,134 @@
+#include "common/flat_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace md {
+namespace {
+
+TEST(FlatMapTest, InsertFindErase) {
+  FlatMap<std::uint32_t, int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.Find(7), nullptr);
+
+  m[7] = 70;
+  m[8] = 80;
+  EXPECT_EQ(m.size(), 2u);
+  ASSERT_NE(m.Find(7), nullptr);
+  EXPECT_EQ(*m.Find(7), 70);
+  EXPECT_EQ(*m.Find(8), 80);
+
+  EXPECT_TRUE(m.Erase(7));
+  EXPECT_FALSE(m.Erase(7));
+  EXPECT_EQ(m.Find(7), nullptr);
+  EXPECT_EQ(*m.Find(8), 80);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMapTest, OperatorBracketDefaultConstructsOnce) {
+  FlatMap<std::uint64_t, std::vector<int>> m;
+  m[3].push_back(1);
+  m[3].push_back(2);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[3].size(), 2u);
+}
+
+TEST(FlatMapTest, GrowthPreservesEntries) {
+  FlatMap<std::uint32_t, std::uint32_t> m;
+  constexpr std::uint32_t kN = 10000;
+  for (std::uint32_t i = 0; i < kN; ++i) m[i] = i * 3;
+  EXPECT_EQ(m.size(), kN);
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    ASSERT_NE(m.Find(i), nullptr) << i;
+    EXPECT_EQ(*m.Find(i), i * 3);
+  }
+  EXPECT_EQ(m.Find(kN), nullptr);
+}
+
+TEST(FlatMapTest, NonTrivialValuesSurviveRehashAndErase) {
+  FlatMap<std::uint32_t, std::string> m;
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    m[i] = "value-" + std::to_string(i) +
+           std::string(i % 7 * 10, 'x');  // mix of SSO and heap strings
+  }
+  for (std::uint32_t i = 0; i < 500; i += 2) EXPECT_TRUE(m.Erase(i));
+  for (std::uint32_t i = 1; i < 500; i += 2) {
+    ASSERT_NE(m.Find(i), nullptr);
+    EXPECT_EQ(m.Find(i)->substr(0, 6), "value-");
+  }
+  EXPECT_EQ(m.size(), 250u);
+}
+
+TEST(FlatMapTest, RandomizedParityWithStdMap) {
+  FlatMap<std::uint64_t, std::uint64_t> flat;
+  std::map<std::uint64_t, std::uint64_t> ref;
+  Rng rng(0xF1A7F1A7);
+  for (int op = 0; op < 50000; ++op) {
+    const std::uint64_t key = rng.NextBelow(4096);
+    switch (rng.NextBelow(3)) {
+      case 0:
+        flat[key] = op;
+        ref[key] = static_cast<std::uint64_t>(op);
+        break;
+      case 1: {
+        const bool a = flat.Erase(key);
+        const bool b = ref.erase(key) > 0;
+        ASSERT_EQ(a, b) << "erase mismatch at op " << op;
+        break;
+      }
+      default: {
+        const auto* v = flat.Find(key);
+        const auto it = ref.find(key);
+        ASSERT_EQ(v != nullptr, it != ref.end()) << "find mismatch " << op;
+        if (v != nullptr) {
+          ASSERT_EQ(*v, it->second);
+        }
+      }
+    }
+  }
+  ASSERT_EQ(flat.size(), ref.size());
+  std::size_t visited = 0;
+  flat.ForEach([&](std::uint64_t k, std::uint64_t v) {
+    ++visited;
+    const auto it = ref.find(k);
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(v, it->second);
+  });
+  EXPECT_EQ(visited, ref.size());
+}
+
+TEST(FlatMapTest, ClearAndReuse) {
+  FlatMap<std::uint32_t, int> m;
+  for (std::uint32_t i = 0; i < 100; ++i) m[i] = 1;
+  m.Clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.Find(5), nullptr);
+  m[5] = 55;
+  EXPECT_EQ(*m.Find(5), 55);
+}
+
+TEST(FlatMapTest, MoveTransfersOwnership) {
+  FlatMap<std::uint32_t, int> a;
+  a[1] = 10;
+  a[2] = 20;
+  FlatMap<std::uint32_t, int> b(std::move(a));
+  EXPECT_EQ(a.size(), 0u);
+  ASSERT_NE(b.Find(1), nullptr);
+  EXPECT_EQ(*b.Find(2), 20);
+
+  FlatMap<std::uint32_t, int> c;
+  c[9] = 9;
+  c = std::move(b);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.Find(9), nullptr);
+  EXPECT_EQ(*c.Find(1), 10);
+}
+
+}  // namespace
+}  // namespace md

@@ -1,0 +1,111 @@
+#include "common/small_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace md {
+namespace {
+
+TEST(SmallVectorTest, StaysInlineBelowCapacity) {
+  SmallVector<std::uint32_t, 4> v;
+  EXPECT_TRUE(v.empty());
+  v.PushBack(1);
+  v.PushBack(2);
+  v.PushBack(3);
+  v.PushBack(4);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.HeapBytes(), 0u);  // still inline
+  EXPECT_EQ(v[0], 1u);
+  EXPECT_EQ(v[3], 4u);
+}
+
+TEST(SmallVectorTest, SpillsToHeapPastInlineCapacity) {
+  SmallVector<std::uint32_t, 2> v;
+  for (std::uint32_t i = 0; i < 100; ++i) v.PushBack(i);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_GT(v.HeapBytes(), 0u);
+  for (std::uint32_t i = 0; i < 100; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVectorTest, InsertSortedKeepsOrderAndRejectsDuplicates) {
+  SmallVector<std::uint64_t, 2> v;
+  EXPECT_TRUE(v.InsertSorted(30));
+  EXPECT_TRUE(v.InsertSorted(10));
+  EXPECT_TRUE(v.InsertSorted(20));
+  EXPECT_FALSE(v.InsertSorted(20));  // duplicate: set semantics
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 10u);
+  EXPECT_EQ(v[1], 20u);
+  EXPECT_EQ(v[2], 30u);
+  EXPECT_TRUE(v.ContainsSorted(20));
+  EXPECT_FALSE(v.ContainsSorted(25));
+}
+
+TEST(SmallVectorTest, EraseSorted) {
+  SmallVector<std::uint32_t, 2> v;
+  for (std::uint32_t i = 0; i < 10; ++i) v.InsertSorted(i);
+  EXPECT_TRUE(v.EraseSorted(5));
+  EXPECT_FALSE(v.EraseSorted(5));
+  EXPECT_EQ(v.size(), 9u);
+  EXPECT_FALSE(v.ContainsSorted(5));
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(SmallVectorTest, RandomizedSetParity) {
+  SmallVector<std::uint32_t, 4> v;
+  std::set<std::uint32_t> ref;
+  Rng rng(0x5107);
+  for (int op = 0; op < 20000; ++op) {
+    const auto key = static_cast<std::uint32_t>(rng.NextBelow(256));
+    if (rng.NextBelow(2) == 0) {
+      ASSERT_EQ(v.InsertSorted(key), ref.insert(key).second);
+    } else {
+      ASSERT_EQ(v.EraseSorted(key), ref.erase(key) > 0);
+    }
+    ASSERT_EQ(v.size(), ref.size());
+  }
+  std::vector<std::uint32_t> got(v.begin(), v.end());
+  std::vector<std::uint32_t> want(ref.begin(), ref.end());
+  EXPECT_EQ(got, want);  // sorted vector must equal in-order set walk
+}
+
+TEST(SmallVectorTest, CopyAndMove) {
+  SmallVector<std::uint32_t, 2> a;
+  for (std::uint32_t i = 0; i < 20; ++i) a.PushBack(i);
+
+  SmallVector<std::uint32_t, 2> copied(a);
+  EXPECT_EQ(copied.size(), 20u);
+  EXPECT_EQ(copied[19], 19u);
+  EXPECT_EQ(a.size(), 20u);  // source intact
+
+  SmallVector<std::uint32_t, 2> moved(std::move(a));
+  EXPECT_EQ(moved.size(), 20u);
+  EXPECT_EQ(moved[7], 7u);
+  EXPECT_EQ(a.size(), 0u);
+
+  // Move of a still-inline vector.
+  SmallVector<std::uint32_t, 8> b;
+  b.PushBack(42);
+  SmallVector<std::uint32_t, 8> c(std::move(b));
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0], 42u);
+}
+
+TEST(SmallVectorTest, HeapMemoryReturnsToSlab) {
+  const std::uint64_t before = SlabArena::Default().Stats().slotsInUse;
+  {
+    SmallVector<std::uint64_t, 2> v;
+    for (std::uint64_t i = 0; i < 1000; ++i) v.PushBack(i);
+    EXPECT_GT(SlabArena::Default().Stats().slotsInUse, before);
+  }
+  EXPECT_EQ(SlabArena::Default().Stats().slotsInUse, before);
+}
+
+}  // namespace
+}  // namespace md

@@ -189,5 +189,55 @@ TEST(RegistryConcurrencyTest, SnapshotsNeverTearUnderChurn) {
   EXPECT_EQ(reg.TotalSubscriptions(), expected * kWriters);
 }
 
+// The disconnect-purge bugfix test: N connect/subscribe/disconnect cycles
+// must leave NO residue — no reverse-index entries, no empty TopicEntry,
+// and slab occupancy back at the warmed-up baseline. Without the purge in
+// DropClient, byClient_ and emptied topics accumulate across churn and
+// slotsInUse climbs monotonically.
+TEST(RegistryTest, ChurnReturnsToBaseline) {
+  SubscriptionRegistry reg;
+  constexpr int kCycles = 200;
+  constexpr int kTopicsPerClient = 8;
+
+  const auto cycle = [&reg](ClientHandle client) {
+    for (int t = 0; t < kTopicsPerClient; ++t) {
+      ASSERT_TRUE(reg.Subscribe("churn/topic-" + std::to_string(t), client));
+    }
+    ASSERT_EQ(reg.TopicsOf(client).size(),
+              static_cast<std::size_t>(kTopicsPerClient));
+    const auto dropped = reg.DropClient(client);
+    ASSERT_EQ(dropped.size(), static_cast<std::size_t>(kTopicsPerClient));
+  };
+
+  // Warm-up: sizes the FlatMaps, interns the topics, and populates slab
+  // freelists. Chunks and map capacity are retained BY DESIGN; what must
+  // return to baseline is occupancy.
+  cycle(1);
+  const RegistryFootprint warmFp = reg.Footprint();
+  const SlabStats warmSlab = SlabArena::Default().Stats();
+  EXPECT_EQ(warmFp.topicEntries, 0u);
+  EXPECT_EQ(warmFp.clientEntries, 0u);
+
+  for (int i = 0; i < kCycles; ++i) {
+    cycle(static_cast<ClientHandle>(100 + i));
+  }
+
+  const RegistryFootprint fp = reg.Footprint();
+  EXPECT_EQ(fp.topicEntries, 0u) << "empty TopicEntries accumulated";
+  EXPECT_EQ(fp.clientEntries, 0u) << "byClient_ back-references leaked";
+  EXPECT_EQ(reg.TotalSubscriptions(), 0u);
+  EXPECT_EQ(fp.bytes, warmFp.bytes) << "registry bytes grew across churn";
+
+  const SlabStats slab = SlabArena::Default().Stats();
+  EXPECT_EQ(slab.slotsInUse, warmSlab.slotsInUse)
+      << "slab occupancy did not return to baseline";
+  EXPECT_EQ(slab.bytesInUse, warmSlab.bytesInUse);
+
+  // And the registry still works after the churn storm.
+  ASSERT_TRUE(reg.Subscribe("churn/topic-0", 7777));
+  EXPECT_EQ(reg.SubscriberCount("churn/topic-0"), 1u);
+  reg.DropClient(7777);
+}
+
 }  // namespace
 }  // namespace md::core

@@ -238,7 +238,7 @@ TEST(MetricsEndpointTest, LiveServerServesFullSchemaOverHttp) {
            "md_core_connections_active",
            "md_core_published_total",
            "md_core_bytes_out_total",
-           "md_transport_epoll_wakeups_total",
+           "md_transport_loop_iterations_total",
            "md_transport_bytes_written_total",
            "md_cluster_fences_total",
            "md_cluster_failover_ns",
